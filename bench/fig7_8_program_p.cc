@@ -1,0 +1,55 @@
+// Reproduces Figure 7 (reasoning latency) and Figure 8 (accuracy) of the
+// paper for program P (Listing 1): window sizes 5k..40k, reasoners R,
+// PR_Dep and PR_Ran_k for k = 2..5.
+//
+// Expected shape (paper §IV): PR_Dep cuts R's latency by roughly half
+// while keeping accuracy at 1.0; random partitioning is as fast or faster
+// but its accuracy drops sharply and worsens with k.
+
+#include <cstdio>
+
+#include "bench/figure_common.h"
+
+int main() {
+  using streamasp::bench::FigureConfig;
+  using streamasp::bench::FigurePoint;
+  using streamasp::bench::RunFigure;
+
+  FigureConfig config;
+  config.variant = streamasp::TrafficProgramVariant::kP;
+
+  const std::vector<FigurePoint> points = RunFigure(config);
+
+  std::printf(
+      "# Figure 7: Reasoning latency (program P), critical-path ms\n");
+  std::printf("# %10s %10s %10s %12s %12s %12s %12s %12s\n", "window", "R",
+              "PR_Dep", "PR_Dep_wall", "PR_Ran_k2", "PR_Ran_k3", "PR_Ran_k4",
+              "PR_Ran_k5");
+  for (const FigurePoint& p : points) {
+    std::printf("  %10zu %10.2f %10.2f %12.2f %12.2f %12.2f %12.2f %12.2f\n",
+                p.window_size, p.r_latency_ms, p.pr_dep_latency_ms,
+                p.pr_dep_wall_ms, p.pr_ran_latency_ms[0],
+                p.pr_ran_latency_ms[1], p.pr_ran_latency_ms[2],
+                p.pr_ran_latency_ms[3]);
+  }
+
+  std::printf("\n# Figure 8: Accuracy (program P)\n");
+  std::printf("# %10s %10s %12s %12s %12s %12s\n", "window", "PR_Dep",
+              "PR_Ran_k2", "PR_Ran_k3", "PR_Ran_k4", "PR_Ran_k5");
+  for (const FigurePoint& p : points) {
+    std::printf("  %10zu %10.3f %12.3f %12.3f %12.3f %12.3f\n",
+                p.window_size, p.pr_dep_accuracy, p.pr_ran_accuracy[0],
+                p.pr_ran_accuracy[1], p.pr_ran_accuracy[2],
+                p.pr_ran_accuracy[3]);
+  }
+
+  // Headline checks from the paper, reported for eyeballing.
+  double speedup = 0;
+  for (const FigurePoint& p : points) {
+    speedup += p.r_latency_ms / p.pr_dep_latency_ms;
+  }
+  std::printf("\n# mean R / PR_Dep latency ratio: %.2fx "
+              "(paper: ~2x, i.e. ~50%% latency cut)\n",
+              speedup / points.size());
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Component microbenchmarks for the ASP front end: program parsing, fact
+// parsing (the per-window hot path when facts arrive as text), and
+// arithmetic folding.
+
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+#include "asp/parser.h"
+#include "streamrule/traffic_workload.h"
+
+namespace streamasp {
+namespace {
+
+void BM_ParseTrafficProgram(benchmark::State& state) {
+  const std::string text =
+      TrafficProgramText(TrafficProgramVariant::kPPrime, true);
+  for (auto _ : state) {
+    SymbolTablePtr symbols = MakeSymbolTable();
+    Parser parser(symbols);
+    benchmark::DoNotOptimize(parser.ParseProgram(text));
+  }
+  state.SetBytesProcessed(state.iterations() * text.size());
+}
+BENCHMARK(BM_ParseTrafficProgram);
+
+void BM_ParseGroundFacts(benchmark::State& state) {
+  SymbolTablePtr symbols = MakeSymbolTable();
+  Parser parser(symbols);
+  std::vector<std::string> facts;
+  for (int i = 0; i < state.range(0); ++i) {
+    facts.push_back("average_speed(loc" + std::to_string(i % 100) + ", " +
+                    std::to_string(i % 140) + ")");
+  }
+  for (auto _ : state) {
+    for (const std::string& fact : facts) {
+      benchmark::DoNotOptimize(parser.ParseGroundAtom(fact));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ParseGroundFacts)->Arg(1000)->Arg(10000);
+
+void BM_ParseRuleWithArithmetic(benchmark::State& state) {
+  SymbolTablePtr symbols = MakeSymbolTable();
+  Parser parser(symbols);
+  const std::string rule =
+      "alert(H, S * 2 + 1) :- load(H, L), cap(H, C), S = L * 100 / C, "
+      "S > 80, L \\ 2 == 0.";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parser.ParseProgram(rule));
+  }
+  state.SetBytesProcessed(state.iterations() * rule.size());
+}
+BENCHMARK(BM_ParseRuleWithArithmetic);
+
+void BM_ConstantFolding(benchmark::State& state) {
+  SymbolTablePtr symbols = MakeSymbolTable();
+  Parser parser(symbols);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        parser.ParseTerm("((1 + 2) * (3 + 4) - 5) / 2 \\ 7"));
+  }
+}
+BENCHMARK(BM_ConstantFolding);
+
+}  // namespace
+}  // namespace streamasp
+
+BENCHMARK_MAIN();

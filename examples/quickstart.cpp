@@ -1,0 +1,67 @@
+// Quickstart: parse an ASP program, ground it, enumerate its answer sets.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "asp/parser.h"
+#include "ground/grounder.h"
+#include "solve/solver.h"
+
+int main() {
+  using namespace streamasp;
+
+  // A tiny non-monotonic program: two mutually exclusive weather guesses
+  // plus a plan that depends on the guess. It has exactly two answer sets.
+  const char* kSource = R"(
+    sunny :- not rainy.
+    rainy :- not sunny.
+    picnic    :- sunny.
+    umbrella  :- rainy.
+    % Never plan a picnic with an umbrella.
+    :- picnic, umbrella.
+  )";
+
+  SymbolTablePtr symbols = MakeSymbolTable();
+  Parser parser(symbols);
+  StatusOr<Program> program = parser.ParseProgram(kSource);
+  if (!program.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 program.status().ToString().c_str());
+    return 1;
+  }
+
+  Grounder grounder;
+  StatusOr<GroundProgram> ground = grounder.Ground(*program);
+  if (!ground.ok()) {
+    std::fprintf(stderr, "grounding error: %s\n",
+                 ground.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("ground program:\n%s\n",
+              ground->ToString(*symbols).c_str());
+
+  Solver solver;
+  StatusOr<std::vector<AnswerSet>> models = solver.Solve(*ground);
+  if (!models.ok()) {
+    std::fprintf(stderr, "solving error: %s\n",
+                 models.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%zu answer set(s):\n", models->size());
+  for (size_t i = 0; i < models->size(); ++i) {
+    std::printf("  answer %zu: {", i + 1);
+    const AnswerSet& model = (*models)[i];
+    for (size_t j = 0; j < model.atoms.size(); ++j) {
+      if (j > 0) std::printf(", ");
+      std::printf(
+          "%s",
+          ground->atoms().GetAtom(model.atoms[j]).ToString(*symbols).c_str());
+    }
+    std::printf("}\n");
+  }
+  return 0;
+}

@@ -1,0 +1,105 @@
+#include "asp/literal.h"
+
+#include <cassert>
+
+namespace streamasp {
+
+const char* ComparisonOpToString(ComparisonOp op) {
+  switch (op) {
+    case ComparisonOp::kLess:
+      return "<";
+    case ComparisonOp::kLessEqual:
+      return "<=";
+    case ComparisonOp::kGreater:
+      return ">";
+    case ComparisonOp::kGreaterEqual:
+      return ">=";
+    case ComparisonOp::kEqual:
+      return "==";
+    case ComparisonOp::kNotEqual:
+      return "!=";
+  }
+  return "?";
+}
+
+bool EvaluateComparison(ComparisonOp op, const Term& lhs, const Term& rhs) {
+  assert(lhs.IsGround() && rhs.IsGround());
+  // Numeric comparison when both sides are integers; otherwise fall back to
+  // the structural total order, matching Clingo's ordering of mixed terms.
+  int cmp;
+  if (lhs.is_integer() && rhs.is_integer()) {
+    const int64_t a = lhs.integer_value();
+    const int64_t b = rhs.integer_value();
+    cmp = (a < b) ? -1 : (a > b) ? 1 : 0;
+  } else {
+    cmp = (lhs < rhs) ? -1 : (rhs < lhs) ? 1 : 0;
+  }
+  switch (op) {
+    case ComparisonOp::kLess:
+      return cmp < 0;
+    case ComparisonOp::kLessEqual:
+      return cmp <= 0;
+    case ComparisonOp::kGreater:
+      return cmp > 0;
+    case ComparisonOp::kGreaterEqual:
+      return cmp >= 0;
+    case ComparisonOp::kEqual:
+      return cmp == 0;
+    case ComparisonOp::kNotEqual:
+      return cmp != 0;
+  }
+  return false;
+}
+
+Literal Literal::Positive(Atom atom) {
+  Literal lit;
+  lit.kind_ = Kind::kPositiveAtom;
+  lit.atom_ = std::move(atom);
+  return lit;
+}
+
+Literal Literal::Negative(Atom atom) {
+  Literal lit;
+  lit.kind_ = Kind::kNegativeAtom;
+  lit.atom_ = std::move(atom);
+  return lit;
+}
+
+Literal Literal::Comparison(Term lhs, ComparisonOp op, Term rhs) {
+  Literal lit;
+  lit.kind_ = Kind::kComparison;
+  lit.lhs_ = std::move(lhs);
+  lit.rhs_ = std::move(rhs);
+  lit.op_ = op;
+  return lit;
+}
+
+void Literal::CollectVariables(std::vector<SymbolId>* out) const {
+  if (is_atom()) {
+    atom_.CollectVariables(out);
+  } else {
+    lhs_.CollectVariables(out);
+    rhs_.CollectVariables(out);
+  }
+}
+
+std::string Literal::ToString(const SymbolTable& symbols) const {
+  switch (kind_) {
+    case Kind::kPositiveAtom:
+      return atom_.ToString(symbols);
+    case Kind::kNegativeAtom:
+      return "not " + atom_.ToString(symbols);
+    case Kind::kComparison:
+      return lhs_.ToString(symbols) + ComparisonOpToString(op_) +
+             rhs_.ToString(symbols);
+  }
+  return "?";
+}
+
+bool operator==(const Literal& a, const Literal& b) {
+  if (a.kind_ != b.kind_) return false;
+  if (a.is_atom()) return a.atom_ == b.atom_;
+  return a.op_ == b.op_ && a.lhs_ == b.lhs_ && a.rhs_ == b.rhs_;
+}
+
+}  // namespace streamasp

@@ -1,0 +1,86 @@
+#ifndef STREAMASP_ASP_LITERAL_H_
+#define STREAMASP_ASP_LITERAL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "asp/atom.h"
+#include "asp/term.h"
+
+namespace streamasp {
+
+/// Comparison operators available in rule bodies (builtin literals).
+enum class ComparisonOp : uint8_t {
+  kLess,
+  kLessEqual,
+  kGreater,
+  kGreaterEqual,
+  kEqual,
+  kNotEqual,
+};
+
+/// Returns the ASP surface syntax for an operator ("<", ">=", ...).
+const char* ComparisonOpToString(ComparisonOp op);
+
+/// Evaluates `lhs op rhs` on ground terms. Integers compare numerically;
+/// any other ground terms compare by the Term total order (so equality is
+/// structural). Requires both terms to be ground.
+bool EvaluateComparison(ComparisonOp op, const Term& lhs, const Term& rhs);
+
+/// A body literal: either a (possibly default-negated) atom, or a builtin
+/// comparison between two terms such as `Y < 20`.
+class Literal {
+ public:
+  /// Kinds of body literals.
+  enum class Kind : uint8_t {
+    kPositiveAtom,  ///< p(t...)
+    kNegativeAtom,  ///< not p(t...)
+    kComparison,    ///< t1 op t2
+  };
+
+  Literal() : kind_(Kind::kPositiveAtom) {}
+
+  /// Creates a positive atom literal.
+  static Literal Positive(Atom atom);
+
+  /// Creates a default-negated atom literal (`not atom`).
+  static Literal Negative(Atom atom);
+
+  /// Creates a builtin comparison literal.
+  static Literal Comparison(Term lhs, ComparisonOp op, Term rhs);
+
+  Kind kind() const { return kind_; }
+  bool is_positive_atom() const { return kind_ == Kind::kPositiveAtom; }
+  bool is_negative_atom() const { return kind_ == Kind::kNegativeAtom; }
+  bool is_atom() const { return kind_ != Kind::kComparison; }
+  bool is_comparison() const { return kind_ == Kind::kComparison; }
+
+  /// The wrapped atom. Requires is_atom().
+  const Atom& atom() const { return atom_; }
+
+  /// Comparison parts. Require is_comparison().
+  const Term& lhs() const { return lhs_; }
+  const Term& rhs() const { return rhs_; }
+  ComparisonOp op() const { return op_; }
+
+  /// Appends all variable ids occurring in the literal.
+  void CollectVariables(std::vector<SymbolId>* out) const;
+
+  /// Renders ASP syntax, e.g. "not traffic_light(X)" or "Y<20".
+  std::string ToString(const SymbolTable& symbols) const;
+
+  friend bool operator==(const Literal& a, const Literal& b);
+  friend bool operator!=(const Literal& a, const Literal& b) {
+    return !(a == b);
+  }
+
+ private:
+  Kind kind_;
+  Atom atom_;           // For atom literals.
+  Term lhs_, rhs_;      // For comparisons.
+  ComparisonOp op_ = ComparisonOp::kEqual;
+};
+
+}  // namespace streamasp
+
+#endif  // STREAMASP_ASP_LITERAL_H_

@@ -1,0 +1,56 @@
+#ifndef STREAMASP_ASP_PARSER_H_
+#define STREAMASP_ASP_PARSER_H_
+
+#include <string_view>
+
+#include "asp/program.h"
+#include "util/status.h"
+
+namespace streamasp {
+
+/// Parses the Clingo-compatible subset of ASP used throughout the library.
+///
+/// Grammar (informal):
+///
+///   program    := (rule | directive)*
+///   rule       := head? (":-" body)? "."
+///   head       := atom (("|" | ";") atom)*
+///   body       := literal ("," literal)*
+///   literal    := "not" atom | atom | term cmp term
+///   cmp        := "<" | "<=" | ">" | ">=" | "==" | "=" | "!="
+///   atom       := identifier ("(" term ("," term)* ")")?
+///   term       := integer | identifier | VARIABLE | "_"
+///              |  identifier "(" term ("," term)* ")" | string
+///   directive  := "#input" signature ("," signature)* "."
+///              |  "#show" signature ("," signature)* "."
+///   signature  := identifier "/" integer
+///
+/// `%` starts a line comment. Identifiers start with a lowercase letter;
+/// variables with an uppercase letter or underscore. A bare `_` is an
+/// anonymous variable (each occurrence is unique). `#input` declares
+/// inpre(P); `#show` declares output projection (both are recorded on the
+/// returned Program).
+///
+/// Errors carry 1-based line/column positions.
+class Parser {
+ public:
+  /// Creates a parser interning into `symbols` (must be non-null).
+  explicit Parser(SymbolTablePtr symbols);
+
+  /// Parses a complete program.
+  StatusOr<Program> ParseProgram(std::string_view source);
+
+  /// Parses a single ground atom such as "average_speed(newcastle,10)".
+  /// Rejects non-ground atoms.
+  StatusOr<Atom> ParseGroundAtom(std::string_view source);
+
+  /// Parses a single term.
+  StatusOr<Term> ParseTerm(std::string_view source);
+
+ private:
+  SymbolTablePtr symbols_;
+};
+
+}  // namespace streamasp
+
+#endif  // STREAMASP_ASP_PARSER_H_

@@ -1,0 +1,119 @@
+#include "asp/program.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+#include "asp/atom.h"
+
+namespace streamasp {
+
+Program::Program(SymbolTablePtr symbols) : symbols_(std::move(symbols)) {
+  assert(symbols_ != nullptr);
+}
+
+void Program::AddRule(Rule rule) { rules_.push_back(std::move(rule)); }
+
+void Program::AddFact(Atom atom) { rules_.push_back(Rule::Fact(std::move(atom))); }
+
+void Program::DeclareInputPredicate(PredicateSignature signature) {
+  for (const PredicateSignature& existing : input_predicates_) {
+    if (existing == signature) return;
+  }
+  input_predicates_.push_back(signature);
+}
+
+void Program::DeclareShownPredicate(PredicateSignature signature) {
+  for (const PredicateSignature& existing : shown_predicates_) {
+    if (existing == signature) return;
+  }
+  shown_predicates_.push_back(signature);
+}
+
+namespace {
+
+void InsertAtomSignature(const Atom& atom,
+                         std::set<PredicateSignature>* sink) {
+  sink->insert(atom.signature());
+}
+
+}  // namespace
+
+namespace {
+
+std::set<PredicateSignature> RulePredicateSet(const std::vector<Rule>& rules) {
+  std::set<PredicateSignature> set;
+  for (const Rule& rule : rules) {
+    for (const Atom& a : rule.head()) InsertAtomSignature(a, &set);
+    for (const Literal& l : rule.body()) {
+      if (l.is_atom()) InsertAtomSignature(l.atom(), &set);
+    }
+  }
+  return set;
+}
+
+}  // namespace
+
+std::vector<PredicateSignature> Program::AllPredicates() const {
+  std::set<PredicateSignature> set = RulePredicateSet(rules_);
+  // Input predicates are part of pre(P) by definition even if the current
+  // rule set never mentions them (e.g. a program that just passes input
+  // through constraints added later).
+  for (const PredicateSignature& s : input_predicates_) set.insert(s);
+  return std::vector<PredicateSignature>(set.begin(), set.end());
+}
+
+std::vector<PredicateSignature> Program::IdbPredicates() const {
+  std::set<PredicateSignature> idb;
+  for (const Rule& rule : rules_) {
+    if (rule.body().empty()) continue;  // Facts are extensional.
+    for (const Atom& a : rule.head()) idb.insert(a.signature());
+  }
+  return std::vector<PredicateSignature>(idb.begin(), idb.end());
+}
+
+std::vector<PredicateSignature> Program::EdbPredicates() const {
+  std::set<PredicateSignature> idb;
+  for (const Rule& rule : rules_) {
+    if (rule.body().empty()) continue;
+    for (const Atom& a : rule.head()) idb.insert(a.signature());
+  }
+  std::vector<PredicateSignature> edb;
+  for (const PredicateSignature& s : AllPredicates()) {
+    if (!idb.count(s)) edb.push_back(s);
+  }
+  return edb;
+}
+
+Status Program::Validate() const {
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    const std::vector<SymbolId> unsafe = rules_[i].UnsafeVariables();
+    if (!unsafe.empty()) {
+      return InvalidArgumentError(
+          "unsafe variable '" + symbols_->NameOf(unsafe.front()) +
+          "' in rule " + std::to_string(i) + ": " +
+          rules_[i].ToString(*symbols_));
+    }
+  }
+  const std::set<PredicateSignature> rule_predicates =
+      RulePredicateSet(rules_);
+  for (const PredicateSignature& s : input_predicates_) {
+    if (!rule_predicates.count(s)) {
+      return InvalidArgumentError("declared input predicate " +
+                                  s.ToString(*symbols_) +
+                                  " does not occur in the program");
+    }
+  }
+  return OkStatus();
+}
+
+std::string Program::ToString() const {
+  std::string out;
+  for (const Rule& rule : rules_) {
+    out += rule.ToString(*symbols_);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace streamasp

@@ -1,0 +1,91 @@
+#ifndef STREAMASP_ASP_PROGRAM_H_
+#define STREAMASP_ASP_PROGRAM_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "asp/rule.h"
+#include "asp/symbol_table.h"
+#include "util/status.h"
+
+namespace streamasp {
+
+/// A logic program: an ordered set of rules over a shared symbol table.
+///
+/// Terminology from the paper:
+///   * pre(P)   — all predicate signatures occurring in P (head or body);
+///   * inpre(P) — the declared *input* predicates: the signatures of the
+///                data items streamed into the reasoner. inpre(P) ⊆ pre(P)
+///                is not derivable from the rules alone (an input predicate
+///                may also be an IDB predicate), so it is declared
+///                explicitly, mirroring the paper's setup.
+class Program {
+ public:
+  /// Creates an empty program over `symbols` (must be non-null).
+  explicit Program(SymbolTablePtr symbols);
+
+  /// Appends a rule.
+  void AddRule(Rule rule);
+
+  /// Appends a ground fact.
+  void AddFact(Atom atom);
+
+  /// Declares `signature` an input predicate. Idempotent.
+  void DeclareInputPredicate(PredicateSignature signature);
+
+  /// Declares `signature` as shown (projected into reasoner output, like
+  /// Clingo's `#show`). When no predicate is shown, reasoners emit full
+  /// answer sets. Idempotent.
+  void DeclareShownPredicate(PredicateSignature signature);
+
+  const std::vector<Rule>& rules() const { return rules_; }
+  const SymbolTablePtr& symbols() const { return symbols_; }
+  SymbolTable& symbol_table() const { return *symbols_; }
+
+  /// The declared input predicates, inpre(P), in declaration order.
+  const std::vector<PredicateSignature>& input_predicates() const {
+    return input_predicates_;
+  }
+
+  /// The declared shown predicates (empty = show everything).
+  const std::vector<PredicateSignature>& shown_predicates() const {
+    return shown_predicates_;
+  }
+
+  /// All predicate signatures occurring anywhere in the program: pre(P).
+  std::vector<PredicateSignature> AllPredicates() const;
+
+  /// Predicates occurring in at least one rule head with a non-empty body,
+  /// i.e. the IDB (intensional) predicates. Facts alone do not make a
+  /// predicate intensional.
+  std::vector<PredicateSignature> IdbPredicates() const;
+
+  /// Predicates in pre(P) that are not IDB: the EDB (extensional) ones.
+  std::vector<PredicateSignature> EdbPredicates() const;
+
+  /// Validates the program: every rule safe, every declared input
+  /// predicate mentioned in pre(P). Returns the first violation found.
+  Status Validate() const;
+
+  /// Renders the full program, one rule per line.
+  std::string ToString() const;
+
+  /// Deep copy onto a different symbol table is not supported; programs
+  /// share their table. Copying the Program itself is cheap enough (rule
+  /// vectors) and allowed.
+  Program(const Program&) = default;
+  Program& operator=(const Program&) = default;
+  Program(Program&&) noexcept = default;
+  Program& operator=(Program&&) noexcept = default;
+
+ private:
+  SymbolTablePtr symbols_;
+  std::vector<Rule> rules_;
+  std::vector<PredicateSignature> input_predicates_;
+  std::vector<PredicateSignature> shown_predicates_;
+};
+
+}  // namespace streamasp
+
+#endif  // STREAMASP_ASP_PROGRAM_H_

@@ -1,0 +1,131 @@
+#include "asp/rule.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace streamasp {
+
+Rule Rule::Fact(Atom atom) {
+  Rule rule;
+  rule.head_.push_back(std::move(atom));
+  return rule;
+}
+
+Rule Rule::Constraint(std::vector<Literal> body) {
+  Rule rule;
+  rule.body_ = std::move(body);
+  return rule;
+}
+
+bool Rule::IsGround() const {
+  for (const Atom& a : head_) {
+    if (!a.IsGround()) return false;
+  }
+  for (const Literal& l : body_) {
+    std::vector<SymbolId> vars;
+    l.CollectVariables(&vars);
+    if (!vars.empty()) return false;
+  }
+  return true;
+}
+
+std::vector<Atom> Rule::PositiveBodyAtoms() const {
+  std::vector<Atom> atoms;
+  for (const Literal& l : body_) {
+    if (l.is_positive_atom()) atoms.push_back(l.atom());
+  }
+  return atoms;
+}
+
+std::vector<Atom> Rule::NegativeBodyAtoms() const {
+  std::vector<Atom> atoms;
+  for (const Literal& l : body_) {
+    if (l.is_negative_atom()) atoms.push_back(l.atom());
+  }
+  return atoms;
+}
+
+std::vector<SymbolId> Rule::Variables() const {
+  std::vector<SymbolId> all;
+  for (const Atom& a : head_) a.CollectVariables(&all);
+  for (const Literal& l : body_) l.CollectVariables(&all);
+  std::vector<SymbolId> unique;
+  std::unordered_set<SymbolId> seen;
+  for (SymbolId v : all) {
+    if (seen.insert(v).second) unique.push_back(v);
+  }
+  return unique;
+}
+
+std::vector<SymbolId> Rule::UnsafeVariables() const {
+  // Base case: variables matchable against a positive body atom. Variables
+  // nested inside arithmetic subterms do not count — p(X + 1) cannot bind
+  // X during instantiation.
+  std::unordered_set<SymbolId> safe;
+  for (const Literal& l : body_) {
+    if (l.is_positive_atom()) {
+      std::vector<SymbolId> vars;
+      for (const Term& arg : l.atom().args()) {
+        arg.CollectBindableVariables(&vars);
+      }
+      safe.insert(vars.begin(), vars.end());
+    }
+  }
+  // Closure over assignments: `X = expr` (or `expr = X`) makes X safe once
+  // every variable of expr is safe.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Literal& l : body_) {
+      if (!l.is_comparison() || l.op() != ComparisonOp::kEqual) continue;
+      for (const bool variable_on_left : {true, false}) {
+        const Term& target = variable_on_left ? l.lhs() : l.rhs();
+        const Term& source = variable_on_left ? l.rhs() : l.lhs();
+        if (!target.is_variable() || safe.count(target.symbol())) continue;
+        std::vector<SymbolId> source_vars;
+        source.CollectVariables(&source_vars);
+        bool all_safe = true;
+        for (SymbolId v : source_vars) {
+          if (!safe.count(v)) {
+            all_safe = false;
+            break;
+          }
+        }
+        if (all_safe) {
+          safe.insert(target.symbol());
+          changed = true;
+        }
+      }
+    }
+  }
+  std::vector<SymbolId> unsafe;
+  std::unordered_set<SymbolId> reported;
+  for (SymbolId v : Variables()) {
+    if (!safe.count(v) && reported.insert(v).second) {
+      unsafe.push_back(v);
+    }
+  }
+  return unsafe;
+}
+
+std::string Rule::ToString(const SymbolTable& symbols) const {
+  std::string out;
+  for (size_t i = 0; i < head_.size(); ++i) {
+    if (i > 0) out += " | ";
+    out += head_[i].ToString(symbols);
+  }
+  if (!body_.empty()) {
+    if (!head_.empty()) out += " ";
+    out += ":- ";
+    for (size_t i = 0; i < body_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += body_[i].ToString(symbols);
+    }
+  } else if (head_.empty()) {
+    out += ":- ";  // Degenerate empty constraint.
+  }
+  out += ".";
+  return out;
+}
+
+}  // namespace streamasp

@@ -1,0 +1,71 @@
+#ifndef STREAMASP_ASP_RULE_H_
+#define STREAMASP_ASP_RULE_H_
+
+#include <string>
+#include <vector>
+
+#include "asp/atom.h"
+#include "asp/literal.h"
+
+namespace streamasp {
+
+/// A (possibly disjunctive) ASP rule:
+///
+///   q1 | ... | qn :- p1, ..., pk, not pk+1, ..., not pm.
+///
+/// n = 0 encodes an integrity constraint (`:- body.`); an empty body with a
+/// single head atom encodes a fact.
+class Rule {
+ public:
+  Rule() = default;
+
+  /// Constructs a rule from head atoms and body literals.
+  Rule(std::vector<Atom> head, std::vector<Literal> body)
+      : head_(std::move(head)), body_(std::move(body)) {}
+
+  /// Convenience: a ground or non-ground fact `atom.`.
+  static Rule Fact(Atom atom);
+
+  /// Convenience: an integrity constraint `:- body.`.
+  static Rule Constraint(std::vector<Literal> body);
+
+  const std::vector<Atom>& head() const { return head_; }
+  const std::vector<Literal>& body() const { return body_; }
+
+  bool is_constraint() const { return head_.empty(); }
+  bool is_fact() const { return head_.size() == 1 && body_.empty(); }
+  bool is_disjunctive() const { return head_.size() > 1; }
+
+  /// True iff head and body contain no variables.
+  bool IsGround() const;
+
+  /// Positive body atoms (skipping negations and comparisons).
+  std::vector<Atom> PositiveBodyAtoms() const;
+
+  /// Atoms under default negation in the body.
+  std::vector<Atom> NegativeBodyAtoms() const;
+
+  /// All distinct variables, in first-occurrence order.
+  std::vector<SymbolId> Variables() const;
+
+  /// Checks rule safety: every variable occurring anywhere in the rule must
+  /// occur in at least one positive body atom. Returns the ids of unsafe
+  /// variables (empty means the rule is safe).
+  std::vector<SymbolId> UnsafeVariables() const;
+
+  /// Renders ASP syntax, e.g. "a | b :- c, not d, X<3."
+  std::string ToString(const SymbolTable& symbols) const;
+
+  friend bool operator==(const Rule& a, const Rule& b) {
+    return a.head_ == b.head_ && a.body_ == b.body_;
+  }
+  friend bool operator!=(const Rule& a, const Rule& b) { return !(a == b); }
+
+ private:
+  std::vector<Atom> head_;
+  std::vector<Literal> body_;
+};
+
+}  // namespace streamasp
+
+#endif  // STREAMASP_ASP_RULE_H_

@@ -1,0 +1,42 @@
+#include "asp/symbol_table.h"
+
+#include <cassert>
+#include <mutex>
+
+namespace streamasp {
+
+SymbolId SymbolTable::Intern(std::string_view name) {
+  {
+    std::shared_lock<std::shared_mutex> read_lock(mutex_);
+    auto it = index_.find(name);
+    if (it != index_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> write_lock(mutex_);
+  // Re-check: another thread may have interned between the locks.
+  auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  const SymbolId id = static_cast<SymbolId>(names_.size());
+  names_.emplace_back(name);
+  // The key views the deque-owned string, which never moves.
+  index_.emplace(std::string_view(names_.back()), id);
+  return id;
+}
+
+SymbolId SymbolTable::Lookup(std::string_view name) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  auto it = index_.find(name);
+  return it == index_.end() ? kInvalidSymbol : it->second;
+}
+
+const std::string& SymbolTable::NameOf(SymbolId id) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  assert(id < names_.size());
+  return names_[id];
+}
+
+size_t SymbolTable::size() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return names_.size();
+}
+
+}  // namespace streamasp

@@ -1,0 +1,66 @@
+#ifndef STREAMASP_ASP_SYMBOL_TABLE_H_
+#define STREAMASP_ASP_SYMBOL_TABLE_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace streamasp {
+
+/// Dense identifier of an interned string (predicate name, constant, or
+/// variable name). Ids are stable for the lifetime of the SymbolTable.
+using SymbolId = uint32_t;
+
+/// Sentinel for "no symbol".
+inline constexpr SymbolId kInvalidSymbol = static_cast<SymbolId>(-1);
+
+/// Interns strings to dense ids so the grounder and solver can compare and
+/// hash terms as integers.
+///
+/// Thread safety: Intern/Lookup/NameOf may be called concurrently; the
+/// parallel reasoner shares one table across worker threads so that answer
+/// sets from different partitions are directly comparable by id. A
+/// shared_mutex keeps reads (the common case once the workload's symbols
+/// exist) cheap.
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+
+  SymbolTable(const SymbolTable&) = delete;
+  SymbolTable& operator=(const SymbolTable&) = delete;
+
+  /// Returns the id for `name`, interning it on first use.
+  SymbolId Intern(std::string_view name);
+
+  /// Returns the id for `name` or kInvalidSymbol if never interned.
+  SymbolId Lookup(std::string_view name) const;
+
+  /// Returns the string for an id. The reference is stable (storage is a
+  /// deque; entries are never removed). Requires a valid id.
+  const std::string& NameOf(SymbolId id) const;
+
+  /// Number of interned symbols.
+  size_t size() const;
+
+ private:
+  mutable std::shared_mutex mutex_;
+  std::deque<std::string> names_;
+  std::unordered_map<std::string_view, SymbolId> index_;
+};
+
+/// Shared-ownership handle used throughout the library: programs, windows,
+/// and reasoners all reference one table.
+using SymbolTablePtr = std::shared_ptr<SymbolTable>;
+
+/// Convenience factory.
+inline SymbolTablePtr MakeSymbolTable() {
+  return std::make_shared<SymbolTable>();
+}
+
+}  // namespace streamasp
+
+#endif  // STREAMASP_ASP_SYMBOL_TABLE_H_

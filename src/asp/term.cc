@@ -1,0 +1,199 @@
+#include "asp/term.h"
+
+#include <cassert>
+#include <cstdint>
+
+namespace streamasp {
+
+Term Term::Integer(int64_t value) { return Term(TermKind::kInteger, value); }
+
+Term Term::Symbol(SymbolId id) {
+  return Term(TermKind::kSymbol, static_cast<int64_t>(id));
+}
+
+Term Term::Variable(SymbolId id) {
+  return Term(TermKind::kVariable, static_cast<int64_t>(id));
+}
+
+Term Term::Function(SymbolId functor, std::vector<Term> args) {
+  assert(!args.empty() && "zero-arity function should be a Symbol");
+  Term t(TermKind::kFunction, static_cast<int64_t>(functor));
+  t.args_ = std::make_shared<const std::vector<Term>>(std::move(args));
+  return t;
+}
+
+Term Term::Arithmetic(ArithOp op, Term lhs, Term rhs) {
+  Term t(TermKind::kArithmetic, static_cast<int64_t>(op));
+  t.args_ = std::make_shared<const std::vector<Term>>(
+      std::vector<Term>{std::move(lhs), std::move(rhs)});
+  int64_t folded = 0;
+  if (t.EvaluateArithmetic(&folded)) return Integer(folded);
+  return t;
+}
+
+const char* ArithOpToString(ArithOp op) {
+  switch (op) {
+    case ArithOp::kAdd:
+      return "+";
+    case ArithOp::kSub:
+      return "-";
+    case ArithOp::kMul:
+      return "*";
+    case ArithOp::kDiv:
+      return "/";
+    case ArithOp::kMod:
+      return "\\";
+  }
+  return "?";
+}
+
+bool Term::IsGround() const {
+  switch (kind_) {
+    case TermKind::kInteger:
+    case TermKind::kSymbol:
+      return true;
+    case TermKind::kVariable:
+      return false;
+    case TermKind::kFunction:
+    case TermKind::kArithmetic:
+      for (const Term& arg : *args_) {
+        if (!arg.IsGround()) return false;
+      }
+      return true;
+  }
+  return false;
+}
+
+void Term::CollectVariables(std::vector<SymbolId>* out) const {
+  switch (kind_) {
+    case TermKind::kInteger:
+    case TermKind::kSymbol:
+      return;
+    case TermKind::kVariable:
+      out->push_back(symbol());
+      return;
+    case TermKind::kFunction:
+    case TermKind::kArithmetic:
+      for (const Term& arg : *args_) {
+        arg.CollectVariables(out);
+      }
+      return;
+  }
+}
+
+void Term::CollectBindableVariables(std::vector<SymbolId>* out) const {
+  switch (kind_) {
+    case TermKind::kInteger:
+    case TermKind::kSymbol:
+    case TermKind::kArithmetic:  // Matching cannot invert arithmetic.
+      return;
+    case TermKind::kVariable:
+      out->push_back(symbol());
+      return;
+    case TermKind::kFunction:
+      for (const Term& arg : *args_) {
+        arg.CollectBindableVariables(out);
+      }
+      return;
+  }
+}
+
+bool Term::EvaluateArithmetic(int64_t* out) const {
+  switch (kind_) {
+    case TermKind::kInteger:
+      *out = value_;
+      return true;
+    case TermKind::kSymbol:
+    case TermKind::kVariable:
+    case TermKind::kFunction:
+      return false;
+    case TermKind::kArithmetic: {
+      int64_t lhs = 0;
+      int64_t rhs = 0;
+      if (!(*args_)[0].EvaluateArithmetic(&lhs) ||
+          !(*args_)[1].EvaluateArithmetic(&rhs)) {
+        return false;
+      }
+      switch (arith_op()) {
+        case ArithOp::kAdd:
+          *out = lhs + rhs;
+          return true;
+        case ArithOp::kSub:
+          *out = lhs - rhs;
+          return true;
+        case ArithOp::kMul:
+          *out = lhs * rhs;
+          return true;
+        case ArithOp::kDiv:
+          if (rhs == 0 || (lhs == INT64_MIN && rhs == -1)) return false;
+          *out = lhs / rhs;
+          return true;
+        case ArithOp::kMod:
+          if (rhs == 0 || (lhs == INT64_MIN && rhs == -1)) return false;
+          *out = lhs % rhs;
+          return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+std::string Term::ToString(const SymbolTable& symbols) const {
+  switch (kind_) {
+    case TermKind::kInteger:
+      return std::to_string(value_);
+    case TermKind::kSymbol:
+    case TermKind::kVariable:
+      return symbols.NameOf(symbol());
+    case TermKind::kFunction: {
+      std::string out = symbols.NameOf(symbol());
+      out += '(';
+      for (size_t i = 0; i < args_->size(); ++i) {
+        if (i > 0) out += ',';
+        out += (*args_)[i].ToString(symbols);
+      }
+      out += ')';
+      return out;
+    }
+    case TermKind::kArithmetic:
+      // Fully parenthesized: precedence was resolved at parse time.
+      return "(" + (*args_)[0].ToString(symbols) + ArithOpToString(arith_op()) +
+             (*args_)[1].ToString(symbols) + ")";
+  }
+  return "?";
+}
+
+bool operator==(const Term& a, const Term& b) {
+  if (a.kind_ != b.kind_ || a.value_ != b.value_) return false;
+  if (a.kind_ != TermKind::kFunction &&
+      a.kind_ != TermKind::kArithmetic) {
+    return true;
+  }
+  if (a.args_ == b.args_) return true;  // Shared storage fast path.
+  return *a.args_ == *b.args_;
+}
+
+bool operator<(const Term& a, const Term& b) {
+  if (a.kind_ != b.kind_) return a.kind_ < b.kind_;
+  if (a.value_ != b.value_) return a.value_ < b.value_;
+  if (a.kind_ != TermKind::kFunction &&
+      a.kind_ != TermKind::kArithmetic) {
+    return false;
+  }
+  if (a.args_ == b.args_) return false;
+  return *a.args_ < *b.args_;  // Lexicographic via vector's operator<.
+}
+
+size_t Term::Hash() const {
+  size_t h = HashCombine(static_cast<size_t>(kind_),
+                         std::hash<int64_t>()(value_));
+  if (kind_ == TermKind::kFunction || kind_ == TermKind::kArithmetic) {
+    for (const Term& arg : *args_) {
+      h = HashCombine(h, arg.Hash());
+    }
+  }
+  return h;
+}
+
+}  // namespace streamasp

@@ -1,0 +1,392 @@
+#include "depgraph/atom_level.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace streamasp {
+
+namespace {
+
+/// Variables occurring at top level of an atom's arguments, by position.
+/// Non-variable arguments yield kInvalidSymbol at their position.
+std::vector<SymbolId> TopLevelVariables(const Atom& atom) {
+  std::vector<SymbolId> vars(atom.args().size(), kInvalidSymbol);
+  for (size_t i = 0; i < atom.args().size(); ++i) {
+    if (atom.args()[i].is_variable()) {
+      vars[i] = atom.args()[i].symbol();
+    }
+  }
+  return vars;
+}
+
+/// First position of `var` among top-level arguments, or -1.
+int PositionOf(const Atom& atom, SymbolId var) {
+  for (size_t i = 0; i < atom.args().size(); ++i) {
+    if (atom.args()[i].is_variable() && atom.args()[i].symbol() == var) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+/// Body atoms (positive and negative) of a rule.
+std::vector<const Atom*> BodyAtoms(const Rule& rule) {
+  std::vector<const Atom*> atoms;
+  for (const Literal& l : rule.body()) {
+    if (l.is_atom()) atoms.push_back(&l.atom());
+  }
+  return atoms;
+}
+
+/// Variables occurring (top-level) in every body atom of the rule — the
+/// anchor candidates.
+std::vector<SymbolId> SharedBodyVariables(const Rule& rule) {
+  const std::vector<const Atom*> atoms = BodyAtoms(rule);
+  if (atoms.empty()) return {};
+  std::set<SymbolId> shared;
+  for (SymbolId v : TopLevelVariables(*atoms[0])) {
+    if (v != kInvalidSymbol) shared.insert(v);
+  }
+  for (size_t i = 1; i < atoms.size() && !shared.empty(); ++i) {
+    std::set<SymbolId> next;
+    for (SymbolId v : TopLevelVariables(*atoms[i])) {
+      if (v != kInvalidSymbol && shared.count(v)) next.insert(v);
+    }
+    shared = std::move(next);
+  }
+  return std::vector<SymbolId>(shared.begin(), shared.end());
+}
+
+}  // namespace
+
+StatusOr<AtomLevelPlan> AtomLevelPlan::Build(const Program& program,
+                                             PartitioningPlan community_plan,
+                                             AtomLevelOptions options) {
+  if (options.fanout < 1) {
+    return InvalidArgumentError("atom-level fanout must be >= 1");
+  }
+  AtomLevelPlan plan;
+  plan.community_plan_ = std::move(community_plan);
+  plan.options_ = options;
+
+  // ---- Greedy proposal pass. -------------------------------------------
+  // key_position_ holds the committed keys; a missing entry means
+  // "undecided" during the passes and "unkeyed" afterwards.
+  for (const Rule& rule : program.rules()) {
+    const std::vector<SymbolId> anchors = SharedBodyVariables(rule);
+    if (anchors.empty()) continue;
+    const SymbolId anchor = anchors.front();
+    for (const Atom* atom : BodyAtoms(rule)) {
+      const int position = PositionOf(*atom, anchor);
+      if (position < 0) continue;
+      plan.key_position_.emplace(atom->signature(), position);
+    }
+    for (const Atom& head : rule.head()) {
+      const int position = PositionOf(head, anchor);
+      if (position >= 0) {
+        plan.key_position_.emplace(head.signature(), position);
+      }
+    }
+  }
+
+  // ---- Verification / demotion fixpoint. -------------------------------
+  // Demoting a predicate to unkeyed only weakens constraints, so the loop
+  // terminates after at most |keyed predicates| demotions.
+  auto key_of = [&plan](const PredicateSignature& sig) {
+    auto it = plan.key_position_.find(sig);
+    return it == plan.key_position_.end() ? kUnkeyed : it->second;
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Rule& rule : program.rules()) {
+      // Collect keyed body atoms and their key variables.
+      std::vector<const Atom*> keyed;
+      std::vector<SymbolId> key_vars;
+      bool demoted_something = false;
+      for (const Atom* atom : BodyAtoms(rule)) {
+        const int position = key_of(atom->signature());
+        if (position == kUnkeyed) continue;
+        const Term& arg = atom->args()[position];
+        if (!arg.is_variable()) {
+          // A constant at the key position (e.g. car_speed(C, 0) keyed at
+          // 1) cannot carry an anchor: demote.
+          plan.key_position_.erase(atom->signature());
+          demoted_something = true;
+          continue;
+        }
+        keyed.push_back(atom);
+        key_vars.push_back(arg.symbol());
+      }
+      if (demoted_something) changed = true;
+      if (keyed.empty()) continue;  // Trivially local.
+      // All keyed body atoms must share one anchor variable.
+      const SymbolId anchor = key_vars.front();
+      bool consistent = true;
+      for (size_t i = 1; i < key_vars.size(); ++i) {
+        if (key_vars[i] != anchor) {
+          plan.key_position_.erase(keyed[i]->signature());
+          consistent = false;
+        }
+      }
+      if (!consistent) {
+        changed = true;
+        continue;
+      }
+      // Keyed heads must carry the anchor at their key position.
+      for (const Atom& head : rule.head()) {
+        const int position = key_of(head.signature());
+        if (position == kUnkeyed) continue;
+        const Term& arg = head.args()[position];
+        if (!arg.is_variable() || arg.symbol() != anchor) {
+          plan.key_position_.erase(head.signature());
+          changed = true;
+        }
+      }
+    }
+  }
+
+  // Demote keyed head predicates derived by anchor-free rules when they
+  // feed later joins: such atoms materialize wherever the rule fires,
+  // which need not match their key bucket.
+  {
+    std::set<PredicateSignature> body_predicates;
+    for (const Rule& rule : program.rules()) {
+      for (const Atom* atom : BodyAtoms(rule)) {
+        body_predicates.insert(atom->signature());
+      }
+    }
+    bool demote_pass = true;
+    while (demote_pass) {
+      demote_pass = false;
+      for (const Rule& rule : program.rules()) {
+        bool has_keyed_body = false;
+        for (const Atom* atom : BodyAtoms(rule)) {
+          if (key_of(atom->signature()) != kUnkeyed) {
+            has_keyed_body = true;
+            break;
+          }
+        }
+        if (has_keyed_body || rule.body().empty()) continue;
+        for (const Atom& head : rule.head()) {
+          if (key_of(head.signature()) != kUnkeyed &&
+              body_predicates.count(head.signature())) {
+            plan.key_position_.erase(head.signature());
+            demote_pass = true;
+          }
+        }
+      }
+    }
+  }
+
+  // ---- Availability analysis. ------------------------------------------
+  // everywhere(q): every bucket of every community holds q's full
+  // extension. True for unkeyed *input* predicates (the router replicates
+  // them), for predicates given only by program facts, and inductively
+  // for predicates whose every deriving rule has an all-everywhere body.
+  std::set<PredicateSignature> input_set(
+      program.input_predicates().begin(), program.input_predicates().end());
+  std::unordered_map<PredicateSignature, bool, PredicateSignatureHash>
+      everywhere;
+  for (const PredicateSignature& sig : input_set) {
+    everywhere[sig] = key_of(sig) == kUnkeyed;
+  }
+  // Start optimistic for derived predicates, then strike out violations
+  // to a greatest fixpoint.
+  for (const Rule& rule : program.rules()) {
+    for (const Atom& head : rule.head()) {
+      if (!input_set.count(head.signature())) {
+        auto [it, inserted] = everywhere.emplace(head.signature(), true);
+        (void)it;
+        (void)inserted;
+      }
+    }
+  }
+  auto is_everywhere = [&everywhere](const PredicateSignature& sig) {
+    auto it = everywhere.find(sig);
+    return it != everywhere.end() && it->second;
+  };
+  bool availability_changed = true;
+  while (availability_changed) {
+    availability_changed = false;
+    for (const Rule& rule : program.rules()) {
+      bool body_everywhere = true;
+      for (const Atom* atom : BodyAtoms(rule)) {
+        if (!is_everywhere(atom->signature())) {
+          body_everywhere = false;
+          break;
+        }
+      }
+      if (body_everywhere) continue;
+      for (const Atom& head : rule.head()) {
+        if (input_set.count(head.signature())) continue;
+        auto it = everywhere.find(head.signature());
+        if (it != everywhere.end() && it->second) {
+          it->second = false;
+          availability_changed = true;
+        }
+      }
+    }
+  }
+
+  // ---- Locality check per rule; disable covering communities. ----------
+  // feeders(q) = input predicates EP2-reaching q (inputs feed themselves).
+  std::unordered_map<PredicateSignature, std::set<PredicateSignature>,
+                     PredicateSignatureHash>
+      feeders;
+  for (const PredicateSignature& sig : input_set) feeders[sig].insert(sig);
+  bool feeders_changed = true;
+  while (feeders_changed) {
+    feeders_changed = false;
+    for (const Rule& rule : program.rules()) {
+      std::set<PredicateSignature> body_feeders;
+      for (const Atom* atom : BodyAtoms(rule)) {
+        const auto it = feeders.find(atom->signature());
+        if (it != feeders.end()) {
+          body_feeders.insert(it->second.begin(), it->second.end());
+        }
+      }
+      if (body_feeders.empty()) continue;
+      for (const Atom& head : rule.head()) {
+        std::set<PredicateSignature>& sink = feeders[head.signature()];
+        const size_t before = sink.size();
+        sink.insert(body_feeders.begin(), body_feeders.end());
+        if (sink.size() != before) feeders_changed = true;
+      }
+    }
+  }
+
+  const int num_communities = plan.community_plan_.num_communities();
+  plan.community_enabled_.assign(num_communities, true);
+
+  // An unkeyed input predicate replicates into every bucket; splitting its
+  // communities only adds copies, so disable them.
+  for (const PredicateSignature& sig : plan.community_plan_.predicates()) {
+    if (key_of(sig) != kUnkeyed) continue;
+    for (int c : plan.community_plan_.CommunitiesOf(sig)) {
+      plan.community_enabled_[c] = false;
+    }
+  }
+
+  // Rules that join keyed atoms with non-everywhere unkeyed atoms (or two
+  // floating atoms) cannot be localized; the communities responsible for
+  // covering such a rule must not be split.
+  std::vector<std::set<PredicateSignature>> community_members(
+      num_communities);
+  for (const PredicateSignature& sig : plan.community_plan_.predicates()) {
+    for (int c : plan.community_plan_.CommunitiesOf(sig)) {
+      community_members[c].insert(sig);
+    }
+  }
+  for (const Rule& rule : program.rules()) {
+    size_t keyed_count = 0;
+    size_t floating = 0;  // Neither keyed nor available everywhere.
+    for (const Atom* atom : BodyAtoms(rule)) {
+      if (key_of(atom->signature()) != kUnkeyed) {
+        ++keyed_count;
+      } else if (!is_everywhere(atom->signature())) {
+        ++floating;
+      }
+    }
+    const bool locality_safe =
+        keyed_count > 0 ? floating == 0 : floating <= 1;
+    if (locality_safe) continue;
+    for (int c = 0; c < num_communities; ++c) {
+      bool covers = true;
+      for (const Atom* atom : BodyAtoms(rule)) {
+        const auto it = feeders.find(atom->signature());
+        if (it == feeders.end()) continue;  // Fact-fed: everywhere.
+        for (const PredicateSignature& feeder : it->second) {
+          if (!community_members[c].count(feeder)) {
+            covers = false;
+            break;
+          }
+        }
+        if (!covers) break;
+      }
+      if (covers) plan.community_enabled_[c] = false;
+    }
+  }
+  plan.community_base_.assign(num_communities, 0);
+  plan.community_buckets_.assign(num_communities, 1);
+  int next = 0;
+  for (int c = 0; c < num_communities; ++c) {
+    plan.community_base_[c] = next;
+    plan.community_buckets_[c] =
+        plan.community_enabled_[c] ? options.fanout : 1;
+    next += plan.community_buckets_[c];
+  }
+  plan.num_partitions_ = std::max(next, 1);
+  return plan;
+}
+
+bool AtomLevelPlan::CommunityEnabled(int community) const {
+  assert(community >= 0 &&
+         community < static_cast<int>(community_enabled_.size()));
+  return community_enabled_[community];
+}
+
+int AtomLevelPlan::KeyPositionOf(const PredicateSignature& signature) const {
+  auto it = key_position_.find(signature);
+  return it == key_position_.end() ? kUnkeyed : it->second;
+}
+
+std::vector<int> AtomLevelPlan::PartitionsOf(const Atom& atom) const {
+  std::vector<int> out;
+  const std::vector<int>& communities =
+      community_plan_.CommunitiesOf(atom.signature());
+  // Unknown predicates fall back to community 0, mirroring
+  // PartitioningHandler's stray handling.
+  static const std::vector<int> kFallback = {0};
+  const std::vector<int>& routed =
+      communities.empty() ? kFallback : communities;
+  const int key = KeyPositionOf(atom.signature());
+  for (int c : routed) {
+    const int buckets = community_buckets_[c];
+    if (buckets == 1) {
+      out.push_back(community_base_[c]);
+      continue;
+    }
+    if (key == kUnkeyed || key >= static_cast<int>(atom.args().size())) {
+      for (int b = 0; b < buckets; ++b) {
+        out.push_back(community_base_[c] + b);  // Replicate.
+      }
+      continue;
+    }
+    const size_t hash = atom.args()[key].Hash();
+    out.push_back(community_base_[c] +
+                  static_cast<int>(hash % static_cast<size_t>(buckets)));
+  }
+  return out;
+}
+
+std::string AtomLevelPlan::ToString(const SymbolTable& symbols) const {
+  std::string out = "atom-level plan (" + std::to_string(num_partitions_) +
+                    " partitions, fanout " +
+                    std::to_string(options_.fanout) + ")\n";
+  for (int c = 0; c < community_plan_.num_communities(); ++c) {
+    out += "  community " + std::to_string(c) +
+           (community_enabled_[c] ? " [split]" : " [single]") + ":";
+    for (const PredicateSignature& sig : community_plan_.MembersOf(c)) {
+      const int key = KeyPositionOf(sig);
+      out += " " + sig.ToString(symbols) +
+             (key == kUnkeyed ? "@unkeyed" : "@" + std::to_string(key));
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::vector<std::vector<Atom>> AtomLevelPartitioningHandler::PartitionFacts(
+    const std::vector<Atom>& window) const {
+  std::vector<std::vector<Atom>> partitions(plan_.num_partitions());
+  for (const Atom& atom : window) {
+    for (int p : plan_.PartitionsOf(atom)) {
+      partitions[p].push_back(atom);
+    }
+  }
+  return partitions;
+}
+
+}  // namespace streamasp

@@ -1,0 +1,89 @@
+#include "depgraph/decomposition.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace streamasp {
+
+StatusOr<PartitioningPlan> DecomposeInputDependencyGraph(
+    const InputDependencyGraph& graph, const DecompositionOptions& options,
+    DecompositionInfo* info) {
+  const UndirectedGraph& g = graph.graph();
+  const std::vector<PredicateSignature>& predicates = graph.nodes();
+  if (predicates.empty()) {
+    return InvalidArgumentError("cannot decompose an empty graph");
+  }
+
+  const ComponentAssignment components = ConnectedComponents(g);
+  if (components.num_components > 1) {
+    // Natural subdivision: each connected component is a community.
+    PartitioningPlan plan(components.num_components);
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      plan.Assign(predicates[u], components.component_of[u]);
+    }
+    if (info != nullptr) {
+      info->graph_was_connected = false;
+      info->num_communities = components.num_components;
+      info->num_duplicated_predicates = 0;
+    }
+    return plan;
+  }
+
+  // Connected graph: Louvain communities, then duplicate boundary nodes.
+  const ComponentAssignment communities =
+      LouvainCommunities(g, options.louvain);
+  PartitioningPlan plan(std::max(communities.num_components, 1));
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    plan.Assign(predicates[u], communities.component_of[u]);
+  }
+
+  // exnodes(Ci)(Cj) = nodes of Ci with an edge into Cj.
+  // Collect them per ordered community pair in one sweep.
+  std::set<std::pair<int, int>> pairs_with_cross_edges;
+  std::vector<std::set<NodeId>> exnodes;  // Indexed lazily via map below.
+  auto pair_index = [&](int c1, int c2) -> size_t {
+    // Dense key for (c1, c2), c1 != c2.
+    return static_cast<size_t>(c1) *
+               static_cast<size_t>(communities.num_components) +
+           static_cast<size_t>(c2);
+  };
+  std::vector<std::set<NodeId>> boundary(
+      static_cast<size_t>(communities.num_components) *
+      static_cast<size_t>(communities.num_components));
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const int cu = communities.component_of[u];
+    for (const UndirectedGraph::Edge& e : g.Neighbors(u)) {
+      const int cv = communities.component_of[e.to];
+      if (cu == cv) continue;
+      boundary[pair_index(cu, cv)].insert(u);
+      pairs_with_cross_edges.insert(
+          {std::min(cu, cv), std::max(cu, cv)});
+    }
+  }
+
+  int duplicated = 0;
+  std::set<NodeId> duplicated_nodes;
+  for (const auto& [c1, c2] : pairs_with_cross_edges) {
+    const std::set<NodeId>& ex1 = boundary[pair_index(c1, c2)];
+    const std::set<NodeId>& ex2 = boundary[pair_index(c2, c1)];
+    // Duplicate the smaller exnode set into the opposite community; ties
+    // pick the lower community's side.
+    const bool pick_first = ex1.size() <= ex2.size();
+    const std::set<NodeId>& chosen = pick_first ? ex1 : ex2;
+    const int target_community = pick_first ? c2 : c1;
+    for (NodeId u : chosen) {
+      plan.Assign(predicates[u], target_community);
+      if (duplicated_nodes.insert(u).second) ++duplicated;
+    }
+  }
+
+  if (info != nullptr) {
+    info->graph_was_connected = true;
+    info->num_communities = plan.num_communities();
+    info->num_duplicated_predicates = duplicated;
+  }
+  return plan;
+}
+
+}  // namespace streamasp

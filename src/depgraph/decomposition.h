@@ -1,0 +1,48 @@
+#ifndef STREAMASP_DEPGRAPH_DECOMPOSITION_H_
+#define STREAMASP_DEPGRAPH_DECOMPOSITION_H_
+
+#include "depgraph/input_dependency_graph.h"
+#include "depgraph/partitioning_plan.h"
+#include "graph/louvain.h"
+#include "util/status.h"
+
+namespace streamasp {
+
+/// Options for the decomposing process.
+struct DecompositionOptions {
+  /// Louvain settings used when the input dependency graph is connected.
+  /// The paper fixes resolution = 1.0 (footnote 8).
+  LouvainOptions louvain;
+};
+
+/// Summary of how a plan was produced, for logging and benchmarks.
+struct DecompositionInfo {
+  bool graph_was_connected = false;  ///< Louvain + duplication path taken.
+  int num_communities = 0;
+  int num_duplicated_predicates = 0;
+};
+
+/// The decomposing process of paper §II-B:
+///
+///   * If the input dependency graph is disconnected, its connected
+///     components become the communities directly (the program-P case,
+///     Figure 3).
+///   * Otherwise (the program-P' case, Figure 4), (1) Louvain modularity
+///     splits the graph into communities; (2) for every pair of
+///     communities C1, C2 with cross edges, exnodes(C1) and exnodes(C2)
+///     are the endpoints of those edges on each side; (3) the smaller of
+///     the two exnode sets is duplicated into both communities
+///     (Figure 5). Ties pick the side of the lower community id, keeping
+///     runs deterministic.
+///
+/// The result maps every input predicate to one or more communities.
+/// A graph that Louvain cannot split (single community) yields a
+/// one-community plan — parallel reasoning then degenerates to whole-
+/// window reasoning, which is the correct conservative fallback.
+StatusOr<PartitioningPlan> DecomposeInputDependencyGraph(
+    const InputDependencyGraph& graph,
+    const DecompositionOptions& options = {}, DecompositionInfo* info = nullptr);
+
+}  // namespace streamasp
+
+#endif  // STREAMASP_DEPGRAPH_DECOMPOSITION_H_

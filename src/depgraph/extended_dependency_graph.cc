@@ -1,0 +1,124 @@
+#include "depgraph/extended_dependency_graph.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+namespace streamasp {
+
+namespace {
+
+/// Collects the predicate signatures of all atom literals in a rule body.
+std::vector<PredicateSignature> BodyPredicates(const Rule& rule) {
+  std::vector<PredicateSignature> preds;
+  for (const Literal& l : rule.body()) {
+    if (l.is_atom()) preds.push_back(l.atom().signature());
+  }
+  return preds;
+}
+
+}  // namespace
+
+ExtendedDependencyGraph ExtendedDependencyGraph::Build(
+    const Program& program) {
+  ExtendedDependencyGraph graph;
+
+  auto intern = [&graph](const PredicateSignature& sig) -> NodeId {
+    auto it = graph.node_index_.find(sig);
+    if (it != graph.node_index_.end()) return it->second;
+    const NodeId id = static_cast<NodeId>(graph.nodes_.size());
+    graph.nodes_.push_back(sig);
+    graph.node_index_.emplace(sig, id);
+    return id;
+  };
+
+  // Register every predicate occurring in a rule (heads first, then
+  // bodies, in rule order) so both edge families share one node space.
+  // Note: declared-but-unused input predicates are *not* nodes — pre(P)
+  // in Definition 1 is derived from the rule structure alone, and
+  // InputDependencyGraph::Build reports such predicates as errors.
+  for (const Rule& rule : program.rules()) {
+    for (const Atom& head : rule.head()) intern(head.signature());
+    for (const Literal& l : rule.body()) {
+      if (l.is_atom()) intern(l.atom().signature());
+    }
+  }
+
+  graph.ep1_ = UndirectedGraph(static_cast<NodeId>(graph.nodes_.size()));
+  graph.ep2_ = Digraph(static_cast<NodeId>(graph.nodes_.size()));
+
+  // Dedup sets: the same predicate pair may co-occur in many rules but the
+  // definition's edge sets contain each edge once.
+  std::set<std::pair<NodeId, NodeId>> ep1_seen;
+  std::set<std::pair<NodeId, NodeId>> ep2_seen;
+
+  for (const Rule& rule : program.rules()) {
+    const std::vector<PredicateSignature> body_preds = BodyPredicates(rule);
+
+    // EP1(a): undirected edges between distinct body predicates.
+    for (size_t i = 0; i < body_preds.size(); ++i) {
+      for (size_t j = i + 1; j < body_preds.size(); ++j) {
+        const NodeId u = intern(body_preds[i]);
+        const NodeId v = intern(body_preds[j]);
+        if (u == v) continue;  // Same predicate twice: no EP1(a) edge.
+        const auto key = std::minmax(u, v);
+        if (ep1_seen.insert({key.first, key.second}).second) {
+          graph.ep1_.AddEdge(u, v);
+        }
+      }
+    }
+    // EP1(b): self-loop for negatively occurring body predicates.
+    for (const Literal& l : rule.body()) {
+      if (!l.is_negative_atom()) continue;
+      const NodeId u = intern(l.atom().signature());
+      if (ep1_seen.insert({u, u}).second) {
+        graph.ep1_.AddEdge(u, u);
+      }
+    }
+    // EP2: body predicate -> head predicate.
+    for (const Atom& head : rule.head()) {
+      const NodeId h = intern(head.signature());
+      for (const PredicateSignature& body_sig : body_preds) {
+        const NodeId b = intern(body_sig);
+        if (ep2_seen.insert({b, h}).second) {
+          graph.ep2_.AddEdge(b, h);
+        }
+      }
+    }
+  }
+  return graph;
+}
+
+NodeId ExtendedDependencyGraph::NodeOf(
+    const PredicateSignature& signature) const {
+  auto it = node_index_.find(signature);
+  return it == node_index_.end() ? kInvalidNode : it->second;
+}
+
+std::string ExtendedDependencyGraph::ToDot(const SymbolTable& symbols) const {
+  std::string out = "digraph extended_dependency_graph {\n";
+  for (NodeId u = 0; u < nodes_.size(); ++u) {
+    out += "  n" + std::to_string(u) + " [label=\"" +
+           symbols.NameOf(nodes_[u].name) + "\"];\n";
+  }
+  for (NodeId u = 0; u < ep2_.num_nodes(); ++u) {
+    for (NodeId v : ep2_.Successors(u)) {
+      out += "  n" + std::to_string(u) + " -> n" + std::to_string(v) + ";\n";
+    }
+  }
+  for (NodeId u = 0; u < ep1_.num_nodes(); ++u) {
+    if (ep1_.HasSelfLoop(u)) {
+      out += "  n" + std::to_string(u) + " -> n" + std::to_string(u) +
+             " [dir=none, style=dashed];\n";
+    }
+    for (const UndirectedGraph::Edge& e : ep1_.Neighbors(u)) {
+      if (e.to < u) continue;  // Emit each undirected edge once.
+      out += "  n" + std::to_string(u) + " -> n" + std::to_string(e.to) +
+             " [dir=none, style=dashed];\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace streamasp

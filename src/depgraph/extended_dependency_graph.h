@@ -1,0 +1,60 @@
+#ifndef STREAMASP_DEPGRAPH_EXTENDED_DEPENDENCY_GRAPH_H_
+#define STREAMASP_DEPGRAPH_EXTENDED_DEPENDENCY_GRAPH_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "asp/program.h"
+#include "graph/graph.h"
+
+namespace streamasp {
+
+/// The extended dependency graph G_P of Definition 1 (paper §II-B).
+///
+/// Nodes are the predicate signatures of pre(P). Two edge families are
+/// kept side by side over the same node numbering:
+///
+///   * EP1 — undirected edges (p, q) whenever p and q both occur in the
+///     body of some rule, plus a self-loop (p, p) whenever p occurs in a
+///     body under default negation;
+///   * EP2 — directed edges <p, q> whenever p occurs in the body and q in
+///     the head of the same rule.
+///
+/// Comparison literals (builtins) are not predicates and contribute no
+/// nodes or edges, matching the paper's usage where `Y < 20` never appears
+/// in Figure 2.
+class ExtendedDependencyGraph {
+ public:
+  /// Builds the graph from a program's rules.
+  static ExtendedDependencyGraph Build(const Program& program);
+
+  /// Node signatures, indexed by NodeId.
+  const std::vector<PredicateSignature>& nodes() const { return nodes_; }
+
+  /// Node id of a predicate, or kInvalidNode when the predicate does not
+  /// occur in the program.
+  static constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+  NodeId NodeOf(const PredicateSignature& signature) const;
+
+  /// The undirected EP1 edges (self-loops included).
+  const UndirectedGraph& ep1() const { return ep1_; }
+
+  /// The directed EP2 edges.
+  const Digraph& ep2() const { return ep2_; }
+
+  /// Renders the combined graph in Graphviz DOT: solid arrows for EP2,
+  /// dashed undirected edges for EP1.
+  std::string ToDot(const SymbolTable& symbols) const;
+
+ private:
+  std::vector<PredicateSignature> nodes_;
+  std::unordered_map<PredicateSignature, NodeId, PredicateSignatureHash>
+      node_index_;
+  UndirectedGraph ep1_;
+  Digraph ep2_;
+};
+
+}  // namespace streamasp
+
+#endif  // STREAMASP_DEPGRAPH_EXTENDED_DEPENDENCY_GRAPH_H_

@@ -1,0 +1,132 @@
+#include "depgraph/input_dependency_graph.h"
+
+#include <set>
+
+namespace streamasp {
+
+StatusOr<InputDependencyGraph> InputDependencyGraph::Build(
+    const Program& program, const InputDependencyOptions& options) {
+  const ExtendedDependencyGraph edg = ExtendedDependencyGraph::Build(program);
+  return Build(edg, program.input_predicates(), program.symbol_table(),
+               options);
+}
+
+StatusOr<InputDependencyGraph> InputDependencyGraph::Build(
+    const ExtendedDependencyGraph& edg,
+    const std::vector<PredicateSignature>& input_predicates,
+    const SymbolTable& symbols, const InputDependencyOptions& options) {
+  InputDependencyGraph result;
+  if (input_predicates.empty()) {
+    return InvalidArgumentError(
+        "input dependency graph requires at least one input predicate "
+        "(declare them with #input p/n)");
+  }
+
+  // Map input predicates onto extended-graph nodes.
+  std::vector<NodeId> edg_node_of;  // Indexed by our node id.
+  for (const PredicateSignature& sig : input_predicates) {
+    const NodeId edg_node = edg.NodeOf(sig);
+    if (edg_node == ExtendedDependencyGraph::kInvalidNode) {
+      return InvalidArgumentError("input predicate " + sig.ToString(symbols) +
+                                  " does not occur in the program");
+    }
+    const NodeId id = static_cast<NodeId>(result.nodes_.size());
+    result.nodes_.push_back(sig);
+    result.node_index_.emplace(sig, id);
+    edg_node_of.push_back(edg_node);
+  }
+  const NodeId n = static_cast<NodeId>(result.nodes_.size());
+  result.graph_ = UndirectedGraph(n);
+
+  // Forward EP2 reachability from every input predicate (a directed path
+  // may be empty, so Reach(p) contains p).
+  std::vector<std::vector<bool>> reach(n);
+  for (NodeId i = 0; i < n; ++i) {
+    reach[i] = edg.ep2().ReachableSetFrom(edg_node_of[i]);
+  }
+
+  // Conditions (i) + (ii): p — q iff some EP1 edge (u, v) bridges
+  // Reach(p) and Reach(q).
+  const UndirectedGraph& ep1 = edg.ep1();
+  std::set<std::pair<NodeId, NodeId>> added;
+  for (NodeId u = 0; u < ep1.num_nodes(); ++u) {
+    for (const UndirectedGraph::Edge& e : ep1.Neighbors(u)) {
+      if (e.to < u) continue;  // Each undirected EP1 edge once.
+      for (NodeId p = 0; p < n; ++p) {
+        for (NodeId q = p + 1; q < n; ++q) {
+          const bool bridges =
+              (reach[p][u] && reach[q][e.to]) ||
+              (reach[p][e.to] && reach[q][u]);
+          if (bridges && added.insert({p, q}).second) {
+            result.graph_.AddEdge(p, q);
+          }
+        }
+      }
+    }
+  }
+
+  // Condition (i) for self-loops: an input predicate occurring negatively
+  // has an EP1 self-loop that carries over directly.
+  for (NodeId p = 0; p < n; ++p) {
+    if (ep1.HasSelfLoop(edg_node_of[p]) &&
+        added.insert({p, p}).second) {
+      result.graph_.AddEdge(p, p);
+    }
+  }
+
+  // Condition (iii): propagate self-loops from negatively occurring
+  // predicates back to the input predicates feeding them.
+  for (NodeId u = 0; u < ep1.num_nodes(); ++u) {
+    if (!ep1.HasSelfLoop(u)) continue;
+    for (NodeId p = 0; p < n; ++p) {
+      const bool feeds = options.transitive_self_loop_propagation
+                             ? reach[p][u]
+                             : edg.ep2().HasEdge(edg_node_of[p], u);
+      if (feeds && edg_node_of[p] != u && added.insert({p, p}).second) {
+        result.graph_.AddEdge(p, p);
+      }
+    }
+  }
+
+  return result;
+}
+
+NodeId InputDependencyGraph::NodeOf(
+    const PredicateSignature& signature) const {
+  auto it = node_index_.find(signature);
+  return it == node_index_.end() ? ExtendedDependencyGraph::kInvalidNode
+                                 : it->second;
+}
+
+bool InputDependencyGraph::Depends(const PredicateSignature& p,
+                                   const PredicateSignature& q) const {
+  const NodeId u = NodeOf(p);
+  const NodeId v = NodeOf(q);
+  if (u == ExtendedDependencyGraph::kInvalidNode ||
+      v == ExtendedDependencyGraph::kInvalidNode) {
+    return false;
+  }
+  return graph_.HasEdge(u, v);
+}
+
+std::string InputDependencyGraph::ToDot(const SymbolTable& symbols) const {
+  std::string out = "graph input_dependency_graph {\n";
+  for (NodeId u = 0; u < nodes_.size(); ++u) {
+    out += "  n" + std::to_string(u) + " [label=\"" +
+           symbols.NameOf(nodes_[u].name) + "\"];\n";
+  }
+  for (NodeId u = 0; u < graph_.num_nodes(); ++u) {
+    if (graph_.HasSelfLoop(u)) {
+      out += "  n" + std::to_string(u) + " -- n" + std::to_string(u) + ";\n";
+    }
+    for (const UndirectedGraph::Edge& e : graph_.Neighbors(u)) {
+      if (e.to < u) continue;
+      out += "  n" + std::to_string(u) + " -- n" + std::to_string(e.to) +
+             ";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace streamasp

@@ -1,0 +1,122 @@
+#include "graph/components.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace streamasp {
+
+std::vector<std::vector<NodeId>> ComponentAssignment::Groups() const {
+  std::vector<std::vector<NodeId>> groups(num_components);
+  for (NodeId u = 0; u < component_of.size(); ++u) {
+    const int c = component_of[u];
+    assert(c >= 0 && c < num_components);
+    groups[c].push_back(u);
+  }
+  return groups;
+}
+
+ComponentAssignment ConnectedComponents(const UndirectedGraph& graph) {
+  ComponentAssignment result;
+  result.component_of.assign(graph.num_nodes(), -1);
+  int next_component = 0;
+  for (NodeId start = 0; start < graph.num_nodes(); ++start) {
+    if (result.component_of[start] != -1) continue;
+    // BFS flood fill; component ids follow smallest-contained-node order
+    // because we scan starts in increasing order.
+    const int component = next_component++;
+    std::deque<NodeId> frontier{start};
+    result.component_of[start] = component;
+    while (!frontier.empty()) {
+      const NodeId u = frontier.front();
+      frontier.pop_front();
+      for (const UndirectedGraph::Edge& e : graph.Neighbors(u)) {
+        if (result.component_of[e.to] == -1) {
+          result.component_of[e.to] = component;
+          frontier.push_back(e.to);
+        }
+      }
+    }
+  }
+  result.num_components = next_component;
+  return result;
+}
+
+bool IsConnected(const UndirectedGraph& graph) {
+  if (graph.num_nodes() == 0) return true;
+  return ConnectedComponents(graph).num_components <= 1;
+}
+
+ComponentAssignment StronglyConnectedComponents(const Digraph& graph) {
+  // Iterative Tarjan. Tarjan naturally emits SCCs in reverse topological
+  // order of the condensation (sinks first); we flip ids at the end so
+  // callers get a forward topological numbering.
+  const NodeId n = graph.num_nodes();
+  ComponentAssignment result;
+  result.component_of.assign(n, -1);
+
+  std::vector<int> index(n, -1);
+  std::vector<int> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<NodeId> stack;
+  int next_index = 0;
+  int next_component = 0;
+
+  // Explicit DFS frame: node plus position in its successor list.
+  struct Frame {
+    NodeId node;
+    size_t next_child;
+  };
+  std::vector<Frame> call_stack;
+
+  for (NodeId root = 0; root < n; ++root) {
+    if (index[root] != -1) continue;
+    call_stack.push_back(Frame{root, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      const NodeId u = frame.node;
+      const std::vector<NodeId>& successors = graph.Successors(u);
+      if (frame.next_child < successors.size()) {
+        const NodeId v = successors[frame.next_child++];
+        if (index[v] == -1) {
+          index[v] = lowlink[v] = next_index++;
+          stack.push_back(v);
+          on_stack[v] = true;
+          call_stack.push_back(Frame{v, 0});
+        } else if (on_stack[v]) {
+          lowlink[u] = std::min(lowlink[u], index[v]);
+        }
+      } else {
+        call_stack.pop_back();
+        if (!call_stack.empty()) {
+          const NodeId parent = call_stack.back().node;
+          lowlink[parent] = std::min(lowlink[parent], lowlink[u]);
+        }
+        if (lowlink[u] == index[u]) {
+          // u is the root of an SCC; pop the component.
+          for (;;) {
+            const NodeId w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            result.component_of[w] = next_component;
+            if (w == u) break;
+          }
+          ++next_component;
+        }
+      }
+    }
+  }
+
+  // Flip Tarjan's reverse-topological ids into forward topological order.
+  result.num_components = next_component;
+  for (NodeId u = 0; u < n; ++u) {
+    result.component_of[u] = next_component - 1 - result.component_of[u];
+  }
+  return result;
+}
+
+}  // namespace streamasp

@@ -1,0 +1,41 @@
+#ifndef STREAMASP_GRAPH_COMPONENTS_H_
+#define STREAMASP_GRAPH_COMPONENTS_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace streamasp {
+
+/// Result of a component decomposition: `component_of[u]` is the 0-based
+/// component index of node u; `num_components` is the number of components.
+/// Index assignment is deterministic; ConnectedComponents orders components
+/// by their smallest contained node, StronglyConnectedComponents orders
+/// them topologically (see below).
+struct ComponentAssignment {
+  std::vector<int> component_of;
+  int num_components = 0;
+
+  /// Groups nodes by component: result[c] lists the nodes of component c in
+  /// increasing order.
+  std::vector<std::vector<NodeId>> Groups() const;
+};
+
+/// Connected components of an undirected graph (self-loops are irrelevant).
+ComponentAssignment ConnectedComponents(const UndirectedGraph& graph);
+
+/// True iff the graph has at most one connected component among its nodes
+/// (the empty graph counts as connected).
+bool IsConnected(const UndirectedGraph& graph);
+
+/// Strongly connected components of a digraph (iterative Tarjan).
+/// Components are numbered in topological order of the condensation: every
+/// edge u -> v crossing components satisfies
+/// component_of[u] < component_of[v]. With dependency edges pointing from
+/// body predicates to head predicates, evaluating components 0, 1, 2, ...
+/// is therefore a valid bottom-up grounding order.
+ComponentAssignment StronglyConnectedComponents(const Digraph& graph);
+
+}  // namespace streamasp
+
+#endif  // STREAMASP_GRAPH_COMPONENTS_H_

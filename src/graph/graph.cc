@@ -1,0 +1,109 @@
+#include "graph/graph.h"
+
+#include <cassert>
+#include <deque>
+
+namespace streamasp {
+
+NodeId UndirectedGraph::AddNode() {
+  adjacency_.emplace_back();
+  return static_cast<NodeId>(adjacency_.size() - 1);
+}
+
+void UndirectedGraph::AddEdge(NodeId u, NodeId v, double weight) {
+  assert(u < num_nodes() && v < num_nodes());
+  if (u == v) {
+    if (self_loops_.size() < adjacency_.size()) {
+      self_loops_.resize(adjacency_.size(), 0.0);
+    }
+    self_loops_[u] += weight;
+  } else {
+    adjacency_[u].push_back(Edge{v, weight});
+    adjacency_[v].push_back(Edge{u, weight});
+  }
+  ++num_edges_;
+}
+
+bool UndirectedGraph::HasEdge(NodeId u, NodeId v) const {
+  assert(u < num_nodes() && v < num_nodes());
+  if (u == v) return HasSelfLoop(u);
+  for (const Edge& e : adjacency_[u]) {
+    if (e.to == v) return true;
+  }
+  return false;
+}
+
+double UndirectedGraph::SelfLoopWeight(NodeId u) const {
+  assert(u < num_nodes());
+  return u < self_loops_.size() ? self_loops_[u] : 0.0;
+}
+
+bool UndirectedGraph::HasSelfLoop(NodeId u) const {
+  return SelfLoopWeight(u) > 0.0;
+}
+
+double UndirectedGraph::TotalWeight() const {
+  double total = 0.0;
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    for (const Edge& e : adjacency_[u]) total += e.weight;
+    total += 2.0 * SelfLoopWeight(u);
+  }
+  return total / 2.0;  // Each non-loop edge was counted from both sides.
+}
+
+double UndirectedGraph::WeightedDegree(NodeId u) const {
+  assert(u < num_nodes());
+  double degree = 2.0 * SelfLoopWeight(u);
+  for (const Edge& e : adjacency_[u]) degree += e.weight;
+  return degree;
+}
+
+NodeId Digraph::AddNode() {
+  out_.emplace_back();
+  in_.emplace_back();
+  return static_cast<NodeId>(out_.size() - 1);
+}
+
+void Digraph::AddEdge(NodeId u, NodeId v) {
+  assert(u < num_nodes() && v < num_nodes());
+  out_[u].push_back(v);
+  in_[v].push_back(u);
+  ++num_edges_;
+}
+
+bool Digraph::HasEdge(NodeId u, NodeId v) const {
+  assert(u < num_nodes() && v < num_nodes());
+  for (NodeId w : out_[u]) {
+    if (w == v) return true;
+  }
+  return false;
+}
+
+std::vector<NodeId> Digraph::ReachableFrom(NodeId start) const {
+  const std::vector<bool> reachable = ReachableSetFrom(start);
+  std::vector<NodeId> out;
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    if (reachable[u]) out.push_back(u);
+  }
+  return out;
+}
+
+std::vector<bool> Digraph::ReachableSetFrom(NodeId start) const {
+  assert(start < num_nodes());
+  std::vector<bool> visited(num_nodes(), false);
+  std::deque<NodeId> frontier{start};
+  visited[start] = true;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    for (NodeId v : out_[u]) {
+      if (!visited[v]) {
+        visited[v] = true;
+        frontier.push_back(v);
+      }
+    }
+  }
+  return visited;
+}
+
+}  // namespace streamasp

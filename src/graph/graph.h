@@ -1,0 +1,111 @@
+#ifndef STREAMASP_GRAPH_GRAPH_H_
+#define STREAMASP_GRAPH_GRAPH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace streamasp {
+
+/// Dense node index used by all graph algorithms.
+using NodeId = uint32_t;
+
+/// A weighted undirected graph with optional self-loops, stored as
+/// adjacency lists. Nodes are 0..num_nodes()-1. Parallel edges are allowed
+/// and treated additively by weight-based algorithms (Louvain).
+///
+/// This is the substrate for the paper's input dependency graph: nodes are
+/// input predicates, edges are "must be processed together" relations, and
+/// self-loops mark atom-level dependency within a predicate (paper §II-B).
+class UndirectedGraph {
+ public:
+  /// An incident edge: neighbor plus weight.
+  struct Edge {
+    NodeId to;
+    double weight;
+  };
+
+  UndirectedGraph() = default;
+
+  /// Creates a graph with `num_nodes` isolated nodes.
+  explicit UndirectedGraph(NodeId num_nodes) : adjacency_(num_nodes) {}
+
+  /// Adds an isolated node, returning its id.
+  NodeId AddNode();
+
+  /// Adds an undirected edge {u, v} with the given weight. u == v adds a
+  /// self-loop (stored once). Requires valid node ids.
+  void AddEdge(NodeId u, NodeId v, double weight = 1.0);
+
+  /// True iff an edge {u, v} exists (including self-loops when u == v).
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  NodeId num_nodes() const { return static_cast<NodeId>(adjacency_.size()); }
+
+  /// Number of distinct AddEdge calls (parallel edges counted separately).
+  size_t num_edges() const { return num_edges_; }
+
+  /// Edges incident to `u`, excluding self-loops.
+  const std::vector<Edge>& Neighbors(NodeId u) const { return adjacency_[u]; }
+
+  /// Total self-loop weight at `u` (0 when none).
+  double SelfLoopWeight(NodeId u) const;
+
+  /// True iff `u` has a self-loop.
+  bool HasSelfLoop(NodeId u) const;
+
+  /// Sum of all edge weights, self-loops counted once. This is "m" in the
+  /// modularity formula.
+  double TotalWeight() const;
+
+  /// Weighted degree of `u`: sum of incident edge weights, self-loops
+  /// counted twice (the standard modularity convention).
+  double WeightedDegree(NodeId u) const;
+
+ private:
+  std::vector<std::vector<Edge>> adjacency_;  // Excludes self-loops.
+  std::vector<double> self_loops_;            // Indexed by node; may be short.
+  size_t num_edges_ = 0;
+};
+
+/// A directed undweighted graph stored as out-adjacency lists.
+///
+/// Used for the EP2 (body → head) edges of the extended dependency graph
+/// and for the grounder's predicate dependency analysis.
+class Digraph {
+ public:
+  Digraph() = default;
+  explicit Digraph(NodeId num_nodes)
+      : out_(num_nodes), in_(num_nodes) {}
+
+  NodeId AddNode();
+
+  /// Adds the directed edge u -> v (duplicates ignored is NOT guaranteed;
+  /// callers that care deduplicate, algorithms here tolerate duplicates).
+  void AddEdge(NodeId u, NodeId v);
+
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  NodeId num_nodes() const { return static_cast<NodeId>(out_.size()); }
+  size_t num_edges() const { return num_edges_; }
+
+  const std::vector<NodeId>& Successors(NodeId u) const { return out_[u]; }
+  const std::vector<NodeId>& Predecessors(NodeId u) const { return in_[u]; }
+
+  /// All nodes reachable from `start` following edges forward, including
+  /// `start` itself (a directed path may be empty).
+  std::vector<NodeId> ReachableFrom(NodeId start) const;
+
+  /// Reachability as a bitset (vector<bool> indexed by node), including
+  /// `start`.
+  std::vector<bool> ReachableSetFrom(NodeId start) const;
+
+ private:
+  std::vector<std::vector<NodeId>> out_;
+  std::vector<std::vector<NodeId>> in_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace streamasp
+
+#endif  // STREAMASP_GRAPH_GRAPH_H_

@@ -1,0 +1,200 @@
+#include "graph/louvain.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+namespace streamasp {
+
+namespace {
+
+/// Renumbers arbitrary community labels to 0..k-1, ordered by the smallest
+/// node carrying each label.
+ComponentAssignment Compact(const std::vector<int>& labels) {
+  ComponentAssignment result;
+  result.component_of.assign(labels.size(), -1);
+  std::unordered_map<int, int> remap;
+  int next = 0;
+  for (size_t u = 0; u < labels.size(); ++u) {
+    auto [it, inserted] = remap.emplace(labels[u], next);
+    if (inserted) ++next;
+    result.component_of[u] = it->second;
+  }
+  result.num_components = next;
+  return result;
+}
+
+/// One pass of greedy local moving on `graph`. `community_of` is updated in
+/// place. Returns true if at least one node moved.
+bool LocalMovingPass(const UndirectedGraph& graph, double resolution,
+                     double total_weight, std::vector<int>* community_of,
+                     std::vector<double>* community_total_degree) {
+  bool moved_any = false;
+  const double two_m = 2.0 * total_weight;
+  std::unordered_map<int, double> weight_to_community;
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    const int old_community = (*community_of)[u];
+    const double degree_u = graph.WeightedDegree(u);
+
+    // Sum of edge weights from u to each adjacent community. Self-loops
+    // stay with u under any move, so they are excluded.
+    weight_to_community.clear();
+    weight_to_community[old_community] += 0.0;  // Ensure key exists.
+    for (const UndirectedGraph::Edge& e : graph.Neighbors(u)) {
+      weight_to_community[(*community_of)[e.to]] += e.weight;
+    }
+
+    // Remove u from its community for gain computation.
+    (*community_total_degree)[old_community] -= degree_u;
+
+    // Gain of joining community c (relative, constant terms dropped):
+    //   k_{i,in}(c) - gamma * k_i * Sigma_tot(c) / (2m)
+    int best_community = old_community;
+    double best_gain =
+        weight_to_community[old_community] -
+        resolution * degree_u * (*community_total_degree)[old_community] /
+            two_m;
+    for (const auto& [candidate, weight_in] : weight_to_community) {
+      if (candidate == old_community) continue;
+      const double gain =
+          weight_in - resolution * degree_u *
+                          (*community_total_degree)[candidate] / two_m;
+      // Strict improvement, with lowest-id tie-break to keep runs
+      // deterministic.
+      if (gain > best_gain + 1e-12) {
+        best_gain = gain;
+        best_community = candidate;
+      } else if (gain > best_gain - 1e-12 && candidate < best_community) {
+        best_community = candidate;
+      }
+    }
+
+    (*community_total_degree)[best_community] += degree_u;
+    if (best_community != old_community) {
+      (*community_of)[u] = best_community;
+      moved_any = true;
+    }
+  }
+  return moved_any;
+}
+
+/// Builds the aggregated graph whose nodes are the communities of `graph`.
+/// Intra-community weight becomes a self-loop.
+UndirectedGraph Aggregate(const UndirectedGraph& graph,
+                          const ComponentAssignment& communities) {
+  UndirectedGraph aggregated(communities.num_components);
+  // Accumulate pairwise weights to avoid a quadratic explosion of parallel
+  // edges across levels.
+  std::unordered_map<uint64_t, double> pair_weight;
+  std::vector<double> self_weight(communities.num_components, 0.0);
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    const int cu = communities.component_of[u];
+    self_weight[cu] += graph.SelfLoopWeight(u);
+    for (const UndirectedGraph::Edge& e : graph.Neighbors(u)) {
+      if (e.to < u) continue;  // Count each undirected edge once.
+      const int cv = communities.component_of[e.to];
+      if (cu == cv) {
+        self_weight[cu] += e.weight;
+      } else {
+        const uint64_t key =
+            (static_cast<uint64_t>(std::min(cu, cv)) << 32) |
+            static_cast<uint64_t>(std::max(cu, cv));
+        pair_weight[key] += e.weight;
+      }
+    }
+  }
+  for (int c = 0; c < communities.num_components; ++c) {
+    if (self_weight[c] > 0.0) {
+      aggregated.AddEdge(static_cast<NodeId>(c), static_cast<NodeId>(c),
+                         self_weight[c]);
+    }
+  }
+  for (const auto& [key, weight] : pair_weight) {
+    aggregated.AddEdge(static_cast<NodeId>(key >> 32),
+                       static_cast<NodeId>(key & 0xFFFFFFFFULL), weight);
+  }
+  return aggregated;
+}
+
+}  // namespace
+
+double Modularity(const UndirectedGraph& graph,
+                  const std::vector<int>& community_of, double resolution) {
+  assert(community_of.size() == graph.num_nodes());
+  const double m = graph.TotalWeight();
+  if (m <= 0.0) return 0.0;
+
+  // Intra-community edge weight and per-community degree sums.
+  std::unordered_map<int, double> total_degree;
+  double intra = 0.0;
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    total_degree[community_of[u]] += graph.WeightedDegree(u);
+    intra += graph.SelfLoopWeight(u);
+    for (const UndirectedGraph::Edge& e : graph.Neighbors(u)) {
+      if (e.to > u) continue;  // Count each edge once.
+      if (community_of[u] == community_of[e.to]) intra += e.weight;
+    }
+  }
+  double q = intra / m;
+  const double two_m = 2.0 * m;
+  for (const auto& [community, degree] : total_degree) {
+    (void)community;
+    q -= resolution * (degree / two_m) * (degree / two_m);
+  }
+  return q;
+}
+
+ComponentAssignment LouvainCommunities(const UndirectedGraph& graph,
+                                       const LouvainOptions& options) {
+  const NodeId n = graph.num_nodes();
+  ComponentAssignment result;
+  result.component_of.assign(n, 0);
+  if (n == 0) {
+    result.num_components = 0;
+    return result;
+  }
+  // node_to_community maps original nodes through all aggregation levels.
+  std::vector<int> node_to_community(n);
+  for (NodeId u = 0; u < n; ++u) node_to_community[u] = static_cast<int>(u);
+
+  UndirectedGraph level_graph = graph;
+  double previous_modularity = -1.0;
+
+  for (int level = 0; level < options.max_levels; ++level) {
+    const double total_weight = level_graph.TotalWeight();
+    std::vector<int> community_of(level_graph.num_nodes());
+    std::vector<double> community_total_degree(level_graph.num_nodes());
+    for (NodeId u = 0; u < level_graph.num_nodes(); ++u) {
+      community_of[u] = static_cast<int>(u);
+      community_total_degree[u] = level_graph.WeightedDegree(u);
+    }
+
+    if (total_weight > 0.0) {
+      while (LocalMovingPass(level_graph, options.resolution, total_weight,
+                             &community_of, &community_total_degree)) {
+      }
+    }
+
+    const ComponentAssignment level_assignment = Compact(community_of);
+
+    // Push the level's assignment down to original nodes.
+    for (NodeId u = 0; u < n; ++u) {
+      node_to_community[u] =
+          level_assignment.component_of[node_to_community[u]];
+    }
+
+    const double q =
+        Modularity(graph, node_to_community, options.resolution);
+    const bool converged =
+        level_assignment.num_components ==
+            static_cast<int>(level_graph.num_nodes()) ||
+        q - previous_modularity < options.min_modularity_gain;
+    previous_modularity = q;
+    if (converged) break;
+    level_graph = Aggregate(level_graph, level_assignment);
+  }
+
+  return Compact(node_to_community);
+}
+
+}  // namespace streamasp

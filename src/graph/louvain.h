@@ -1,0 +1,44 @@
+#ifndef STREAMASP_GRAPH_LOUVAIN_H_
+#define STREAMASP_GRAPH_LOUVAIN_H_
+
+#include <vector>
+
+#include "graph/components.h"
+#include "graph/graph.h"
+
+namespace streamasp {
+
+/// Options for Louvain community detection.
+struct LouvainOptions {
+  /// Resolution parameter gamma of Lambiotte et al. (arXiv:0812.1770);
+  /// larger values favor more, smaller communities. The paper fixes 1.0
+  /// (its footnote 8).
+  double resolution = 1.0;
+
+  /// Stop when a full aggregation round improves modularity by less than
+  /// this.
+  double min_modularity_gain = 1e-9;
+
+  /// Safety cap on aggregation rounds.
+  int max_levels = 32;
+};
+
+/// Modularity Q of an assignment at the given resolution:
+///   Q = (1/2m) * sum_ij [A_ij - gamma * k_i k_j / (2m)] * delta(c_i, c_j)
+/// Returns 0 for graphs with no edges.
+double Modularity(const UndirectedGraph& graph,
+                  const std::vector<int>& community_of, double resolution);
+
+/// Louvain community detection (Blondel et al. 2008): greedy local moving
+/// plus graph aggregation, repeated until modularity stops improving.
+///
+/// Deterministic: nodes are visited in index order, ties broken toward the
+/// lowest community id, so repeated runs give identical partitions.
+/// Community ids in the result are compacted to 0..k-1 ordered by smallest
+/// contained node.
+ComponentAssignment LouvainCommunities(const UndirectedGraph& graph,
+                                       const LouvainOptions& options = {});
+
+}  // namespace streamasp
+
+#endif  // STREAMASP_GRAPH_LOUVAIN_H_

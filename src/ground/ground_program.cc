@@ -1,0 +1,55 @@
+#include "ground/ground_program.h"
+
+#include <cassert>
+
+namespace streamasp {
+
+GroundAtomId AtomTable::Intern(const Atom& atom) {
+  auto it = index_.find(atom);
+  if (it != index_.end()) return it->second;
+  const GroundAtomId id = static_cast<GroundAtomId>(atoms_.size());
+  atoms_.push_back(atom);
+  index_.emplace(atom, id);
+  return id;
+}
+
+GroundAtomId AtomTable::Lookup(const Atom& atom) const {
+  auto it = index_.find(atom);
+  return it == index_.end() ? kInvalidGroundAtom : it->second;
+}
+
+const Atom& AtomTable::GetAtom(GroundAtomId id) const {
+  assert(id < atoms_.size());
+  return atoms_[id];
+}
+
+std::string GroundProgram::ToString(const SymbolTable& symbols) const {
+  std::string out;
+  for (const GroundRule& rule : rules_) {
+    for (size_t i = 0; i < rule.head.size(); ++i) {
+      if (i > 0) out += " | ";
+      out += atoms_.GetAtom(rule.head[i]).ToString(symbols);
+    }
+    const bool has_body =
+        !rule.positive_body.empty() || !rule.negative_body.empty();
+    if (has_body || rule.head.empty()) {
+      if (!rule.head.empty()) out += " ";
+      out += ":- ";
+      bool first = true;
+      for (GroundAtomId id : rule.positive_body) {
+        if (!first) out += ", ";
+        first = false;
+        out += atoms_.GetAtom(id).ToString(symbols);
+      }
+      for (GroundAtomId id : rule.negative_body) {
+        if (!first) out += ", ";
+        first = false;
+        out += "not " + atoms_.GetAtom(id).ToString(symbols);
+      }
+    }
+    out += ".\n";
+  }
+  return out;
+}
+
+}  // namespace streamasp

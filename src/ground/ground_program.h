@@ -1,0 +1,106 @@
+#ifndef STREAMASP_GROUND_GROUND_PROGRAM_H_
+#define STREAMASP_GROUND_GROUND_PROGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "asp/atom.h"
+#include "asp/symbol_table.h"
+
+namespace streamasp {
+
+/// Dense id of a ground atom within one grounding.
+using GroundAtomId = uint32_t;
+
+/// Sentinel for "no atom".
+inline constexpr GroundAtomId kInvalidGroundAtom =
+    static_cast<GroundAtomId>(-1);
+
+/// Bidirectional map between ground Atoms and dense ids, used to give the
+/// solver an integer-indexed view of the ground program.
+class AtomTable {
+ public:
+  AtomTable() = default;
+
+  AtomTable(const AtomTable&) = default;
+  AtomTable& operator=(const AtomTable&) = default;
+  AtomTable(AtomTable&&) noexcept = default;
+  AtomTable& operator=(AtomTable&&) noexcept = default;
+
+  /// Returns the id for `atom`, interning on first use.
+  GroundAtomId Intern(const Atom& atom);
+
+  /// Returns the id for `atom` or kInvalidGroundAtom if never interned.
+  GroundAtomId Lookup(const Atom& atom) const;
+
+  /// The atom for an id. Requires a valid id.
+  const Atom& GetAtom(GroundAtomId id) const;
+
+  size_t size() const { return atoms_.size(); }
+
+ private:
+  std::unordered_map<Atom, GroundAtomId, AtomHash> index_;
+  std::vector<Atom> atoms_;
+};
+
+/// A variable-free rule over dense atom ids:
+///
+///   head[0] | ... | head[h-1]
+///     :- positive_body..., not negative_body... .
+///
+/// head.empty() encodes an integrity constraint.
+struct GroundRule {
+  std::vector<GroundAtomId> head;
+  std::vector<GroundAtomId> positive_body;
+  std::vector<GroundAtomId> negative_body;
+
+  bool is_fact() const {
+    return head.size() == 1 && positive_body.empty() &&
+           negative_body.empty();
+  }
+  bool is_constraint() const { return head.empty(); }
+
+  friend bool operator==(const GroundRule& a, const GroundRule& b) {
+    return a.head == b.head && a.positive_body == b.positive_body &&
+           a.negative_body == b.negative_body;
+  }
+};
+
+/// The output of grounding: a propositional (variable-free) program, its
+/// atom table, and bookkeeping used by the solver and by tests.
+class GroundProgram {
+ public:
+  GroundProgram() = default;
+
+  GroundProgram(AtomTable atoms, std::vector<GroundRule> rules)
+      : atoms_(std::move(atoms)), rules_(std::move(rules)) {}
+
+  GroundProgram(const GroundProgram&) = default;
+  GroundProgram& operator=(const GroundProgram&) = default;
+  GroundProgram(GroundProgram&&) noexcept = default;
+  GroundProgram& operator=(GroundProgram&&) noexcept = default;
+
+  const AtomTable& atoms() const { return atoms_; }
+  AtomTable& mutable_atoms() { return atoms_; }
+
+  const std::vector<GroundRule>& rules() const { return rules_; }
+  std::vector<GroundRule>& mutable_rules() { return rules_; }
+
+  void AddRule(GroundRule rule) { rules_.push_back(std::move(rule)); }
+
+  /// Number of interned ground atoms (ids are 0..num_atoms()-1).
+  size_t num_atoms() const { return atoms_.size(); }
+
+  /// Renders the ground program in ASP syntax, one rule per line.
+  std::string ToString(const SymbolTable& symbols) const;
+
+ private:
+  AtomTable atoms_;
+  std::vector<GroundRule> rules_;
+};
+
+}  // namespace streamasp
+
+#endif  // STREAMASP_GROUND_GROUND_PROGRAM_H_

@@ -1,0 +1,796 @@
+#include "ground/grounder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "asp/literal.h"
+#include "graph/components.h"
+#include "graph/graph.h"
+
+namespace streamasp {
+
+namespace {
+
+/// Variable binding with trail-based undo. Rules have few variables, so a
+/// linear-scanned vector beats a hash map.
+class Binding {
+ public:
+  const Term* Get(SymbolId var) const {
+    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+      if (it->first == var) return &it->second;
+    }
+    return nullptr;
+  }
+
+  void Push(SymbolId var, const Term& value) {
+    entries_.emplace_back(var, value);
+  }
+
+  size_t Mark() const { return entries_.size(); }
+  void RewindTo(size_t mark) { entries_.resize(mark); }
+
+  bool IsBound(SymbolId var) const { return Get(var) != nullptr; }
+
+ private:
+  std::vector<std::pair<SymbolId, Term>> entries_;
+};
+
+Term SubstituteTerm(const Term& term, const Binding& binding);
+
+/// Unifies a (possibly variable-containing) pattern with a ground term,
+/// extending `binding`. On mismatch the caller rewinds using its mark.
+bool MatchTerm(const Term& pattern, const Term& ground, Binding* binding) {
+  switch (pattern.kind()) {
+    case TermKind::kInteger:
+    case TermKind::kSymbol:
+      return pattern == ground;
+    case TermKind::kArithmetic: {
+      // Matching cannot invert arithmetic: the expression must already be
+      // fully bound, in which case it folds to an integer and compares.
+      const Term folded = SubstituteTerm(pattern, *binding);
+      return folded.is_integer() && folded == ground;
+    }
+    case TermKind::kVariable: {
+      if (const Term* bound = binding->Get(pattern.symbol())) {
+        return *bound == ground;
+      }
+      binding->Push(pattern.symbol(), ground);
+      return true;
+    }
+    case TermKind::kFunction: {
+      if (!ground.is_function() || ground.symbol() != pattern.symbol() ||
+          ground.args().size() != pattern.args().size()) {
+        return false;
+      }
+      for (size_t i = 0; i < pattern.args().size(); ++i) {
+        if (!MatchTerm(pattern.args()[i], ground.args()[i], binding)) {
+          return false;
+        }
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Applies `binding` to a term. Unbound variables are left in place (the
+/// result is ground iff all variables are bound).
+Term SubstituteTerm(const Term& term, const Binding& binding) {
+  switch (term.kind()) {
+    case TermKind::kInteger:
+    case TermKind::kSymbol:
+      return term;
+    case TermKind::kVariable: {
+      const Term* bound = binding.Get(term.symbol());
+      return bound != nullptr ? *bound : term;
+    }
+    case TermKind::kFunction: {
+      std::vector<Term> args;
+      args.reserve(term.args().size());
+      for (const Term& arg : term.args()) {
+        args.push_back(SubstituteTerm(arg, binding));
+      }
+      return Term::Function(term.symbol(), std::move(args));
+    }
+    case TermKind::kArithmetic:
+      // Term::Arithmetic constant-folds once both operands are ground
+      // integers; otherwise the (partially substituted) expression
+      // remains, signalling an undefined or still-open computation.
+      return Term::Arithmetic(term.arith_op(),
+                              SubstituteTerm(term.args()[0], binding),
+                              SubstituteTerm(term.args()[1], binding));
+  }
+  return term;
+}
+
+/// True iff the (ground) term still contains an arithmetic node, i.e. the
+/// expression could not be folded to an integer: symbolic operands or
+/// division/modulo by zero. Such instances are undefined and skipped,
+/// matching Clingo's treatment of undefined arithmetic.
+bool ContainsUnfoldedArithmetic(const Term& term) {
+  if (term.is_arithmetic()) return true;
+  if (term.is_function()) {
+    for (const Term& arg : term.args()) {
+      if (ContainsUnfoldedArithmetic(arg)) return true;
+    }
+  }
+  return false;
+}
+
+bool ContainsUnfoldedArithmetic(const Atom& atom) {
+  for (const Term& arg : atom.args()) {
+    if (ContainsUnfoldedArithmetic(arg)) return true;
+  }
+  return false;
+}
+
+Atom SubstituteAtom(const Atom& atom, const Binding& binding) {
+  std::vector<Term> args;
+  args.reserve(atom.args().size());
+  for (const Term& arg : atom.args()) {
+    args.push_back(SubstituteTerm(arg, binding));
+  }
+  return Atom(atom.predicate(), std::move(args));
+}
+
+/// Lazily built hash index over one argument position of an extension.
+struct PositionIndex {
+  std::unordered_map<Term, std::vector<uint32_t>, TermHash> map;
+  size_t indexed_until = 0;  // Extension prefix already indexed.
+};
+
+/// All derived ("possible") ground atoms of one predicate, in derivation
+/// order, plus semi-naive window bounds and join indexes.
+struct PredicateExtension {
+  std::vector<GroundAtomId> atoms;
+  // Semi-naive bounds, only meaningful while this predicate's component is
+  // being instantiated:
+  //   old   = [0, delta_begin)
+  //   delta = [delta_begin, delta_end)
+  size_t delta_begin = 0;
+  size_t delta_end = 0;
+  std::vector<PositionIndex> indexes;  // Sized to arity on first use.
+};
+
+/// A rule preprocessed for instantiation.
+struct CompiledRule {
+  std::vector<Atom> heads;
+  std::vector<int> head_preds;
+  std::vector<Atom> positive;         // Positive body atoms, body order.
+  std::vector<int> positive_preds;
+  std::vector<Literal> comparisons;
+  std::vector<std::vector<SymbolId>> comparison_vars;
+  std::vector<Atom> negatives;
+  std::vector<int> negative_preds;
+  int component = 0;
+  bool recursive = false;
+  std::vector<size_t> same_component_positions;  // Indices into `positive`.
+};
+
+/// Attempts to resolve pending comparison literals under `binding`.
+/// Comparisons whose two sides become ground are evaluated (undefined
+/// arithmetic counts as false); `Var = expr` assignments whose other side
+/// is ground bind the variable. Loops until no progress. Indexes of newly
+/// resolved comparisons are appended to *newly_done so callers can unmark
+/// them on backtracking (bindings themselves are rewound via the binding
+/// mark). Returns false when a comparison is violated or an assignment
+/// clashes with an existing binding.
+bool ResolveComparisons(const CompiledRule& rule, Binding* binding,
+                        std::vector<bool>* comparison_done,
+                        std::vector<size_t>* newly_done) {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (size_t c = 0; c < rule.comparisons.size(); ++c) {
+      if ((*comparison_done)[c]) continue;
+      const Literal& cmp = rule.comparisons[c];
+      const Term lhs = SubstituteTerm(cmp.lhs(), *binding);
+      const Term rhs = SubstituteTerm(cmp.rhs(), *binding);
+      if (lhs.IsGround() && rhs.IsGround()) {
+        // SubstituteTerm already folded foldable arithmetic; what remains
+        // is undefined (symbolic operand, division by zero) => false.
+        if (ContainsUnfoldedArithmetic(lhs) ||
+            ContainsUnfoldedArithmetic(rhs)) {
+          return false;
+        }
+        if (!EvaluateComparison(cmp.op(), lhs, rhs)) return false;
+        (*comparison_done)[c] = true;
+        newly_done->push_back(c);
+        progress = true;
+        continue;
+      }
+      if (cmp.op() != ComparisonOp::kEqual) continue;
+      // Assignment form: a bare unbound variable against a ground value.
+      const bool lhs_assignable = lhs.is_variable() && rhs.IsGround() &&
+                                  !ContainsUnfoldedArithmetic(rhs);
+      const bool rhs_assignable = rhs.is_variable() && lhs.IsGround() &&
+                                  !ContainsUnfoldedArithmetic(lhs);
+      if (lhs_assignable || rhs_assignable) {
+        const Term& variable = lhs_assignable ? lhs : rhs;
+        const Term& value = lhs_assignable ? rhs : lhs;
+        binding->Push(variable.symbol(), value);
+        (*comparison_done)[c] = true;
+        newly_done->push_back(c);
+        progress = true;
+      }
+    }
+  }
+  return true;
+}
+
+/// Range selector for one positive literal during a semi-naive round.
+enum class RangeKind {
+  kFull,       // [0, extension.size()) — fully evaluated predicate.
+  kOld,        // [0, delta_begin)
+  kDelta,      // [delta_begin, delta_end)
+  kOldDelta,   // [0, delta_end)
+};
+
+class InstantiationEngine {
+ public:
+  InstantiationEngine(const Program& program,
+                      const std::vector<Atom>& input_facts,
+                      const GroundingOptions& options)
+      : program_(program), input_facts_(input_facts), options_(options) {}
+
+  Status Run();
+
+  GroundProgram TakeResult() {
+    return GroundProgram(std::move(atoms_), std::move(rules_));
+  }
+
+  GroundingStats stats;
+
+ private:
+  int PredIndex(const PredicateSignature& sig) {
+    auto it = pred_index_.find(sig);
+    if (it != pred_index_.end()) return it->second;
+    const int index = static_cast<int>(pred_signatures_.size());
+    pred_index_.emplace(sig, index);
+    pred_signatures_.push_back(sig);
+    return index;
+  }
+
+  /// Interns an atom; if newly derivable, appends it to its predicate's
+  /// extension.
+  GroundAtomId AddDerivedAtom(const Atom& atom) {
+    const GroundAtomId id = atoms_.Intern(atom);
+    if (id >= derivable_.size()) derivable_.resize(id + 1, false);
+    if (!derivable_[id]) {
+      derivable_[id] = true;
+      const int pred = PredIndex(atom.signature());
+      if (static_cast<size_t>(pred) >= extensions_.size()) {
+        extensions_.resize(pred + 1);
+      }
+      extensions_[pred].atoms.push_back(id);
+    }
+    return id;
+  }
+
+  /// Interns an atom without marking it derivable (negative-body use).
+  GroundAtomId InternOnly(const Atom& atom) {
+    const GroundAtomId id = atoms_.Intern(atom);
+    if (id >= derivable_.size()) derivable_.resize(id + 1, false);
+    return id;
+  }
+
+  Status EmitGroundRule(GroundRule rule) {
+    if (rules_.size() >= options_.max_ground_rules) {
+      return ResourceExhaustedError(
+          "ground rule limit exceeded (" +
+          std::to_string(options_.max_ground_rules) +
+          "); the program may not be finitely groundable");
+    }
+    rules_.push_back(std::move(rule));
+    return OkStatus();
+  }
+
+  Status SeedFacts();
+  Status CompileRules(const ComponentAssignment& components);
+  Status BuildDependencies();
+  Status InstantiateComponent(int component);
+  Status EvaluateRule(CompiledRule* rule, int current_component,
+                      int delta_position);
+  Status MatchFrom(CompiledRule* rule, size_t literal_index,
+                   int current_component, int delta_position,
+                   Binding* binding, std::vector<GroundAtomId>* matched,
+                   std::vector<bool>* comparison_done);
+  Status EmitInstance(CompiledRule* rule, int current_component,
+                      const Binding& binding,
+                      const std::vector<GroundAtomId>& matched);
+  void Simplify();
+
+  /// Computes the visible index range of `rule`'s positive literal
+  /// `position` for the current round.
+  std::pair<size_t, size_t> LiteralRange(const CompiledRule& rule,
+                                         size_t position,
+                                         int current_component,
+                                         int delta_position) const;
+
+  const Program& program_;
+  const std::vector<Atom>& input_facts_;
+  const GroundingOptions& options_;
+
+  std::unordered_map<PredicateSignature, int, PredicateSignatureHash>
+      pred_index_;
+  std::vector<PredicateSignature> pred_signatures_;
+  std::vector<int> pred_component_;
+  std::vector<PredicateExtension> extensions_;
+
+  AtomTable atoms_;
+  std::vector<bool> derivable_;
+  std::vector<GroundRule> rules_;
+
+  std::vector<CompiledRule> compiled_;
+  std::vector<std::vector<CompiledRule*>> component_rules_;
+  std::vector<CompiledRule*> constraints_;
+  int num_components_ = 0;
+};
+
+Status InstantiationEngine::BuildDependencies() {
+  // Register every predicate so indexes are stable.
+  for (const Rule& rule : program_.rules()) {
+    for (const Atom& a : rule.head()) PredIndex(a.signature());
+    for (const Literal& l : rule.body()) {
+      if (l.is_atom()) PredIndex(l.atom().signature());
+    }
+  }
+  for (const Atom& fact : input_facts_) PredIndex(fact.signature());
+
+  Digraph dependencies(static_cast<NodeId>(pred_signatures_.size()));
+  for (const Rule& rule : program_.rules()) {
+    for (const Atom& head : rule.head()) {
+      const int head_pred = PredIndex(head.signature());
+      for (const Literal& l : rule.body()) {
+        if (!l.is_atom()) continue;
+        dependencies.AddEdge(
+            static_cast<NodeId>(PredIndex(l.atom().signature())),
+            static_cast<NodeId>(head_pred));
+      }
+    }
+    // Disjunctive head predicates must be instantiated together: a rule
+    // deriving one of them can retroactively feed rules over another.
+    for (size_t i = 0; i + 1 < rule.head().size(); ++i) {
+      for (size_t j = i + 1; j < rule.head().size(); ++j) {
+        const NodeId a =
+            static_cast<NodeId>(PredIndex(rule.head()[i].signature()));
+        const NodeId b =
+            static_cast<NodeId>(PredIndex(rule.head()[j].signature()));
+        dependencies.AddEdge(a, b);
+        dependencies.AddEdge(b, a);
+      }
+    }
+  }
+
+  const ComponentAssignment components =
+      StronglyConnectedComponents(dependencies);
+  num_components_ = components.num_components;
+  pred_component_ = components.component_of;
+  extensions_.resize(pred_signatures_.size());
+  return CompileRules(components);
+}
+
+Status InstantiationEngine::CompileRules(const ComponentAssignment&) {
+  component_rules_.assign(num_components_, {});
+  compiled_.reserve(program_.rules().size());
+  for (const Rule& rule : program_.rules()) {
+    if (rule.body().empty()) continue;  // Facts are seeded separately.
+    CompiledRule cr;
+    for (const Atom& head : rule.head()) {
+      cr.heads.push_back(head);
+      cr.head_preds.push_back(PredIndex(head.signature()));
+    }
+    for (const Literal& l : rule.body()) {
+      switch (l.kind()) {
+        case Literal::Kind::kPositiveAtom:
+          cr.positive.push_back(l.atom());
+          cr.positive_preds.push_back(PredIndex(l.atom().signature()));
+          break;
+        case Literal::Kind::kNegativeAtom:
+          cr.negatives.push_back(l.atom());
+          cr.negative_preds.push_back(PredIndex(l.atom().signature()));
+          break;
+        case Literal::Kind::kComparison: {
+          cr.comparisons.push_back(l);
+          std::vector<SymbolId> vars;
+          l.CollectVariables(&vars);
+          std::sort(vars.begin(), vars.end());
+          vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+          cr.comparison_vars.push_back(std::move(vars));
+          break;
+        }
+      }
+    }
+    if (cr.heads.empty()) {
+      // Constraints run after all components are fully instantiated.
+      cr.component = num_components_;
+      compiled_.push_back(std::move(cr));
+      continue;
+    }
+    // All head predicates share a component (mutual edges); schedule the
+    // rule there.
+    cr.component = pred_component_[cr.head_preds.front()];
+    for (size_t i = 0; i < cr.positive.size(); ++i) {
+      if (pred_component_[cr.positive_preds[i]] == cr.component) {
+        cr.recursive = true;
+        cr.same_component_positions.push_back(i);
+      }
+    }
+    compiled_.push_back(std::move(cr));
+  }
+  // Pointers into compiled_ are stable from here on.
+  for (CompiledRule& cr : compiled_) {
+    if (cr.heads.empty()) {
+      constraints_.push_back(&cr);
+    } else {
+      component_rules_[cr.component].push_back(&cr);
+    }
+  }
+  return OkStatus();
+}
+
+Status InstantiationEngine::SeedFacts() {
+  for (const Rule& rule : program_.rules()) {
+    if (!rule.body().empty()) continue;
+    GroundRule ground;
+    for (const Atom& head : rule.head()) {
+      if (!head.IsGround()) {
+        return InvalidArgumentError(
+            "non-ground fact: " + rule.ToString(program_.symbol_table()));
+      }
+      ground.head.push_back(AddDerivedAtom(head));
+    }
+    STREAMASP_RETURN_IF_ERROR(EmitGroundRule(std::move(ground)));
+  }
+  for (const Atom& fact : input_facts_) {
+    if (!fact.IsGround()) {
+      return InvalidArgumentError("non-ground input fact: " +
+                                  fact.ToString(program_.symbol_table()));
+    }
+    GroundRule ground;
+    ground.head.push_back(AddDerivedAtom(fact));
+    STREAMASP_RETURN_IF_ERROR(EmitGroundRule(std::move(ground)));
+  }
+  return OkStatus();
+}
+
+std::pair<size_t, size_t> InstantiationEngine::LiteralRange(
+    const CompiledRule& rule, size_t position, int current_component,
+    int delta_position) const {
+  const PredicateExtension& ext = extensions_[rule.positive_preds[position]];
+  const bool same_component =
+      pred_component_[rule.positive_preds[position]] == current_component &&
+      current_component < num_components_;
+  if (!same_component) {
+    return {0, ext.atoms.size()};
+  }
+  // Semi-naive decomposition: literals before the delta position see the
+  // old window, the delta position sees only the delta, later ones see
+  // old+delta. delta_position < 0 (non-recursive evaluation) sees
+  // everything visible this round.
+  if (delta_position < 0) {
+    return {0, ext.delta_end};
+  }
+  if (position < static_cast<size_t>(delta_position)) {
+    return {0, ext.delta_begin};
+  }
+  if (position == static_cast<size_t>(delta_position)) {
+    return {ext.delta_begin, ext.delta_end};
+  }
+  return {0, ext.delta_end};
+}
+
+Status InstantiationEngine::MatchFrom(
+    CompiledRule* rule, size_t literal_index, int current_component,
+    int delta_position, Binding* binding,
+    std::vector<GroundAtomId>* matched,
+    std::vector<bool>* comparison_done) {
+  if (literal_index == rule->positive.size()) {
+    return EmitInstance(rule, current_component, *binding, *matched);
+  }
+
+  const Atom& pattern = rule->positive[literal_index];
+  const int pred = rule->positive_preds[literal_index];
+  PredicateExtension& ext = extensions_[pred];
+  const auto [range_begin, range_end] =
+      LiteralRange(*rule, literal_index, current_component, delta_position);
+  if (range_begin >= range_end) return OkStatus();
+
+  // Pick an argument position that is ground under the current binding to
+  // drive an index lookup; fall back to a scan.
+  int index_position = -1;
+  Term index_key;
+  for (size_t p = 0; p < pattern.args().size(); ++p) {
+    Term substituted = SubstituteTerm(pattern.args()[p], *binding);
+    if (substituted.IsGround()) {
+      index_position = static_cast<int>(p);
+      index_key = std::move(substituted);
+      break;
+    }
+  }
+
+  // The candidate list: either an index bucket or the full range.
+  const std::vector<uint32_t>* bucket = nullptr;
+  if (index_position >= 0) {
+    if (ext.indexes.empty()) ext.indexes.resize(pattern.args().size());
+    PositionIndex& index = ext.indexes[index_position];
+    // Extend the index to cover the whole extension (cheap, amortized).
+    while (index.indexed_until < ext.atoms.size()) {
+      const uint32_t i = static_cast<uint32_t>(index.indexed_until++);
+      const Atom& atom = atoms_.GetAtom(ext.atoms[i]);
+      index.map[atom.args()[index_position]].push_back(i);
+    }
+    auto it = index.map.find(index_key);
+    if (it == index.map.end()) return OkStatus();
+    bucket = &it->second;
+  }
+
+  auto try_candidate = [&](size_t extension_index) -> Status {
+    const GroundAtomId id = ext.atoms[extension_index];
+    const Atom& candidate = atoms_.GetAtom(id);
+    const size_t mark = binding->Mark();
+    bool matches = candidate.args().size() == pattern.args().size();
+    for (size_t p = 0; matches && p < pattern.args().size(); ++p) {
+      matches = MatchTerm(pattern.args()[p], candidate.args()[p], binding);
+    }
+    if (matches) {
+      // Resolve comparisons/assignments that just became ground; prune on
+      // failure. Assignment bindings land on the same trail and are
+      // rewound with the candidate's mark.
+      std::vector<size_t> newly_done;
+      const bool comparisons_hold =
+          ResolveComparisons(*rule, binding, comparison_done, &newly_done);
+      if (comparisons_hold) {
+        (*matched)[literal_index] = id;
+        STREAMASP_RETURN_IF_ERROR(
+            MatchFrom(rule, literal_index + 1, current_component,
+                      delta_position, binding, matched, comparison_done));
+      }
+      for (size_t c : newly_done) (*comparison_done)[c] = false;
+    }
+    binding->RewindTo(mark);
+    return OkStatus();
+  };
+
+  if (bucket != nullptr) {
+    for (uint32_t i : *bucket) {
+      if (i < range_begin || i >= range_end) continue;
+      STREAMASP_RETURN_IF_ERROR(try_candidate(i));
+    }
+  } else {
+    for (size_t i = range_begin; i < range_end; ++i) {
+      STREAMASP_RETURN_IF_ERROR(try_candidate(i));
+    }
+  }
+  return OkStatus();
+}
+
+Status InstantiationEngine::EmitInstance(
+    CompiledRule* rule, int current_component, const Binding& binding,
+    const std::vector<GroundAtomId>& matched) {
+  GroundRule ground;
+  ground.positive_body.assign(matched.begin(), matched.end());
+
+  for (size_t i = 0; i < rule->negatives.size(); ++i) {
+    const Atom instance = SubstituteAtom(rule->negatives[i], binding);
+    assert(instance.IsGround() && "safety guarantees ground negatives");
+    if (ContainsUnfoldedArithmetic(instance)) {
+      return OkStatus();  // Undefined arithmetic: skip the instance.
+    }
+    const int pred = rule->negative_preds[i];
+    const bool fully_evaluated =
+        pred_component_[pred] < current_component;
+    if (fully_evaluated) {
+      // The predicate's extension is final: an underivable atom can never
+      // become true, so `not atom` is certainly satisfied — drop it.
+      const GroundAtomId existing = atoms_.Lookup(instance);
+      if (existing == kInvalidGroundAtom || !derivable_[existing]) {
+        continue;
+      }
+      ground.negative_body.push_back(existing);
+    } else {
+      ground.negative_body.push_back(InternOnly(instance));
+    }
+  }
+
+  for (const Atom& head : rule->heads) {
+    const Atom instance = SubstituteAtom(head, binding);
+    assert(instance.IsGround() && "safety guarantees ground heads");
+    if (ContainsUnfoldedArithmetic(instance)) {
+      return OkStatus();  // Undefined arithmetic: skip the instance.
+    }
+    ground.head.push_back(AddDerivedAtom(instance));
+  }
+  return EmitGroundRule(std::move(ground));
+}
+
+Status InstantiationEngine::EvaluateRule(CompiledRule* rule,
+                                         int current_component,
+                                         int delta_position) {
+  Binding binding;
+  std::vector<GroundAtomId> matched(rule->positive.size(),
+                                    kInvalidGroundAtom);
+  std::vector<bool> comparison_done(rule->comparisons.size(), false);
+  // Variable-free comparisons and seed assignments (X = 3 + 4) decide or
+  // pre-bind before any literal is matched.
+  std::vector<size_t> upfront_done;
+  if (!ResolveComparisons(*rule, &binding, &comparison_done,
+                          &upfront_done)) {
+    return OkStatus();  // The rule can never fire.
+  }
+  return MatchFrom(rule, 0, current_component, delta_position, &binding,
+                   &matched, &comparison_done);
+}
+
+Status InstantiationEngine::InstantiateComponent(int component) {
+  const std::vector<CompiledRule*>& rules = component_rules_[component];
+  if (rules.empty()) return OkStatus();
+
+  // Same-component predicates: snapshot the current extension as the first
+  // delta window (everything derived so far is "new" for this component).
+  std::vector<int> component_preds;
+  for (size_t p = 0; p < pred_signatures_.size(); ++p) {
+    if (pred_component_[p] == component) {
+      component_preds.push_back(static_cast<int>(p));
+      extensions_[p].delta_begin = 0;
+      extensions_[p].delta_end = extensions_[p].atoms.size();
+    }
+  }
+
+  // Non-recursive rules fire exactly once: their positive bodies only read
+  // fully evaluated predicates.
+  for (CompiledRule* rule : rules) {
+    if (!rule->recursive) {
+      STREAMASP_RETURN_IF_ERROR(EvaluateRule(rule, component, -1));
+    }
+  }
+  // Refresh the delta to include atoms the non-recursive rules derived.
+  for (int p : component_preds) {
+    extensions_[p].delta_end = extensions_[p].atoms.size();
+  }
+
+  // Semi-naive fixpoint for recursive rules.
+  for (;;) {
+    bool any_delta = false;
+    for (int p : component_preds) {
+      if (extensions_[p].delta_begin < extensions_[p].delta_end) {
+        any_delta = true;
+        break;
+      }
+    }
+    if (!any_delta) break;
+
+    for (CompiledRule* rule : rules) {
+      if (!rule->recursive) continue;
+      for (size_t j : rule->same_component_positions) {
+        STREAMASP_RETURN_IF_ERROR(
+            EvaluateRule(rule, component, static_cast<int>(j)));
+      }
+    }
+
+    // Advance windows: this round's derivations become the next delta.
+    for (int p : component_preds) {
+      extensions_[p].delta_begin = extensions_[p].delta_end;
+      extensions_[p].delta_end = extensions_[p].atoms.size();
+    }
+  }
+  return OkStatus();
+}
+
+void InstantiationEngine::Simplify() {
+  const size_t num_atoms = atoms_.size();
+  std::vector<bool> definitely_true(num_atoms, false);
+  std::vector<bool> removed(rules_.size(), false);
+  if (derivable_.size() < num_atoms) derivable_.resize(num_atoms, false);
+
+  // Pass 0: erase negative literals over atoms that no rule can derive —
+  // `not a` with underivable `a` always holds.
+  for (GroundRule& rule : rules_) {
+    auto& neg = rule.negative_body;
+    neg.erase(std::remove_if(neg.begin(), neg.end(),
+                             [&](GroundAtomId id) { return !derivable_[id]; }),
+              neg.end());
+  }
+
+  // Fixpoint: propagate definite facts through positive bodies.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t r = 0; r < rules_.size(); ++r) {
+      if (removed[r]) continue;
+      GroundRule& rule = rules_[r];
+
+      // A definitely-true head atom satisfies the rule outright.
+      bool satisfied = false;
+      for (GroundAtomId h : rule.head) {
+        if (definitely_true[h]) {
+          satisfied = true;
+          break;
+        }
+      }
+      // So does a definitely-true negative-body atom falsifying the body.
+      if (!satisfied) {
+        for (GroundAtomId n : rule.negative_body) {
+          if (definitely_true[n]) {
+            satisfied = true;
+            break;
+          }
+        }
+      }
+      if (satisfied) {
+        removed[r] = true;
+        changed = true;
+        continue;
+      }
+
+      auto& pos = rule.positive_body;
+      const size_t before = pos.size();
+      pos.erase(std::remove_if(
+                    pos.begin(), pos.end(),
+                    [&](GroundAtomId id) { return definitely_true[id]; }),
+                pos.end());
+      if (pos.size() != before) changed = true;
+
+      if (rule.is_fact() && !definitely_true[rule.head.front()]) {
+        definitely_true[rule.head.front()] = true;
+        removed[r] = true;  // Re-emitted once, below.
+        changed = true;
+      }
+    }
+  }
+
+  std::vector<GroundRule> output;
+  output.reserve(rules_.size());
+  for (GroundAtomId a = 0; a < num_atoms; ++a) {
+    if (definitely_true[a]) {
+      output.push_back(GroundRule{{a}, {}, {}});
+    }
+  }
+  for (size_t r = 0; r < rules_.size(); ++r) {
+    if (!removed[r]) output.push_back(std::move(rules_[r]));
+  }
+  rules_ = std::move(output);
+}
+
+Status InstantiationEngine::Run() {
+  STREAMASP_RETURN_IF_ERROR(program_.Validate());
+  STREAMASP_RETURN_IF_ERROR(BuildDependencies());
+  STREAMASP_RETURN_IF_ERROR(SeedFacts());
+  for (int c = 0; c < num_components_; ++c) {
+    STREAMASP_RETURN_IF_ERROR(InstantiateComponent(c));
+  }
+  // Constraints see the final extensions of every predicate.
+  for (CompiledRule* constraint : constraints_) {
+    STREAMASP_RETURN_IF_ERROR(
+        EvaluateRule(constraint, num_components_, -1));
+  }
+
+  stats.num_rules_raw = rules_.size();
+  if (options_.simplify) Simplify();
+  stats.num_rules = rules_.size();
+  stats.num_atoms = atoms_.size();
+  for (const GroundRule& rule : rules_) {
+    if (rule.is_fact()) ++stats.num_facts;
+    if (rule.is_constraint()) ++stats.num_constraints;
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+StatusOr<GroundProgram> Grounder::Ground(const Program& program) const {
+  return Ground(program, {});
+}
+
+StatusOr<GroundProgram> Grounder::Ground(
+    const Program& program, const std::vector<Atom>& input_facts) const {
+  InstantiationEngine engine(program, input_facts, options_);
+  STREAMASP_RETURN_IF_ERROR(engine.Run());
+  stats_ = engine.stats;
+  return engine.TakeResult();
+}
+
+}  // namespace streamasp

@@ -1,0 +1,609 @@
+#include "solve/solver.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <vector>
+
+namespace streamasp {
+
+namespace {
+
+enum class Val : int8_t { kUnknown = 0, kTrue = 1, kFalse = 2 };
+
+/// A normalized (non-disjunctive) rule: `head :- pos, not neg.` with
+/// head == kNoHead encoding an integrity constraint.
+struct NormalRule {
+  static constexpr int32_t kNoHead = -1;
+  int32_t head = kNoHead;
+  std::vector<GroundAtomId> pos;
+  std::vector<GroundAtomId> neg;
+};
+
+/// smodels-style search engine over a normalized program.
+///
+/// Invariants maintained per rule:
+///   body_unassigned_[r]  — body literals whose atom is still unknown,
+///   body_false_[r]       — body literals currently false
+///                          (positive literal with false atom, or negative
+///                          literal with true atom),
+/// and per atom:
+///   active_count_[a]     — rules with head a whose body is not yet false.
+///
+/// Counters are updated eagerly in Assign/Unassign; consequences are
+/// derived when an atom is popped from the propagation queue.
+class SearchEngine {
+ public:
+  SearchEngine(const GroundProgram& program, const SolverOptions& options)
+      : program_(program), options_(options) {
+    Build();
+  }
+
+  Status Enumerate(std::vector<AnswerSet>* models) {
+    models_ = models;
+    // Root-level implications: facts and unsupported atoms.
+    if (!InitialPropagationSeeds()) return OkStatus();
+    return Search();
+  }
+
+ private:
+  struct Occurrence {
+    uint32_t rule;
+    bool in_positive_body;
+  };
+
+  void Build() {
+    num_atoms_ = program_.num_atoms();
+    for (const GroundRule& rule : program_.rules()) {
+      if (rule.head.size() <= 1) {
+        NormalRule nr;
+        nr.head = rule.head.empty() ? NormalRule::kNoHead
+                                    : static_cast<int32_t>(rule.head[0]);
+        nr.pos = rule.positive_body;
+        nr.neg = rule.negative_body;
+        rules_.push_back(std::move(nr));
+      } else {
+        // Shift the disjunction: a|b :- B  =>  a :- B, not b.  b :- B, not a.
+        // Complete for head-cycle-free programs; every candidate is later
+        // checked for minimality against the original program.
+        has_disjunction_ = true;
+        for (size_t i = 0; i < rule.head.size(); ++i) {
+          NormalRule nr;
+          nr.head = static_cast<int32_t>(rule.head[i]);
+          nr.pos = rule.positive_body;
+          nr.neg = rule.negative_body;
+          for (size_t j = 0; j < rule.head.size(); ++j) {
+            if (j != i) nr.neg.push_back(rule.head[j]);
+          }
+          rules_.push_back(std::move(nr));
+        }
+      }
+    }
+
+    value_.assign(num_atoms_, Val::kUnknown);
+    occurrences_.assign(num_atoms_, {});
+    head_rules_.assign(num_atoms_, {});
+    active_count_.assign(num_atoms_, 0);
+    body_unassigned_.assign(rules_.size(), 0);
+    body_false_.assign(rules_.size(), 0);
+    pos_occurrences_.assign(num_atoms_, {});
+
+    for (uint32_t r = 0; r < rules_.size(); ++r) {
+      const NormalRule& rule = rules_[r];
+      body_unassigned_[r] =
+          static_cast<uint32_t>(rule.pos.size() + rule.neg.size());
+      for (GroundAtomId a : rule.pos) {
+        occurrences_[a].push_back(Occurrence{r, true});
+        pos_occurrences_[a].push_back(r);
+      }
+      for (GroundAtomId a : rule.neg) {
+        occurrences_[a].push_back(Occurrence{r, false});
+      }
+      if (rule.head != NormalRule::kNoHead) {
+        head_rules_[rule.head].push_back(r);
+        ++active_count_[rule.head];
+      }
+    }
+  }
+
+  // ---------------------------------------------------------------------
+  // Assignment and trail.
+
+  bool Assign(GroundAtomId atom, Val v) {
+    assert(v != Val::kUnknown);
+    if (value_[atom] != Val::kUnknown) return value_[atom] == v;
+    value_[atom] = v;
+    trail_.push_back(atom);
+    for (const Occurrence& occ : occurrences_[atom]) {
+      --body_unassigned_[occ.rule];
+      const bool literal_false =
+          occ.in_positive_body ? (v == Val::kFalse) : (v == Val::kTrue);
+      if (literal_false) {
+        if (++body_false_[occ.rule] == 1) {
+          const int32_t h = rules_[occ.rule].head;
+          if (h != NormalRule::kNoHead) --active_count_[h];
+        }
+      }
+    }
+    queue_.push_back(atom);
+    return true;
+  }
+
+  void UndoTo(size_t mark) {
+    while (trail_.size() > mark) {
+      const GroundAtomId atom = trail_.back();
+      trail_.pop_back();
+      const Val v = value_[atom];
+      for (const Occurrence& occ : occurrences_[atom]) {
+        ++body_unassigned_[occ.rule];
+        const bool literal_false =
+            occ.in_positive_body ? (v == Val::kFalse) : (v == Val::kTrue);
+        if (literal_false) {
+          if (body_false_[occ.rule]-- == 1) {
+            const int32_t h = rules_[occ.rule].head;
+            if (h != NormalRule::kNoHead) ++active_count_[h];
+          }
+        }
+      }
+      value_[atom] = Val::kUnknown;
+    }
+    queue_.clear();
+  }
+
+  // ---------------------------------------------------------------------
+  // Propagation ("atleast").
+
+  /// Forces every body literal of `r` true. Returns false on conflict.
+  bool ForceBodyTrue(uint32_t r) {
+    for (GroundAtomId a : rules_[r].pos) {
+      if (!Assign(a, Val::kTrue)) return false;
+    }
+    for (GroundAtomId a : rules_[r].neg) {
+      if (!Assign(a, Val::kFalse)) return false;
+    }
+    return true;
+  }
+
+  /// Falsifies the single unassigned body literal of `r`. Returns false on
+  /// conflict.
+  bool FalsifyLastLiteral(uint32_t r) {
+    for (GroundAtomId a : rules_[r].pos) {
+      if (value_[a] == Val::kUnknown) return Assign(a, Val::kFalse);
+    }
+    for (GroundAtomId a : rules_[r].neg) {
+      if (value_[a] == Val::kUnknown) return Assign(a, Val::kTrue);
+    }
+    assert(false && "no unassigned literal to falsify");
+    return true;
+  }
+
+  /// The unique rule with head `h` whose body is not false. Requires
+  /// active_count_[h] == 1.
+  uint32_t SingleActiveRule(GroundAtomId h) const {
+    for (uint32_t r : head_rules_[h]) {
+      if (body_false_[r] == 0) return r;
+    }
+    assert(false && "active_count out of sync");
+    return 0;
+  }
+
+  /// Derives consequences of a rule's current state. Returns false on
+  /// conflict.
+  bool ExamineRule(uint32_t r) {
+    const NormalRule& rule = rules_[r];
+    if (body_false_[r] == 0) {
+      if (body_unassigned_[r] == 0) {
+        // Body fully true: fire.
+        if (rule.head == NormalRule::kNoHead) return false;
+        if (!Assign(static_cast<GroundAtomId>(rule.head), Val::kTrue)) {
+          return false;
+        }
+      } else if (body_unassigned_[r] == 1) {
+        const bool head_false =
+            rule.head == NormalRule::kNoHead ||
+            value_[rule.head] == Val::kFalse;
+        if (head_false && !FalsifyLastLiteral(r)) return false;
+      }
+      // Head true with this as the single active rule: body must hold.
+      if (rule.head != NormalRule::kNoHead &&
+          value_[rule.head] == Val::kTrue &&
+          active_count_[rule.head] == 1 && !ForceBodyTrue(r)) {
+        return false;
+      }
+    } else {
+      // Rule deactivated: its head may have lost support.
+      const int32_t h = rule.head;
+      if (h != NormalRule::kNoHead) {
+        if (active_count_[h] == 0) {
+          if (!Assign(static_cast<GroundAtomId>(h), Val::kFalse)) {
+            return false;
+          }
+        } else if (active_count_[h] == 1 && value_[h] == Val::kTrue) {
+          if (!ForceBodyTrue(SingleActiveRule(h))) return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  bool Propagate() {
+    while (!queue_.empty()) {
+      const GroundAtomId atom = queue_.front();
+      queue_.pop_front();
+      const Val v = value_[atom];
+      for (const Occurrence& occ : occurrences_[atom]) {
+        if (!ExamineRule(occ.rule)) return false;
+      }
+      if (v == Val::kFalse) {
+        for (uint32_t r : head_rules_[atom]) {
+          if (body_false_[r] != 0) continue;
+          if (body_unassigned_[r] == 0) return false;  // Body true, head false.
+          if (body_unassigned_[r] == 1 && !FalsifyLastLiteral(r)) {
+            return false;
+          }
+        }
+      } else {  // kTrue
+        if (active_count_[atom] == 0) return false;  // True without support.
+        if (active_count_[atom] == 1 &&
+            !ForceBodyTrue(SingleActiveRule(atom))) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  // ---------------------------------------------------------------------
+  // Unfounded-set falsification ("atmost").
+
+  /// Computes the atoms with well-founded external support given the
+  /// current assignment, and falsifies the rest. Returns false on conflict
+  /// (a true atom turned out unfounded). Sets *progress when it assigned
+  /// anything.
+  bool FalsifyUnfounded(bool* progress) {
+    supported_.assign(num_atoms_, false);
+    unsupported_pos_.assign(rules_.size(), 0);
+    std::deque<GroundAtomId> ready;
+
+    auto mark_supported = [&](GroundAtomId a) {
+      if (!supported_[a]) {
+        supported_[a] = true;
+        ready.push_back(a);
+      }
+    };
+
+    for (uint32_t r = 0; r < rules_.size(); ++r) {
+      if (body_false_[r] != 0 || rules_[r].head == NormalRule::kNoHead) {
+        continue;
+      }
+      unsupported_pos_[r] = static_cast<uint32_t>(rules_[r].pos.size());
+      if (unsupported_pos_[r] == 0) {
+        mark_supported(static_cast<GroundAtomId>(rules_[r].head));
+      }
+    }
+    while (!ready.empty()) {
+      const GroundAtomId a = ready.front();
+      ready.pop_front();
+      for (uint32_t r : pos_occurrences_[a]) {
+        if (body_false_[r] != 0 || rules_[r].head == NormalRule::kNoHead) {
+          continue;
+        }
+        if (--unsupported_pos_[r] == 0) {
+          mark_supported(static_cast<GroundAtomId>(rules_[r].head));
+        }
+      }
+    }
+
+    *progress = false;
+    for (GroundAtomId a = 0; a < num_atoms_; ++a) {
+      if (supported_[a] || value_[a] == Val::kFalse) continue;
+      // `a` is unfounded: no rule chain can ever support it.
+      if (!Assign(a, Val::kFalse)) return false;
+      *progress = true;
+    }
+    return true;
+  }
+
+  /// Propagation and unfounded-set falsification to mutual fixpoint.
+  bool Expand() {
+    for (;;) {
+      if (!Propagate()) return false;
+      bool progress = false;
+      if (!FalsifyUnfounded(&progress)) return false;
+      if (!progress) return true;
+    }
+  }
+
+  // ---------------------------------------------------------------------
+  // Search.
+
+  bool InitialPropagationSeeds() {
+    // Empty-body rules fire unconditionally; atoms with no potentially
+    // supporting rule are false (Clark-completion direction, valid under
+    // stable semantics).
+    for (uint32_t r = 0; r < rules_.size(); ++r) {
+      if (body_unassigned_[r] == 0 && body_false_[r] == 0) {
+        if (rules_[r].head == NormalRule::kNoHead) return false;
+        if (!Assign(static_cast<GroundAtomId>(rules_[r].head), Val::kTrue)) {
+          return false;
+        }
+      }
+    }
+    for (GroundAtomId a = 0; a < num_atoms_; ++a) {
+      if (value_[a] == Val::kUnknown && active_count_[a] == 0) {
+        if (!Assign(a, Val::kFalse)) return false;
+      }
+    }
+    return true;
+  }
+
+  GroundAtomId PickUnassigned() const {
+    for (GroundAtomId a = 0; a < num_atoms_; ++a) {
+      if (value_[a] == Val::kUnknown) return a;
+    }
+    return kInvalidGroundAtom;
+  }
+
+  bool ReachedModelCap() const {
+    return options_.max_models != 0 && models_->size() >= options_.max_models;
+  }
+
+  void RecordModel() {
+    AnswerSet model;
+    for (GroundAtomId a = 0; a < num_atoms_; ++a) {
+      if (value_[a] == Val::kTrue) model.atoms.push_back(a);
+    }
+    // Shifted disjunctive candidates must pass the exact minimality check;
+    // for normal programs the check is optional verification.
+    if (has_disjunction_ || options_.verify_models) {
+      if (!IsStableModel(program_, model.atoms)) return;
+    }
+    models_->push_back(std::move(model));
+  }
+
+  Status Search() {
+    const size_t entry_mark = trail_.size();
+    Status status = OkStatus();
+    if (Expand()) {
+      const GroundAtomId atom = PickUnassigned();
+      if (atom == kInvalidGroundAtom) {
+        RecordModel();
+      } else {
+        ++decisions_;
+        if (options_.max_decisions != 0 &&
+            decisions_ > options_.max_decisions) {
+          status = ResourceExhaustedError(
+              "decision limit exceeded (" +
+              std::to_string(options_.max_decisions) + ")");
+        } else {
+          for (const Val v : {Val::kTrue, Val::kFalse}) {
+            const size_t mark = trail_.size();
+            Assign(atom, v);  // Atom is unassigned; cannot conflict here.
+            status = Search();
+            UndoTo(mark);
+            if (!status.ok() || ReachedModelCap()) break;
+          }
+        }
+      }
+    }
+    UndoTo(entry_mark);
+    return status;
+  }
+
+  const GroundProgram& program_;
+  const SolverOptions& options_;
+
+  size_t num_atoms_ = 0;
+  std::vector<NormalRule> rules_;
+  bool has_disjunction_ = false;
+
+  std::vector<Val> value_;
+  std::vector<std::vector<Occurrence>> occurrences_;
+  std::vector<std::vector<uint32_t>> pos_occurrences_;
+  std::vector<std::vector<uint32_t>> head_rules_;
+  std::vector<uint32_t> active_count_;
+  std::vector<uint32_t> body_unassigned_;
+  std::vector<uint32_t> body_false_;
+
+  std::vector<GroundAtomId> trail_;
+  std::deque<GroundAtomId> queue_;
+
+  // Scratch space for FalsifyUnfounded.
+  std::vector<bool> supported_;
+  std::vector<uint32_t> unsupported_pos_;
+
+  std::vector<AnswerSet>* models_ = nullptr;
+  size_t decisions_ = 0;
+};
+
+/// Least model of the definite program given by `rules` (head + positive
+/// body only; negative bodies must have been resolved by the caller).
+/// Rules with head kNoHead are ignored. Only rules whose index satisfies
+/// `enabled` participate.
+std::vector<bool> LeastModel(const GroundProgram& program,
+                             const std::vector<bool>& rule_enabled) {
+  const size_t num_atoms = program.num_atoms();
+  const auto& rules = program.rules();
+  std::vector<bool> truth(num_atoms, false);
+  std::vector<uint32_t> missing(rules.size(), 0);
+  std::vector<std::vector<uint32_t>> pos_occ(num_atoms);
+  std::deque<GroundAtomId> queue;
+
+  for (uint32_t r = 0; r < rules.size(); ++r) {
+    if (!rule_enabled[r] || rules[r].head.size() != 1) continue;
+    missing[r] = static_cast<uint32_t>(rules[r].positive_body.size());
+    for (GroundAtomId a : rules[r].positive_body) {
+      pos_occ[a].push_back(r);
+    }
+    if (missing[r] == 0 && !truth[rules[r].head[0]]) {
+      truth[rules[r].head[0]] = true;
+      queue.push_back(rules[r].head[0]);
+    }
+  }
+  while (!queue.empty()) {
+    const GroundAtomId a = queue.front();
+    queue.pop_front();
+    for (uint32_t r : pos_occ[a]) {
+      if (--missing[r] == 0) {
+        const GroundAtomId h = rules[r].head[0];
+        if (!truth[h]) {
+          truth[h] = true;
+          queue.push_back(h);
+        }
+      }
+    }
+  }
+  return truth;
+}
+
+/// Searches for a model M' of the (disjunctive, definite) reduct that is a
+/// proper subset of `model`. Atoms outside `model` are fixed false.
+/// Exponential in |model| in the worst case; only reached for disjunctive
+/// programs.
+class ProperSubmodelSearch {
+ public:
+  ProperSubmodelSearch(const GroundProgram& program,
+                       const std::vector<bool>& rule_enabled,
+                       const std::vector<GroundAtomId>& model)
+      : program_(program), rule_enabled_(rule_enabled), model_(model) {}
+
+  bool Exists() {
+    // Assignment over the atoms of `model` only (indexes into model_).
+    assignment_.assign(model_.size(), Val::kUnknown);
+    index_of_.assign(program_.num_atoms(), -1);
+    for (size_t i = 0; i < model_.size(); ++i) {
+      index_of_[model_[i]] = static_cast<int32_t>(i);
+    }
+    return Rec(0);
+  }
+
+ private:
+  bool SatisfiesAllRulesIfComplete() {
+    // All atoms decided; check every enabled reduct rule: positive body
+    // within M' implies some head atom in M'.
+    for (uint32_t r = 0; r < program_.rules().size(); ++r) {
+      if (!rule_enabled_[r]) continue;
+      const GroundRule& rule = program_.rules()[r];
+      bool body_holds = true;
+      for (GroundAtomId a : rule.positive_body) {
+        const int32_t i = index_of_[a];
+        if (i < 0 || assignment_[i] != Val::kTrue) {
+          body_holds = false;
+          break;
+        }
+      }
+      if (!body_holds) continue;
+      bool head_holds = false;
+      for (GroundAtomId h : rule.head) {
+        const int32_t i = index_of_[h];
+        if (i >= 0 && assignment_[i] == Val::kTrue) {
+          head_holds = true;
+          break;
+        }
+      }
+      if (!head_holds) return false;  // Constraint or unsatisfied head.
+    }
+    return true;
+  }
+
+  bool Rec(size_t next) {
+    if (next == model_.size()) {
+      bool proper = false;
+      for (Val v : assignment_) {
+        if (v == Val::kFalse) {
+          proper = true;
+          break;
+        }
+      }
+      return proper && SatisfiesAllRulesIfComplete();
+    }
+    // Prefer false — we are hunting for a smaller model.
+    assignment_[next] = Val::kFalse;
+    if (Rec(next + 1)) return true;
+    assignment_[next] = Val::kTrue;
+    if (Rec(next + 1)) return true;
+    assignment_[next] = Val::kUnknown;
+    return false;
+  }
+
+  const GroundProgram& program_;
+  const std::vector<bool>& rule_enabled_;
+  const std::vector<GroundAtomId>& model_;
+  std::vector<Val> assignment_;
+  std::vector<int32_t> index_of_;
+};
+
+}  // namespace
+
+bool AnswerSet::Contains(GroundAtomId id) const {
+  return std::binary_search(atoms.begin(), atoms.end(), id);
+}
+
+bool IsStableModel(const GroundProgram& program,
+                   const std::vector<GroundAtomId>& model) {
+  assert(std::is_sorted(model.begin(), model.end()));
+  const size_t num_atoms = program.num_atoms();
+  std::vector<bool> in_model(num_atoms, false);
+  for (GroundAtomId a : model) {
+    if (a >= num_atoms) return false;
+    in_model[a] = true;
+  }
+
+  // 1. M must satisfy every rule of the original program.
+  const auto& rules = program.rules();
+  std::vector<bool> rule_in_reduct(rules.size(), false);
+  bool disjunctive_reduct = false;
+  for (uint32_t r = 0; r < rules.size(); ++r) {
+    const GroundRule& rule = rules[r];
+    bool neg_blocked = false;
+    for (GroundAtomId a : rule.negative_body) {
+      if (in_model[a]) {
+        neg_blocked = true;
+        break;
+      }
+    }
+    bool pos_holds = true;
+    for (GroundAtomId a : rule.positive_body) {
+      if (!in_model[a]) {
+        pos_holds = false;
+        break;
+      }
+    }
+    if (!neg_blocked) {
+      rule_in_reduct[r] = true;
+      if (rule.head.size() > 1) disjunctive_reduct = true;
+    }
+    const bool body_true = pos_holds && !neg_blocked;
+    if (body_true) {
+      bool head_true = false;
+      for (GroundAtomId h : rule.head) {
+        if (in_model[h]) {
+          head_true = true;
+          break;
+        }
+      }
+      if (!head_true) return false;  // Unsatisfied rule or constraint.
+    }
+  }
+
+  // 2. M must be a minimal model of the reduct.
+  if (!disjunctive_reduct) {
+    const std::vector<bool> least = LeastModel(program, rule_in_reduct);
+    for (GroundAtomId a = 0; a < num_atoms; ++a) {
+      if (least[a] != in_model[a]) return false;
+    }
+    return true;
+  }
+  ProperSubmodelSearch search(program, rule_in_reduct, model);
+  return !search.Exists();
+}
+
+StatusOr<std::vector<AnswerSet>> Solver::Solve(
+    const GroundProgram& program) const {
+  std::vector<AnswerSet> models;
+  SearchEngine engine(program, options_);
+  STREAMASP_RETURN_IF_ERROR(engine.Enumerate(&models));
+  return models;
+}
+
+}  // namespace streamasp

@@ -1,0 +1,113 @@
+#include "solve/well_founded.h"
+
+#include <deque>
+
+namespace streamasp {
+
+namespace {
+
+/// Γ(S): the least model of the reduct of `program` w.r.t. the set S
+/// (given as a membership bitmap). Rules whose negative body intersects S
+/// drop out; surviving rules contribute their positive part to a definite
+/// least-model computation. Constraints are ignored here.
+std::vector<bool> GammaOperator(const GroundProgram& program,
+                                const std::vector<bool>& s) {
+  const auto& rules = program.rules();
+  const size_t num_atoms = program.num_atoms();
+  std::vector<bool> truth(num_atoms, false);
+  std::vector<uint32_t> missing(rules.size(), 0);
+  std::vector<std::vector<uint32_t>> pos_occ(num_atoms);
+  std::deque<GroundAtomId> queue;
+
+  for (uint32_t r = 0; r < rules.size(); ++r) {
+    const GroundRule& rule = rules[r];
+    if (rule.head.size() != 1) continue;  // Constraints contribute nothing.
+    bool blocked = false;
+    for (GroundAtomId a : rule.negative_body) {
+      if (s[a]) {
+        blocked = true;
+        break;
+      }
+    }
+    if (blocked) continue;
+    missing[r] = static_cast<uint32_t>(rule.positive_body.size());
+    for (GroundAtomId a : rule.positive_body) pos_occ[a].push_back(r);
+    if (missing[r] == 0 && !truth[rule.head[0]]) {
+      truth[rule.head[0]] = true;
+      queue.push_back(rule.head[0]);
+    }
+  }
+  while (!queue.empty()) {
+    const GroundAtomId a = queue.front();
+    queue.pop_front();
+    for (uint32_t r : pos_occ[a]) {
+      if (--missing[r] == 0) {
+        const GroundAtomId h = rules[r].head[0];
+        if (!truth[h]) {
+          truth[h] = true;
+          queue.push_back(h);
+        }
+      }
+    }
+  }
+  return truth;
+}
+
+}  // namespace
+
+StatusOr<WellFoundedModel> ComputeWellFoundedModel(
+    const GroundProgram& program) {
+  for (const GroundRule& rule : program.rules()) {
+    if (rule.head.size() > 1) {
+      return InvalidArgumentError(
+          "well-founded semantics is defined for normal programs; "
+          "got a disjunctive rule");
+    }
+  }
+  const size_t num_atoms = program.num_atoms();
+
+  // Alternating fixpoint: T grows monotonically, U = Γ(T) shrinks.
+  // Invariant: T ⊆ every stable model ⊆ U.
+  std::vector<bool> t(num_atoms, false);
+  for (;;) {
+    const std::vector<bool> u = GammaOperator(program, t);
+    std::vector<bool> next_t = GammaOperator(program, u);
+    if (next_t == t) break;
+    t = std::move(next_t);
+  }
+  const std::vector<bool> u = GammaOperator(program, t);
+
+  WellFoundedModel model;
+  for (GroundAtomId a = 0; a < num_atoms; ++a) {
+    if (t[a]) {
+      model.true_atoms.push_back(a);
+    } else if (!u[a]) {
+      model.false_atoms.push_back(a);
+    } else {
+      model.undefined_atoms.push_back(a);
+    }
+  }
+
+  // A constraint whose body holds in the two-valued part (positive atoms
+  // all true, negative atoms all false) can never be satisfied.
+  for (const GroundRule& rule : program.rules()) {
+    if (!rule.head.empty()) continue;
+    bool body_true = true;
+    for (GroundAtomId a : rule.positive_body) {
+      if (!t[a]) {
+        body_true = false;
+        break;
+      }
+    }
+    for (GroundAtomId a : rule.negative_body) {
+      if (body_true && u[a]) body_true = false;
+    }
+    if (body_true) {
+      model.constraint_violated = true;
+      break;
+    }
+  }
+  return model;
+}
+
+}  // namespace streamasp

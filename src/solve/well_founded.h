@@ -1,0 +1,48 @@
+#ifndef STREAMASP_SOLVE_WELL_FOUNDED_H_
+#define STREAMASP_SOLVE_WELL_FOUNDED_H_
+
+#include <vector>
+
+#include "ground/ground_program.h"
+#include "util/status.h"
+
+namespace streamasp {
+
+/// The well-founded (three-valued) model of a normal ground program.
+///
+/// Every atom is classified as definitely true, definitely false, or
+/// undefined. The well-founded model approximates all stable models:
+/// true atoms belong to every answer set and false atoms to none, so it
+/// is both a polynomial-time consequence operator in its own right (the
+/// semantics used by the related work the paper cites, Tachmazidis et
+/// al.) and a sound preprocessing step for stable-model search.
+struct WellFoundedModel {
+  std::vector<GroundAtomId> true_atoms;       ///< Sorted.
+  std::vector<GroundAtomId> false_atoms;      ///< Sorted.
+  std::vector<GroundAtomId> undefined_atoms;  ///< Sorted.
+
+  /// True when some integrity constraint's body holds under the
+  /// two-valued part (the program then has no stable model at all).
+  bool constraint_violated = false;
+
+  /// True iff no atom is undefined — for stratified programs the
+  /// well-founded model is total and equals the unique answer set.
+  bool IsTotal() const { return undefined_atoms.empty(); }
+};
+
+/// Computes the well-founded model via the alternating fixpoint of van
+/// Gelder: T_{i+1} = Γ(Γ(T_i)) with Γ(S) the least model of the
+/// Gelfond-Lifschitz reduct w.r.t. S. Runs in O(|program|²) worst case
+/// (each outer iteration is a linear least-model computation and adds at
+/// least one atom).
+///
+/// Disjunctive rules are rejected (kInvalidArgument): the well-founded
+/// semantics is defined for normal programs. Integrity constraints do not
+/// contribute derivations; a constraint whose body is definitely true
+/// sets constraint_violated.
+StatusOr<WellFoundedModel> ComputeWellFoundedModel(
+    const GroundProgram& program);
+
+}  // namespace streamasp
+
+#endif  // STREAMASP_SOLVE_WELL_FOUNDED_H_

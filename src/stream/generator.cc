@@ -1,0 +1,80 @@
+#include "stream/generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <utility>
+
+namespace streamasp {
+
+SyntheticStreamGenerator::SyntheticStreamGenerator(
+    std::vector<StreamPredicate> schema, GeneratorOptions options)
+    : schema_(std::move(schema)), options_(options), rng_(options.seed) {
+  assert(!schema_.empty());
+  double total = 0.0;
+  cumulative_weight_.reserve(schema_.size());
+  for (const StreamPredicate& shape : schema_) {
+    assert(shape.weight > 0.0);
+    total += shape.weight;
+    cumulative_weight_.push_back(total);
+  }
+}
+
+const StreamPredicate& SyntheticStreamGenerator::RandomPredicate() {
+  const double draw = rng_.NextDouble() * cumulative_weight_.back();
+  const auto it = std::lower_bound(cumulative_weight_.begin(),
+                                   cumulative_weight_.end(), draw);
+  const size_t index = static_cast<size_t>(
+      std::min<std::ptrdiff_t>(it - cumulative_weight_.begin(),
+                               static_cast<std::ptrdiff_t>(schema_.size()) - 1));
+  return schema_[index];
+}
+
+Term SyntheticStreamGenerator::RandomSubject(size_t window_size) {
+  if (options_.profile == GeneratorProfile::kPaperUniform) {
+    return Term::Integer(
+        static_cast<int64_t>(rng_.NextBounded(std::max<size_t>(window_size, 1))));
+  }
+  const size_t pool =
+      std::max<size_t>(1, window_size / options_.location_divisor);
+  return Term::Integer(static_cast<int64_t>(rng_.NextBounded(pool)));
+}
+
+Term SyntheticStreamGenerator::RandomObject(size_t window_size) {
+  if (options_.profile == GeneratorProfile::kPaperUniform) {
+    return Term::Integer(
+        static_cast<int64_t>(rng_.NextBounded(std::max<size_t>(window_size, 1))));
+  }
+  return Term::Integer(static_cast<int64_t>(
+      rng_.NextBounded(static_cast<uint64_t>(options_.value_range))));
+}
+
+std::vector<Triple> SyntheticStreamGenerator::GenerateWindow(
+    size_t window_size) {
+  std::vector<Triple> items;
+  items.reserve(window_size);
+  for (size_t i = 0; i < window_size; ++i) {
+    const StreamPredicate& shape = RandomPredicate();
+    Triple triple;
+    triple.predicate = shape.predicate;
+    triple.subject = RandomSubject(window_size);
+    if (shape.has_object) {
+      triple.object =
+          shape.object_pool.empty()
+              ? RandomObject(window_size)
+              : shape.object_pool[rng_.NextBounded(shape.object_pool.size())];
+    }
+    items.push_back(std::move(triple));
+  }
+  return items;
+}
+
+TripleWindow SyntheticStreamGenerator::GenerateTripleWindow(
+    size_t window_size) {
+  TripleWindow window;
+  window.sequence = next_sequence_++;
+  window.items = GenerateWindow(window_size);
+  return window;
+}
+
+}  // namespace streamasp

@@ -1,0 +1,45 @@
+#include "stream/query_processor.h"
+
+#include <cassert>
+#include <utility>
+
+namespace streamasp {
+
+StreamQueryProcessor::StreamQueryProcessor(size_t window_size,
+                                           WindowCallback callback)
+    : window_size_(window_size == 0 ? 1 : window_size),
+      callback_(std::move(callback)) {
+  assert(callback_ != nullptr);
+  pending_.reserve(window_size_);
+}
+
+void StreamQueryProcessor::RegisterPredicate(SymbolId predicate) {
+  selected_.insert(predicate);
+}
+
+void StreamQueryProcessor::Push(const Triple& triple) {
+  if (!selected_.count(triple.predicate)) {
+    ++dropped_;
+    return;
+  }
+  pending_.push_back(triple);
+  if (pending_.size() >= window_size_) {
+    Flush();
+  }
+}
+
+void StreamQueryProcessor::PushBatch(const std::vector<Triple>& triples) {
+  for (const Triple& t : triples) Push(t);
+}
+
+void StreamQueryProcessor::Flush() {
+  if (pending_.empty()) return;
+  TripleWindow window;
+  window.sequence = next_sequence_++;
+  window.items = std::move(pending_);
+  pending_.clear();
+  pending_.reserve(window_size_);
+  callback_(window);
+}
+
+}  // namespace streamasp

@@ -1,0 +1,62 @@
+#ifndef STREAMASP_STREAM_QUERY_PROCESSOR_H_
+#define STREAMASP_STREAM_QUERY_PROCESSOR_H_
+
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "asp/symbol_table.h"
+#include "stream/triple.h"
+
+namespace streamasp {
+
+/// Minimal stand-in for the CQELS-style stream query processor at the
+/// front of the StreamRule pipeline (Figure 1): it filters the raw triple
+/// stream down to the predicates the registered query cares about and
+/// groups the survivors into tuple-based windows, which it hands to the
+/// reasoning layer via a callback.
+///
+/// The paper treats this tier as a black box whose output is the filtered
+/// window; faithful filtering + windowing is all the downstream
+/// experiments require (see DESIGN.md, substitution table).
+class StreamQueryProcessor {
+ public:
+  using WindowCallback = std::function<void(const TripleWindow&)>;
+
+  /// `window_size` is the tuple-based window length; `callback` receives
+  /// every completed window.
+  StreamQueryProcessor(size_t window_size, WindowCallback callback);
+
+  /// Registers a predicate the continuous query selects. Items with
+  /// unregistered predicates are dropped. No registration = drop all.
+  void RegisterPredicate(SymbolId predicate);
+
+  /// Feeds one raw stream item; may trigger the callback when the current
+  /// window fills up.
+  void Push(const Triple& triple);
+
+  /// Feeds a batch of items.
+  void PushBatch(const std::vector<Triple>& triples);
+
+  /// Emits the current partial window (if non-empty) regardless of size —
+  /// e.g. at end of stream.
+  void Flush();
+
+  /// Items dropped by the filter so far.
+  uint64_t dropped_count() const { return dropped_; }
+
+  /// Windows emitted so far.
+  uint64_t emitted_windows() const { return next_sequence_; }
+
+ private:
+  size_t window_size_;
+  WindowCallback callback_;
+  std::unordered_set<SymbolId> selected_;
+  std::vector<Triple> pending_;
+  uint64_t next_sequence_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace streamasp
+
+#endif  // STREAMASP_STREAM_QUERY_PROCESSOR_H_

@@ -1,0 +1,15 @@
+#include "stream/triple.h"
+
+namespace streamasp {
+
+std::string Triple::ToString(const SymbolTable& symbols) const {
+  std::string out = "<" + subject.ToString(symbols) + ", " +
+                    symbols.NameOf(predicate);
+  if (object.has_value()) {
+    out += ", " + object->ToString(symbols);
+  }
+  out += ">";
+  return out;
+}
+
+}  // namespace streamasp

@@ -1,0 +1,44 @@
+#ifndef STREAMASP_STREAM_TRIPLE_H_
+#define STREAMASP_STREAM_TRIPLE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "asp/symbol_table.h"
+#include "asp/term.h"
+
+namespace streamasp {
+
+/// One RDF-style data item <s, p, o> as delivered by the stream query
+/// processor. The predicate is an interned symbol; subject and object are
+/// ground terms (symbols or integers). Items for unary predicates (e.g.
+/// traffic_light(newcastle)) carry no object.
+struct Triple {
+  Term subject;
+  SymbolId predicate = kInvalidSymbol;
+  std::optional<Term> object;
+
+  friend bool operator==(const Triple& a, const Triple& b) {
+    return a.predicate == b.predicate && a.subject == b.subject &&
+           a.object == b.object;
+  }
+
+  /// Renders "<s, p, o>" (or "<s, p>" without an object).
+  std::string ToString(const SymbolTable& symbols) const;
+};
+
+/// A tuple-based window: the unit of work the reasoner processes per
+/// computation (paper §I). Windows carry a sequence number so downstream
+/// components can correlate answers with inputs.
+struct TripleWindow {
+  uint64_t sequence = 0;
+  std::vector<Triple> items;
+
+  size_t size() const { return items.size(); }
+  bool empty() const { return items.empty(); }
+};
+
+}  // namespace streamasp
+
+#endif  // STREAMASP_STREAM_TRIPLE_H_

@@ -1,0 +1,94 @@
+#include "stream/windowing.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace streamasp {
+
+SlidingCountWindower::SlidingCountWindower(size_t size, size_t slide,
+                                           WindowCallback callback)
+    : size_(std::max<size_t>(size, 1)),
+      slide_(std::clamp<size_t>(slide, 1, size_)),
+      callback_(std::move(callback)) {
+  assert(callback_ != nullptr);
+}
+
+void SlidingCountWindower::Push(const Triple& triple) {
+  buffer_.push_back(triple);
+  if (buffer_.size() > size_) buffer_.pop_front();
+  ++arrivals_since_emit_;
+  // First window fires when the buffer first fills; afterwards every
+  // `slide_` arrivals.
+  if ((!emitted_once_ && buffer_.size() == size_) ||
+      (emitted_once_ && arrivals_since_emit_ >= slide_)) {
+    Emit();
+  }
+}
+
+void SlidingCountWindower::Flush() {
+  if (buffer_.empty()) return;
+  if (emitted_once_ && arrivals_since_emit_ == 0) return;  // Nothing new.
+  Emit();
+}
+
+void SlidingCountWindower::Emit() {
+  TripleWindow window;
+  window.sequence = next_sequence_++;
+  window.items.assign(buffer_.begin(), buffer_.end());
+  arrivals_since_emit_ = 0;
+  emitted_once_ = true;
+  callback_(window);
+}
+
+SlidingTimeWindower::SlidingTimeWindower(int64_t size_ms, int64_t slide_ms,
+                                         WindowCallback callback)
+    : size_ms_(std::max<int64_t>(size_ms, 1)),
+      slide_ms_(std::max<int64_t>(slide_ms, 1)),
+      callback_(std::move(callback)) {
+  assert(callback_ != nullptr);
+}
+
+void SlidingTimeWindower::Push(const Triple& triple, int64_t timestamp_ms) {
+  // Clamp stragglers forward: event time never goes backwards.
+  timestamp_ms = std::max(timestamp_ms, latest_ms_);
+  if (!saw_any_) {
+    saw_any_ = true;
+    next_emit_ms_ = timestamp_ms + slide_ms_;
+  }
+  latest_ms_ = timestamp_ms;
+
+  // Fire all window boundaries that the new item's timestamp crossed.
+  while (timestamp_ms >= next_emit_ms_) {
+    EvictOlderThan(next_emit_ms_ - size_ms_);
+    Emit();
+    next_emit_ms_ += slide_ms_;
+  }
+
+  buffer_.push_back(TimestampedTriple{triple, timestamp_ms});
+}
+
+void SlidingTimeWindower::Flush() {
+  if (!saw_any_) return;
+  EvictOlderThan(latest_ms_ - size_ms_ + 1);
+  if (!buffer_.empty()) Emit();
+}
+
+void SlidingTimeWindower::EvictOlderThan(int64_t cutoff_ms) {
+  while (!buffer_.empty() && buffer_.front().timestamp_ms < cutoff_ms) {
+    buffer_.pop_front();
+  }
+}
+
+void SlidingTimeWindower::Emit() {
+  if (buffer_.empty()) return;  // Boundaries with no live items are skipped.
+  TripleWindow window;
+  window.sequence = next_sequence_++;
+  window.items.reserve(buffer_.size());
+  for (const TimestampedTriple& item : buffer_) {
+    window.items.push_back(item.triple);
+  }
+  callback_(window);
+}
+
+}  // namespace streamasp

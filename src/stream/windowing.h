@@ -1,0 +1,84 @@
+#ifndef STREAMASP_STREAM_WINDOWING_H_
+#define STREAMASP_STREAM_WINDOWING_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "stream/triple.h"
+
+namespace streamasp {
+
+/// A stream item paired with its (application) timestamp in milliseconds.
+struct TimestampedTriple {
+  Triple triple;
+  int64_t timestamp_ms = 0;
+};
+
+/// Sliding tuple-based window: keeps the most recent `size` items and
+/// emits a window every `slide` arrivals. slide == size gives the paper's
+/// tumbling behaviour (each item processed exactly once); slide < size
+/// re-processes overlapping suffixes, the usual CQELS/C-SPARQL semantics.
+class SlidingCountWindower {
+ public:
+  using WindowCallback = std::function<void(const TripleWindow&)>;
+
+  /// Requires size >= 1 and 1 <= slide <= size.
+  SlidingCountWindower(size_t size, size_t slide, WindowCallback callback);
+
+  /// Feeds one item; may emit a window.
+  void Push(const Triple& triple);
+
+  /// Emits the current partial content (if any) as a final window.
+  void Flush();
+
+  uint64_t emitted_windows() const { return next_sequence_; }
+
+ private:
+  void Emit();
+
+  size_t size_;
+  size_t slide_;
+  WindowCallback callback_;
+  std::deque<Triple> buffer_;
+  size_t arrivals_since_emit_ = 0;
+  bool emitted_once_ = false;
+  uint64_t next_sequence_ = 0;
+};
+
+/// Sliding time-based window: emits, every `slide_ms` of event time, the
+/// items whose timestamps fall in the last `size_ms` milliseconds.
+/// Timestamps must be non-decreasing (event time); out-of-order items are
+/// clamped forward to the latest seen timestamp.
+class SlidingTimeWindower {
+ public:
+  using WindowCallback = std::function<void(const TripleWindow&)>;
+
+  /// Requires size_ms >= 1 and 1 <= slide_ms.
+  SlidingTimeWindower(int64_t size_ms, int64_t slide_ms,
+                      WindowCallback callback);
+
+  void Push(const Triple& triple, int64_t timestamp_ms);
+
+  /// Emits whatever the current window holds.
+  void Flush();
+
+  uint64_t emitted_windows() const { return next_sequence_; }
+
+ private:
+  void EvictOlderThan(int64_t cutoff_ms);
+  void Emit();
+
+  int64_t size_ms_;
+  int64_t slide_ms_;
+  WindowCallback callback_;
+  std::deque<TimestampedTriple> buffer_;
+  int64_t latest_ms_ = 0;
+  int64_t next_emit_ms_ = 0;
+  bool saw_any_ = false;
+  uint64_t next_sequence_ = 0;
+};
+
+}  // namespace streamasp
+
+#endif  // STREAMASP_STREAM_WINDOWING_H_

@@ -1,0 +1,39 @@
+#include "streamrule/accuracy.h"
+
+#include <algorithm>
+
+namespace streamasp {
+
+double AnswerAccuracy(const GroundAnswer& pr_answer,
+                      const std::vector<GroundAnswer>& reference_answers) {
+  if (reference_answers.empty()) {
+    return pr_answer.empty() ? 1.0 : 0.0;
+  }
+  double best = 0.0;
+  for (const GroundAnswer& reference : reference_answers) {
+    if (reference.empty()) {
+      best = 1.0;
+      break;
+    }
+    const double ratio =
+        static_cast<double>(IntersectionSize(pr_answer, reference)) /
+        static_cast<double>(reference.size());
+    best = std::max(best, ratio);
+    if (best == 1.0) break;
+  }
+  return best;
+}
+
+double MeanAccuracy(const std::vector<GroundAnswer>& pr_answers,
+                    const std::vector<GroundAnswer>& reference_answers) {
+  if (pr_answers.empty()) {
+    return reference_answers.empty() ? 1.0 : 0.0;
+  }
+  double sum = 0.0;
+  for (const GroundAnswer& answer : pr_answers) {
+    sum += AnswerAccuracy(answer, reference_answers);
+  }
+  return sum / static_cast<double>(pr_answers.size());
+}
+
+}  // namespace streamasp

@@ -1,0 +1,33 @@
+#ifndef STREAMASP_STREAMRULE_ACCURACY_H_
+#define STREAMASP_STREAMRULE_ACCURACY_H_
+
+#include <vector>
+
+#include "streamrule/answer.h"
+
+namespace streamasp {
+
+/// The paper's accuracy measure (§III) for a non-monotonic reasoner whose
+/// output may contain several answer sets.
+///
+/// For a single PR answer ans_i against the reference answers
+/// Ans^R_P(W) = {ans_1 ... ans_m}:
+///
+///   accuracy(ans_i) = max_j |ans_i ∩ ans_j| / |ans_j|
+///
+/// (the best recall against any reference answer). Conventions for the
+/// degenerate cases, chosen so that "identical outputs" always score 1:
+///   * an empty reference answer ans_j scores 1 for any ans_i (vacuous);
+///   * an empty reference *list* scores 1 iff the PR list is empty too,
+///     else 0.
+double AnswerAccuracy(const GroundAnswer& pr_answer,
+                      const std::vector<GroundAnswer>& reference_answers);
+
+/// Mean of AnswerAccuracy over all PR answers (the figure-8/10 scalar).
+/// An empty PR list against a non-empty reference scores 0.
+double MeanAccuracy(const std::vector<GroundAnswer>& pr_answers,
+                    const std::vector<GroundAnswer>& reference_answers);
+
+}  // namespace streamasp
+
+#endif  // STREAMASP_STREAMRULE_ACCURACY_H_

@@ -1,0 +1,68 @@
+#include "streamrule/answer.h"
+
+#include <algorithm>
+
+namespace streamasp {
+
+void NormalizeAnswer(GroundAnswer* answer) {
+  std::sort(answer->begin(), answer->end());
+  answer->erase(std::unique(answer->begin(), answer->end()), answer->end());
+}
+
+size_t IntersectionSize(const GroundAnswer& a, const GroundAnswer& b) {
+  size_t count = 0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+GroundAnswer UnionAnswers(const GroundAnswer& a, const GroundAnswer& b) {
+  GroundAnswer out;
+  out.reserve(a.size() + b.size());
+  std::merge(a.begin(), a.end(), b.begin(), b.end(),
+             std::back_inserter(out));
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+bool AnswersEqual(const GroundAnswer& a, const GroundAnswer& b) {
+  return a == b;
+}
+
+GroundAnswer ProjectAnswer(
+    const GroundAnswer& answer,
+    const std::vector<PredicateSignature>& signatures) {
+  GroundAnswer out;
+  for (const Atom& atom : answer) {
+    for (const PredicateSignature& sig : signatures) {
+      if (atom.signature() == sig) {
+        out.push_back(atom);
+        break;
+      }
+    }
+  }
+  return out;  // Subsequence of a sorted sequence stays sorted.
+}
+
+std::string AnswerToString(const GroundAnswer& answer,
+                           const SymbolTable& symbols) {
+  std::string out = "{";
+  for (size_t i = 0; i < answer.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += answer[i].ToString(symbols);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace streamasp

@@ -1,0 +1,44 @@
+#ifndef STREAMASP_STREAMRULE_ANSWER_H_
+#define STREAMASP_STREAMRULE_ANSWER_H_
+
+#include <string>
+#include <vector>
+
+#include "asp/atom.h"
+#include "asp/symbol_table.h"
+
+namespace streamasp {
+
+/// One answer set at the StreamRule level: ground atoms by value, sorted
+/// by Atom's total order. Unlike solver-level AnswerSets (dense ids local
+/// to one grounding), GroundAnswers from different reasoner instances are
+/// directly comparable as long as they share a SymbolTable — which is how
+/// the combining handler and accuracy evaluator line up answers from
+/// parallel partitions.
+using GroundAnswer = std::vector<Atom>;
+
+/// Sorts and deduplicates `answer` in place, establishing the GroundAnswer
+/// invariant.
+void NormalizeAnswer(GroundAnswer* answer);
+
+/// Size of the intersection of two normalized answers (linear merge).
+size_t IntersectionSize(const GroundAnswer& a, const GroundAnswer& b);
+
+/// Merges two normalized answers into a normalized union.
+GroundAnswer UnionAnswers(const GroundAnswer& a, const GroundAnswer& b);
+
+/// True iff normalized `a` equals normalized `b`.
+bool AnswersEqual(const GroundAnswer& a, const GroundAnswer& b);
+
+/// Keeps only atoms whose signature is in `signatures` (the #show
+/// projection). `answer` stays normalized.
+GroundAnswer ProjectAnswer(const GroundAnswer& answer,
+                           const std::vector<PredicateSignature>& signatures);
+
+/// Renders "{a, b(1), ...}".
+std::string AnswerToString(const GroundAnswer& answer,
+                           const SymbolTable& symbols);
+
+}  // namespace streamasp
+
+#endif  // STREAMASP_STREAMRULE_ANSWER_H_

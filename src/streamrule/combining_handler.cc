@@ -1,0 +1,45 @@
+#include "streamrule/combining_handler.h"
+
+#include <algorithm>
+
+namespace streamasp {
+
+StatusOr<std::vector<GroundAnswer>> CombiningHandler::Combine(
+    const std::vector<std::vector<GroundAnswer>>& per_partition) const {
+  std::vector<GroundAnswer> combined;
+  combined.emplace_back();  // The empty union, to be extended.
+
+  for (const std::vector<GroundAnswer>& answers : per_partition) {
+    if (answers.empty()) {
+      // No answer to pick from this partition: the cross product is empty.
+      return std::vector<GroundAnswer>{};
+    }
+    std::vector<GroundAnswer> next;
+    next.reserve(std::min(combined.size() * answers.size(),
+                          options_.max_combined_answers == 0
+                              ? combined.size() * answers.size()
+                              : options_.max_combined_answers));
+    for (const GroundAnswer& partial : combined) {
+      for (const GroundAnswer& answer : answers) {
+        next.push_back(UnionAnswers(partial, answer));
+        if (options_.max_combined_answers != 0 &&
+            next.size() >= options_.max_combined_answers) {
+          break;
+        }
+      }
+      if (options_.max_combined_answers != 0 &&
+          next.size() >= options_.max_combined_answers) {
+        break;
+      }
+    }
+    combined = std::move(next);
+  }
+
+  // Collapse duplicate unions (different picks can union to equal sets).
+  std::sort(combined.begin(), combined.end());
+  combined.erase(std::unique(combined.begin(), combined.end()),
+                 combined.end());
+  return combined;
+}
+
+}  // namespace streamasp

@@ -1,0 +1,49 @@
+#ifndef STREAMASP_STREAMRULE_COMBINING_HANDLER_H_
+#define STREAMASP_STREAMRULE_COMBINING_HANDLER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "streamrule/answer.h"
+#include "util/status.h"
+
+namespace streamasp {
+
+/// Options for answer combination.
+struct CombiningOptions {
+  /// Cap on the number of combined answers: the cross product over
+  /// partitions can explode when several partitions are non-deterministic
+  /// (paper's formula enumerates it in full; real deployments need a
+  /// bound). Combination stops once this many distinct unions exist.
+  /// 0 = unbounded.
+  size_t max_combined_answers = 256;
+};
+
+/// The combining handler of the extended StreamRule architecture
+/// (Figure 6): merges the per-partition answer sets into answers for the
+/// whole window following the paper's definition
+///
+///   Ans_P(W) = { ⋃_i ans_i : ans_i ∈ Ans_P(W_i) },
+///
+/// i.e. every way of picking one answer per partition, unioned. Duplicate
+/// unions are collapsed. A partition with zero answers (inconsistent
+/// partition program) contributes nothing to any union and makes the
+/// whole window's answer empty — exactly what the formula prescribes,
+/// since there is no ans_i to pick.
+class CombiningHandler {
+ public:
+  explicit CombiningHandler(CombiningOptions options = {})
+      : options_(options) {}
+
+  /// `per_partition[i]` is the list of answers from partition i. Returns
+  /// the (deduplicated) combined answers, capped per options.
+  StatusOr<std::vector<GroundAnswer>> Combine(
+      const std::vector<std::vector<GroundAnswer>>& per_partition) const;
+
+ private:
+  CombiningOptions options_;
+};
+
+}  // namespace streamasp
+
+#endif  // STREAMASP_STREAMRULE_COMBINING_HANDLER_H_

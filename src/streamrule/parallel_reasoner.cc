@@ -1,0 +1,127 @@
+#include "streamrule/parallel_reasoner.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "util/timer.h"
+
+namespace streamasp {
+
+namespace {
+
+size_t ResolveThreadCount(size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 2 : hardware;
+}
+
+}  // namespace
+
+ParallelReasoner::ParallelReasoner(const Program* program,
+                                   PartitioningPlan plan,
+                                   ParallelReasonerOptions options)
+    : program_(program),
+      handler_(std::move(plan)),
+      combiner_(options.combining),
+      reasoner_(program, options.reasoner),
+      pool_(ResolveThreadCount(options.num_threads)) {}
+
+StatusOr<ParallelReasonerResult> ParallelReasoner::Process(
+    const TripleWindow& window) {
+  WallTimer total;
+  WallTimer phase;
+  const std::vector<std::vector<Triple>> partitions =
+      handler_.Partition(window.items);
+  const double partition_ms = phase.ElapsedMillis();
+
+  STREAMASP_ASSIGN_OR_RETURN(ParallelReasonerResult result,
+                             RunPartitions(partitions));
+  result.partition_ms = partition_ms;
+  result.latency_ms = total.ElapsedMillis();
+  return result;
+}
+
+StatusOr<ParallelReasonerResult> ParallelReasoner::ProcessFacts(
+    const std::vector<Atom>& facts) {
+  WallTimer total;
+  WallTimer phase;
+  const std::vector<std::vector<Atom>> partitions =
+      handler_.PartitionFacts(facts);
+  const double partition_ms = phase.ElapsedMillis();
+
+  STREAMASP_ASSIGN_OR_RETURN(ParallelReasonerResult result,
+                             RunPartitions(partitions));
+  result.partition_ms = partition_ms;
+  result.latency_ms = total.ElapsedMillis();
+  return result;
+}
+
+StatusOr<ParallelReasonerResult> ParallelReasoner::ProcessPartitions(
+    const std::vector<std::vector<Triple>>& partitions) {
+  WallTimer total;
+  STREAMASP_ASSIGN_OR_RETURN(ParallelReasonerResult result,
+                             RunPartitions(partitions));
+  result.latency_ms = total.ElapsedMillis();
+  return result;
+}
+
+StatusOr<ParallelReasonerResult> ParallelReasoner::ProcessFactPartitions(
+    const std::vector<std::vector<Atom>>& partitions) {
+  WallTimer total;
+  STREAMASP_ASSIGN_OR_RETURN(ParallelReasonerResult result,
+                             RunPartitions(partitions));
+  result.latency_ms = total.ElapsedMillis();
+  return result;
+}
+
+template <typename Item>
+StatusOr<ParallelReasonerResult> ParallelReasoner::RunPartitions(
+    const std::vector<std::vector<Item>>& partitions) {
+  ParallelReasonerResult result;
+  result.num_partitions = partitions.size();
+  for (const auto& partition : partitions) {
+    result.total_partition_items += partition.size();
+  }
+
+  WallTimer phase;
+  std::vector<StatusOr<ReasonerResult>> outcomes(
+      partitions.size(), StatusOr<ReasonerResult>(InternalError("not run")));
+  for (size_t i = 0; i < partitions.size(); ++i) {
+    pool_.Submit([this, &partitions, &outcomes, i] {
+      if constexpr (std::is_same_v<Item, Triple>) {
+        TripleWindow window;
+        window.items = partitions[i];
+        outcomes[i] = reasoner_.Process(window);
+      } else {
+        outcomes[i] = reasoner_.ProcessFacts(partitions[i]);
+      }
+    });
+  }
+  pool_.WaitIdle();
+  result.reason_ms = phase.ElapsedMillis();
+
+  std::vector<std::vector<GroundAnswer>> per_partition;
+  per_partition.reserve(partitions.size());
+  result.partition_latency_ms.reserve(partitions.size());
+  for (StatusOr<ReasonerResult>& outcome : outcomes) {
+    if (!outcome.ok()) return outcome.status();
+    result.partition_latency_ms.push_back(outcome->latency_ms);
+    per_partition.push_back(std::move(outcome->answers));
+  }
+
+  phase.Restart();
+  STREAMASP_ASSIGN_OR_RETURN(result.answers,
+                             combiner_.Combine(per_partition));
+  result.combine_ms = phase.ElapsedMillis();
+
+  double slowest = 0;
+  for (double ms : result.partition_latency_ms) {
+    slowest = std::max(slowest, ms);
+  }
+  result.critical_path_ms =
+      result.partition_ms + slowest + result.combine_ms;
+  return result;
+}
+
+}  // namespace streamasp

@@ -1,0 +1,98 @@
+#ifndef STREAMASP_STREAMRULE_PARALLEL_REASONER_H_
+#define STREAMASP_STREAMRULE_PARALLEL_REASONER_H_
+
+#include <memory>
+#include <vector>
+
+#include "depgraph/partitioning_plan.h"
+#include "streamrule/combining_handler.h"
+#include "streamrule/partitioning_handler.h"
+#include "streamrule/reasoner.h"
+#include "util/thread_pool.h"
+
+namespace streamasp {
+
+/// Configuration of the parallel reasoner.
+struct ParallelReasonerOptions {
+  ReasonerOptions reasoner;
+  CombiningOptions combining;
+
+  /// Worker threads; 0 uses std::thread::hardware_concurrency().
+  size_t num_threads = 0;
+};
+
+/// The outcome of parallel reasoning over one window.
+struct ParallelReasonerResult {
+  std::vector<GroundAnswer> answers;
+
+  /// End-to-end measured wall latency (partitioning + parallel reasoning +
+  /// combining). On a machine with at least as many free cores as
+  /// partitions this approaches critical_path_ms; on fewer cores the
+  /// parallel phase is partially serialized.
+  double latency_ms = 0;
+  double partition_ms = 0;
+  double reason_ms = 0;   ///< Wall time of the parallel phase.
+  double combine_ms = 0;
+
+  /// Hardware-independent parallel latency: partition_ms + the slowest
+  /// partition's reasoner latency + combine_ms. This is the quantity the
+  /// paper's 8-core testbed measures as "reasoning latency of PR"; the
+  /// figure harnesses report it alongside the measured wall time (see
+  /// EXPERIMENTS.md on the single-core substitution).
+  double critical_path_ms = 0;
+
+  size_t num_partitions = 0;
+  /// Per-partition reasoner latencies (same order as partitions).
+  std::vector<double> partition_latency_ms;
+  /// Sum of partition sizes; exceeds the window size exactly by the
+  /// duplicated items (paper §IV: "the average percentage of instances of
+  /// the duplicated predicate in a window is 25%").
+  size_t total_partition_items = 0;
+};
+
+/// The reasoner PR of the extended StreamRule architecture (the grey box
+/// of Figure 6): partitioning handler → n parallel copies of reasoner R
+/// (each over the full program but only its sub-window) → combining
+/// handler.
+class ParallelReasoner {
+ public:
+  /// Dependency-guided mode: partitions follow `plan` (built by
+  /// DecomposeInputDependencyGraph at design time). `program` must outlive
+  /// the reasoner.
+  ParallelReasoner(const Program* program, PartitioningPlan plan,
+                   ParallelReasonerOptions options = {});
+
+  /// Full PR pipeline over a triple window.
+  StatusOr<ParallelReasonerResult> Process(const TripleWindow& window);
+
+  /// PR pipeline over a window already converted to facts.
+  StatusOr<ParallelReasonerResult> ProcessFacts(
+      const std::vector<Atom>& facts);
+
+  /// Reasons over externally produced partitions — how the PR_Ran_k
+  /// baselines of Figures 7–10 are run (RandomPartitioner output goes
+  /// here). Partitioning time is reported as 0.
+  StatusOr<ParallelReasonerResult> ProcessPartitions(
+      const std::vector<std::vector<Triple>>& partitions);
+
+  /// Fact-level variant of ProcessPartitions.
+  StatusOr<ParallelReasonerResult> ProcessFactPartitions(
+      const std::vector<std::vector<Atom>>& partitions);
+
+  const PartitioningHandler& partitioning_handler() const { return handler_; }
+
+ private:
+  template <typename Item>
+  StatusOr<ParallelReasonerResult> RunPartitions(
+      const std::vector<std::vector<Item>>& partitions);
+
+  const Program* program_;
+  PartitioningHandler handler_;
+  CombiningHandler combiner_;
+  Reasoner reasoner_;
+  ThreadPool pool_;
+};
+
+}  // namespace streamasp
+
+#endif  // STREAMASP_STREAMRULE_PARALLEL_REASONER_H_

@@ -1,0 +1,76 @@
+#include "streamrule/partitioning_handler.h"
+
+#include <unordered_map>
+#include <utility>
+
+namespace streamasp {
+
+namespace {
+
+/// group(W) of Algorithm 1: indexes of window items, grouped by predicate
+/// signature in first-occurrence order.
+template <typename Item, typename SignatureOf>
+std::vector<std::pair<PredicateSignature, std::vector<size_t>>> GroupWindow(
+    const std::vector<Item>& window, SignatureOf signature_of) {
+  std::vector<std::pair<PredicateSignature, std::vector<size_t>>> groups;
+  std::unordered_map<PredicateSignature, size_t, PredicateSignatureHash>
+      group_of;
+  for (size_t i = 0; i < window.size(); ++i) {
+    const PredicateSignature sig = signature_of(window[i]);
+    auto [it, inserted] = group_of.emplace(sig, groups.size());
+    if (inserted) {
+      groups.emplace_back(sig, std::vector<size_t>{});
+    }
+    groups[it->second].second.push_back(i);
+  }
+  return groups;
+}
+
+}  // namespace
+
+PartitioningHandler::PartitioningHandler(PartitioningPlan plan)
+    : plan_(std::move(plan)) {}
+
+std::vector<std::vector<Triple>> PartitioningHandler::Partition(
+    const std::vector<Triple>& window) const {
+  std::vector<std::vector<Triple>> partitions(
+      std::max(plan_.num_communities(), 1));
+  const auto groups = GroupWindow(window, [](const Triple& t) {
+    return PredicateSignature{t.predicate,
+                              t.object.has_value() ? 2u : 1u};
+  });
+  for (const auto& [signature, indexes] : groups) {
+    const std::vector<int>& communities = plan_.CommunitiesOf(signature);
+    if (communities.empty()) {
+      stray_items_.fetch_add(indexes.size(), std::memory_order_relaxed);
+      for (size_t i : indexes) partitions[0].push_back(window[i]);
+      continue;
+    }
+    for (int c : communities) {
+      for (size_t i : indexes) partitions[c].push_back(window[i]);
+    }
+  }
+  return partitions;
+}
+
+std::vector<std::vector<Atom>> PartitioningHandler::PartitionFacts(
+    const std::vector<Atom>& window) const {
+  std::vector<std::vector<Atom>> partitions(
+      std::max(plan_.num_communities(), 1));
+  const auto groups =
+      GroupWindow(window, [](const Atom& a) { return a.signature(); });
+  for (const auto& [signature, indexes] : groups) {
+    const std::vector<int>& communities = plan_.CommunitiesOf(signature);
+    if (communities.empty()) {
+      stray_items_.fetch_add(indexes.size(), std::memory_order_relaxed);
+      for (size_t i : indexes) partitions[0].push_back(window[i]);
+      continue;
+    }
+    for (int c : communities) {
+      for (size_t i : indexes) partitions[c].push_back(window[i]);
+    }
+  }
+  return partitions;
+}
+
+}  // namespace streamasp

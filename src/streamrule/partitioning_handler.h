@@ -1,0 +1,54 @@
+#ifndef STREAMASP_STREAMRULE_PARTITIONING_HANDLER_H_
+#define STREAMASP_STREAMRULE_PARTITIONING_HANDLER_H_
+
+#include <atomic>
+#include <vector>
+
+#include "asp/atom.h"
+#include "depgraph/partitioning_plan.h"
+#include "stream/triple.h"
+
+namespace streamasp {
+
+/// Algorithm 1 of the paper: splits an input window into sub-windows
+/// following the partitioning plan computed at design time.
+///
+///   1. group(W) classifies the window's items by predicate;
+///   2. each group is routed to every community its predicate maps to
+///      (duplicated predicates are copied into several partitions);
+///   3. the sub-windows are returned in community order.
+///
+/// Items whose predicate the plan does not know (e.g. the stream query's
+/// filter let something unexpected through) are routed to community 0 so
+/// no data is silently lost; the count of such strays is reported.
+class PartitioningHandler {
+ public:
+  /// The plan is copied; handlers are immutable afterwards and safe to
+  /// share across threads.
+  explicit PartitioningHandler(PartitioningPlan plan);
+
+  /// Partitions a triple window. The result has plan.num_communities()
+  /// entries; entries may be empty.
+  std::vector<std::vector<Triple>> Partition(
+      const std::vector<Triple>& window) const;
+
+  /// Same routing for windows already converted to ASP facts.
+  std::vector<std::vector<Atom>> PartitionFacts(
+      const std::vector<Atom>& window) const;
+
+  const PartitioningPlan& plan() const { return plan_; }
+
+  /// Items routed to the fallback community because their predicate was
+  /// not in the plan (cumulative across calls; informational only).
+  uint64_t stray_items() const {
+    return stray_items_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  PartitioningPlan plan_;
+  mutable std::atomic<uint64_t> stray_items_{0};
+};
+
+}  // namespace streamasp
+
+#endif  // STREAMASP_STREAMRULE_PARTITIONING_HANDLER_H_

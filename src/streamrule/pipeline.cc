@@ -1,0 +1,85 @@
+#include "streamrule/pipeline.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace streamasp {
+
+StatusOr<std::unique_ptr<StreamRulePipeline>> StreamRulePipeline::Create(
+    const Program* program, PipelineOptions options,
+    ResultCallback callback) {
+  if (program == nullptr) {
+    return InvalidArgumentError("program must not be null");
+  }
+  if (callback == nullptr) {
+    return InvalidArgumentError("result callback must not be null");
+  }
+  STREAMASP_RETURN_IF_ERROR(program->Validate());
+
+  PartitioningPlan plan(1);
+  DecompositionInfo info;
+  if (options.disable_partitioning) {
+    // A single community holding every input predicate: PR degenerates
+    // to whole-window reasoning on one worker.
+    for (const PredicateSignature& sig : program->input_predicates()) {
+      plan.Assign(sig, 0);
+    }
+    info.num_communities = 1;
+  } else {
+    STREAMASP_ASSIGN_OR_RETURN(
+        InputDependencyGraph graph,
+        InputDependencyGraph::Build(*program, options.dependency));
+    STREAMASP_ASSIGN_OR_RETURN(
+        plan,
+        DecomposeInputDependencyGraph(graph, options.decomposition, &info));
+  }
+  return std::unique_ptr<StreamRulePipeline>(new StreamRulePipeline(
+      program, std::move(options), std::move(plan), info,
+      std::move(callback)));
+}
+
+StreamRulePipeline::StreamRulePipeline(const Program* program,
+                                       PipelineOptions options,
+                                       PartitioningPlan plan,
+                                       DecompositionInfo info,
+                                       ResultCallback callback)
+    : options_(options),
+      plan_(std::move(plan)),
+      info_(info),
+      callback_(std::move(callback)),
+      reasoner_(program, plan_, options_.reasoner) {
+  query_ = std::make_unique<StreamQueryProcessor>(
+      options_.window_size,
+      [this](const TripleWindow& window) { ProcessWindow(window); });
+  for (const PredicateSignature& sig : program->input_predicates()) {
+    query_->RegisterPredicate(sig.name);
+  }
+}
+
+void StreamRulePipeline::Push(const Triple& triple) { query_->Push(triple); }
+
+void StreamRulePipeline::PushBatch(const std::vector<Triple>& triples) {
+  query_->PushBatch(triples);
+}
+
+void StreamRulePipeline::Flush() { query_->Flush(); }
+
+void StreamRulePipeline::ProcessWindow(const TripleWindow& window) {
+  StatusOr<ParallelReasonerResult> result = reasoner_.Process(window);
+  if (!result.ok()) {
+    ++stats_.errors;
+    STREAMASP_LOG(kError) << "window " << window.sequence << ": "
+                          << result.status();
+    return;
+  }
+  ++stats_.windows;
+  stats_.items += window.size();
+  stats_.answers += result->answers.size();
+  stats_.total_latency_ms += result->latency_ms;
+  stats_.max_latency_ms = std::max(stats_.max_latency_ms, result->latency_ms);
+  stats_.total_critical_path_ms += result->critical_path_ms;
+  callback_(window, *result);
+}
+
+}  // namespace streamasp

@@ -1,0 +1,98 @@
+#ifndef STREAMASP_STREAMRULE_PIPELINE_H_
+#define STREAMASP_STREAMRULE_PIPELINE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "depgraph/decomposition.h"
+#include "stream/query_processor.h"
+#include "streamrule/parallel_reasoner.h"
+#include "util/status.h"
+
+namespace streamasp {
+
+/// Configuration for the end-to-end pipeline.
+struct PipelineOptions {
+  /// Tuple-based window size handed to the reasoning layer.
+  size_t window_size = 10000;
+
+  /// Run whole-window reasoning (R) instead of dependency-partitioned
+  /// parallel reasoning (PR). Mostly for baselines.
+  bool disable_partitioning = false;
+
+  InputDependencyOptions dependency;
+  DecompositionOptions decomposition;
+  ParallelReasonerOptions reasoner;
+};
+
+/// Rolling statistics over every window the pipeline processed.
+struct PipelineStats {
+  uint64_t windows = 0;
+  uint64_t items = 0;
+  uint64_t answers = 0;
+  double total_latency_ms = 0;
+  double max_latency_ms = 0;
+  double total_critical_path_ms = 0;
+  uint64_t errors = 0;
+
+  double mean_latency_ms() const {
+    return windows == 0 ? 0.0 : total_latency_ms / static_cast<double>(windows);
+  }
+};
+
+/// The full extended-StreamRule loop behind one call: design-time input
+/// dependency analysis, then stream in → filter → window → partition →
+/// parallel reasoning → combined answers out. This is the one-stop API the
+/// examples hand-assemble from parts; it owns the query processor and the
+/// reasoner and reports rolling statistics.
+///
+///   auto pipeline = StreamRulePipeline::Create(&program, options,
+///       [](const TripleWindow& w, const ParallelReasonerResult& r) { ... });
+///   pipeline->Push(triple);   // repeatedly
+///   pipeline->Flush();        // end of stream
+class StreamRulePipeline {
+ public:
+  /// Called once per processed window with the window and its result.
+  using ResultCallback = std::function<void(
+      const TripleWindow&, const ParallelReasonerResult&)>;
+
+  /// Runs design-time analysis on `program` (which must outlive the
+  /// pipeline) and wires the run-time components. Fails when the program
+  /// is invalid or declares no usable input predicates.
+  static StatusOr<std::unique_ptr<StreamRulePipeline>> Create(
+      const Program* program, PipelineOptions options,
+      ResultCallback callback);
+
+  /// Feeds one raw stream item.
+  void Push(const Triple& triple);
+
+  /// Feeds a batch.
+  void PushBatch(const std::vector<Triple>& triples);
+
+  /// Processes the trailing partial window.
+  void Flush();
+
+  const PipelineStats& stats() const { return stats_; }
+  const PartitioningPlan& plan() const { return plan_; }
+  const DecompositionInfo& decomposition_info() const { return info_; }
+
+ private:
+  StreamRulePipeline(const Program* program, PipelineOptions options,
+                     PartitioningPlan plan, DecompositionInfo info,
+                     ResultCallback callback);
+
+  void ProcessWindow(const TripleWindow& window);
+
+  PipelineOptions options_;
+  PartitioningPlan plan_;
+  DecompositionInfo info_;
+  ResultCallback callback_;
+  ParallelReasoner reasoner_;
+  std::unique_ptr<StreamQueryProcessor> query_;
+  PipelineStats stats_;
+};
+
+}  // namespace streamasp
+
+#endif  // STREAMASP_STREAMRULE_PIPELINE_H_

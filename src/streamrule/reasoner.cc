@@ -1,0 +1,70 @@
+#include "streamrule/reasoner.h"
+
+#include <utility>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace streamasp {
+
+Reasoner::Reasoner(const Program* program, ReasonerOptions options)
+    : program_(program), options_(options) {
+  const Status status =
+      format_.DeclareInputPredicates(program_->input_predicates());
+  if (!status.ok()) {
+    // Input predicates with arity > 2 cannot arrive as triples; such
+    // programs can still be used via ProcessFacts.
+    STREAMASP_LOG(kWarning) << "data format processor: " << status;
+  }
+}
+
+StatusOr<ReasonerResult> Reasoner::Process(const TripleWindow& window) const {
+  WallTimer total;
+  WallTimer phase;
+  STREAMASP_ASSIGN_OR_RETURN(std::vector<Atom> facts,
+                             format_.ToFacts(window.items));
+  const double convert_ms = phase.ElapsedMillis();
+
+  STREAMASP_ASSIGN_OR_RETURN(ReasonerResult result, ProcessFacts(facts));
+  result.convert_ms = convert_ms;
+  result.latency_ms = total.ElapsedMillis();
+  return result;
+}
+
+StatusOr<ReasonerResult> Reasoner::ProcessFacts(
+    const std::vector<Atom>& facts) const {
+  ReasonerResult result;
+  WallTimer total;
+
+  WallTimer phase;
+  const Grounder grounder(options_.grounding);
+  STREAMASP_ASSIGN_OR_RETURN(GroundProgram ground,
+                             grounder.Ground(*program_, facts));
+  result.grounding = grounder.stats();
+  result.ground_ms = phase.ElapsedMillis();
+
+  phase.Restart();
+  const Solver solver(options_.solving);
+  STREAMASP_ASSIGN_OR_RETURN(std::vector<AnswerSet> models,
+                             solver.Solve(ground));
+  result.solve_ms = phase.ElapsedMillis();
+
+  const std::vector<PredicateSignature>& shown =
+      program_->shown_predicates();
+  const bool project = options_.project_to_shown && !shown.empty();
+  result.answers.reserve(models.size());
+  for (const AnswerSet& model : models) {
+    GroundAnswer answer;
+    answer.reserve(model.atoms.size());
+    for (GroundAtomId id : model.atoms) {
+      answer.push_back(ground.atoms().GetAtom(id));
+    }
+    NormalizeAnswer(&answer);
+    if (project) answer = ProjectAnswer(answer, shown);
+    result.answers.push_back(std::move(answer));
+  }
+  result.latency_ms = total.ElapsedMillis();
+  return result;
+}
+
+}  // namespace streamasp

@@ -1,0 +1,68 @@
+#ifndef STREAMASP_STREAMRULE_REASONER_H_
+#define STREAMASP_STREAMRULE_REASONER_H_
+
+#include <vector>
+
+#include "asp/program.h"
+#include "ground/grounder.h"
+#include "solve/solver.h"
+#include "stream/format.h"
+#include "stream/triple.h"
+#include "streamrule/answer.h"
+#include "util/status.h"
+
+namespace streamasp {
+
+/// Configuration of a reasoner instance.
+struct ReasonerOptions {
+  GroundingOptions grounding;
+  SolverOptions solving;
+
+  /// Apply the program's #show projection to the returned answers.
+  bool project_to_shown = true;
+};
+
+/// The outcome of reasoning over one window.
+struct ReasonerResult {
+  std::vector<GroundAnswer> answers;
+
+  /// End-to-end latency in milliseconds, including RDF→ASP conversion as
+  /// the paper requires, plus the breakdown.
+  double latency_ms = 0;
+  double convert_ms = 0;
+  double ground_ms = 0;
+  double solve_ms = 0;
+
+  GroundingStats grounding;
+};
+
+/// The reasoner R of the StreamRule architecture (the dashed box of
+/// Figure 1): data-format conversion + grounding + stable-model solving
+/// over one whole input window.
+///
+/// Thread-compatible: Process() is const and keeps no mutable state, so
+/// the parallel reasoner PR can run one Reasoner per worker thread over a
+/// shared Program/SymbolTable.
+class Reasoner {
+ public:
+  /// `program` must outlive the reasoner. The data format processor is
+  /// configured from the program's declared input predicates.
+  Reasoner(const Program* program, ReasonerOptions options = {});
+
+  /// Full pipeline on a triple window: convert → ground → solve.
+  StatusOr<ReasonerResult> Process(const TripleWindow& window) const;
+
+  /// Same pipeline when the caller already has ASP facts.
+  StatusOr<ReasonerResult> ProcessFacts(const std::vector<Atom>& facts) const;
+
+  const Program& program() const { return *program_; }
+
+ private:
+  const Program* program_;
+  ReasonerOptions options_;
+  DataFormatProcessor format_;
+};
+
+}  // namespace streamasp
+
+#endif  // STREAMASP_STREAMRULE_REASONER_H_

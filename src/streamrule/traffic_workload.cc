@@ -1,0 +1,64 @@
+#include "streamrule/traffic_workload.h"
+
+#include "asp/parser.h"
+
+namespace streamasp {
+
+namespace {
+
+// Listing 1 of the paper, verbatim modulo whitespace.
+constexpr char kListing1[] = R"(
+% r1..r6: Listing 1 — traffic event detection.
+very_slow_speed(X)   :- average_speed(X, Y), Y < 20.
+many_cars(X)         :- car_number(X, Y), Y > 40.
+traffic_jam(X)       :- very_slow_speed(X), many_cars(X),
+                        not traffic_light(X).
+car_fire(X)          :- car_in_smoke(C, high), car_speed(C, 0),
+                        car_location(C, X).
+give_notification(X) :- traffic_jam(X).
+give_notification(X) :- car_fire(X).
+
+#input average_speed/2, car_number/2, traffic_light/1,
+       car_in_smoke/2, car_speed/2, car_location/2.
+)";
+
+// r7 of §II-B, which connects the input dependency graph.
+constexpr char kRuleR7[] = R"(
+traffic_jam(X) :- car_fire(X), many_cars(X).
+)";
+
+constexpr char kShowDirective[] = R"(
+#show traffic_jam/1, car_fire/1, give_notification/1.
+)";
+
+}  // namespace
+
+std::string TrafficProgramText(TrafficProgramVariant variant,
+                               bool with_show) {
+  std::string text = kListing1;
+  if (variant == TrafficProgramVariant::kPPrime) text += kRuleR7;
+  if (with_show) text += kShowDirective;
+  return text;
+}
+
+StatusOr<Program> MakeTrafficProgram(SymbolTablePtr symbols,
+                                     TrafficProgramVariant variant,
+                                     bool with_show) {
+  Parser parser(std::move(symbols));
+  return parser.ParseProgram(TrafficProgramText(variant, with_show));
+}
+
+std::vector<StreamPredicate> MakeTrafficSchema(SymbolTable& symbols) {
+  const Term high = Term::Symbol(symbols.Intern("high"));
+  const Term low = Term::Symbol(symbols.Intern("low"));
+  return {
+      StreamPredicate{symbols.Intern("average_speed"), true, {}},
+      StreamPredicate{symbols.Intern("car_number"), true, {}},
+      StreamPredicate{symbols.Intern("traffic_light"), false, {}},
+      StreamPredicate{symbols.Intern("car_in_smoke"), true, {high, low}},
+      StreamPredicate{symbols.Intern("car_speed"), true, {}},
+      StreamPredicate{symbols.Intern("car_location"), true, {}},
+  };
+}
+
+}  // namespace streamasp

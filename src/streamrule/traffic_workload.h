@@ -1,0 +1,44 @@
+#ifndef STREAMASP_STREAMRULE_TRAFFIC_WORKLOAD_H_
+#define STREAMASP_STREAMRULE_TRAFFIC_WORKLOAD_H_
+
+#include <vector>
+
+#include "asp/program.h"
+#include "stream/generator.h"
+#include "util/status.h"
+
+namespace streamasp {
+
+/// Which variant of the paper's rule set to build.
+enum class TrafficProgramVariant {
+  /// Listing 1: six rules (r1–r6). Its input dependency graph is
+  /// disconnected — two natural components (Figure 3).
+  kP,
+  /// Listing 1 plus r7 (`traffic_jam(X) :- car_fire(X), many_cars(X).`),
+  /// whose input dependency graph is connected (Figure 4) and forces the
+  /// Louvain + duplication path (Figure 5, duplicated car_number).
+  kPPrime,
+};
+
+/// The motivating workload of paper §II-A: city traffic event detection.
+/// Programs, input predicate declarations and the matching stream schema,
+/// shared by tests, benchmarks and examples.
+
+/// ASP source text of the selected variant (with #input declarations; adds
+/// `#show traffic_jam/1, car_fire/1, give_notification/1.` when
+/// `with_show` is set, which the accuracy figures use to focus on derived
+/// events).
+std::string TrafficProgramText(TrafficProgramVariant variant, bool with_show);
+
+/// Parses the selected variant into `symbols`.
+StatusOr<Program> MakeTrafficProgram(SymbolTablePtr symbols,
+                                     TrafficProgramVariant variant,
+                                     bool with_show = false);
+
+/// The stream schema matching inpre(P): six predicates, car_in_smoke
+/// carrying categorical {high, low} objects, the rest numeric.
+std::vector<StreamPredicate> MakeTrafficSchema(SymbolTable& symbols);
+
+}  // namespace streamasp
+
+#endif  // STREAMASP_STREAMRULE_TRAFFIC_WORKLOAD_H_

@@ -1,0 +1,58 @@
+#ifndef STREAMASP_UTIL_LOGGING_H_
+#define STREAMASP_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace streamasp {
+
+/// Log severity levels, ordered. Messages below the global threshold are
+/// discarded cheaply (the stream expression is still evaluated; keep log
+/// statements off hot paths or guard them).
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Sets the global minimum severity that will be emitted. Thread-safe.
+void SetLogLevel(LogLevel level);
+
+/// Returns the current global minimum severity.
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// One pending log record; emits to stderr on destruction. Not for direct
+/// use — go through the STREAMASP_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+/// Streams a log record at the given level, e.g.
+/// `STREAMASP_LOG(kInfo) << "grounded " << n << " rules";`
+#define STREAMASP_LOG(level)                                              \
+  if (::streamasp::LogLevel::level < ::streamasp::GetLogLevel()) {        \
+  } else                                                                  \
+    ::streamasp::internal_logging::LogMessage(                            \
+        ::streamasp::LogLevel::level, __FILE__, __LINE__)                 \
+        .stream()
+
+}  // namespace streamasp
+
+#endif  // STREAMASP_UTIL_LOGGING_H_

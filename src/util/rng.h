@@ -1,0 +1,74 @@
+#ifndef STREAMASP_UTIL_RNG_H_
+#define STREAMASP_UTIL_RNG_H_
+
+#include <cassert>
+#include <cstdint>
+
+namespace streamasp {
+
+/// Small, fast, deterministic pseudo-random generator (xorshift128+).
+///
+/// Used by the synthetic stream generator and the random-partitioning
+/// baseline. A fixed seed makes every experiment reproducible bit-for-bit,
+/// which the figure harnesses rely on; std::mt19937 would also work but its
+/// state is large and its distributions are not portable across standard
+/// library implementations.
+class Rng {
+ public:
+  /// Seeds the generator. Any seed (including 0) is valid.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    // SplitMix64 seeding scatters low-entropy seeds across both words.
+    state_[0] = SplitMix64(&seed);
+    state_[1] = SplitMix64(&seed);
+  }
+
+  /// Returns the next 64 random bits.
+  uint64_t NextUint64() {
+    uint64_t s1 = state_[0];
+    const uint64_t s0 = state_[1];
+    const uint64_t result = s0 + s1;
+    state_[0] = s0;
+    s1 ^= s1 << 23;
+    state_[1] = s1 ^ s0 ^ (s1 >> 18) ^ (s0 >> 5);
+    return result;
+  }
+
+  /// Returns a uniformly distributed integer in [0, bound). Requires
+  /// bound > 0. Uses rejection sampling to avoid modulo bias.
+  uint64_t NextBounded(uint64_t bound) {
+    assert(bound > 0);
+    const uint64_t threshold = -bound % bound;  // 2^64 mod bound.
+    for (;;) {
+      const uint64_t r = NextUint64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Returns a uniformly distributed integer in [lo, hi] inclusive.
+  /// Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Returns a uniform double in [0, 1).
+  double NextDouble() {
+    // 53 top bits give a dyadic rational with full double precision.
+    return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static uint64_t SplitMix64(uint64_t* x) {
+    uint64_t z = (*x += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t state_[2];
+};
+
+}  // namespace streamasp
+
+#endif  // STREAMASP_UTIL_RNG_H_

@@ -1,0 +1,157 @@
+#ifndef STREAMASP_UTIL_STATUS_H_
+#define STREAMASP_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace streamasp {
+
+/// Coarse error category carried by a Status.
+///
+/// The project is built without exceptions (Google style); all fallible
+/// operations return a Status or StatusOr<T> instead, in the style of
+/// RocksDB / Abseil.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Malformed input (parse errors, bad parameters).
+  kNotFound,          ///< A looked-up entity does not exist.
+  kFailedPrecondition,///< Operation not valid in the current state.
+  kOutOfRange,        ///< Index or numeric value outside the valid range.
+  kResourceExhausted, ///< A configured limit (models, iterations) was hit.
+  kInternal,          ///< Invariant violation; indicates a library bug.
+  kUnimplemented,     ///< Feature intentionally not supported.
+};
+
+/// Returns a stable human-readable name for a status code ("OK",
+/// "INVALID_ARGUMENT", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Value-type error indicator: a code plus a human-readable message.
+///
+/// A default-constructed Status is OK. Statuses are cheap to copy (the
+/// message is empty in the OK case).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message. `code` should not
+  /// be kOk; use the default constructor (or OkStatus()) for success.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// True iff the status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The error code (kOk for success).
+  StatusCode code() const { return code_; }
+
+  /// The error message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "CODE: message".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Factory helpers mirroring the Abseil convention.
+inline Status OkStatus() { return Status(); }
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status OutOfRangeError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status InternalError(std::string message);
+Status UnimplementedError(std::string message);
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Union of a Status and a value: holds T on success, an error Status
+/// otherwise. Accessing value() on an error status aborts (assert), so
+/// callers must check ok() first — the same contract as absl::StatusOr.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from an error status. `status.ok()` must be false.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT: implicit
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+  }
+
+  /// Constructs from a value; the resulting StatusOr is OK.
+  StatusOr(T value)  // NOLINT: implicit by design, mirrors absl::StatusOr.
+      : status_(OkStatus()), value_(std::move(value)) {}
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) noexcept = default;
+  StatusOr& operator=(StatusOr&&) noexcept = default;
+
+  /// True iff a value is present.
+  bool ok() const { return status_.ok(); }
+
+  /// The status; OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// The contained value. Requires ok().
+  const T& value() const& {
+    assert(ok() && "value() called on error StatusOr");
+    return *value_;
+  }
+  T& value() & {
+    assert(ok() && "value() called on error StatusOr");
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok() && "value() called on error StatusOr");
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define STREAMASP_RETURN_IF_ERROR(expr)                \
+  do {                                                 \
+    ::streamasp::Status _status = (expr);              \
+    if (!_status.ok()) return _status;                 \
+  } while (false)
+
+/// Evaluates a StatusOr expression, propagating errors and otherwise
+/// assigning the value to `lhs`.
+#define STREAMASP_ASSIGN_OR_RETURN(lhs, expr)          \
+  STREAMASP_ASSIGN_OR_RETURN_IMPL_(                    \
+      STREAMASP_STATUS_CONCAT_(_status_or, __LINE__), lhs, expr)
+
+#define STREAMASP_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                     \
+  if (!tmp.ok()) return tmp.status();                    \
+  lhs = std::move(tmp).value()
+
+#define STREAMASP_STATUS_CONCAT_(a, b) STREAMASP_STATUS_CONCAT_IMPL_(a, b)
+#define STREAMASP_STATUS_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace streamasp
+
+#endif  // STREAMASP_UTIL_STATUS_H_

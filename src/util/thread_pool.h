@@ -1,0 +1,54 @@
+#ifndef STREAMASP_UTIL_THREAD_POOL_H_
+#define STREAMASP_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace streamasp {
+
+/// Fixed-size worker pool executing arbitrary closures.
+///
+/// The parallel reasoner PR submits one task per window partition and waits
+/// for the batch with WaitIdle(). Tasks must not themselves block on the
+/// pool (no nested Submit-and-wait), which is all the reasoner needs.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least one).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and every worker is idle. Concurrent
+  /// Submit calls during the wait extend it.
+  void WaitIdle();
+
+  /// Number of worker threads.
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  size_t active_tasks_ = 0;  // Tasks currently executing.
+  bool shutting_down_ = false;
+};
+
+}  // namespace streamasp
+
+#endif  // STREAMASP_UTIL_THREAD_POOL_H_

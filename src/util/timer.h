@@ -1,0 +1,41 @@
+#ifndef STREAMASP_UTIL_TIMER_H_
+#define STREAMASP_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace streamasp {
+
+/// Monotonic wall-clock stopwatch used for reasoning-latency measurements.
+///
+/// The paper reports reasoner latency in milliseconds; WallTimer exposes
+/// both microsecond and (fractional) millisecond readings so benches can
+/// report sub-millisecond partitioning costs too.
+class WallTimer {
+ public:
+  /// Starts the stopwatch at construction.
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Restart(), in microseconds.
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+  /// Elapsed time in fractional milliseconds.
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedMicros()) / 1000.0;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace streamasp
+
+#endif  // STREAMASP_UTIL_TIMER_H_

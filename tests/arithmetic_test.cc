@@ -1,0 +1,254 @@
+// Arithmetic built-ins: parsing precedence, constant folding, grounder
+// evaluation, assignment binding, safety via the assignment closure, and
+// undefined-arithmetic semantics.
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "asp/parser.h"
+#include "ground/grounder.h"
+#include "solve/solver.h"
+
+namespace streamasp {
+namespace {
+
+class ArithmeticTest : public ::testing::Test {
+ protected:
+  ArithmeticTest() : symbols_(MakeSymbolTable()), parser_(symbols_) {}
+
+  Term T(const std::string& text) {
+    StatusOr<Term> term = parser_.ParseTerm(text);
+    EXPECT_TRUE(term.ok()) << term.status();
+    return std::move(term).value();
+  }
+
+  std::set<std::string> FactsOf(const std::string& program_text) {
+    StatusOr<Program> program = parser_.ParseProgram(program_text);
+    EXPECT_TRUE(program.ok()) << program.status();
+    Grounder grounder;
+    StatusOr<GroundProgram> ground = grounder.Ground(*program);
+    EXPECT_TRUE(ground.ok()) << ground.status();
+    std::set<std::string> facts;
+    for (const GroundRule& rule : ground->rules()) {
+      if (rule.is_fact()) {
+        facts.insert(
+            ground->atoms().GetAtom(rule.head[0]).ToString(*symbols_));
+      }
+    }
+    return facts;
+  }
+
+  SymbolTablePtr symbols_;
+  Parser parser_;
+};
+
+// ------------------------------------------------------ Parsing/folding.
+
+TEST_F(ArithmeticTest, GroundExpressionsFoldAtParseTime) {
+  EXPECT_EQ(T("1 + 2").integer_value(), 3);
+  EXPECT_EQ(T("10 - 4").integer_value(), 6);
+  EXPECT_EQ(T("6 * 7").integer_value(), 42);
+  EXPECT_EQ(T("9 / 2").integer_value(), 4);
+  EXPECT_EQ(T("9 \\ 2").integer_value(), 1);
+}
+
+TEST_F(ArithmeticTest, PrecedenceMultiplicationBeforeAddition) {
+  EXPECT_EQ(T("2 + 3 * 4").integer_value(), 14);
+  EXPECT_EQ(T("2 * 3 + 4").integer_value(), 10);
+  EXPECT_EQ(T("(2 + 3) * 4").integer_value(), 20);
+}
+
+TEST_F(ArithmeticTest, LeftAssociativity) {
+  EXPECT_EQ(T("10 - 3 - 2").integer_value(), 5);
+  EXPECT_EQ(T("100 / 10 / 2").integer_value(), 5);
+}
+
+TEST_F(ArithmeticTest, UnaryMinus) {
+  EXPECT_EQ(T("-5").integer_value(), -5);
+  EXPECT_EQ(T("--5").integer_value(), 5);
+  EXPECT_EQ(T("3 + -2").integer_value(), 1);
+  EXPECT_EQ(T("-(2 + 3)").integer_value(), -5);
+}
+
+TEST_F(ArithmeticTest, VariableExpressionsStayArithmetic) {
+  const Term t = T("X + 1");
+  EXPECT_TRUE(t.is_arithmetic());
+  EXPECT_FALSE(t.IsGround());
+  EXPECT_EQ(t.arith_op(), ArithOp::kAdd);
+}
+
+TEST_F(ArithmeticTest, DivisionByZeroDoesNotFold) {
+  const Term t = T("1 / 0");
+  EXPECT_TRUE(t.is_arithmetic());
+  int64_t out = 0;
+  EXPECT_FALSE(t.EvaluateArithmetic(&out));
+  EXPECT_FALSE(T("1 \\ 0").EvaluateArithmetic(&out));
+}
+
+TEST_F(ArithmeticTest, ToStringParenthesizes) {
+  EXPECT_EQ(T("X + 1").ToString(*symbols_), "(X+1)");
+  EXPECT_EQ(T("X * (Y - 1)").ToString(*symbols_), "(X*(Y-1))");
+}
+
+TEST_F(ArithmeticTest, BindableVariablesExcludeArithmeticOnes) {
+  SymbolTablePtr symbols = symbols_;
+  const Term t = T("f(X, Y + 1)");
+  std::vector<SymbolId> all;
+  t.CollectVariables(&all);
+  EXPECT_EQ(all.size(), 2u);
+  std::vector<SymbolId> bindable;
+  t.CollectBindableVariables(&bindable);
+  ASSERT_EQ(bindable.size(), 1u);
+  EXPECT_EQ(symbols->NameOf(bindable[0]), "X");
+}
+
+// --------------------------------------------------------- Grounding.
+
+TEST_F(ArithmeticTest, ComparisonWithArithmetic) {
+  const auto facts = FactsOf(R"(
+    load(a, 40). load(b, 60).
+    overloaded(H) :- load(H, L), L * 2 > 100.
+  )");
+  EXPECT_TRUE(facts.count("overloaded(b)"));
+  EXPECT_FALSE(facts.count("overloaded(a)"));
+}
+
+TEST_F(ArithmeticTest, AssignmentBindsVariable) {
+  const auto facts = FactsOf(R"(
+    speed(car1, 30).
+    doubled(C, D) :- speed(C, S), D = S * 2.
+  )");
+  EXPECT_TRUE(facts.count("doubled(car1,60)"));
+}
+
+TEST_F(ArithmeticTest, AssignmentChainCascades) {
+  const auto facts = FactsOf(R"(
+    base(10).
+    out(Z) :- base(X), Y = X + 5, Z = Y * 2.
+  )");
+  EXPECT_TRUE(facts.count("out(30)"));
+}
+
+TEST_F(ArithmeticTest, AssignmentWithoutPositiveBody) {
+  const auto facts = FactsOf("answer(X) :- X = 6 * 7.");
+  EXPECT_TRUE(facts.count("answer(42)"));
+}
+
+TEST_F(ArithmeticTest, ReversedAssignmentAlsoBinds) {
+  const auto facts = FactsOf(R"(
+    base(3).
+    out(Y) :- base(X), X + 1 = Y.
+  )");
+  EXPECT_TRUE(facts.count("out(4)"));
+}
+
+TEST_F(ArithmeticTest, ArithmeticInHeadArguments) {
+  const auto facts = FactsOf(R"(
+    n(4).
+    succ(X, X + 1) :- n(X).
+  )");
+  EXPECT_TRUE(facts.count("succ(4,5)"));
+}
+
+TEST_F(ArithmeticTest, ArithmeticInPositiveBodyPatternFiltersMatches) {
+  // q(X + 1) can only match when X is already bound by p(X).
+  const auto facts = FactsOf(R"(
+    p(1). p(2).
+    q(2). q(5).
+    chained(X) :- p(X), q(X + 1).
+  )");
+  EXPECT_TRUE(facts.count("chained(1)"));
+  EXPECT_FALSE(facts.count("chained(2)"));
+}
+
+TEST_F(ArithmeticTest, UndefinedArithmeticSkipsInstance) {
+  // Symbolic operand: speed(car, fast) makes S * 2 undefined; the rule
+  // silently skips that instance, like Clingo.
+  const auto facts = FactsOf(R"(
+    speed(car1, fast). speed(car2, 10).
+    double(C, S * 2) :- speed(C, S).
+  )");
+  EXPECT_TRUE(facts.count("double(car2,20)"));
+  for (const std::string& fact : facts) {
+    EXPECT_EQ(fact.find("car1,("), std::string::npos) << fact;
+  }
+}
+
+TEST_F(ArithmeticTest, DivisionByZeroInComparisonIsFalse) {
+  const auto facts = FactsOf(R"(
+    d(0). d(2).
+    ok(X) :- d(X), 10 / X > 3.
+  )");
+  EXPECT_TRUE(facts.count("ok(2)"));
+  EXPECT_FALSE(facts.count("ok(0)"));
+}
+
+TEST_F(ArithmeticTest, ModuloSplitsEvenOdd) {
+  const auto facts = FactsOf(R"(
+    n(1). n(2). n(3). n(4).
+    even(X) :- n(X), X \ 2 == 0.
+    odd(X)  :- n(X), X \ 2 == 1.
+  )");
+  EXPECT_TRUE(facts.count("even(2)"));
+  EXPECT_TRUE(facts.count("even(4)"));
+  EXPECT_TRUE(facts.count("odd(1)"));
+  EXPECT_TRUE(facts.count("odd(3)"));
+  EXPECT_FALSE(facts.count("even(1)"));
+}
+
+// ------------------------------------------------------------- Safety.
+
+TEST_F(ArithmeticTest, AssignmentMakesVariableSafe) {
+  StatusOr<Program> program = parser_.ParseProgram(
+      "out(Y) :- base(X), Y = X + 1.");
+  ASSERT_TRUE(program.ok());
+  EXPECT_TRUE(program->rules()[0].UnsafeVariables().empty());
+  EXPECT_TRUE(program->Validate().ok());
+}
+
+TEST_F(ArithmeticTest, VariableOnlyInsideArithmeticIsUnsafe) {
+  StatusOr<Program> program = parser_.ParseProgram(
+      "out(X) :- q(X + 1).");
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->rules()[0].UnsafeVariables().size(), 1u);
+  EXPECT_FALSE(program->Validate().ok());
+}
+
+TEST_F(ArithmeticTest, MutuallyDependentAssignmentsAreUnsafe) {
+  StatusOr<Program> program = parser_.ParseProgram(
+      "out(X) :- X = Y + 1, Y = X - 1.");
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->rules()[0].UnsafeVariables().size(), 2u);
+}
+
+// ------------------------------------------------ End-to-end solving.
+
+TEST_F(ArithmeticTest, SolverSeesEvaluatedProgram) {
+  StatusOr<Program> program = parser_.ParseProgram(R"(
+    threshold(50).
+    reading(s1, 70). reading(s2, 30).
+    alarm(S) :- reading(S, V), threshold(T), V > T.
+    quiet :- not any_alarm.
+    any_alarm :- alarm(S), reading(S, V), V > 0.
+  )");
+  ASSERT_TRUE(program.ok());
+  Grounder grounder;
+  StatusOr<GroundProgram> ground = grounder.Ground(*program);
+  ASSERT_TRUE(ground.ok()) << ground.status();
+  Solver solver;
+  StatusOr<std::vector<AnswerSet>> models = solver.Solve(*ground);
+  ASSERT_TRUE(models.ok());
+  ASSERT_EQ(models->size(), 1u);
+  std::set<std::string> atoms;
+  for (GroundAtomId id : (*models)[0].atoms) {
+    atoms.insert(ground->atoms().GetAtom(id).ToString(*symbols_));
+  }
+  EXPECT_TRUE(atoms.count("alarm(s1)"));
+  EXPECT_FALSE(atoms.count("alarm(s2)"));
+  EXPECT_FALSE(atoms.count("quiet"));
+}
+
+}  // namespace
+}  // namespace streamasp

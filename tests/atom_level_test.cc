@@ -1,0 +1,244 @@
+// Atom-level dependency analysis (paper §VI future work): key-position
+// inference, demotion to unkeyed, routing, and end-to-end accuracy of the
+// finer-grained parallel reasoner.
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "asp/parser.h"
+#include "depgraph/atom_level.h"
+#include "depgraph/decomposition.h"
+#include "stream/format.h"
+#include "stream/generator.h"
+#include "streamrule/accuracy.h"
+#include "streamrule/parallel_reasoner.h"
+#include "streamrule/traffic_workload.h"
+
+namespace streamasp {
+namespace {
+
+class AtomLevelTest : public ::testing::Test {
+ protected:
+  AtomLevelTest() : symbols_(MakeSymbolTable()), parser_(symbols_) {}
+
+  PredicateSignature Sig(const std::string& name, uint32_t arity) {
+    return PredicateSignature{symbols_->Intern(name), arity};
+  }
+
+  AtomLevelPlan BuildPlan(const Program& program, int fanout = 2) {
+    StatusOr<InputDependencyGraph> graph =
+        InputDependencyGraph::Build(program);
+    EXPECT_TRUE(graph.ok()) << graph.status();
+    StatusOr<PartitioningPlan> community = DecomposeInputDependencyGraph(*graph);
+    EXPECT_TRUE(community.ok()) << community.status();
+    StatusOr<AtomLevelPlan> plan =
+        AtomLevelPlan::Build(program, *community, AtomLevelOptions{fanout});
+    EXPECT_TRUE(plan.ok()) << plan.status();
+    return std::move(plan).value();
+  }
+
+  SymbolTablePtr symbols_;
+  Parser parser_;
+};
+
+TEST_F(AtomLevelTest, TrafficProgramKeysOnLocationAndCar) {
+  StatusOr<Program> program =
+      MakeTrafficProgram(symbols_, TrafficProgramVariant::kP, false);
+  ASSERT_TRUE(program.ok());
+  const AtomLevelPlan plan = BuildPlan(*program);
+
+  // Location family keys on argument 0 (the road segment X).
+  EXPECT_EQ(plan.KeyPositionOf(Sig("average_speed", 2)), 0);
+  EXPECT_EQ(plan.KeyPositionOf(Sig("car_number", 2)), 0);
+  EXPECT_EQ(plan.KeyPositionOf(Sig("traffic_light", 1)), 0);
+  // Car family keys on argument 0 (the car C).
+  EXPECT_EQ(plan.KeyPositionOf(Sig("car_in_smoke", 2)), 0);
+  EXPECT_EQ(plan.KeyPositionOf(Sig("car_speed", 2)), 0);
+  EXPECT_EQ(plan.KeyPositionOf(Sig("car_location", 2)), 0);
+  // car_fire(X)'s argument is the location, not the anchor car: unkeyed.
+  EXPECT_EQ(plan.KeyPositionOf(Sig("car_fire", 1)), AtomLevelPlan::kUnkeyed);
+
+  // Both communities split: 2 communities x fanout 2 = 4 partitions.
+  EXPECT_TRUE(plan.CommunityEnabled(0));
+  EXPECT_TRUE(plan.CommunityEnabled(1));
+  EXPECT_EQ(plan.num_partitions(), 4);
+}
+
+TEST_F(AtomLevelTest, FanoutOneKeepsCommunityCount) {
+  StatusOr<Program> program =
+      MakeTrafficProgram(symbols_, TrafficProgramVariant::kP, false);
+  ASSERT_TRUE(program.ok());
+  const AtomLevelPlan plan = BuildPlan(*program, /*fanout=*/1);
+  EXPECT_EQ(plan.num_partitions(), 2);
+}
+
+TEST_F(AtomLevelTest, InvalidFanoutRejected) {
+  StatusOr<Program> program =
+      MakeTrafficProgram(symbols_, TrafficProgramVariant::kP, false);
+  ASSERT_TRUE(program.ok());
+  StatusOr<InputDependencyGraph> graph = InputDependencyGraph::Build(*program);
+  StatusOr<PartitioningPlan> community = DecomposeInputDependencyGraph(*graph);
+  EXPECT_FALSE(
+      AtomLevelPlan::Build(*program, *community, AtomLevelOptions{0}).ok());
+}
+
+TEST_F(AtomLevelTest, CrossJoinDemotesToUnkeyed) {
+  // No variable shared by both body atoms: neither predicate can be keyed
+  // consistently, and the community is not split.
+  StatusOr<Program> program = parser_.ParseProgram(R"(
+    #input left/1, right/1.
+    pair :- left(X), right(Y).
+  )");
+  ASSERT_TRUE(program.ok());
+  const AtomLevelPlan plan = BuildPlan(*program);
+  EXPECT_EQ(plan.KeyPositionOf(Sig("left", 1)), AtomLevelPlan::kUnkeyed);
+  EXPECT_EQ(plan.KeyPositionOf(Sig("right", 1)), AtomLevelPlan::kUnkeyed);
+  EXPECT_FALSE(plan.CommunityEnabled(0));
+}
+
+TEST_F(AtomLevelTest, ConstantAtKeyPositionDemotes) {
+  // status(S, active): the shared variable S sits at position 0; the
+  // candidate key works. But status(active, S) with the anchor at
+  // position 1 and a constant at 0 must not key on 0.
+  StatusOr<Program> program = parser_.ParseProgram(R"(
+    #input status/2, level/2.
+    alarm(S) :- status(S, active), level(S, L), L > 3.
+  )");
+  ASSERT_TRUE(program.ok());
+  const AtomLevelPlan plan = BuildPlan(*program);
+  EXPECT_EQ(plan.KeyPositionOf(Sig("status", 2)), 0);
+  EXPECT_EQ(plan.KeyPositionOf(Sig("level", 2)), 0);
+  EXPECT_TRUE(plan.CommunityEnabled(0));
+}
+
+TEST_F(AtomLevelTest, ConflictingKeysAcrossRulesDemote) {
+  // r1 keys link/2 on position 0, r2 on position 1: inconsistent, so
+  // link/2 ends up unkeyed but the other predicates keep working keys.
+  StatusOr<Program> program = parser_.ParseProgram(R"(
+    #input link/2, a/1, b/1.
+    fwd(X) :- a(X), link(X, Y).
+    bwd(Y) :- b(Y), link(X, Y).
+  )");
+  ASSERT_TRUE(program.ok());
+  const AtomLevelPlan plan = BuildPlan(*program);
+  EXPECT_EQ(plan.KeyPositionOf(Sig("link", 2)), AtomLevelPlan::kUnkeyed);
+}
+
+TEST_F(AtomLevelTest, RoutingRespectsKeysAndReplication) {
+  StatusOr<Program> program = parser_.ParseProgram(R"(
+    #input p/2, q/2.
+    joined(X) :- p(X, A), q(X, B), A < B.
+  )");
+  ASSERT_TRUE(program.ok());
+  const AtomLevelPlan plan = BuildPlan(*program, /*fanout=*/4);
+  ASSERT_EQ(plan.num_partitions(), 4);
+
+  // Two atoms with the same key value land in the same bucket...
+  const Atom p5(symbols_->Intern("p"), {Term::Integer(5), Term::Integer(1)});
+  const Atom q5(symbols_->Intern("q"), {Term::Integer(5), Term::Integer(9)});
+  ASSERT_EQ(plan.PartitionsOf(p5).size(), 1u);
+  EXPECT_EQ(plan.PartitionsOf(p5), plan.PartitionsOf(q5));
+
+  // ...and routing is a function of the key only.
+  const Atom p5b(symbols_->Intern("p"), {Term::Integer(5), Term::Integer(7)});
+  EXPECT_EQ(plan.PartitionsOf(p5), plan.PartitionsOf(p5b));
+}
+
+TEST_F(AtomLevelTest, HandlerCoversWindow) {
+  StatusOr<Program> program =
+      MakeTrafficProgram(symbols_, TrafficProgramVariant::kP, false);
+  ASSERT_TRUE(program.ok());
+  const AtomLevelPlan plan = BuildPlan(*program, /*fanout=*/3);
+  AtomLevelPartitioningHandler handler(plan);
+
+  SyntheticStreamGenerator generator(MakeTrafficSchema(*symbols_), {});
+  DataFormatProcessor format;
+  ASSERT_TRUE(
+      format.DeclareInputPredicates(program->input_predicates()).ok());
+  StatusOr<std::vector<Atom>> facts =
+      format.ToFacts(generator.GenerateWindow(3000));
+  ASSERT_TRUE(facts.ok());
+
+  const auto partitions = handler.PartitionFacts(*facts);
+  ASSERT_EQ(partitions.size(), 6u);  // 2 communities x 3 buckets.
+  size_t total = 0;
+  for (const auto& p : partitions) total += p.size();
+  // All traffic input predicates are keyed: no replication, exact cover.
+  EXPECT_EQ(total, facts->size());
+}
+
+TEST_F(AtomLevelTest, EndToEndAccuracyStaysOne) {
+  StatusOr<Program> program = MakeTrafficProgram(
+      symbols_, TrafficProgramVariant::kP, /*with_show=*/true);
+  ASSERT_TRUE(program.ok());
+  StatusOr<InputDependencyGraph> graph = InputDependencyGraph::Build(*program);
+  StatusOr<PartitioningPlan> community = DecomposeInputDependencyGraph(*graph);
+  ASSERT_TRUE(community.ok());
+  StatusOr<AtomLevelPlan> plan =
+      AtomLevelPlan::Build(*program, *community, AtomLevelOptions{2});
+  ASSERT_TRUE(plan.ok());
+
+  SyntheticStreamGenerator generator(MakeTrafficSchema(*symbols_), {});
+  const TripleWindow window = generator.GenerateTripleWindow(6000);
+  DataFormatProcessor format;
+  ASSERT_TRUE(
+      format.DeclareInputPredicates(program->input_predicates()).ok());
+  StatusOr<std::vector<Atom>> facts = format.ToFacts(window.items);
+  ASSERT_TRUE(facts.ok());
+
+  Reasoner r(&*program);
+  StatusOr<ReasonerResult> reference = r.Process(window);
+  ASSERT_TRUE(reference.ok());
+  ASSERT_FALSE(reference->answers.empty());
+  ASSERT_FALSE(reference->answers[0].empty())
+      << "need derived events for a meaningful check";
+
+  ParallelReasoner pr(&*program, *community);
+  AtomLevelPartitioningHandler handler(*plan);
+  StatusOr<ParallelReasonerResult> result =
+      pr.ProcessFactPartitions(handler.PartitionFacts(*facts));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->num_partitions, 4u);
+  EXPECT_DOUBLE_EQ(MeanAccuracy(result->answers, reference->answers), 1.0);
+}
+
+TEST_F(AtomLevelTest, PPrimeAlsoExact) {
+  StatusOr<Program> program = MakeTrafficProgram(
+      symbols_, TrafficProgramVariant::kPPrime, /*with_show=*/true);
+  ASSERT_TRUE(program.ok());
+  StatusOr<InputDependencyGraph> graph = InputDependencyGraph::Build(*program);
+  StatusOr<PartitioningPlan> community = DecomposeInputDependencyGraph(*graph);
+  ASSERT_TRUE(community.ok());
+  StatusOr<AtomLevelPlan> plan =
+      AtomLevelPlan::Build(*program, *community, AtomLevelOptions{2});
+  ASSERT_TRUE(plan.ok());
+
+  // r7 joins car_fire (implicitly keyed by the car C, which its argument
+  // does not carry) with location-keyed many_cars: the covering community
+  // (the car/fire one, containing duplicated car_number) must NOT be
+  // split, while the pure location community still is.
+  EXPECT_TRUE(plan->CommunityEnabled(0));
+  EXPECT_FALSE(plan->CommunityEnabled(1));
+  EXPECT_EQ(plan->num_partitions(), 3);
+
+  SyntheticStreamGenerator generator(MakeTrafficSchema(*symbols_), {});
+  const TripleWindow window = generator.GenerateTripleWindow(5000);
+  DataFormatProcessor format;
+  ASSERT_TRUE(
+      format.DeclareInputPredicates(program->input_predicates()).ok());
+  StatusOr<std::vector<Atom>> facts = format.ToFacts(window.items);
+
+  Reasoner r(&*program);
+  StatusOr<ReasonerResult> reference = r.Process(window);
+  ParallelReasoner pr(&*program, *community);
+  AtomLevelPartitioningHandler handler(*plan);
+  StatusOr<ParallelReasonerResult> result =
+      pr.ProcessFactPartitions(handler.PartitionFacts(*facts));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_DOUBLE_EQ(MeanAccuracy(result->answers, reference->answers), 1.0);
+}
+
+}  // namespace
+}  // namespace streamasp

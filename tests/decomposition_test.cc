@@ -1,0 +1,160 @@
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "asp/parser.h"
+#include "depgraph/decomposition.h"
+#include "streamrule/traffic_workload.h"
+
+namespace streamasp {
+namespace {
+
+class DecompositionTest : public ::testing::Test {
+ protected:
+  DecompositionTest() : symbols_(MakeSymbolTable()), parser_(symbols_) {}
+
+  PredicateSignature Sig(const std::string& name, uint32_t arity) {
+    return PredicateSignature{symbols_->Intern(name), arity};
+  }
+
+  PartitioningPlan PlanFor(const Program& program,
+                           DecompositionInfo* info = nullptr) {
+    StatusOr<InputDependencyGraph> graph =
+        InputDependencyGraph::Build(program);
+    EXPECT_TRUE(graph.ok()) << graph.status();
+    StatusOr<PartitioningPlan> plan =
+        DecomposeInputDependencyGraph(*graph, {}, info);
+    EXPECT_TRUE(plan.ok()) << plan.status();
+    return std::move(plan).value();
+  }
+
+  SymbolTablePtr symbols_;
+  Parser parser_;
+};
+
+TEST_F(DecompositionTest, DisconnectedGraphUsesComponents) {
+  StatusOr<Program> p =
+      MakeTrafficProgram(symbols_, TrafficProgramVariant::kP, false);
+  ASSERT_TRUE(p.ok());
+  DecompositionInfo info;
+  const PartitioningPlan plan = PlanFor(*p, &info);
+
+  EXPECT_FALSE(info.graph_was_connected);
+  EXPECT_EQ(plan.num_communities(), 2);
+  EXPECT_TRUE(plan.DuplicatedPredicates().empty());
+
+  // The two communities are exactly the Figure 3 components.
+  const std::vector<int>& left = plan.CommunitiesOf(Sig("average_speed", 2));
+  ASSERT_EQ(left.size(), 1u);
+  EXPECT_EQ(plan.CommunitiesOf(Sig("car_number", 2)), left);
+  EXPECT_EQ(plan.CommunitiesOf(Sig("traffic_light", 1)), left);
+  const std::vector<int>& right = plan.CommunitiesOf(Sig("car_in_smoke", 2));
+  ASSERT_EQ(right.size(), 1u);
+  EXPECT_EQ(plan.CommunitiesOf(Sig("car_speed", 2)), right);
+  EXPECT_EQ(plan.CommunitiesOf(Sig("car_location", 2)), right);
+  EXPECT_NE(left, right);
+}
+
+// Figure 5: P' decomposes into two communities with duplicated car_number.
+TEST_F(DecompositionTest, ConnectedGraphDuplicatesSmallerExnodeSet) {
+  StatusOr<Program> p =
+      MakeTrafficProgram(symbols_, TrafficProgramVariant::kPPrime, false);
+  ASSERT_TRUE(p.ok());
+  DecompositionInfo info;
+  const PartitioningPlan plan = PlanFor(*p, &info);
+
+  EXPECT_TRUE(info.graph_was_connected);
+  EXPECT_EQ(plan.num_communities(), 2);
+  const auto duplicated = plan.DuplicatedPredicates();
+  ASSERT_EQ(duplicated.size(), 1u);
+  EXPECT_EQ(symbols_->NameOf(duplicated[0].name), "car_number");
+  EXPECT_EQ(plan.CommunitiesOf(Sig("car_number", 2)).size(), 2u);
+  EXPECT_EQ(plan.CommunitiesOf(Sig("average_speed", 2)).size(), 1u);
+  EXPECT_EQ(info.num_duplicated_predicates, 1);
+}
+
+TEST_F(DecompositionTest, CliqueFallsBackToSingleCommunity) {
+  StatusOr<Program> p = parser_.ParseProgram(R"(
+    #input a/0, b/0, c/0.
+    h :- a, b, c.
+  )");
+  ASSERT_TRUE(p.ok());
+  DecompositionInfo info;
+  const PartitioningPlan plan = PlanFor(*p, &info);
+  EXPECT_TRUE(info.graph_was_connected);
+  EXPECT_EQ(plan.num_communities(), 1);
+  EXPECT_TRUE(plan.DuplicatedPredicates().empty());
+}
+
+TEST_F(DecompositionTest, ManyIndependentPredicatesManyCommunities) {
+  StatusOr<Program> p = parser_.ParseProgram(R"(
+    #input a/0, b/0, c/0, d/0.
+    ha :- a.
+    hb :- b.
+    hc :- c.
+    hd :- d.
+  )");
+  ASSERT_TRUE(p.ok());
+  const PartitioningPlan plan = PlanFor(*p);
+  EXPECT_EQ(plan.num_communities(), 4);
+}
+
+TEST_F(DecompositionTest, DeterministicAcrossRuns) {
+  StatusOr<Program> p =
+      MakeTrafficProgram(symbols_, TrafficProgramVariant::kPPrime, false);
+  ASSERT_TRUE(p.ok());
+  const PartitioningPlan a = PlanFor(*p);
+  const PartitioningPlan b = PlanFor(*p);
+  ASSERT_EQ(a.num_communities(), b.num_communities());
+  for (const PredicateSignature& sig : a.predicates()) {
+    EXPECT_EQ(a.CommunitiesOf(sig), b.CommunitiesOf(sig));
+  }
+}
+
+// -------------------------------------------------- PartitioningPlan API.
+
+TEST_F(DecompositionTest, PlanAssignIsIdempotentAndSorted) {
+  PartitioningPlan plan(3);
+  const PredicateSignature p = Sig("p", 1);
+  plan.Assign(p, 2);
+  plan.Assign(p, 0);
+  plan.Assign(p, 2);
+  EXPECT_EQ(plan.CommunitiesOf(p), (std::vector<int>{0, 2}));
+  EXPECT_EQ(plan.DuplicatedPredicates().size(), 1u);
+}
+
+TEST_F(DecompositionTest, PlanUnknownPredicateHasNoCommunities) {
+  PartitioningPlan plan(1);
+  EXPECT_TRUE(plan.CommunitiesOf(Sig("ghost", 9)).empty());
+}
+
+TEST_F(DecompositionTest, PlanMembersOf) {
+  PartitioningPlan plan(2);
+  plan.Assign(Sig("a", 1), 0);
+  plan.Assign(Sig("b", 1), 1);
+  plan.Assign(Sig("c", 1), 0);
+  plan.Assign(Sig("c", 1), 1);
+  EXPECT_EQ(plan.MembersOf(0).size(), 2u);
+  EXPECT_EQ(plan.MembersOf(1).size(), 2u);
+}
+
+TEST_F(DecompositionTest, PlanToStringListsCommunitiesAndDuplicates) {
+  PartitioningPlan plan(2);
+  plan.Assign(Sig("a", 1), 0);
+  plan.Assign(Sig("a", 1), 1);
+  const std::string text = plan.ToString(*symbols_);
+  EXPECT_NE(text.find("community 0"), std::string::npos);
+  EXPECT_NE(text.find("duplicated"), std::string::npos);
+}
+
+TEST_F(DecompositionTest, EmptyGraphRejected) {
+  PartitioningPlan unused(0);
+  StatusOr<Program> p = parser_.ParseProgram("h :- a.");
+  ASSERT_TRUE(p.ok());
+  // No input predicates: the graph builder itself refuses.
+  EXPECT_FALSE(InputDependencyGraph::Build(*p).ok());
+}
+
+}  // namespace
+}  // namespace streamasp

@@ -1,0 +1,306 @@
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "asp/parser.h"
+#include "depgraph/extended_dependency_graph.h"
+#include "depgraph/input_dependency_graph.h"
+#include "streamrule/traffic_workload.h"
+
+namespace streamasp {
+namespace {
+
+class DepGraphTest : public ::testing::Test {
+ protected:
+  DepGraphTest() : symbols_(MakeSymbolTable()), parser_(symbols_) {}
+
+  Program MustParse(const std::string& text) {
+    StatusOr<Program> program = parser_.ParseProgram(text);
+    EXPECT_TRUE(program.ok()) << program.status();
+    return std::move(program).value();
+  }
+
+  PredicateSignature Sig(const std::string& name, uint32_t arity) {
+    return PredicateSignature{symbols_->Intern(name), arity};
+  }
+
+  SymbolTablePtr symbols_;
+  Parser parser_;
+};
+
+// ------------------------------------- Extended dependency graph (Def 1).
+
+TEST_F(DepGraphTest, Ep1ConnectsBodyPredicates) {
+  const Program p = MustParse("h :- a, b, c.");
+  const ExtendedDependencyGraph edg = ExtendedDependencyGraph::Build(p);
+  const NodeId a = edg.NodeOf(Sig("a", 0));
+  const NodeId b = edg.NodeOf(Sig("b", 0));
+  const NodeId c = edg.NodeOf(Sig("c", 0));
+  EXPECT_TRUE(edg.ep1().HasEdge(a, b));
+  EXPECT_TRUE(edg.ep1().HasEdge(b, c));
+  EXPECT_TRUE(edg.ep1().HasEdge(a, c));
+  const NodeId h = edg.NodeOf(Sig("h", 0));
+  EXPECT_FALSE(edg.ep1().HasEdge(a, h));
+}
+
+TEST_F(DepGraphTest, Ep1SelfLoopOnlyForNegativeOccurrences) {
+  const Program p = MustParse("h :- a, not b.");
+  const ExtendedDependencyGraph edg = ExtendedDependencyGraph::Build(p);
+  EXPECT_FALSE(edg.ep1().HasSelfLoop(edg.NodeOf(Sig("a", 0))));
+  EXPECT_TRUE(edg.ep1().HasSelfLoop(edg.NodeOf(Sig("b", 0))));
+}
+
+TEST_F(DepGraphTest, Ep2PointsBodyToHead) {
+  const Program p = MustParse("h :- a, not b.");
+  const ExtendedDependencyGraph edg = ExtendedDependencyGraph::Build(p);
+  const NodeId a = edg.NodeOf(Sig("a", 0));
+  const NodeId b = edg.NodeOf(Sig("b", 0));
+  const NodeId h = edg.NodeOf(Sig("h", 0));
+  EXPECT_TRUE(edg.ep2().HasEdge(a, h));
+  EXPECT_TRUE(edg.ep2().HasEdge(b, h));  // Negative literals count too.
+  EXPECT_FALSE(edg.ep2().HasEdge(h, a));
+}
+
+TEST_F(DepGraphTest, ComparisonsContributeNothing) {
+  const Program p = MustParse("h(X) :- a(X, Y), Y < 20.");
+  const ExtendedDependencyGraph edg = ExtendedDependencyGraph::Build(p);
+  EXPECT_EQ(edg.nodes().size(), 2u);  // h/1 and a/2 only.
+}
+
+TEST_F(DepGraphTest, SignaturesWithDifferentAritiesAreDistinctNodes) {
+  const Program p = MustParse("h(X) :- p(X), p(X, X).");
+  const ExtendedDependencyGraph edg = ExtendedDependencyGraph::Build(p);
+  EXPECT_NE(edg.NodeOf(Sig("p", 1)), edg.NodeOf(Sig("p", 2)));
+  EXPECT_EQ(edg.nodes().size(), 3u);
+}
+
+TEST_F(DepGraphTest, DuplicateEdgesCollapse) {
+  const Program p = MustParse("h :- a, b. g :- a, b.");
+  const ExtendedDependencyGraph edg = ExtendedDependencyGraph::Build(p);
+  // EP1 has exactly one a—b edge despite two co-occurrences.
+  size_t ab = 0;
+  const NodeId a = edg.NodeOf(Sig("a", 0));
+  for (const UndirectedGraph::Edge& e : edg.ep1().Neighbors(a)) {
+    if (e.to == edg.NodeOf(Sig("b", 0))) ++ab;
+  }
+  EXPECT_EQ(ab, 1u);
+}
+
+// Figure 2 of the paper: the extended dependency graph of Listing 1.
+TEST_F(DepGraphTest, PaperFigure2) {
+  StatusOr<Program> p =
+      MakeTrafficProgram(symbols_, TrafficProgramVariant::kP, false);
+  ASSERT_TRUE(p.ok());
+  const ExtendedDependencyGraph edg = ExtendedDependencyGraph::Build(*p);
+  EXPECT_EQ(edg.nodes().size(), 11u);
+
+  const NodeId avg = edg.NodeOf(Sig("average_speed", 2));
+  const NodeId vss = edg.NodeOf(Sig("very_slow_speed", 1));
+  const NodeId cn = edg.NodeOf(Sig("car_number", 2));
+  const NodeId mc = edg.NodeOf(Sig("many_cars", 1));
+  const NodeId tl = edg.NodeOf(Sig("traffic_light", 1));
+  const NodeId tj = edg.NodeOf(Sig("traffic_jam", 1));
+  const NodeId cis = edg.NodeOf(Sig("car_in_smoke", 2));
+  const NodeId cs = edg.NodeOf(Sig("car_speed", 2));
+  const NodeId cl = edg.NodeOf(Sig("car_location", 2));
+  const NodeId cf = edg.NodeOf(Sig("car_fire", 1));
+  const NodeId gn = edg.NodeOf(Sig("give_notification", 1));
+
+  // EP2: derivation arrows.
+  EXPECT_TRUE(edg.ep2().HasEdge(avg, vss));
+  EXPECT_TRUE(edg.ep2().HasEdge(cn, mc));
+  EXPECT_TRUE(edg.ep2().HasEdge(vss, tj));
+  EXPECT_TRUE(edg.ep2().HasEdge(mc, tj));
+  EXPECT_TRUE(edg.ep2().HasEdge(tl, tj));
+  EXPECT_TRUE(edg.ep2().HasEdge(cis, cf));
+  EXPECT_TRUE(edg.ep2().HasEdge(cs, cf));
+  EXPECT_TRUE(edg.ep2().HasEdge(cl, cf));
+  EXPECT_TRUE(edg.ep2().HasEdge(tj, gn));
+  EXPECT_TRUE(edg.ep2().HasEdge(cf, gn));
+
+  // EP1: body co-occurrence (r3 and r4 triangles).
+  EXPECT_TRUE(edg.ep1().HasEdge(vss, mc));
+  EXPECT_TRUE(edg.ep1().HasEdge(vss, tl));
+  EXPECT_TRUE(edg.ep1().HasEdge(mc, tl));
+  EXPECT_TRUE(edg.ep1().HasEdge(cis, cs));
+  EXPECT_TRUE(edg.ep1().HasEdge(cis, cl));
+  EXPECT_TRUE(edg.ep1().HasEdge(cs, cl));
+  EXPECT_TRUE(edg.ep1().HasSelfLoop(tl));  // not traffic_light in r3.
+
+  // Nothing connects the two rule families in EP1.
+  EXPECT_FALSE(edg.ep1().HasEdge(vss, cis));
+  EXPECT_FALSE(edg.ep1().HasEdge(mc, cf));
+}
+
+TEST_F(DepGraphTest, ToDotMentionsAllNodes) {
+  const Program p = MustParse("h :- a, not b.");
+  const ExtendedDependencyGraph edg = ExtendedDependencyGraph::Build(p);
+  const std::string dot = edg.ToDot(*symbols_);
+  EXPECT_NE(dot.find("label=\"h\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"a\""), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+}
+
+// ---------------------------------------- Input dependency graph (Def 2).
+
+class InputDepGraphTest : public DepGraphTest {};
+
+TEST_F(InputDepGraphTest, ConditionIDirectBodyCoOccurrence) {
+  const Program p = MustParse(R"(
+    #input a/0, b/0.
+    h :- a, b.
+  )");
+  StatusOr<InputDependencyGraph> idg = InputDependencyGraph::Build(p);
+  ASSERT_TRUE(idg.ok()) << idg.status();
+  EXPECT_TRUE(idg->Depends(Sig("a", 0), Sig("b", 0)));
+}
+
+TEST_F(InputDepGraphTest, ConditionIiThroughDerivationChains) {
+  // a feeds u, b feeds v, u and v co-occur: a depends on b.
+  const Program p = MustParse(R"(
+    #input a/0, b/0.
+    u :- a.
+    v :- b.
+    h :- u, v.
+  )");
+  StatusOr<InputDependencyGraph> idg = InputDependencyGraph::Build(p);
+  ASSERT_TRUE(idg.ok());
+  EXPECT_TRUE(idg->Depends(Sig("a", 0), Sig("b", 0)));
+}
+
+TEST_F(InputDepGraphTest, ConditionIiWithAsymmetricPathLengths) {
+  // Long chain on one side only.
+  const Program p = MustParse(R"(
+    #input a/0, b/0.
+    u1 :- a.
+    u2 :- u1.
+    u3 :- u2.
+    h :- u3, b.
+  )");
+  StatusOr<InputDependencyGraph> idg = InputDependencyGraph::Build(p);
+  ASSERT_TRUE(idg.ok());
+  EXPECT_TRUE(idg->Depends(Sig("a", 0), Sig("b", 0)));
+}
+
+TEST_F(InputDepGraphTest, IndependentChainsStayDisconnected) {
+  const Program p = MustParse(R"(
+    #input a/0, b/0.
+    u :- a.
+    v :- b.
+  )");
+  StatusOr<InputDependencyGraph> idg = InputDependencyGraph::Build(p);
+  ASSERT_TRUE(idg.ok());
+  EXPECT_FALSE(idg->Depends(Sig("a", 0), Sig("b", 0)));
+}
+
+TEST_F(InputDepGraphTest, SelfLoopFromOwnNegativeOccurrence) {
+  const Program p = MustParse(R"(
+    #input a/0, t/0.
+    h :- a, not t.
+  )");
+  StatusOr<InputDependencyGraph> idg = InputDependencyGraph::Build(p);
+  ASSERT_TRUE(idg.ok());
+  EXPECT_TRUE(idg->Depends(Sig("t", 0), Sig("t", 0)));
+  EXPECT_FALSE(idg->Depends(Sig("a", 0), Sig("a", 0)));
+}
+
+TEST_F(InputDepGraphTest, ConditionIiiPropagatesSelfLoopsOneStep) {
+  // input `a` directly feeds u; u occurs negatively (u has an EP1
+  // self-loop) => a gets a self-loop.
+  const Program p = MustParse(R"(
+    #input a/0, c/0.
+    u :- a.
+    h :- c, not u.
+  )");
+  StatusOr<InputDependencyGraph> idg = InputDependencyGraph::Build(p);
+  ASSERT_TRUE(idg.ok());
+  EXPECT_TRUE(idg->Depends(Sig("a", 0), Sig("a", 0)));
+}
+
+TEST_F(InputDepGraphTest, ConditionIiiDirectOnlyByDefault) {
+  // a feeds u only through w (no direct EP2 edge a->u): the paper's
+  // condition (iii) does not fire, the transitive option does.
+  const std::string text = R"(
+    #input a/0, c/0.
+    w :- a.
+    u :- w.
+    h :- c, not u.
+  )";
+  const Program p1 = MustParse(text);
+  StatusOr<InputDependencyGraph> strict = InputDependencyGraph::Build(p1);
+  ASSERT_TRUE(strict.ok());
+  EXPECT_FALSE(strict->Depends(Sig("a", 0), Sig("a", 0)));
+
+  InputDependencyOptions transitive;
+  transitive.transitive_self_loop_propagation = true;
+  StatusOr<InputDependencyGraph> loose =
+      InputDependencyGraph::Build(p1, transitive);
+  ASSERT_TRUE(loose.ok());
+  EXPECT_TRUE(loose->Depends(Sig("a", 0), Sig("a", 0)));
+}
+
+TEST_F(InputDepGraphTest, RejectsEmptyInputSet) {
+  const Program p = MustParse("h :- a.");
+  EXPECT_EQ(InputDependencyGraph::Build(p).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(InputDepGraphTest, RejectsUnknownInputPredicate) {
+  Program p = MustParse("h :- a.");
+  p.DeclareInputPredicate(Sig("ghost", 1));
+  EXPECT_EQ(InputDependencyGraph::Build(p).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// Figure 3: input dependency graph of P.
+TEST_F(InputDepGraphTest, PaperFigure3) {
+  StatusOr<Program> p =
+      MakeTrafficProgram(symbols_, TrafficProgramVariant::kP, false);
+  ASSERT_TRUE(p.ok());
+  StatusOr<InputDependencyGraph> idg = InputDependencyGraph::Build(*p);
+  ASSERT_TRUE(idg.ok());
+
+  const PredicateSignature avg = Sig("average_speed", 2);
+  const PredicateSignature cn = Sig("car_number", 2);
+  const PredicateSignature tl = Sig("traffic_light", 1);
+  const PredicateSignature cis = Sig("car_in_smoke", 2);
+  const PredicateSignature cs = Sig("car_speed", 2);
+  const PredicateSignature cl = Sig("car_location", 2);
+
+  // Left triangle.
+  EXPECT_TRUE(idg->Depends(avg, cn));
+  EXPECT_TRUE(idg->Depends(avg, tl));
+  EXPECT_TRUE(idg->Depends(cn, tl));
+  // Self-loop on traffic_light.
+  EXPECT_TRUE(idg->Depends(tl, tl));
+  // Right triangle.
+  EXPECT_TRUE(idg->Depends(cis, cs));
+  EXPECT_TRUE(idg->Depends(cis, cl));
+  EXPECT_TRUE(idg->Depends(cs, cl));
+  // No cross edges.
+  for (const PredicateSignature& left : {avg, cn, tl}) {
+    for (const PredicateSignature& right : {cis, cs, cl}) {
+      EXPECT_FALSE(idg->Depends(left, right));
+    }
+  }
+}
+
+// Figure 4: the graph of P' is connected through car_number.
+TEST_F(InputDepGraphTest, PaperFigure4) {
+  StatusOr<Program> p =
+      MakeTrafficProgram(symbols_, TrafficProgramVariant::kPPrime, false);
+  ASSERT_TRUE(p.ok());
+  StatusOr<InputDependencyGraph> idg = InputDependencyGraph::Build(*p);
+  ASSERT_TRUE(idg.ok());
+
+  const PredicateSignature cn = Sig("car_number", 2);
+  EXPECT_TRUE(idg->Depends(cn, Sig("car_in_smoke", 2)));
+  EXPECT_TRUE(idg->Depends(cn, Sig("car_speed", 2)));
+  EXPECT_TRUE(idg->Depends(cn, Sig("car_location", 2)));
+  // average_speed still has no direct edge to the car-fire side.
+  EXPECT_FALSE(idg->Depends(Sig("average_speed", 2), Sig("car_speed", 2)));
+}
+
+}  // namespace
+}  // namespace streamasp

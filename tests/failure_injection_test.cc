@@ -1,0 +1,206 @@
+// Failure-injection and edge-condition tests for the streaming pipeline:
+// inconsistent partition programs, malformed stream items, resource
+// limits, arity conflicts, and empty/degenerate windows.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "asp/parser.h"
+#include "depgraph/decomposition.h"
+#include "streamrule/accuracy.h"
+#include "streamrule/parallel_reasoner.h"
+#include "streamrule/random_partitioner.h"
+#include "streamrule/traffic_workload.h"
+
+namespace streamasp {
+namespace {
+
+class FailureInjectionTest : public ::testing::Test {
+ protected:
+  FailureInjectionTest() : symbols_(MakeSymbolTable()), parser_(symbols_) {}
+
+  Atom A(const std::string& text) {
+    StatusOr<Atom> atom = parser_.ParseGroundAtom(text);
+    EXPECT_TRUE(atom.ok()) << atom.status();
+    return std::move(atom).value();
+  }
+
+  SymbolTablePtr symbols_;
+  Parser parser_;
+};
+
+TEST_F(FailureInjectionTest, InconsistentWindowYieldsNoAnswers) {
+  // The constraint fires on the window content: no stable model.
+  StatusOr<Program> program = parser_.ParseProgram(R"(
+    #input reading/2.
+    broken :- reading(S, V), V > 100.
+    :- broken.
+  )");
+  ASSERT_TRUE(program.ok());
+  Reasoner reasoner(&*program);
+  StatusOr<ReasonerResult> result =
+      reasoner.ProcessFacts({A("reading(s1, 500)")});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->answers.empty());
+}
+
+TEST_F(FailureInjectionTest, OneInconsistentPartitionPoisonsTheCombination) {
+  // Partition 1 is inconsistent; the combining handler's cross product is
+  // empty — exactly the paper's Ans_P(W) formula.
+  StatusOr<Program> program = parser_.ParseProgram(R"(
+    #input good/1, bad/1.
+    ok(X) :- good(X).
+    :- bad(X).
+  )");
+  ASSERT_TRUE(program.ok());
+  PartitioningPlan plan(2);
+  plan.Assign(PredicateSignature{symbols_->Intern("good"), 1}, 0);
+  plan.Assign(PredicateSignature{symbols_->Intern("bad"), 1}, 1);
+  ParallelReasoner pr(&*program, plan);
+  StatusOr<ParallelReasonerResult> result =
+      pr.ProcessFacts({A("good(1)"), A("bad(2)")});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->answers.empty());
+  // Against a reference with answers, accuracy collapses to 0.
+  EXPECT_DOUBLE_EQ(MeanAccuracy(result->answers, {{A("good(1)")}}), 0.0);
+}
+
+TEST_F(FailureInjectionTest, UndeclaredStreamPredicateFailsConversion) {
+  StatusOr<Program> program =
+      MakeTrafficProgram(symbols_, TrafficProgramVariant::kP, false);
+  ASSERT_TRUE(program.ok());
+  Reasoner reasoner(&*program);
+  TripleWindow window;
+  window.items = {Triple{Term::Integer(1), symbols_->Intern("mystery"),
+                         Term::Integer(2)}};
+  EXPECT_EQ(reasoner.Process(window).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(FailureInjectionTest, ProcessFactsBypassesTripleArityLimit) {
+  // Arity-3 input predicates cannot travel as triples but work as facts.
+  StatusOr<Program> program = parser_.ParseProgram(R"(
+    #input gps/3.
+    seen(V) :- gps(V, X, Y), X > 0, Y > 0.
+  )");
+  ASSERT_TRUE(program.ok());
+  Reasoner reasoner(&*program);
+  StatusOr<ReasonerResult> result =
+      reasoner.ProcessFacts({A("gps(car1, 3, 4)")});
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->answers.size(), 1u);
+  EXPECT_EQ(result->answers[0].size(), 2u);  // gps fact + seen(car1).
+}
+
+TEST_F(FailureInjectionTest, SolverDecisionLimitSurfacesThroughReasoner) {
+  StatusOr<Program> program = parser_.ParseProgram(R"(
+    #input seed/1.
+    a(X) :- seed(X), not b(X).
+    b(X) :- seed(X), not a(X).
+  )");
+  ASSERT_TRUE(program.ok());
+  ReasonerOptions options;
+  options.solving.max_decisions = 2;
+  Reasoner reasoner(&*program, options);
+  std::vector<Atom> window;
+  for (int i = 0; i < 10; ++i) {
+    window.push_back(A("seed(" + std::to_string(i) + ")"));
+  }
+  EXPECT_EQ(reasoner.ProcessFacts(window).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST_F(FailureInjectionTest, GrounderRuleLimitSurfacesThroughReasoner) {
+  StatusOr<Program> program = parser_.ParseProgram(R"(
+    #input n/1.
+    count(s(X)) :- count(X).
+    count(X) :- n(X).
+  )");
+  ASSERT_TRUE(program.ok());
+  ReasonerOptions options;
+  options.grounding.max_ground_rules = 50;
+  Reasoner reasoner(&*program, options);
+  EXPECT_EQ(reasoner.ProcessFacts({A("n(0)")}).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST_F(FailureInjectionTest, ManyAnswerSetsHitCombiningCap) {
+  // Each partition's program has 2^4 = 16 answer sets; the default
+  // combining cap (256) binds at 16 * 16 = 256.
+  StatusOr<Program> program = parser_.ParseProgram(R"(
+    #input l/1, r/1.
+    pick(X) :- l(X), not drop(X).
+    drop(X) :- l(X), not pick(X).
+    pick(X) :- r(X), not drop(X).
+    drop(X) :- r(X), not pick(X).
+  )");
+  ASSERT_TRUE(program.ok());
+  PartitioningPlan plan(2);
+  plan.Assign(PredicateSignature{symbols_->Intern("l"), 1}, 0);
+  plan.Assign(PredicateSignature{symbols_->Intern("r"), 1}, 1);
+  ParallelReasonerOptions options;
+  options.combining.max_combined_answers = 32;
+  ParallelReasoner pr(&*program, plan, options);
+  std::vector<Atom> window;
+  for (int i = 0; i < 4; ++i) {
+    window.push_back(A("l(" + std::to_string(i) + ")"));
+    window.push_back(A("r(" + std::to_string(100 + i) + ")"));
+  }
+  StatusOr<ParallelReasonerResult> result = pr.ProcessFacts(window);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->answers.size(), 32u);
+  EXPECT_GT(result->answers.size(), 0u);
+}
+
+TEST_F(FailureInjectionTest, EmptyPartitionsAreHarmless) {
+  StatusOr<Program> program =
+      MakeTrafficProgram(symbols_, TrafficProgramVariant::kP, false);
+  ASSERT_TRUE(program.ok());
+  StatusOr<InputDependencyGraph> graph = InputDependencyGraph::Build(*program);
+  StatusOr<PartitioningPlan> plan = DecomposeInputDependencyGraph(*graph);
+  ASSERT_TRUE(plan.ok());
+  ParallelReasoner pr(&*program, *plan);
+  // A window with only location-family items: the car-fire partition is
+  // empty but must still produce its (empty-window) answer.
+  StatusOr<ParallelReasonerResult> result = pr.ProcessFacts(
+      {A("average_speed(9, 10)"), A("car_number(9, 50)")});
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->answers.size(), 1u);
+  // traffic_jam(9) derived despite one partition being empty.
+  bool found = false;
+  for (const Atom& atom : result->answers[0]) {
+    if (symbols_->NameOf(atom.predicate()) == "traffic_jam") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(FailureInjectionTest, RandomPartitionOfEmptyWindow) {
+  RandomPartitioner partitioner(3, 1);
+  const auto partitions = partitioner.PartitionFacts({});
+  ASSERT_EQ(partitions.size(), 3u);
+  for (const auto& p : partitions) EXPECT_TRUE(p.empty());
+}
+
+TEST_F(FailureInjectionTest, NonDeterministicPartitionsCrossProduct) {
+  // Two partitions x two answer sets each -> four combined answers.
+  StatusOr<Program> program = parser_.ParseProgram(R"(
+    #input l/1, r/1.
+    la :- l(X), not lb.
+    lb :- l(X), not la.
+    ra :- r(X), not rb.
+    rb :- r(X), not ra.
+  )");
+  ASSERT_TRUE(program.ok());
+  PartitioningPlan plan(2);
+  plan.Assign(PredicateSignature{symbols_->Intern("l"), 1}, 0);
+  plan.Assign(PredicateSignature{symbols_->Intern("r"), 1}, 1);
+  ParallelReasoner pr(&*program, plan);
+  StatusOr<ParallelReasonerResult> result =
+      pr.ProcessFacts({A("l(1)"), A("r(2)")});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->answers.size(), 4u);
+}
+
+}  // namespace
+}  // namespace streamasp

@@ -1,0 +1,224 @@
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/components.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace streamasp {
+namespace {
+
+// ------------------------------------------------------ UndirectedGraph.
+
+TEST(UndirectedGraphTest, AddNodesAndEdges) {
+  UndirectedGraph g(3);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2, 2.5);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+}
+
+TEST(UndirectedGraphTest, AddNodeGrows) {
+  UndirectedGraph g;
+  EXPECT_EQ(g.AddNode(), 0u);
+  EXPECT_EQ(g.AddNode(), 1u);
+  EXPECT_EQ(g.num_nodes(), 2u);
+}
+
+TEST(UndirectedGraphTest, SelfLoops) {
+  UndirectedGraph g(2);
+  EXPECT_FALSE(g.HasSelfLoop(0));
+  g.AddEdge(0, 0, 3.0);
+  EXPECT_TRUE(g.HasSelfLoop(0));
+  EXPECT_TRUE(g.HasEdge(0, 0));
+  EXPECT_DOUBLE_EQ(g.SelfLoopWeight(0), 3.0);
+  EXPECT_FALSE(g.HasSelfLoop(1));
+  // Self-loops are not in the neighbor list.
+  EXPECT_TRUE(g.Neighbors(0).empty());
+}
+
+TEST(UndirectedGraphTest, TotalWeightCountsLoopsOnce) {
+  UndirectedGraph g(3);
+  g.AddEdge(0, 1, 2.0);
+  g.AddEdge(2, 2, 5.0);
+  EXPECT_DOUBLE_EQ(g.TotalWeight(), 7.0);
+}
+
+TEST(UndirectedGraphTest, WeightedDegreeCountsLoopsTwice) {
+  UndirectedGraph g(2);
+  g.AddEdge(0, 1, 2.0);
+  g.AddEdge(0, 0, 1.5);
+  EXPECT_DOUBLE_EQ(g.WeightedDegree(0), 2.0 + 3.0);
+  EXPECT_DOUBLE_EQ(g.WeightedDegree(1), 2.0);
+}
+
+TEST(UndirectedGraphTest, ParallelEdgesAccumulate) {
+  UndirectedGraph g(2);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(0, 1, 2.0);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_DOUBLE_EQ(g.WeightedDegree(0), 3.0);
+}
+
+// --------------------------------------------------------------- Digraph.
+
+TEST(DigraphTest, EdgesAndAdjacency) {
+  Digraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+  EXPECT_EQ(g.Successors(1).size(), 1u);
+  EXPECT_EQ(g.Predecessors(1).size(), 1u);
+}
+
+TEST(DigraphTest, ReachabilityIncludesSelf) {
+  Digraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  const std::vector<NodeId> reachable = g.ReachableFrom(0);
+  EXPECT_EQ(reachable, (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_EQ(g.ReachableFrom(3), (std::vector<NodeId>{3}));
+}
+
+TEST(DigraphTest, ReachabilityFollowsDirection) {
+  Digraph g(3);
+  g.AddEdge(1, 0);
+  const std::vector<bool> set = g.ReachableSetFrom(0);
+  EXPECT_TRUE(set[0]);
+  EXPECT_FALSE(set[1]);
+}
+
+TEST(DigraphTest, ReachabilityHandlesCycles) {
+  Digraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  g.AddEdge(1, 2);
+  EXPECT_EQ(g.ReachableFrom(0).size(), 3u);
+}
+
+// -------------------------------------------------- Connected components.
+
+TEST(ConnectedComponentsTest, TwoIslands) {
+  UndirectedGraph g(5);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(3, 4);
+  const ComponentAssignment c = ConnectedComponents(g);
+  EXPECT_EQ(c.num_components, 2);
+  EXPECT_EQ(c.component_of[0], c.component_of[2]);
+  EXPECT_NE(c.component_of[0], c.component_of[3]);
+  const auto groups = c.Groups();
+  EXPECT_EQ(groups[0], (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_EQ(groups[1], (std::vector<NodeId>{3, 4}));
+}
+
+TEST(ConnectedComponentsTest, IsolatedNodesAreSingletons) {
+  UndirectedGraph g(3);
+  EXPECT_EQ(ConnectedComponents(g).num_components, 3);
+}
+
+TEST(ConnectedComponentsTest, SelfLoopsDoNotConnect) {
+  UndirectedGraph g(2);
+  g.AddEdge(0, 0);
+  EXPECT_EQ(ConnectedComponents(g).num_components, 2);
+}
+
+TEST(IsConnectedTest, Cases) {
+  UndirectedGraph empty;
+  EXPECT_TRUE(IsConnected(empty));
+  UndirectedGraph single(1);
+  EXPECT_TRUE(IsConnected(single));
+  UndirectedGraph pair(2);
+  EXPECT_FALSE(IsConnected(pair));
+  pair.AddEdge(0, 1);
+  EXPECT_TRUE(IsConnected(pair));
+}
+
+// ------------------------------------------------------------------ SCC.
+
+TEST(SccTest, ChainIsTopologicallyNumbered) {
+  Digraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  const ComponentAssignment c = StronglyConnectedComponents(g);
+  EXPECT_EQ(c.num_components, 3);
+  EXPECT_LT(c.component_of[0], c.component_of[1]);
+  EXPECT_LT(c.component_of[1], c.component_of[2]);
+}
+
+TEST(SccTest, CycleCollapses) {
+  Digraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 0);
+  g.AddEdge(2, 3);
+  const ComponentAssignment c = StronglyConnectedComponents(g);
+  EXPECT_EQ(c.num_components, 2);
+  EXPECT_EQ(c.component_of[0], c.component_of[1]);
+  EXPECT_EQ(c.component_of[0], c.component_of[2]);
+  EXPECT_LT(c.component_of[0], c.component_of[3]);
+}
+
+TEST(SccTest, SelfLoopIsItsOwnScc) {
+  Digraph g(2);
+  g.AddEdge(0, 0);
+  g.AddEdge(0, 1);
+  const ComponentAssignment c = StronglyConnectedComponents(g);
+  EXPECT_EQ(c.num_components, 2);
+}
+
+// Property: on random digraphs, every cross-component edge respects the
+// topological numbering, and nodes on a common cycle share a component.
+class SccPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SccPropertyTest, CrossEdgesRespectTopologicalOrder) {
+  Rng rng(GetParam());
+  const NodeId n = 2 + static_cast<NodeId>(rng.NextBounded(40));
+  Digraph g(n);
+  const size_t edges = rng.NextBounded(3 * n);
+  for (size_t i = 0; i < edges; ++i) {
+    g.AddEdge(static_cast<NodeId>(rng.NextBounded(n)),
+              static_cast<NodeId>(rng.NextBounded(n)));
+  }
+  const ComponentAssignment c = StronglyConnectedComponents(g);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : g.Successors(u)) {
+      EXPECT_LE(c.component_of[u], c.component_of[v])
+          << "edge " << u << "->" << v << " violates topological order";
+    }
+  }
+}
+
+TEST_P(SccPropertyTest, MutuallyReachableNodesShareComponent) {
+  Rng rng(GetParam() ^ 0xABCDEF);
+  const NodeId n = 2 + static_cast<NodeId>(rng.NextBounded(25));
+  Digraph g(n);
+  const size_t edges = rng.NextBounded(3 * n);
+  for (size_t i = 0; i < edges; ++i) {
+    g.AddEdge(static_cast<NodeId>(rng.NextBounded(n)),
+              static_cast<NodeId>(rng.NextBounded(n)));
+  }
+  const ComponentAssignment c = StronglyConnectedComponents(g);
+  for (NodeId u = 0; u < n; ++u) {
+    const std::vector<bool> from_u = g.ReachableSetFrom(u);
+    for (NodeId v = 0; v < n; ++v) {
+      const std::vector<bool> from_v = g.ReachableSetFrom(v);
+      const bool mutually = from_u[v] && from_v[u];
+      EXPECT_EQ(mutually, c.component_of[u] == c.component_of[v])
+          << "nodes " << u << ", " << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, SccPropertyTest,
+                         ::testing::Range<uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace streamasp

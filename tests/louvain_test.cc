@@ -1,0 +1,171 @@
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/louvain.h"
+#include "util/rng.h"
+
+namespace streamasp {
+namespace {
+
+/// Two k-cliques joined by one bridge edge — the canonical community
+/// structure.
+UndirectedGraph TwoCliques(NodeId clique_size) {
+  UndirectedGraph g(2 * clique_size);
+  for (NodeId base : {NodeId{0}, clique_size}) {
+    for (NodeId i = 0; i < clique_size; ++i) {
+      for (NodeId j = i + 1; j < clique_size; ++j) {
+        g.AddEdge(base + i, base + j);
+      }
+    }
+  }
+  g.AddEdge(0, clique_size);  // Bridge.
+  return g;
+}
+
+TEST(ModularityTest, SingletonPartitionOfCliqueIsNegativeOrZero) {
+  const UndirectedGraph g = TwoCliques(4);
+  std::vector<int> singletons(g.num_nodes());
+  for (size_t i = 0; i < singletons.size(); ++i) {
+    singletons[i] = static_cast<int>(i);
+  }
+  EXPECT_LE(Modularity(g, singletons, 1.0), 0.0);
+}
+
+TEST(ModularityTest, GoodSplitBeatsOnePartition) {
+  const UndirectedGraph g = TwoCliques(4);
+  std::vector<int> one(g.num_nodes(), 0);
+  std::vector<int> split(g.num_nodes(), 0);
+  for (NodeId i = 4; i < 8; ++i) split[i] = 1;
+  EXPECT_GT(Modularity(g, split, 1.0), Modularity(g, one, 1.0));
+}
+
+TEST(ModularityTest, EmptyGraphIsZero) {
+  UndirectedGraph g(3);
+  EXPECT_DOUBLE_EQ(Modularity(g, {0, 0, 0}, 1.0), 0.0);
+}
+
+TEST(ModularityTest, SelfLoopsEnterTheFormula) {
+  UndirectedGraph g(2);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(0, 0, 1.0);
+  // Just exercising the code path: value must be finite and <= 1.
+  const double q = Modularity(g, {0, 1}, 1.0);
+  EXPECT_LE(q, 1.0);
+  EXPECT_GE(q, -1.0);
+}
+
+TEST(LouvainTest, SplitsTwoCliques) {
+  const UndirectedGraph g = TwoCliques(5);
+  const ComponentAssignment c = LouvainCommunities(g);
+  EXPECT_EQ(c.num_components, 2);
+  // Each clique must be uniform.
+  for (NodeId i = 1; i < 5; ++i) {
+    EXPECT_EQ(c.component_of[i], c.component_of[0]);
+  }
+  for (NodeId i = 6; i < 10; ++i) {
+    EXPECT_EQ(c.component_of[i], c.component_of[5]);
+  }
+  EXPECT_NE(c.component_of[0], c.component_of[5]);
+}
+
+TEST(LouvainTest, DisconnectedComponentsNeverMerge) {
+  UndirectedGraph g(6);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(3, 4);
+  g.AddEdge(4, 5);
+  const ComponentAssignment c = LouvainCommunities(g);
+  EXPECT_GE(c.num_components, 2);
+  EXPECT_NE(c.component_of[0], c.component_of[3]);
+}
+
+TEST(LouvainTest, EmptyAndTinyGraphs) {
+  UndirectedGraph empty;
+  EXPECT_EQ(LouvainCommunities(empty).num_components, 0);
+
+  UndirectedGraph single(1);
+  const ComponentAssignment c1 = LouvainCommunities(single);
+  EXPECT_EQ(c1.num_components, 1);
+
+  UndirectedGraph isolated(3);  // No edges: every node its own community.
+  EXPECT_EQ(LouvainCommunities(isolated).num_components, 3);
+}
+
+TEST(LouvainTest, DeterministicAcrossRuns) {
+  const UndirectedGraph g = TwoCliques(6);
+  const ComponentAssignment a = LouvainCommunities(g);
+  const ComponentAssignment b = LouvainCommunities(g);
+  EXPECT_EQ(a.component_of, b.component_of);
+}
+
+TEST(LouvainTest, ImprovesModularityOverSingletons) {
+  const UndirectedGraph g = TwoCliques(4);
+  std::vector<int> singletons(g.num_nodes());
+  for (size_t i = 0; i < singletons.size(); ++i) {
+    singletons[i] = static_cast<int>(i);
+  }
+  const ComponentAssignment c = LouvainCommunities(g);
+  EXPECT_GE(Modularity(g, c.component_of, 1.0),
+            Modularity(g, singletons, 1.0));
+}
+
+TEST(LouvainTest, HighResolutionYieldsMoreCommunities) {
+  // A ring of 4 small cliques: low resolution merges them, high splits.
+  UndirectedGraph g(12);
+  for (int c = 0; c < 4; ++c) {
+    const NodeId base = static_cast<NodeId>(3 * c);
+    g.AddEdge(base, base + 1);
+    g.AddEdge(base + 1, base + 2);
+    g.AddEdge(base, base + 2);
+  }
+  for (int c = 0; c < 4; ++c) {
+    g.AddEdge(static_cast<NodeId>(3 * c),
+              static_cast<NodeId>((3 * c + 3) % 12));
+  }
+  LouvainOptions low;
+  low.resolution = 0.05;
+  LouvainOptions high;
+  high.resolution = 2.0;
+  EXPECT_LE(LouvainCommunities(g, low).num_components,
+            LouvainCommunities(g, high).num_components);
+}
+
+TEST(LouvainTest, WeightsMatter) {
+  // Path a-b-c where a-b is heavy and b-c is light: b must join a.
+  UndirectedGraph g(4);
+  g.AddEdge(0, 1, 10.0);
+  g.AddEdge(1, 2, 0.1);
+  g.AddEdge(2, 3, 10.0);
+  const ComponentAssignment c = LouvainCommunities(g);
+  EXPECT_EQ(c.component_of[0], c.component_of[1]);
+  EXPECT_EQ(c.component_of[2], c.component_of[3]);
+  EXPECT_NE(c.component_of[0], c.component_of[2]);
+}
+
+// Property: on random graphs Louvain never crosses connected components
+// and always produces a compacted labeling 0..k-1.
+class LouvainPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LouvainPropertyTest, LabelsAreCompact) {
+  Rng rng(GetParam());
+  const NodeId n = 2 + static_cast<NodeId>(rng.NextBounded(30));
+  UndirectedGraph g(n);
+  const size_t edges = rng.NextBounded(2 * n);
+  for (size_t i = 0; i < edges; ++i) {
+    g.AddEdge(static_cast<NodeId>(rng.NextBounded(n)),
+              static_cast<NodeId>(rng.NextBounded(n)));
+  }
+  const ComponentAssignment c = LouvainCommunities(g);
+  std::set<int> labels(c.component_of.begin(), c.component_of.end());
+  EXPECT_EQ(static_cast<int>(labels.size()), c.num_components);
+  EXPECT_EQ(*labels.begin(), 0);
+  EXPECT_EQ(*labels.rbegin(), c.num_components - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, LouvainPropertyTest,
+                         ::testing::Range<uint64_t>(100, 110));
+
+}  // namespace
+}  // namespace streamasp

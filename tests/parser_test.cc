@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include "asp/parser.h"
+
+namespace streamasp {
+namespace {
+
+class ParserTest : public ::testing::Test {
+ protected:
+  ParserTest() : symbols_(MakeSymbolTable()), parser_(symbols_) {}
+
+  Program MustParse(const std::string& text) {
+    StatusOr<Program> program = parser_.ParseProgram(text);
+    EXPECT_TRUE(program.ok()) << program.status();
+    return std::move(program).value();
+  }
+
+  Status ParseError(const std::string& text) {
+    StatusOr<Program> program = parser_.ParseProgram(text);
+    EXPECT_FALSE(program.ok()) << "expected failure for: " << text;
+    return program.ok() ? OkStatus() : program.status();
+  }
+
+  SymbolTablePtr symbols_;
+  Parser parser_;
+};
+
+TEST_F(ParserTest, EmptyProgram) {
+  EXPECT_TRUE(MustParse("").rules().empty());
+  EXPECT_TRUE(MustParse("  % only a comment\n").rules().empty());
+}
+
+TEST_F(ParserTest, SimpleFact) {
+  const Program p = MustParse("p(1).");
+  ASSERT_EQ(p.rules().size(), 1u);
+  EXPECT_TRUE(p.rules()[0].is_fact());
+}
+
+TEST_F(ParserTest, FactWithoutParens) {
+  const Program p = MustParse("sunny.");
+  EXPECT_EQ(p.rules()[0].head()[0].arity(), 0u);
+}
+
+TEST_F(ParserTest, RuleWithFullBody) {
+  const Program p = MustParse(
+      "traffic_jam(X) :- very_slow_speed(X), many_cars(X), "
+      "not traffic_light(X).");
+  const Rule& rule = p.rules()[0];
+  EXPECT_EQ(rule.head().size(), 1u);
+  EXPECT_EQ(rule.body().size(), 3u);
+  EXPECT_TRUE(rule.body()[2].is_negative_atom());
+}
+
+TEST_F(ParserTest, NegativeIntegers) {
+  const Program p = MustParse("p(-42).");
+  EXPECT_EQ(p.rules()[0].head()[0].args()[0].integer_value(), -42);
+}
+
+TEST_F(ParserTest, ComparisonOperators) {
+  const Program p = MustParse(
+      "a(X) :- b(X), X < 1. c(X) :- b(X), X <= 2. d(X) :- b(X), X > 3. "
+      "e(X) :- b(X), X >= 4. f(X) :- b(X), X == 5. g(X) :- b(X), X != 6. "
+      "h(X) :- b(X), X = 7.");
+  ASSERT_EQ(p.rules().size(), 7u);
+  EXPECT_EQ(p.rules()[0].body()[1].op(), ComparisonOp::kLess);
+  EXPECT_EQ(p.rules()[1].body()[1].op(), ComparisonOp::kLessEqual);
+  EXPECT_EQ(p.rules()[2].body()[1].op(), ComparisonOp::kGreater);
+  EXPECT_EQ(p.rules()[3].body()[1].op(), ComparisonOp::kGreaterEqual);
+  EXPECT_EQ(p.rules()[4].body()[1].op(), ComparisonOp::kEqual);
+  EXPECT_EQ(p.rules()[5].body()[1].op(), ComparisonOp::kNotEqual);
+  EXPECT_EQ(p.rules()[6].body()[1].op(), ComparisonOp::kEqual);
+}
+
+TEST_F(ParserTest, ComparisonBetweenTerms) {
+  const Program p = MustParse("a :- b(X, Y), X < Y.");
+  const Literal& cmp = p.rules()[0].body()[1];
+  EXPECT_TRUE(cmp.lhs().is_variable());
+  EXPECT_TRUE(cmp.rhs().is_variable());
+}
+
+TEST_F(ParserTest, DisjunctionWithPipeAndSemicolon) {
+  EXPECT_EQ(MustParse("a | b :- c.").rules()[0].head().size(), 2u);
+  EXPECT_EQ(MustParse("a ; b ; c :- d.").rules()[0].head().size(), 3u);
+}
+
+TEST_F(ParserTest, Constraint) {
+  const Program p = MustParse(":- a, not b.");
+  EXPECT_TRUE(p.rules()[0].is_constraint());
+}
+
+TEST_F(ParserTest, FunctionTerms) {
+  const Program p = MustParse("at(car1, pos(3, 4)).");
+  const Term& t = p.rules()[0].head()[0].args()[1];
+  ASSERT_TRUE(t.is_function());
+  EXPECT_EQ(t.args().size(), 2u);
+}
+
+TEST_F(ParserTest, QuotedStrings) {
+  const Program p = MustParse(R"(name(car1, "Fire Truck 7").)");
+  const Term& t = p.rules()[0].head()[0].args()[1];
+  ASSERT_TRUE(t.is_symbol());
+  EXPECT_EQ(symbols_->NameOf(t.symbol()), "\"Fire Truck 7\"");
+}
+
+TEST_F(ParserTest, QuotedStringDistinctFromPlainConstant) {
+  const Program p = MustParse(R"(p("abc"). q(abc).)");
+  EXPECT_NE(p.rules()[0].head()[0].args()[0],
+            p.rules()[1].head()[0].args()[0]);
+}
+
+TEST_F(ParserTest, AnonymousVariablesAreFresh) {
+  const Program p = MustParse("h(X) :- p(X, _), q(_, X).");
+  std::vector<SymbolId> vars;
+  p.rules()[0].body()[0].CollectVariables(&vars);
+  p.rules()[0].body()[1].CollectVariables(&vars);
+  // X, _1, _2, X — the two anonymous variables must differ.
+  ASSERT_EQ(vars.size(), 4u);
+  EXPECT_NE(vars[1], vars[2]);
+}
+
+TEST_F(ParserTest, CommentsAreIgnored) {
+  const Program p = MustParse(R"(
+    % leading comment
+    a. % trailing comment
+    % b. (commented out)
+    c.
+  )");
+  EXPECT_EQ(p.rules().size(), 2u);
+}
+
+TEST_F(ParserTest, InputDirective) {
+  const Program p = MustParse("#input p/2, q/1.\nh(X) :- p(X, Y), q(Y).");
+  ASSERT_EQ(p.input_predicates().size(), 2u);
+  EXPECT_EQ(p.input_predicates()[0].arity, 2u);
+  EXPECT_EQ(p.input_predicates()[1].arity, 1u);
+}
+
+TEST_F(ParserTest, ShowDirective) {
+  const Program p = MustParse("#show h/1.\nh(X) :- p(X).");
+  ASSERT_EQ(p.shown_predicates().size(), 1u);
+}
+
+TEST_F(ParserTest, VariablesStartUppercaseOrUnderscore) {
+  const Program p = MustParse("h(Xx, _y) :- p(Xx, _y).");
+  EXPECT_EQ(p.rules()[0].Variables().size(), 2u);
+}
+
+TEST_F(ParserTest, MultilineRule) {
+  const Program p = MustParse(R"(
+    give_notification(X) :-
+        traffic_jam(X).
+  )");
+  EXPECT_EQ(p.rules().size(), 1u);
+}
+
+// ------------------------------------------------------------- Errors.
+
+TEST_F(ParserTest, MissingDotFails) {
+  const Status status = ParseError("a :- b");
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ParserTest, UnterminatedStringFails) {
+  EXPECT_EQ(ParseError("p(\"oops).").code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ParserTest, UnknownDirectiveFails) {
+  EXPECT_EQ(ParseError("#frobnicate p/1.").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ParserTest, DanglingColonFails) {
+  EXPECT_EQ(ParseError("a : b.").code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ParserTest, EmptyRuleFails) {
+  EXPECT_EQ(ParseError(".").code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ParserTest, UnbalancedParenFails) {
+  EXPECT_EQ(ParseError("p(a.").code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ParserTest, BadSignatureFails) {
+  EXPECT_EQ(ParseError("#input p.").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseError("#input p/x.").code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ParserTest, ErrorsReportLineAndColumn) {
+  const Status status = ParseError("a.\nb :- ? .");
+  EXPECT_NE(status.message().find("2:"), std::string::npos) << status;
+}
+
+TEST_F(ParserTest, VariableAsPredicateFails) {
+  EXPECT_EQ(ParseError("X :- p.").code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------- Helper entrypoints.
+
+TEST_F(ParserTest, ParseGroundAtom) {
+  StatusOr<Atom> atom = parser_.ParseGroundAtom("average_speed(newcastle,10)");
+  ASSERT_TRUE(atom.ok());
+  EXPECT_EQ(atom->ToString(*symbols_), "average_speed(newcastle,10)");
+}
+
+TEST_F(ParserTest, ParseGroundAtomRejectsVariables) {
+  EXPECT_FALSE(parser_.ParseGroundAtom("p(X)").ok());
+}
+
+TEST_F(ParserTest, ParseGroundAtomRejectsTrailing) {
+  EXPECT_FALSE(parser_.ParseGroundAtom("p(1) q").ok());
+}
+
+TEST_F(ParserTest, ParseTermEntrypoint) {
+  StatusOr<Term> term = parser_.ParseTerm("f(g(1), x)");
+  ASSERT_TRUE(term.ok());
+  EXPECT_TRUE(term->is_function());
+  EXPECT_FALSE(parser_.ParseTerm("f(1) trailing").ok());
+}
+
+// Whole paper program parses and validates.
+TEST_F(ParserTest, PaperListing1Parses) {
+  const Program p = MustParse(R"(
+    very_slow_speed(X) :- average_speed(X, Y), Y < 20.
+    many_cars(X) :- car_number(X, Y), Y > 40.
+    traffic_jam(X) :- very_slow_speed(X), many_cars(X),
+                      not traffic_light(X).
+    car_fire(X) :- car_in_smoke(C, high), car_speed(C, 0),
+                   car_location(C, X).
+    give_notification(X) :- traffic_jam(X).
+    give_notification(X) :- car_fire(X).
+    #input average_speed/2, car_number/2, traffic_light/1,
+           car_in_smoke/2, car_speed/2, car_location/2.
+  )");
+  EXPECT_EQ(p.rules().size(), 6u);
+  EXPECT_EQ(p.input_predicates().size(), 6u);
+  EXPECT_TRUE(p.Validate().ok());
+}
+
+}  // namespace
+}  // namespace streamasp

@@ -1,0 +1,231 @@
+// Property-style suites over randomly generated programs and windows:
+// solver soundness (every reported model passes the from-first-principles
+// stable-model check), grounder/solver equivalence under simplification,
+// and partitioning invariants.
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "asp/parser.h"
+#include "depgraph/decomposition.h"
+#include "ground/grounder.h"
+#include "solve/solver.h"
+#include "streamrule/partitioning_handler.h"
+#include "streamrule/random_partitioner.h"
+#include "util/rng.h"
+
+namespace streamasp {
+namespace {
+
+/// Generates a small random normal program over atoms a0..a{n-1}:
+/// a mix of facts, positive rules, negated rules and constraints. The
+/// programs are propositional so the whole space is exercised cheaply.
+std::string RandomProgram(uint64_t seed) {
+  Rng rng(seed);
+  const int num_atoms = 3 + static_cast<int>(rng.NextBounded(5));
+  const int num_rules = 2 + static_cast<int>(rng.NextBounded(10));
+  std::string text;
+  auto atom = [&](int i) { return "a" + std::to_string(i); };
+  for (int r = 0; r < num_rules; ++r) {
+    const int kind = static_cast<int>(rng.NextBounded(10));
+    if (kind < 2) {
+      text += atom(static_cast<int>(rng.NextBounded(num_atoms))) + ".\n";
+      continue;
+    }
+    const bool constraint = kind == 9;
+    const int body_len = 1 + static_cast<int>(rng.NextBounded(3));
+    std::string body;
+    for (int b = 0; b < body_len; ++b) {
+      if (b > 0) body += ", ";
+      if (rng.NextBounded(3) == 0) body += "not ";
+      body += atom(static_cast<int>(rng.NextBounded(num_atoms)));
+    }
+    if (constraint) {
+      text += ":- " + body + ".\n";
+    } else {
+      text += atom(static_cast<int>(rng.NextBounded(num_atoms))) + " :- " +
+              body + ".\n";
+    }
+  }
+  return text;
+}
+
+class SolverSoundnessTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SolverSoundnessTest, EveryModelPassesStableCheck) {
+  SymbolTablePtr symbols = MakeSymbolTable();
+  Parser parser(symbols);
+  const std::string text = RandomProgram(GetParam());
+  StatusOr<Program> program = parser.ParseProgram(text);
+  ASSERT_TRUE(program.ok()) << text;
+
+  GroundingOptions raw;
+  raw.simplify = false;
+  Grounder grounder(raw);
+  StatusOr<GroundProgram> ground = grounder.Ground(*program);
+  ASSERT_TRUE(ground.ok()) << text;
+
+  SolverOptions options;
+  options.verify_models = false;  // The check below must pass on its own.
+  Solver solver(options);
+  StatusOr<std::vector<AnswerSet>> models = solver.Solve(*ground);
+  ASSERT_TRUE(models.ok()) << text;
+  for (const AnswerSet& model : *models) {
+    EXPECT_TRUE(IsStableModel(*ground, model.atoms))
+        << "non-stable model for program:\n"
+        << text;
+  }
+}
+
+TEST_P(SolverSoundnessTest, ModelsAreUniqueAndSorted) {
+  SymbolTablePtr symbols = MakeSymbolTable();
+  Parser parser(symbols);
+  StatusOr<Program> program = parser.ParseProgram(RandomProgram(GetParam()));
+  ASSERT_TRUE(program.ok());
+  Grounder grounder;
+  StatusOr<GroundProgram> ground = grounder.Ground(*program);
+  ASSERT_TRUE(ground.ok());
+  Solver solver;
+  StatusOr<std::vector<AnswerSet>> models = solver.Solve(*ground);
+  ASSERT_TRUE(models.ok());
+  std::set<std::vector<GroundAtomId>> seen;
+  for (const AnswerSet& model : *models) {
+    EXPECT_TRUE(std::is_sorted(model.atoms.begin(), model.atoms.end()));
+    EXPECT_TRUE(seen.insert(model.atoms).second)
+        << "duplicate answer set reported";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPrograms, SolverSoundnessTest,
+                         ::testing::Range<uint64_t>(0, 40));
+
+/// Simplified and raw grounding must describe the same answer sets.
+class SimplifyEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimplifyEquivalenceTest, SameModels) {
+  SymbolTablePtr symbols = MakeSymbolTable();
+  Parser parser(symbols);
+  const std::string text = RandomProgram(GetParam() ^ 0x5EED);
+  StatusOr<Program> program = parser.ParseProgram(text);
+  ASSERT_TRUE(program.ok());
+
+  auto solve_with = [&](bool simplify) {
+    GroundingOptions options;
+    options.simplify = simplify;
+    Grounder grounder(options);
+    StatusOr<GroundProgram> ground = grounder.Ground(*program);
+    EXPECT_TRUE(ground.ok());
+    Solver solver;
+    StatusOr<std::vector<AnswerSet>> models = solver.Solve(*ground);
+    EXPECT_TRUE(models.ok());
+    // Render as atom-string sets: atom ids differ between groundings.
+    std::set<std::set<std::string>> out;
+    for (const AnswerSet& model : *models) {
+      std::set<std::string> atoms;
+      for (GroundAtomId id : model.atoms) {
+        atoms.insert(ground->atoms().GetAtom(id).ToString(*symbols));
+      }
+      out.insert(std::move(atoms));
+    }
+    return out;
+  };
+
+  EXPECT_EQ(solve_with(true), solve_with(false)) << text;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPrograms, SimplifyEquivalenceTest,
+                         ::testing::Range<uint64_t>(0, 40));
+
+/// Partitioning invariants on random windows and plans.
+class PartitioningPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PartitioningPropertyTest, PlanPartitionCoversAndRespectsPlan) {
+  Rng rng(GetParam());
+  SymbolTablePtr symbols = MakeSymbolTable();
+
+  const int num_preds = 2 + static_cast<int>(rng.NextBounded(5));
+  const int num_communities = 1 + static_cast<int>(rng.NextBounded(3));
+  PartitioningPlan plan(num_communities);
+  std::vector<PredicateSignature> signatures;
+  for (int p = 0; p < num_preds; ++p) {
+    const PredicateSignature sig{
+        symbols->Intern("p" + std::to_string(p)), 1};
+    signatures.push_back(sig);
+    // Every predicate lands in >= 1 community; some get duplicated.
+    plan.Assign(sig, static_cast<int>(rng.NextBounded(num_communities)));
+    if (rng.NextBounded(4) == 0) {
+      plan.Assign(sig, static_cast<int>(rng.NextBounded(num_communities)));
+    }
+  }
+  PartitioningHandler handler(plan);
+
+  std::vector<Atom> window;
+  const size_t items = 50 + rng.NextBounded(200);
+  for (size_t i = 0; i < items; ++i) {
+    const PredicateSignature& sig =
+        signatures[rng.NextBounded(signatures.size())];
+    window.push_back(Atom(sig.name, {Term::Integer(
+        static_cast<int64_t>(rng.NextBounded(100)))}));
+  }
+
+  const auto partitions = handler.PartitionFacts(window);
+  ASSERT_EQ(partitions.size(), static_cast<size_t>(num_communities));
+
+  // (1) Every window item appears in exactly the communities of its
+  // predicate; (2) partitions contain no foreign predicates; (3) totals
+  // match the sum of community multiplicities.
+  size_t expected_total = 0;
+  for (const Atom& item : window) {
+    expected_total += plan.CommunitiesOf(item.signature()).size();
+  }
+  size_t actual_total = 0;
+  for (int c = 0; c < num_communities; ++c) {
+    actual_total += partitions[c].size();
+    for (const Atom& item : partitions[c]) {
+      const std::vector<int>& communities =
+          plan.CommunitiesOf(item.signature());
+      EXPECT_TRUE(std::binary_search(communities.begin(), communities.end(),
+                                     c))
+          << "atom routed to a community its predicate is not mapped to";
+    }
+  }
+  EXPECT_EQ(actual_total, expected_total);
+  EXPECT_EQ(handler.stray_items(), 0u);
+}
+
+TEST_P(PartitioningPropertyTest, RandomPartitionIsAPartition) {
+  Rng rng(GetParam() ^ 0xFACE);
+  SymbolTablePtr symbols = MakeSymbolTable();
+  std::vector<Atom> window;
+  const size_t items = 20 + rng.NextBounded(100);
+  for (size_t i = 0; i < items; ++i) {
+    window.push_back(Atom(symbols->Intern("p"),
+                          {Term::Integer(static_cast<int64_t>(i))}));
+  }
+  const size_t k = 1 + rng.NextBounded(6);
+  RandomPartitioner partitioner(k, GetParam());
+  const auto partitions = partitioner.PartitionFacts(window);
+  ASSERT_EQ(partitions.size(), k);
+
+  // Disjoint cover: every item in exactly one partition, order preserved
+  // within partitions.
+  std::vector<Atom> reassembled;
+  for (const auto& partition : partitions) {
+    reassembled.insert(reassembled.end(), partition.begin(), partition.end());
+  }
+  EXPECT_EQ(reassembled.size(), window.size());
+  std::sort(reassembled.begin(), reassembled.end());
+  std::vector<Atom> sorted_window = window;
+  std::sort(sorted_window.begin(), sorted_window.end());
+  EXPECT_EQ(reassembled, sorted_window);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomWindows, PartitioningPropertyTest,
+                         ::testing::Range<uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace streamasp

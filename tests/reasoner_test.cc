@@ -1,0 +1,224 @@
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "asp/parser.h"
+#include "depgraph/decomposition.h"
+#include "streamrule/accuracy.h"
+#include "streamrule/parallel_reasoner.h"
+#include "streamrule/traffic_workload.h"
+
+namespace streamasp {
+namespace {
+
+class ReasonerTest : public ::testing::Test {
+ protected:
+  ReasonerTest() : symbols_(MakeSymbolTable()), parser_(symbols_) {}
+
+  Atom A(const std::string& text) {
+    StatusOr<Atom> atom = parser_.ParseGroundAtom(text);
+    EXPECT_TRUE(atom.ok()) << atom.status();
+    return std::move(atom).value();
+  }
+
+  /// The paper's §II-A example window.
+  std::vector<Atom> PaperWindow() {
+    return {A("average_speed(newcastle, 10)"), A("car_number(newcastle, 55)"),
+            A("traffic_light(newcastle)"),     A("car_in_smoke(car1, high)"),
+            A("car_speed(car1, 0)"),           A("car_location(car1, dangan)")};
+  }
+
+  bool AnswerContains(const GroundAnswer& answer, const std::string& atom) {
+    const Atom wanted = A(atom);
+    for (const Atom& a : answer) {
+      if (a == wanted) return true;
+    }
+    return false;
+  }
+
+  SymbolTablePtr symbols_;
+  Parser parser_;
+};
+
+TEST_F(ReasonerTest, PaperExampleGroundTruth) {
+  StatusOr<Program> program =
+      MakeTrafficProgram(symbols_, TrafficProgramVariant::kP, false);
+  ASSERT_TRUE(program.ok());
+  Reasoner reasoner(&*program);
+  StatusOr<ReasonerResult> result = reasoner.ProcessFacts(PaperWindow());
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->answers.size(), 1u);
+  const GroundAnswer& answer = result->answers[0];
+  // §II-A: "The accurate answer is the event car_fire(dangan) detected and
+  // the notification about the dangan road segment."
+  EXPECT_TRUE(AnswerContains(answer, "car_fire(dangan)"));
+  EXPECT_TRUE(AnswerContains(answer, "give_notification(dangan)"));
+  EXPECT_FALSE(AnswerContains(answer, "traffic_jam(newcastle)"));
+  EXPECT_FALSE(AnswerContains(answer, "give_notification(newcastle)"));
+  // Latency bookkeeping is populated.
+  EXPECT_GE(result->latency_ms, 0.0);
+  EXPECT_GE(result->ground_ms, 0.0);
+  EXPECT_GT(result->grounding.num_atoms, 0u);
+}
+
+TEST_F(ReasonerTest, PaperBadRandomSplitProducesWrongEvent) {
+  // W1 = {average_speed, car_number, car_in_smoke},
+  // W2 = {traffic_light, car_speed, car_location}: reasoning in parallel
+  // wrongly detects traffic_jam(newcastle) and misses car_fire(dangan).
+  StatusOr<Program> program =
+      MakeTrafficProgram(symbols_, TrafficProgramVariant::kP, false);
+  ASSERT_TRUE(program.ok());
+  const std::vector<Atom> window = PaperWindow();
+  const std::vector<std::vector<Atom>> bad_split = {
+      {window[0], window[1], window[3]},
+      {window[2], window[4], window[5]}};
+
+  PartitioningPlan trivial(1);
+  ParallelReasoner pr(&*program, trivial);
+  StatusOr<ParallelReasonerResult> result =
+      pr.ProcessFactPartitions(bad_split);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->answers.size(), 1u);
+  EXPECT_TRUE(
+      AnswerContains(result->answers[0], "traffic_jam(newcastle)"));
+  EXPECT_TRUE(
+      AnswerContains(result->answers[0], "give_notification(newcastle)"));
+  EXPECT_FALSE(AnswerContains(result->answers[0], "car_fire(dangan)"));
+}
+
+TEST_F(ReasonerTest, DependencyPartitioningMatchesWholeWindow) {
+  StatusOr<Program> program =
+      MakeTrafficProgram(symbols_, TrafficProgramVariant::kP, false);
+  ASSERT_TRUE(program.ok());
+  StatusOr<InputDependencyGraph> graph =
+      InputDependencyGraph::Build(*program);
+  ASSERT_TRUE(graph.ok());
+  StatusOr<PartitioningPlan> plan = DecomposeInputDependencyGraph(*graph);
+  ASSERT_TRUE(plan.ok());
+
+  Reasoner r(&*program);
+  ParallelReasoner pr(&*program, *plan);
+  StatusOr<ReasonerResult> whole = r.ProcessFacts(PaperWindow());
+  StatusOr<ParallelReasonerResult> split = pr.ProcessFacts(PaperWindow());
+  ASSERT_TRUE(whole.ok());
+  ASSERT_TRUE(split.ok());
+  EXPECT_DOUBLE_EQ(MeanAccuracy(split->answers, whole->answers), 1.0);
+  ASSERT_EQ(split->answers.size(), 1u);
+  EXPECT_TRUE(AnswerContains(split->answers[0], "car_fire(dangan)"));
+  EXPECT_FALSE(AnswerContains(split->answers[0], "traffic_jam(newcastle)"));
+  EXPECT_EQ(split->num_partitions, 2u);
+  EXPECT_GE(split->critical_path_ms, 0.0);
+}
+
+TEST_F(ReasonerTest, ShowProjectionFiltersAnswers) {
+  StatusOr<Program> program =
+      MakeTrafficProgram(symbols_, TrafficProgramVariant::kP, true);
+  ASSERT_TRUE(program.ok());
+  Reasoner reasoner(&*program);
+  StatusOr<ReasonerResult> result = reasoner.ProcessFacts(PaperWindow());
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->answers.size(), 1u);
+  // Only the three shown event predicates survive.
+  EXPECT_EQ(result->answers[0].size(), 2u);  // car_fire + give_notification.
+  for (const Atom& atom : result->answers[0]) {
+    const std::string name = symbols_->NameOf(atom.predicate());
+    EXPECT_TRUE(name == "traffic_jam" || name == "car_fire" ||
+                name == "give_notification")
+        << name;
+  }
+}
+
+TEST_F(ReasonerTest, ProjectionCanBeDisabled) {
+  StatusOr<Program> program =
+      MakeTrafficProgram(symbols_, TrafficProgramVariant::kP, true);
+  ASSERT_TRUE(program.ok());
+  ReasonerOptions options;
+  options.project_to_shown = false;
+  Reasoner reasoner(&*program, options);
+  StatusOr<ReasonerResult> result = reasoner.ProcessFacts(PaperWindow());
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->answers[0].size(), 2u);
+}
+
+TEST_F(ReasonerTest, TripleWindowPipelineConvertsAndSolves) {
+  StatusOr<Program> program =
+      MakeTrafficProgram(symbols_, TrafficProgramVariant::kP, false);
+  ASSERT_TRUE(program.ok());
+  Reasoner reasoner(&*program);
+
+  TripleWindow window;
+  window.items = {
+      Triple{Term::Symbol(symbols_->Intern("newcastle")),
+             symbols_->Intern("average_speed"), Term::Integer(10)},
+      Triple{Term::Symbol(symbols_->Intern("newcastle")),
+             symbols_->Intern("car_number"), Term::Integer(55)}};
+  StatusOr<ReasonerResult> result = reasoner.Process(window);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->answers.size(), 1u);
+  // No traffic light in the window: the jam fires now.
+  EXPECT_TRUE(AnswerContains(result->answers[0], "traffic_jam(newcastle)"));
+  EXPECT_GE(result->convert_ms, 0.0);
+}
+
+TEST_F(ReasonerTest, PPrimeRule7FiresThroughDuplicatedPredicate) {
+  StatusOr<Program> program =
+      MakeTrafficProgram(symbols_, TrafficProgramVariant::kPPrime, false);
+  ASSERT_TRUE(program.ok());
+  StatusOr<InputDependencyGraph> graph =
+      InputDependencyGraph::Build(*program);
+  StatusOr<PartitioningPlan> plan = DecomposeInputDependencyGraph(*graph);
+  ASSERT_TRUE(plan.ok());
+
+  // A car fire at a location with many cars (but no slow speed): r7 must
+  // derive traffic_jam from car_fire — and the relevant car_number atom is
+  // duplicated into the fire partition.
+  const std::vector<Atom> window = {
+      A("car_in_smoke(car1, high)"), A("car_speed(car1, 0)"),
+      A("car_location(car1, dangan)"), A("car_number(dangan, 50)")};
+  Reasoner r(&*program);
+  ParallelReasoner pr(&*program, *plan);
+  StatusOr<ReasonerResult> whole = r.ProcessFacts(window);
+  StatusOr<ParallelReasonerResult> split = pr.ProcessFacts(window);
+  ASSERT_TRUE(whole.ok());
+  ASSERT_TRUE(split.ok());
+  ASSERT_EQ(whole->answers.size(), 1u);
+  EXPECT_TRUE(AnswerContains(whole->answers[0], "traffic_jam(dangan)"));
+  EXPECT_DOUBLE_EQ(MeanAccuracy(split->answers, whole->answers), 1.0);
+  // The duplicated car_number atom inflates partition totals.
+  EXPECT_EQ(split->total_partition_items, window.size() + 1);
+}
+
+TEST_F(ReasonerTest, EmptyWindowYieldsEmptyAnswer) {
+  StatusOr<Program> program =
+      MakeTrafficProgram(symbols_, TrafficProgramVariant::kP, false);
+  ASSERT_TRUE(program.ok());
+  Reasoner reasoner(&*program);
+  StatusOr<ReasonerResult> result = reasoner.ProcessFacts({});
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->answers.size(), 1u);
+  EXPECT_TRUE(result->answers[0].empty());
+}
+
+TEST_F(ReasonerTest, ParallelReasonerReportsPerPartitionLatency) {
+  StatusOr<Program> program =
+      MakeTrafficProgram(symbols_, TrafficProgramVariant::kP, false);
+  ASSERT_TRUE(program.ok());
+  StatusOr<InputDependencyGraph> graph =
+      InputDependencyGraph::Build(*program);
+  StatusOr<PartitioningPlan> plan = DecomposeInputDependencyGraph(*graph);
+  ParallelReasoner pr(&*program, *plan);
+  StatusOr<ParallelReasonerResult> result = pr.ProcessFacts(PaperWindow());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->partition_latency_ms.size(), 2u);
+  double slowest = 0;
+  for (double ms : result->partition_latency_ms) {
+    slowest = std::max(slowest, ms);
+  }
+  EXPECT_GE(result->critical_path_ms, slowest);
+  EXPECT_LE(result->critical_path_ms,
+            result->partition_ms + slowest + result->combine_ms + 1e-9);
+}
+
+}  // namespace
+}  // namespace streamasp

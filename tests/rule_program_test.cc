@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "asp/parser.h"
+#include "asp/program.h"
+#include "asp/rule.h"
+
+namespace streamasp {
+namespace {
+
+class RuleTest : public ::testing::Test {
+ protected:
+  RuleTest() : symbols_(MakeSymbolTable()), parser_(symbols_) {}
+
+  Rule ParseRule(const std::string& text) {
+    StatusOr<Program> program = parser_.ParseProgram(text);
+    EXPECT_TRUE(program.ok()) << program.status();
+    EXPECT_EQ(program->rules().size(), 1u);
+    return program->rules().front();
+  }
+
+  SymbolTablePtr symbols_;
+  Parser parser_;
+};
+
+TEST_F(RuleTest, FactShape) {
+  const Rule rule = ParseRule("p(1).");
+  EXPECT_TRUE(rule.is_fact());
+  EXPECT_FALSE(rule.is_constraint());
+  EXPECT_FALSE(rule.is_disjunctive());
+  EXPECT_TRUE(rule.IsGround());
+}
+
+TEST_F(RuleTest, ConstraintShape) {
+  const Rule rule = ParseRule(":- p(1), q(2).");
+  EXPECT_TRUE(rule.is_constraint());
+  EXPECT_FALSE(rule.is_fact());
+}
+
+TEST_F(RuleTest, DisjunctiveShape) {
+  const Rule rule = ParseRule("a | b | c :- d.");
+  EXPECT_TRUE(rule.is_disjunctive());
+  EXPECT_EQ(rule.head().size(), 3u);
+}
+
+TEST_F(RuleTest, PositiveAndNegativeBodyAtoms) {
+  const Rule rule = ParseRule("h(X) :- p(X), not q(X), X > 3, not r(X).");
+  EXPECT_EQ(rule.PositiveBodyAtoms().size(), 1u);
+  EXPECT_EQ(rule.NegativeBodyAtoms().size(), 2u);
+  EXPECT_FALSE(rule.IsGround());
+}
+
+TEST_F(RuleTest, VariablesFirstOccurrenceOrder) {
+  const Rule rule = ParseRule("h(Y, X) :- p(X, Y), q(Z).");
+  const std::vector<SymbolId> vars = rule.Variables();
+  ASSERT_EQ(vars.size(), 3u);
+  EXPECT_EQ(symbols_->NameOf(vars[0]), "Y");
+  EXPECT_EQ(symbols_->NameOf(vars[1]), "X");
+  EXPECT_EQ(symbols_->NameOf(vars[2]), "Z");
+}
+
+TEST_F(RuleTest, SafetyViolationInHead) {
+  const Rule rule = ParseRule("h(X, Y) :- p(X).");
+  const std::vector<SymbolId> unsafe = rule.UnsafeVariables();
+  ASSERT_EQ(unsafe.size(), 1u);
+  EXPECT_EQ(symbols_->NameOf(unsafe[0]), "Y");
+}
+
+TEST_F(RuleTest, SafetyViolationInNegativeLiteral) {
+  const Rule rule = ParseRule("h :- p, not q(X).");
+  EXPECT_EQ(rule.UnsafeVariables().size(), 1u);
+}
+
+TEST_F(RuleTest, SafetyViolationInComparison) {
+  const Rule rule = ParseRule("h :- p, X < 3.");
+  EXPECT_EQ(rule.UnsafeVariables().size(), 1u);
+}
+
+TEST_F(RuleTest, SafeRuleHasNoUnsafeVariables) {
+  const Rule rule = ParseRule("h(X) :- p(X, Y), not q(Y), Y > X.");
+  EXPECT_TRUE(rule.UnsafeVariables().empty());
+}
+
+TEST_F(RuleTest, ToStringRoundTripReparses) {
+  const Rule rule = ParseRule("a(X) | b(X) :- c(X, Y), not d(Y), Y >= 2.");
+  const std::string text = rule.ToString(*symbols_);
+  const Rule reparsed = ParseRule(text);
+  EXPECT_EQ(rule, reparsed) << text;
+}
+
+class ProgramTest : public ::testing::Test {
+ protected:
+  ProgramTest() : symbols_(MakeSymbolTable()), parser_(symbols_) {}
+
+  Program Parse(const std::string& text) {
+    StatusOr<Program> program = parser_.ParseProgram(text);
+    EXPECT_TRUE(program.ok()) << program.status();
+    return std::move(program).value();
+  }
+
+  SymbolTablePtr symbols_;
+  Parser parser_;
+};
+
+TEST_F(ProgramTest, AllPredicatesCollectsHeadsAndBodies) {
+  const Program program = Parse("h(X) :- p(X), not q(X). r(1).");
+  EXPECT_EQ(program.AllPredicates().size(), 4u);  // h, p, q, r.
+}
+
+TEST_F(ProgramTest, IdbEdbClassification) {
+  const Program program = Parse(R"(
+    derived(X) :- base(X).
+    base(1).
+    other(2).
+  )");
+  const auto idb = program.IdbPredicates();
+  ASSERT_EQ(idb.size(), 1u);
+  EXPECT_EQ(symbols_->NameOf(idb[0].name), "derived");
+  const auto edb = program.EdbPredicates();
+  EXPECT_EQ(edb.size(), 2u);  // base, other — facts are extensional.
+}
+
+TEST_F(ProgramTest, InputPredicateDeclarationIsIdempotent) {
+  Program program = Parse("h(X) :- p(X).");
+  const PredicateSignature p{symbols_->Intern("p"), 1};
+  program.DeclareInputPredicate(p);
+  program.DeclareInputPredicate(p);
+  EXPECT_EQ(program.input_predicates().size(), 1u);
+}
+
+TEST_F(ProgramTest, ValidateAcceptsSafeProgram) {
+  const Program program = Parse(R"(
+    #input p/1.
+    h(X) :- p(X).
+  )");
+  EXPECT_TRUE(program.Validate().ok());
+}
+
+TEST_F(ProgramTest, ValidateRejectsUnsafeRule) {
+  const Program program = Parse("h(X) :- q.");
+  const Status status = program.Validate();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("unsafe"), std::string::npos);
+}
+
+TEST_F(ProgramTest, ValidateRejectsUnknownInputPredicate) {
+  Program program = Parse("h(X) :- p(X).");
+  program.DeclareInputPredicate(
+      PredicateSignature{symbols_->Intern("ghost"), 2});
+  EXPECT_EQ(program.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ProgramTest, ValidateRejectsArityMismatchedInputPredicate) {
+  // p is used with arity 1; declaring p/3 as input must fail.
+  Program program = Parse("h(X) :- p(X).");
+  program.DeclareInputPredicate(PredicateSignature{symbols_->Intern("p"), 3});
+  EXPECT_EQ(program.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ProgramTest, ToStringListsAllRules) {
+  const Program program = Parse("a. b :- a. :- c.");
+  const std::string text = program.ToString();
+  EXPECT_NE(text.find("a."), std::string::npos);
+  EXPECT_NE(text.find("b :- a."), std::string::npos);
+  EXPECT_NE(text.find(":- c."), std::string::npos);
+}
+
+TEST_F(ProgramTest, ShownPredicatesRecorded) {
+  const Program program = Parse(R"(
+    #show h/1.
+    h(X) :- p(X).
+  )");
+  ASSERT_EQ(program.shown_predicates().size(), 1u);
+  EXPECT_EQ(symbols_->NameOf(program.shown_predicates()[0].name), "h");
+}
+
+}  // namespace
+}  // namespace streamasp

@@ -1,0 +1,190 @@
+// End-to-end combinatorial programs (variables → grounding → search →
+// enumeration), checking answer-set COUNTS against closed-form results:
+// graph colorings (chromatic polynomial), independent sets, and
+// vertex-cover-style guess-and-check encodings via even negation cycles.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "asp/parser.h"
+#include "ground/grounder.h"
+#include "solve/solver.h"
+
+namespace streamasp {
+namespace {
+
+size_t CountModels(const std::string& text) {
+  SymbolTablePtr symbols = MakeSymbolTable();
+  Parser parser(symbols);
+  StatusOr<Program> program = parser.ParseProgram(text);
+  EXPECT_TRUE(program.ok()) << program.status();
+  Grounder grounder;
+  StatusOr<GroundProgram> ground = grounder.Ground(*program);
+  EXPECT_TRUE(ground.ok()) << ground.status();
+  Solver solver;
+  StatusOr<std::vector<AnswerSet>> models = solver.Solve(*ground);
+  EXPECT_TRUE(models.ok()) << models.status();
+  return models->size();
+}
+
+/// 3-coloring harness: guess one of {r, g, b} per node via negation
+/// cycles, forbid monochromatic edges.
+std::string ColoringProgram(const std::string& node_facts,
+                            const std::string& edge_facts) {
+  return node_facts + edge_facts + R"(
+    color(r). color(g). color(b).
+    has(N, r) :- node(N), not has(N, g), not has(N, b).
+    has(N, g) :- node(N), not has(N, r), not has(N, b).
+    has(N, b) :- node(N), not has(N, r), not has(N, g).
+    :- edge(X, Y), has(X, C), has(Y, C).
+  )";
+}
+
+TEST(ColoringTest, SingleNodeHasThreeColorings) {
+  EXPECT_EQ(CountModels(ColoringProgram("node(1).", "")), 3u);
+}
+
+TEST(ColoringTest, EdgeForbidsMonochromatic) {
+  // P2: chromatic polynomial k(k-1) = 6 for k = 3.
+  EXPECT_EQ(CountModels(ColoringProgram("node(1). node(2).",
+                                        "edge(1, 2).")),
+            6u);
+}
+
+TEST(ColoringTest, TriangleHasSixColorings) {
+  // K3: k(k-1)(k-2) = 6.
+  EXPECT_EQ(CountModels(ColoringProgram(
+                "node(1). node(2). node(3).",
+                "edge(1, 2). edge(2, 3). edge(1, 3).")),
+            6u);
+}
+
+TEST(ColoringTest, PathOfFourNodes) {
+  // P4: k(k-1)^3 = 3 * 8 = 24.
+  EXPECT_EQ(CountModels(ColoringProgram(
+                "node(1). node(2). node(3). node(4).",
+                "edge(1, 2). edge(2, 3). edge(3, 4).")),
+            24u);
+}
+
+TEST(ColoringTest, CycleOfFourNodes) {
+  // C4: (k-1)^4 + (k-1) = 16 + 2 = 18.
+  EXPECT_EQ(CountModels(ColoringProgram(
+                "node(1). node(2). node(3). node(4).",
+                "edge(1, 2). edge(2, 3). edge(3, 4). edge(4, 1).")),
+            18u);
+}
+
+TEST(ColoringTest, K4IsNotThreeColorable) {
+  EXPECT_EQ(CountModels(ColoringProgram(
+                "node(1). node(2). node(3). node(4).",
+                "edge(1, 2). edge(1, 3). edge(1, 4). edge(2, 3). "
+                "edge(2, 4). edge(3, 4).")),
+            0u);
+}
+
+/// Independent-set harness: guess in/out per node, forbid adjacent ins.
+std::string IndependentSetProgram(int nodes,
+                                  const std::string& edge_facts) {
+  std::string text;
+  for (int i = 1; i <= nodes; ++i) {
+    text += "node(" + std::to_string(i) + ").\n";
+  }
+  text += edge_facts + R"(
+    in(N) :- node(N), not out(N).
+    out(N) :- node(N), not in(N).
+    :- edge(X, Y), in(X), in(Y).
+  )";
+  return text;
+}
+
+TEST(IndependentSetTest, NoEdgesAllSubsets) {
+  EXPECT_EQ(CountModels(IndependentSetProgram(3, "")), 8u);
+}
+
+TEST(IndependentSetTest, PathOfThree) {
+  // Independent sets of P3: {}, {1}, {2}, {3}, {1,3} = 5.
+  EXPECT_EQ(CountModels(IndependentSetProgram(
+                3, "edge(1, 2). edge(2, 3).")),
+            5u);
+}
+
+TEST(IndependentSetTest, TriangleHasFour) {
+  // {}, {1}, {2}, {3}.
+  EXPECT_EQ(CountModels(IndependentSetProgram(
+                3, "edge(1, 2). edge(2, 3). edge(1, 3).")),
+            4u);
+}
+
+TEST(IndependentSetTest, C5HasElevenIndependentSets) {
+  // Lucas number L5 = 11.
+  EXPECT_EQ(CountModels(IndependentSetProgram(
+                5,
+                "edge(1, 2). edge(2, 3). edge(3, 4). edge(4, 5). "
+                "edge(5, 1).")),
+            11u);
+}
+
+// Reachability + negation: unreachable nodes via stratified complement.
+TEST(ReachabilityTest, UnreachableViaStratifiedNegation) {
+  SymbolTablePtr symbols = MakeSymbolTable();
+  Parser parser(symbols);
+  StatusOr<Program> program = parser.ParseProgram(R"(
+    edge(1, 2). edge(2, 3). edge(4, 5).
+    node(1). node(2). node(3). node(4). node(5).
+    reach(1).
+    reach(Y) :- reach(X), edge(X, Y).
+    unreachable(N) :- node(N), not reach(N).
+  )");
+  ASSERT_TRUE(program.ok());
+  Grounder grounder;
+  StatusOr<GroundProgram> ground = grounder.Ground(*program);
+  ASSERT_TRUE(ground.ok());
+  Solver solver;
+  StatusOr<std::vector<AnswerSet>> models = solver.Solve(*ground);
+  ASSERT_TRUE(models.ok());
+  ASSERT_EQ(models->size(), 1u);
+  const AnswerSet& model = (*models)[0];
+  auto contains = [&](const std::string& text) {
+    Parser p2(symbols);
+    const Atom atom = *p2.ParseGroundAtom(text);
+    const GroundAtomId id = ground->atoms().Lookup(atom);
+    return id != kInvalidGroundAtom && model.Contains(id);
+  };
+  EXPECT_TRUE(contains("reach(3)"));
+  EXPECT_TRUE(contains("unreachable(4)"));
+  EXPECT_TRUE(contains("unreachable(5)"));
+  EXPECT_FALSE(contains("unreachable(2)"));
+}
+
+// Parameterized sweep: independent sets on paths follow the Fibonacci
+// recurrence F(n+2); checks grounder+solver against a closed form at
+// growing sizes.
+class PathIndependentSetTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PathIndependentSetTest, CountsFollowFibonacci) {
+  const int n = GetParam();
+  std::string edges;
+  for (int i = 1; i < n; ++i) {
+    edges += "edge(" + std::to_string(i) + ", " + std::to_string(i + 1) +
+             ").\n";
+  }
+  // F(2)=1, F(3)=2, ...; independent sets of P_n = F(n+2).
+  auto fib = [](int k) {
+    uint64_t a = 0, b = 1;
+    for (int i = 0; i < k; ++i) {
+      const uint64_t next = a + b;
+      a = b;
+      b = next;
+    }
+    return a;
+  };
+  EXPECT_EQ(CountModels(IndependentSetProgram(n, edges)), fib(n + 2));
+}
+
+INSTANTIATE_TEST_SUITE_P(PathsUpTo10, PathIndependentSetTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace streamasp

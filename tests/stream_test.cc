@@ -1,0 +1,279 @@
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stream/format.h"
+#include "stream/generator.h"
+#include "stream/query_processor.h"
+#include "stream/triple.h"
+#include "streamrule/traffic_workload.h"
+
+namespace streamasp {
+namespace {
+
+// ---------------------------------------------------------------- Triple.
+
+TEST(TripleTest, ToStringWithAndWithoutObject) {
+  SymbolTablePtr symbols = MakeSymbolTable();
+  Triple binary{Term::Integer(3), symbols->Intern("average_speed"),
+                Term::Integer(10)};
+  EXPECT_EQ(binary.ToString(*symbols), "<3, average_speed, 10>");
+  Triple unary{Term::Integer(3), symbols->Intern("traffic_light"),
+               std::nullopt};
+  EXPECT_EQ(unary.ToString(*symbols), "<3, traffic_light>");
+}
+
+// --------------------------------------------------- DataFormatProcessor.
+
+class FormatTest : public ::testing::Test {
+ protected:
+  FormatTest() : symbols_(MakeSymbolTable()) {}
+  SymbolTablePtr symbols_;
+  DataFormatProcessor format_;
+};
+
+TEST_F(FormatTest, BinaryRoundTrip) {
+  const SymbolId speed = symbols_->Intern("average_speed");
+  ASSERT_TRUE(format_.DeclarePredicate(speed, 2).ok());
+  const Triple triple{Term::Integer(5), speed, Term::Integer(12)};
+  StatusOr<Atom> fact = format_.ToFact(triple);
+  ASSERT_TRUE(fact.ok());
+  EXPECT_EQ(fact->ToString(*symbols_), "average_speed(5,12)");
+  StatusOr<Triple> back = format_.ToTriple(*fact);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, triple);
+}
+
+TEST_F(FormatTest, UnaryRoundTrip) {
+  const SymbolId light = symbols_->Intern("traffic_light");
+  ASSERT_TRUE(format_.DeclarePredicate(light, 1).ok());
+  const Triple triple{Term::Integer(7), light, std::nullopt};
+  StatusOr<Atom> fact = format_.ToFact(triple);
+  ASSERT_TRUE(fact.ok());
+  EXPECT_EQ(fact->arity(), 1u);
+}
+
+TEST_F(FormatTest, UndeclaredPredicateFails) {
+  const Triple triple{Term::Integer(1), symbols_->Intern("ghost"),
+                      std::nullopt};
+  EXPECT_EQ(format_.ToFact(triple).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(FormatTest, ArityMismatchFails) {
+  const SymbolId p = symbols_->Intern("p");
+  ASSERT_TRUE(format_.DeclarePredicate(p, 2).ok());
+  // Missing object.
+  EXPECT_FALSE(format_.ToFact(Triple{Term::Integer(1), p, std::nullopt}).ok());
+  const SymbolId q = symbols_->Intern("q");
+  ASSERT_TRUE(format_.DeclarePredicate(q, 1).ok());
+  // Superfluous object.
+  EXPECT_FALSE(
+      format_.ToFact(Triple{Term::Integer(1), q, Term::Integer(2)}).ok());
+}
+
+TEST_F(FormatTest, RedeclarationMustAgree) {
+  const SymbolId p = symbols_->Intern("p");
+  ASSERT_TRUE(format_.DeclarePredicate(p, 2).ok());
+  EXPECT_TRUE(format_.DeclarePredicate(p, 2).ok());
+  EXPECT_FALSE(format_.DeclarePredicate(p, 1).ok());
+}
+
+TEST_F(FormatTest, ArityOutOfTripleRangeRejected) {
+  EXPECT_FALSE(format_.DeclarePredicate(symbols_->Intern("p"), 0).ok());
+  EXPECT_FALSE(format_.DeclarePredicate(symbols_->Intern("q"), 3).ok());
+}
+
+TEST_F(FormatTest, ToFactsTranslatesWholeWindow) {
+  const SymbolId p = symbols_->Intern("p");
+  ASSERT_TRUE(format_.DeclarePredicate(p, 2).ok());
+  std::vector<Triple> window = {
+      Triple{Term::Integer(1), p, Term::Integer(2)},
+      Triple{Term::Integer(3), p, Term::Integer(4)}};
+  StatusOr<std::vector<Atom>> facts = format_.ToFacts(window);
+  ASSERT_TRUE(facts.ok());
+  EXPECT_EQ(facts->size(), 2u);
+}
+
+TEST_F(FormatTest, ToTripleRejectsBadAtoms) {
+  const Atom arity3(symbols_->Intern("p"),
+                    {Term::Integer(1), Term::Integer(2), Term::Integer(3)});
+  EXPECT_FALSE(format_.ToTriple(arity3).ok());
+  const Atom non_ground(symbols_->Intern("p"),
+                        {Term::Variable(symbols_->Intern("X"))});
+  EXPECT_FALSE(format_.ToTriple(non_ground).ok());
+}
+
+// ------------------------------------------------------------- Generator.
+
+class GeneratorTest : public ::testing::Test {
+ protected:
+  GeneratorTest() : symbols_(MakeSymbolTable()) {}
+  SymbolTablePtr symbols_;
+};
+
+TEST_F(GeneratorTest, ProducesRequestedCount) {
+  SyntheticStreamGenerator gen(MakeTrafficSchema(*symbols_), {});
+  EXPECT_EQ(gen.GenerateWindow(1000).size(), 1000u);
+  EXPECT_TRUE(gen.GenerateWindow(0).empty());
+}
+
+TEST_F(GeneratorTest, DeterministicForSeed) {
+  GeneratorOptions options;
+  options.seed = 99;
+  SyntheticStreamGenerator a(MakeTrafficSchema(*symbols_), options);
+  SyntheticStreamGenerator b(MakeTrafficSchema(*symbols_), options);
+  const std::vector<Triple> wa = a.GenerateWindow(200);
+  const std::vector<Triple> wb = b.GenerateWindow(200);
+  EXPECT_EQ(wa, wb);
+}
+
+TEST_F(GeneratorTest, PaperUniformValuesBoundedByWindowSize) {
+  GeneratorOptions options;
+  options.profile = GeneratorProfile::kPaperUniform;
+  SyntheticStreamGenerator gen(MakeTrafficSchema(*symbols_), options);
+  const size_t n = 500;
+  for (const Triple& t : gen.GenerateWindow(n)) {
+    ASSERT_TRUE(t.subject.is_integer());
+    EXPECT_GE(t.subject.integer_value(), 0);
+    EXPECT_LT(t.subject.integer_value(), static_cast<int64_t>(n));
+    if (t.object.has_value() && t.object->is_integer()) {
+      EXPECT_GE(t.object->integer_value(), 0);
+      EXPECT_LT(t.object->integer_value(), static_cast<int64_t>(n));
+    }
+  }
+}
+
+TEST_F(GeneratorTest, EventRichSubjectsComeFromSmallPool) {
+  GeneratorOptions options;
+  options.profile = GeneratorProfile::kEventRich;
+  options.location_divisor = 100;
+  SyntheticStreamGenerator gen(MakeTrafficSchema(*symbols_), options);
+  std::set<int64_t> subjects;
+  for (const Triple& t : gen.GenerateWindow(2000)) {
+    subjects.insert(t.subject.integer_value());
+  }
+  EXPECT_LE(subjects.size(), 20u);  // Pool is 2000/100 = 20.
+}
+
+TEST_F(GeneratorTest, SchemaCoverage) {
+  SyntheticStreamGenerator gen(MakeTrafficSchema(*symbols_), {});
+  std::set<SymbolId> predicates;
+  for (const Triple& t : gen.GenerateWindow(2000)) {
+    predicates.insert(t.predicate);
+  }
+  EXPECT_EQ(predicates.size(), 6u);
+}
+
+TEST_F(GeneratorTest, ObjectPoolRespected) {
+  SyntheticStreamGenerator gen(MakeTrafficSchema(*symbols_), {});
+  const SymbolId smoke = symbols_->Intern("car_in_smoke");
+  const SymbolId high = symbols_->Intern("high");
+  const SymbolId low = symbols_->Intern("low");
+  for (const Triple& t : gen.GenerateWindow(3000)) {
+    if (t.predicate != smoke) continue;
+    ASSERT_TRUE(t.object.has_value());
+    ASSERT_TRUE(t.object->is_symbol());
+    EXPECT_TRUE(t.object->symbol() == high || t.object->symbol() == low);
+  }
+}
+
+TEST_F(GeneratorTest, WeightsSkewPredicateShares) {
+  std::vector<StreamPredicate> schema = MakeTrafficSchema(*symbols_);
+  // Make car_number ~25% of the stream (weight 5/3 against 5 x 1.0).
+  for (StreamPredicate& shape : schema) {
+    if (shape.predicate == symbols_->Intern("car_number")) {
+      shape.weight = 5.0 / 3.0;
+    }
+  }
+  SyntheticStreamGenerator gen(schema, {});
+  std::map<SymbolId, size_t> counts;
+  const size_t n = 20000;
+  for (const Triple& t : gen.GenerateWindow(n)) ++counts[t.predicate];
+  const double share = static_cast<double>(
+                           counts[symbols_->Intern("car_number")]) / n;
+  EXPECT_NEAR(share, 0.25, 0.02);
+}
+
+TEST_F(GeneratorTest, SequenceNumbersIncrease) {
+  SyntheticStreamGenerator gen(MakeTrafficSchema(*symbols_), {});
+  EXPECT_EQ(gen.GenerateTripleWindow(10).sequence, 0u);
+  EXPECT_EQ(gen.GenerateTripleWindow(10).sequence, 1u);
+}
+
+// -------------------------------------------------- StreamQueryProcessor.
+
+class QueryProcessorTest : public ::testing::Test {
+ protected:
+  QueryProcessorTest() : symbols_(MakeSymbolTable()) {}
+  SymbolTablePtr symbols_;
+};
+
+TEST_F(QueryProcessorTest, WindowsEmittedAtSize) {
+  std::vector<TripleWindow> windows;
+  StreamQueryProcessor proc(3, [&](const TripleWindow& w) {
+    windows.push_back(w);
+  });
+  const SymbolId p = symbols_->Intern("p");
+  proc.RegisterPredicate(p);
+  for (int i = 0; i < 7; ++i) {
+    proc.Push(Triple{Term::Integer(i), p, std::nullopt});
+  }
+  EXPECT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0].size(), 3u);
+  EXPECT_EQ(windows[0].sequence, 0u);
+  EXPECT_EQ(windows[1].sequence, 1u);
+  proc.Flush();
+  ASSERT_EQ(windows.size(), 3u);
+  EXPECT_EQ(windows[2].size(), 1u);
+}
+
+TEST_F(QueryProcessorTest, FiltersUnregisteredPredicates) {
+  std::vector<TripleWindow> windows;
+  StreamQueryProcessor proc(2, [&](const TripleWindow& w) {
+    windows.push_back(w);
+  });
+  const SymbolId keep = symbols_->Intern("keep");
+  const SymbolId drop = symbols_->Intern("drop");
+  proc.RegisterPredicate(keep);
+  proc.Push(Triple{Term::Integer(1), keep, std::nullopt});
+  proc.Push(Triple{Term::Integer(2), drop, std::nullopt});
+  proc.Push(Triple{Term::Integer(3), keep, std::nullopt});
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(proc.dropped_count(), 1u);
+  for (const Triple& t : windows[0].items) {
+    EXPECT_EQ(t.predicate, keep);
+  }
+}
+
+TEST_F(QueryProcessorTest, FlushOnEmptyIsNoOp) {
+  int calls = 0;
+  StreamQueryProcessor proc(2, [&](const TripleWindow&) { ++calls; });
+  proc.Flush();
+  EXPECT_EQ(calls, 0);
+}
+
+TEST_F(QueryProcessorTest, PushBatchAndCounters) {
+  int calls = 0;
+  StreamQueryProcessor proc(5, [&](const TripleWindow&) { ++calls; });
+  const SymbolId p = symbols_->Intern("p");
+  proc.RegisterPredicate(p);
+  std::vector<Triple> batch(12, Triple{Term::Integer(0), p, std::nullopt});
+  proc.PushBatch(batch);
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(proc.emitted_windows(), 2u);
+}
+
+TEST_F(QueryProcessorTest, ZeroWindowSizeClampedToOne) {
+  int calls = 0;
+  StreamQueryProcessor proc(0, [&](const TripleWindow&) { ++calls; });
+  const SymbolId p = symbols_->Intern("p");
+  proc.RegisterPredicate(p);
+  proc.Push(Triple{Term::Integer(0), p, std::nullopt});
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace streamasp

@@ -1,0 +1,129 @@
+// Sliding count/time window extensions over the paper's tumbling windows.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stream/windowing.h"
+
+namespace streamasp {
+namespace {
+
+Triple Item(SymbolTable& symbols, int64_t id) {
+  return Triple{Term::Integer(id), symbols.Intern("p"), std::nullopt};
+}
+
+class CountWindowTest : public ::testing::Test {
+ protected:
+  CountWindowTest() : symbols_(MakeSymbolTable()) {}
+  SymbolTablePtr symbols_;
+  std::vector<TripleWindow> windows_;
+};
+
+TEST_F(CountWindowTest, TumblingWhenSlideEqualsSize) {
+  SlidingCountWindower windower(
+      3, 3, [&](const TripleWindow& w) { windows_.push_back(w); });
+  for (int i = 0; i < 9; ++i) windower.Push(Item(*symbols_, i));
+  ASSERT_EQ(windows_.size(), 3u);
+  for (const TripleWindow& w : windows_) EXPECT_EQ(w.size(), 3u);
+  // Tumbling: consecutive windows do not overlap.
+  EXPECT_EQ(windows_[1].items[0].subject.integer_value(), 3);
+  EXPECT_EQ(windows_[2].items[0].subject.integer_value(), 6);
+}
+
+TEST_F(CountWindowTest, SlidingOverlapsContent) {
+  SlidingCountWindower windower(
+      4, 2, [&](const TripleWindow& w) { windows_.push_back(w); });
+  for (int i = 0; i < 8; ++i) windower.Push(Item(*symbols_, i));
+  // First at item 4 (buffer full), then every 2 items.
+  ASSERT_EQ(windows_.size(), 3u);
+  EXPECT_EQ(windows_[0].items.front().subject.integer_value(), 0);
+  EXPECT_EQ(windows_[1].items.front().subject.integer_value(), 2);
+  EXPECT_EQ(windows_[2].items.front().subject.integer_value(), 4);
+  for (const TripleWindow& w : windows_) EXPECT_EQ(w.size(), 4u);
+}
+
+TEST_F(CountWindowTest, FlushEmitsPartialWindow) {
+  SlidingCountWindower windower(
+      10, 10, [&](const TripleWindow& w) { windows_.push_back(w); });
+  for (int i = 0; i < 4; ++i) windower.Push(Item(*symbols_, i));
+  EXPECT_TRUE(windows_.empty());
+  windower.Flush();
+  ASSERT_EQ(windows_.size(), 1u);
+  EXPECT_EQ(windows_[0].size(), 4u);
+  // A second flush with nothing new is a no-op.
+  windower.Flush();
+  EXPECT_EQ(windows_.size(), 1u);
+}
+
+TEST_F(CountWindowTest, SequenceNumbersAreMonotonic) {
+  SlidingCountWindower windower(
+      2, 1, [&](const TripleWindow& w) { windows_.push_back(w); });
+  for (int i = 0; i < 5; ++i) windower.Push(Item(*symbols_, i));
+  for (size_t i = 0; i < windows_.size(); ++i) {
+    EXPECT_EQ(windows_[i].sequence, i);
+  }
+}
+
+TEST_F(CountWindowTest, DegenerateParametersClamped) {
+  // size 0 -> 1; slide larger than size -> size.
+  SlidingCountWindower windower(
+      0, 99, [&](const TripleWindow& w) { windows_.push_back(w); });
+  windower.Push(Item(*symbols_, 1));
+  windower.Push(Item(*symbols_, 2));
+  EXPECT_EQ(windows_.size(), 2u);
+}
+
+class TimeWindowTest : public ::testing::Test {
+ protected:
+  TimeWindowTest() : symbols_(MakeSymbolTable()) {}
+  SymbolTablePtr symbols_;
+  std::vector<TripleWindow> windows_;
+};
+
+TEST_F(TimeWindowTest, EmitsAtSlideBoundaries) {
+  SlidingTimeWindower windower(
+      1000, 500, [&](const TripleWindow& w) { windows_.push_back(w); });
+  // One item every 100 ms for 1.2 s.
+  for (int i = 0; i < 12; ++i) {
+    windower.Push(Item(*symbols_, i), i * 100);
+  }
+  // Boundaries at t=500 (items 0..4) and t=1000 (items 0..9).
+  ASSERT_EQ(windows_.size(), 2u);
+  EXPECT_EQ(windows_[0].size(), 5u);
+  EXPECT_EQ(windows_[1].size(), 10u);
+}
+
+TEST_F(TimeWindowTest, OldItemsEvicted) {
+  SlidingTimeWindower windower(
+      1000, 1000, [&](const TripleWindow& w) { windows_.push_back(w); });
+  windower.Push(Item(*symbols_, 1), 0);
+  windower.Push(Item(*symbols_, 2), 2500);  // Crosses t=1000 and t=2000.
+  windower.Flush();
+  // Window at t=1000 holds item 1; at t=2000 nothing (item 1 expired);
+  // flush emits item 2.
+  ASSERT_EQ(windows_.size(), 2u);
+  EXPECT_EQ(windows_[0].size(), 1u);
+  EXPECT_EQ(windows_[1].size(), 1u);
+  EXPECT_EQ(windows_[1].items[0].subject.integer_value(), 2);
+}
+
+TEST_F(TimeWindowTest, OutOfOrderTimestampsClampedForward) {
+  SlidingTimeWindower windower(
+      1000, 500, [&](const TripleWindow& w) { windows_.push_back(w); });
+  windower.Push(Item(*symbols_, 1), 400);
+  windower.Push(Item(*symbols_, 2), 100);  // Straggler: treated as t=400.
+  windower.Push(Item(*symbols_, 3), 900);  // Crosses t=900 boundary.
+  ASSERT_EQ(windows_.size(), 1u);
+  EXPECT_EQ(windows_[0].size(), 2u);  // Items 1 and 2.
+}
+
+TEST_F(TimeWindowTest, FlushOnEmptyIsNoOp) {
+  SlidingTimeWindower windower(
+      100, 100, [&](const TripleWindow& w) { windows_.push_back(w); });
+  windower.Flush();
+  EXPECT_TRUE(windows_.empty());
+}
+
+}  // namespace
+}  // namespace streamasp
