@@ -1,0 +1,155 @@
+// Sustained-throughput bench for the staged asynchronous pipeline engine:
+// sync (the one-window-at-a-time oracle) vs async at in-flight depths
+// {1, 2, 4, 8} on the paper's traffic workload. Emits one machine-readable
+// JSON document on stdout for the perf trajectory; human-readable notes go
+// to stderr.
+//
+// Throughput is items pushed / wall time of PushBatch+Flush (i.e. the rate
+// the ingest side sustains while reasoning keeps up); window latency is the
+// per-window reasoning latency distribution (p50/p99).
+//
+// Usage: async_pipeline [items] [window_size]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "stream/generator.h"
+#include "streamrule/pipeline.h"
+#include "streamrule/traffic_workload.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace streamasp;
+
+struct RunResult {
+  std::string mode;        // "sync" or "async"
+  size_t inflight = 0;     // 0 for sync
+  size_t workers = 0;
+  double wall_ms = 0;
+  double triples_per_sec = 0;
+  double p50_latency_ms = 0;
+  double p99_latency_ms = 0;
+  uint64_t windows = 0;
+  uint64_t answers = 0;
+  size_t max_queue_depth = 0;
+  size_t max_reorder_depth = 0;
+};
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  const double rank = p * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + (values[hi] - values[lo]) * frac;
+}
+
+RunResult RunOnce(const Program& program, const std::vector<Triple>& stream,
+                  size_t window_size, bool async, size_t inflight) {
+  PipelineOptions options;
+  options.window_size = window_size;
+  options.async = async;
+  options.max_inflight_windows = async ? inflight : 4;
+
+  std::vector<double> latencies;
+  StatusOr<std::unique_ptr<StreamRulePipeline>> pipeline =
+      StreamRulePipeline::Create(
+          &program, options,
+          [&](const TripleWindow&, const ParallelReasonerResult& result) {
+            latencies.push_back(result.latency_ms);
+          });
+  if (!pipeline.ok()) {
+    std::fprintf(stderr, "pipeline: %s\n",
+                 pipeline.status().ToString().c_str());
+    std::exit(1);
+  }
+
+  WallTimer wall;
+  (*pipeline)->PushBatch(stream);
+  (*pipeline)->Flush();
+  const double wall_ms = wall.ElapsedMillis();
+
+  const PipelineStats stats = (*pipeline)->stats();
+  RunResult run;
+  run.mode = async ? "async" : "sync";
+  run.inflight = async ? inflight : 0;
+  run.workers = (*pipeline)->num_reason_workers();
+  run.wall_ms = wall_ms;
+  run.triples_per_sec =
+      wall_ms > 0 ? static_cast<double>(stream.size()) / (wall_ms / 1000.0)
+                  : 0;
+  run.p50_latency_ms = Percentile(latencies, 0.50);
+  run.p99_latency_ms = Percentile(latencies, 0.99);
+  run.windows = stats.windows;
+  run.answers = stats.answers;
+  run.max_queue_depth = stats.max_queue_depth;
+  run.max_reorder_depth = stats.max_reorder_depth;
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t items = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 60000;
+  const size_t window_size =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 2000;
+
+  SymbolTablePtr symbols = MakeSymbolTable();
+  StatusOr<Program> program = MakeTrafficProgram(
+      symbols, TrafficProgramVariant::kPPrime, /*with_show=*/true);
+  if (!program.ok()) {
+    std::fprintf(stderr, "program: %s\n",
+                 program.status().ToString().c_str());
+    return 1;
+  }
+
+  GeneratorOptions gen_options;
+  gen_options.seed = 2017;
+  SyntheticStreamGenerator generator(MakeTrafficSchema(*symbols),
+                                     gen_options);
+  const std::vector<Triple> stream = generator.GenerateWindow(items);
+
+  std::fprintf(stderr,
+               "async_pipeline bench: %zu items, window %zu, %u cores\n",
+               items, window_size, std::thread::hardware_concurrency());
+
+  std::vector<RunResult> runs;
+  // Warm-up (first run pays allocator/page-fault costs), then measure.
+  RunOnce(*program, stream, window_size, /*async=*/false, 0);
+  runs.push_back(RunOnce(*program, stream, window_size, false, 0));
+  for (const size_t depth : {1, 2, 4, 8}) {
+    runs.push_back(RunOnce(*program, stream, window_size, true, depth));
+  }
+
+  std::printf("{\n");
+  std::printf("  \"bench\": \"async_pipeline\",\n");
+  std::printf("  \"workload\": \"traffic_pprime\",\n");
+  std::printf("  \"items\": %zu,\n", items);
+  std::printf("  \"window_size\": %zu,\n", window_size);
+  std::printf("  \"hardware_concurrency\": %u,\n",
+              std::thread::hardware_concurrency());
+  std::printf("  \"runs\": [\n");
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const RunResult& run = runs[i];
+    std::printf(
+        "    {\"mode\": \"%s\", \"inflight\": %zu, \"workers\": %zu, "
+        "\"wall_ms\": %.2f, \"triples_per_sec\": %.1f, "
+        "\"p50_latency_ms\": %.3f, \"p99_latency_ms\": %.3f, "
+        "\"windows\": %llu, \"answers\": %llu, "
+        "\"max_queue_depth\": %zu, \"max_reorder_depth\": %zu}%s\n",
+        run.mode.c_str(), run.inflight, run.workers, run.wall_ms,
+        run.triples_per_sec, run.p50_latency_ms, run.p99_latency_ms,
+        static_cast<unsigned long long>(run.windows),
+        static_cast<unsigned long long>(run.answers), run.max_queue_depth,
+        run.max_reorder_depth, i + 1 < runs.size() ? "," : "");
+  }
+  std::printf("  ]\n");
+  std::printf("}\n");
+  return 0;
+}

@@ -39,7 +39,7 @@ void StreamQueryProcessor::Flush() {
   window.items = std::move(pending_);
   pending_.clear();
   pending_.reserve(window_size_);
-  callback_(window);
+  callback_(std::move(window));
 }
 
 }  // namespace streamasp

@@ -21,7 +21,11 @@ namespace streamasp {
 /// experiments require (see DESIGN.md, substitution table).
 class StreamQueryProcessor {
  public:
-  using WindowCallback = std::function<void(const TripleWindow&)>;
+  /// Receives each completed window by value: the processor hands off its
+  /// buffer, so the callback may move the window onward (e.g. into the
+  /// async pipeline's work queue) without copying. Lambdas taking
+  /// `const TripleWindow&` still bind.
+  using WindowCallback = std::function<void(TripleWindow)>;
 
   /// `window_size` is the tuple-based window length; `callback` receives
   /// every completed window.

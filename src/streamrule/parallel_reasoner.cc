@@ -11,9 +11,7 @@ namespace streamasp {
 namespace {
 
 size_t ResolveThreadCount(size_t requested) {
-  if (requested != 0) return requested;
-  const unsigned hardware = std::thread::hardware_concurrency();
-  return hardware == 0 ? 2 : hardware;
+  return requested != 0 ? requested : DefaultThreadCount();
 }
 
 }  // namespace
@@ -87,8 +85,13 @@ StatusOr<ParallelReasonerResult> ParallelReasoner::RunPartitions(
   WallTimer phase;
   std::vector<StatusOr<ReasonerResult>> outcomes(
       partitions.size(), StatusOr<ReasonerResult>(InternalError("not run")));
+  // Batch-wait rather than WaitIdle so concurrent Process calls on one
+  // reasoner (or other users of a shared pool) cannot extend each other's
+  // waits or steal each other's completion signal.
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(partitions.size());
   for (size_t i = 0; i < partitions.size(); ++i) {
-    pool_.Submit([this, &partitions, &outcomes, i] {
+    tasks.push_back([this, &partitions, &outcomes, i] {
       if constexpr (std::is_same_v<Item, Triple>) {
         TripleWindow window;
         window.items = partitions[i];
@@ -98,7 +101,7 @@ StatusOr<ParallelReasonerResult> ParallelReasoner::RunPartitions(
       }
     });
   }
-  pool_.WaitIdle();
+  pool_.SubmitAndWaitAll(std::move(tasks));
   result.reason_ms = phase.ElapsedMillis();
 
   std::vector<std::vector<GroundAnswer>> per_partition;

@@ -1,5 +1,8 @@
 #include "streamrule/pipeline.h"
 
+#include <algorithm>
+#include <exception>
+#include <string>
 #include <utility>
 
 #include "util/logging.h"
@@ -14,6 +17,10 @@ StatusOr<std::unique_ptr<StreamRulePipeline>> StreamRulePipeline::Create(
   }
   if (callback == nullptr) {
     return InvalidArgumentError("result callback must not be null");
+  }
+  if (options.async && options.max_inflight_windows == 0) {
+    return InvalidArgumentError(
+        "async mode needs max_inflight_windows >= 1");
   }
   STREAMASP_RETURN_IF_ERROR(program->Validate());
 
@@ -44,16 +51,82 @@ StreamRulePipeline::StreamRulePipeline(const Program* program,
                                        PartitioningPlan plan,
                                        DecompositionInfo info,
                                        ResultCallback callback)
-    : options_(options),
+    : program_(program),
+      options_(options),
       plan_(std::move(plan)),
       info_(info),
-      callback_(std::move(callback)),
-      reasoner_(program, plan_, options_.reasoner) {
+      callback_(std::move(callback)) {
   query_ = std::make_unique<StreamQueryProcessor>(
-      options_.window_size,
-      [this](const TripleWindow& window) { ProcessWindow(window); });
+      options_.window_size, [this](TripleWindow window) {
+        if (options_.async) {
+          EnqueueWindow(std::move(window));
+        } else {
+          ProcessWindowSync(window);
+        }
+      });
   for (const PredicateSignature& sig : program->input_predicates()) {
     query_->RegisterPredicate(sig.name);
+  }
+  if (options_.async) {
+    StartAsyncEngine();
+  } else {
+    sync_reasoner_ = std::make_unique<ParallelReasoner>(program_, plan_,
+                                                        options_.reasoner);
+  }
+}
+
+StreamRulePipeline::~StreamRulePipeline() {
+  if (!options_.async) return;
+  // Drain: stop admission, let the workers finish every admitted window,
+  // then let the emitter deliver whatever is parked in the reorder buffer.
+  work_queue_->Close();
+  for (std::thread& worker : workers_) worker.join();
+  {
+    std::lock_guard<std::mutex> lock(emit_mutex_);
+    shutdown_ = true;
+  }
+  emit_cv_.notify_all();
+  emitter_.join();
+}
+
+void StreamRulePipeline::StartAsyncEngine() {
+  size_t num_workers = options_.num_reason_workers;
+  if (num_workers == 0) {
+    num_workers = std::min<size_t>(options_.max_inflight_windows,
+                                   DefaultThreadCount());
+  }
+  num_workers = std::max<size_t>(num_workers, 1);
+
+  work_queue_ = std::make_unique<BoundedQueue<TripleWindow>>(
+      options_.max_inflight_windows, options_.backpressure);
+  // Per-worker reasoner state: each worker waits only on its own
+  // reasoner's inner pool, one level down — see the ThreadPool nesting
+  // constraint. Split the default thread budget across the workers so N
+  // workers don't each spawn hardware_concurrency inner threads.
+  ParallelReasonerOptions reasoner_options = options_.reasoner;
+  if (reasoner_options.num_threads == 0) {
+    reasoner_options.num_threads =
+        std::max<size_t>(1, DefaultThreadCount() / num_workers);
+  }
+  worker_reasoners_.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    worker_reasoners_.push_back(std::make_unique<ParallelReasoner>(
+        program_, plan_, reasoner_options));
+  }
+  workers_.reserve(num_workers);
+  try {
+    for (size_t i = 0; i < num_workers; ++i) {
+      workers_.emplace_back([this, i] { ReasonWorkerLoop(i); });
+    }
+    emitter_ = std::thread([this] { EmitterLoop(); });
+  } catch (...) {
+    // Thread spawn failed (e.g. resource exhaustion) mid-startup: unwind
+    // the already-running workers so destroying joinable std::threads
+    // doesn't terminate the process.
+    work_queue_->Close();
+    for (std::thread& worker : workers_) worker.join();
+    workers_.clear();
+    throw;
   }
 }
 
@@ -63,22 +136,197 @@ void StreamRulePipeline::PushBatch(const std::vector<Triple>& triples) {
   query_->PushBatch(triples);
 }
 
-void StreamRulePipeline::Flush() { query_->Flush(); }
+void StreamRulePipeline::Flush() {
+  query_->Flush();
+  if (!options_.async) return;
+  std::unique_lock<std::mutex> lock(emit_mutex_);
+  drained_cv_.wait(lock, [this] {
+    return inflight_.empty() && completed_.empty() && delivering_ == 0;
+  });
+}
 
-void StreamRulePipeline::ProcessWindow(const TripleWindow& window) {
-  StatusOr<ParallelReasonerResult> result = reasoner_.Process(window);
+PipelineStats StreamRulePipeline::stats() const {
+  PipelineStats snapshot;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    snapshot = stats_;
+  }
+  if (work_queue_ != nullptr) {
+    snapshot.max_queue_depth = work_queue_->stats().max_depth;
+  }
+  return snapshot;
+}
+
+void StreamRulePipeline::EnqueueWindow(TripleWindow window) {
+  const uint64_t sequence = window.sequence;
+  {
+    std::lock_guard<std::mutex> lock(emit_mutex_);
+    inflight_.insert(sequence);
+  }
+  {
+    // Count admission BEFORE the push: under kBlock a worker can reason
+    // and deliver this window before Push even returns, and stats() must
+    // never observe windows > enqueued_windows. The refused outcomes
+    // below undo the count.
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.enqueued_windows;
+  }
+  TripleWindow displaced;
+  const QueuePushResult pushed =
+      work_queue_->Push(std::move(window), &displaced);
+  switch (pushed) {
+    case QueuePushResult::kOk:
+      break;
+    case QueuePushResult::kDroppedOldest: {
+      {
+        std::lock_guard<std::mutex> lock(emit_mutex_);
+        inflight_.erase(displaced.sequence);
+      }
+      // The evicted window may have been the emitter's next expected
+      // sequence; let it re-evaluate.
+      emit_cv_.notify_all();
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.dropped_windows;
+      break;
+    }
+    case QueuePushResult::kRejected: {
+      {
+        std::lock_guard<std::mutex> lock(emit_mutex_);
+        inflight_.erase(sequence);
+      }
+      emit_cv_.notify_all();
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      --stats_.enqueued_windows;
+      ++stats_.rejected_windows;
+      break;
+    }
+    case QueuePushResult::kClosed: {
+      {
+        std::lock_guard<std::mutex> lock(emit_mutex_);
+        inflight_.erase(sequence);
+      }
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      --stats_.enqueued_windows;
+      break;
+    }
+  }
+}
+
+void StreamRulePipeline::ProcessWindowSync(const TripleWindow& window) {
+  DeliverResult(window, sync_reasoner_->Process(window));
+}
+
+void StreamRulePipeline::ReasonWorkerLoop(size_t worker_index) {
+  ParallelReasoner& reasoner = *worker_reasoners_[worker_index];
+  TripleWindow window;
+  while (work_queue_->Pop(&window)) {
+    CompletedWindow done;
+    // An exception escaping a worker thread would std::terminate the
+    // process; convert to the same error path a failed Status takes (sync
+    // mode lets it propagate to the Push caller instead).
+    try {
+      done.result = reasoner.Process(window);
+    } catch (const std::exception& e) {
+      done.result = InternalError(
+          std::string("reasoning worker exception: ") + e.what());
+    } catch (...) {
+      done.result = InternalError("reasoning worker exception");
+    }
+    const uint64_t sequence = window.sequence;
+    done.window = std::move(window);
+    size_t reorder_depth = 0;
+    {
+      std::lock_guard<std::mutex> lock(emit_mutex_);
+      completed_.emplace(sequence, std::move(done));
+      inflight_.erase(sequence);
+      reorder_depth = completed_.size();
+    }
+    emit_cv_.notify_all();
+    {
+      // Outside emit_mutex_: keep the emit→stats lock order flat.
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      stats_.max_reorder_depth =
+          std::max(stats_.max_reorder_depth, reorder_depth);
+    }
+  }
+}
+
+bool StreamRulePipeline::CanEmitLocked() const {
+  if (completed_.empty()) return false;
+  // Deliverable once no admitted-but-unreasoned window has a smaller
+  // sequence. The windower assigns sequences in admission order, so
+  // nothing below min(inflight_) can still appear.
+  return inflight_.empty() ||
+         completed_.begin()->first < *inflight_.begin();
+}
+
+void StreamRulePipeline::EmitterLoop() {
+  std::unique_lock<std::mutex> lock(emit_mutex_);
+  for (;;) {
+    emit_cv_.wait(lock, [this] { return shutdown_ || CanEmitLocked(); });
+    // After shutdown the workers have joined: nothing with a smaller
+    // sequence can arrive any more, so drain the buffer unconditionally
+    // (still in sequence order — completed_ is an ordered map).
+    while (!completed_.empty() && (CanEmitLocked() || shutdown_)) {
+      auto first = completed_.begin();
+      CompletedWindow done = std::move(first->second);
+      completed_.erase(first);
+      // Keep the window counted as undelivered while the callback runs, or
+      // Flush could observe empty inflight_/completed_ and return before
+      // the delivery it is waiting for has happened.
+      ++delivering_;
+      lock.unlock();
+      try {
+        DeliverResult(done.window, done.result);
+      } catch (const std::exception& e) {
+        // A throwing ResultCallback would terminate the emitter thread;
+        // count it like a reasoning error and keep the stream moving.
+        {
+          std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+          ++stats_.errors;
+        }
+        STREAMASP_LOG(kError) << "window " << done.window.sequence
+                              << ": result callback threw: " << e.what();
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+          ++stats_.errors;
+        }
+        STREAMASP_LOG(kError) << "window " << done.window.sequence
+                              << ": result callback threw";
+      }
+      lock.lock();
+      --delivering_;
+    }
+    if (inflight_.empty() && completed_.empty() && delivering_ == 0) {
+      drained_cv_.notify_all();
+      if (shutdown_) return;
+    }
+  }
+}
+
+void StreamRulePipeline::DeliverResult(
+    const TripleWindow& window,
+    const StatusOr<ParallelReasonerResult>& result) {
   if (!result.ok()) {
-    ++stats_.errors;
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.errors;
+    }
     STREAMASP_LOG(kError) << "window " << window.sequence << ": "
                           << result.status();
     return;
   }
-  ++stats_.windows;
-  stats_.items += window.size();
-  stats_.answers += result->answers.size();
-  stats_.total_latency_ms += result->latency_ms;
-  stats_.max_latency_ms = std::max(stats_.max_latency_ms, result->latency_ms);
-  stats_.total_critical_path_ms += result->critical_path_ms;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.windows;
+    stats_.items += window.size();
+    stats_.answers += result->answers.size();
+    stats_.total_latency_ms += result->latency_ms;
+    stats_.max_latency_ms =
+        std::max(stats_.max_latency_ms, result->latency_ms);
+    stats_.total_critical_path_ms += result->critical_path_ms;
+  }
   callback_(window, *result);
 }
 

@@ -1,13 +1,19 @@
 #ifndef STREAMASP_STREAMRULE_PIPELINE_H_
 #define STREAMASP_STREAMRULE_PIPELINE_H_
 
+#include <condition_variable>
 #include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
 #include <vector>
 
 #include "depgraph/decomposition.h"
 #include "stream/query_processor.h"
 #include "streamrule/parallel_reasoner.h"
+#include "util/bounded_queue.h"
 #include "util/status.h"
 
 namespace streamasp {
@@ -21,20 +27,51 @@ struct PipelineOptions {
   /// parallel reasoning (PR). Mostly for baselines.
   bool disable_partitioning = false;
 
+  /// Run the staged asynchronous engine: ingest/windowing on the caller
+  /// thread, reasoning on a pool of workers with several windows in
+  /// flight, answers delivered by an ordered emitter. false keeps the
+  /// fully synchronous one-window-at-a-time loop (the differential-testing
+  /// oracle for the async path).
+  bool async = false;
+
+  /// Capacity of the window work queue between the windower and the
+  /// reasoning workers (async only). Together with the workers this bounds
+  /// how many windows are in flight at once. Must be >= 1.
+  size_t max_inflight_windows = 4;
+
+  /// Reasoning worker threads (async only); each owns a full
+  /// ParallelReasoner. 0 picks min(max_inflight_windows,
+  /// hardware_concurrency).
+  size_t num_reason_workers = 0;
+
+  /// What Push does when the work queue is full (async only). kBlock is
+  /// lossless and keeps async output identical to sync; kDropOldest /
+  /// kReject shed load under overload and are counted in PipelineStats.
+  BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+
   InputDependencyOptions dependency;
   DecompositionOptions decomposition;
   ParallelReasonerOptions reasoner;
 };
 
-/// Rolling statistics over every window the pipeline processed.
+/// Rolling statistics over every window the pipeline processed. Snapshots
+/// are returned by value from StreamRulePipeline::stats(), which is safe
+/// to call from any thread while the async engine runs.
 struct PipelineStats {
-  uint64_t windows = 0;
-  uint64_t items = 0;
+  uint64_t windows = 0;  ///< Windows reasoned successfully.
+  uint64_t items = 0;    ///< Items in those windows.
   uint64_t answers = 0;
-  double total_latency_ms = 0;
+  double total_latency_ms = 0;  ///< Sum of per-window reasoning latency.
   double max_latency_ms = 0;
   double total_critical_path_ms = 0;
   uint64_t errors = 0;
+
+  // --- async engine counters (zero in sync mode) ---
+  uint64_t enqueued_windows = 0;  ///< Windows admitted to the work queue.
+  uint64_t dropped_windows = 0;   ///< Evicted by kDropOldest backpressure.
+  uint64_t rejected_windows = 0;  ///< Refused by kReject backpressure.
+  size_t max_queue_depth = 0;     ///< Work-queue high-water mark.
+  size_t max_reorder_depth = 0;   ///< Ordered-emitter buffer high-water mark.
 
   double mean_latency_ms() const {
     return windows == 0 ? 0.0 : total_latency_ms / static_cast<double>(windows);
@@ -45,12 +82,29 @@ struct PipelineStats {
 /// dependency analysis, then stream in → filter → window → partition →
 /// parallel reasoning → combined answers out. This is the one-stop API the
 /// examples hand-assemble from parts; it owns the query processor and the
-/// reasoner and reports rolling statistics.
+/// reasoner(s) and reports rolling statistics.
 ///
 ///   auto pipeline = StreamRulePipeline::Create(&program, options,
 ///       [](const TripleWindow& w, const ParallelReasonerResult& r) { ... });
 ///   pipeline->Push(triple);   // repeatedly
 ///   pipeline->Flush();        // end of stream
+///
+/// With options.async set, the run-time is a staged engine:
+///
+///   caller thread:  ingest → filter → windower ─┐
+///                                               ▼
+///                        BoundedQueue<TripleWindow> (backpressure)
+///                                               ▼
+///   worker threads: ParallelReasoner #1..#N (one window each, several
+///                                            windows in flight)
+///                                               ▼
+///   emitter thread: reorder buffer keyed by window sequence →
+///                   ResultCallback strictly in window order
+///
+/// The callback is always invoked from exactly one thread at a time and
+/// strictly in window-sequence order, even when windows complete out of
+/// order. With the lossless kBlock policy the observable output is
+/// byte-identical to async=false.
 class StreamRulePipeline {
  public:
   /// Called once per processed window with the window and its result.
@@ -59,38 +113,93 @@ class StreamRulePipeline {
 
   /// Runs design-time analysis on `program` (which must outlive the
   /// pipeline) and wires the run-time components. Fails when the program
-  /// is invalid or declares no usable input predicates.
+  /// is invalid, declares no usable input predicates, or the async options
+  /// are inconsistent.
   static StatusOr<std::unique_ptr<StreamRulePipeline>> Create(
       const Program* program, PipelineOptions options,
       ResultCallback callback);
 
-  /// Feeds one raw stream item.
+  /// Drains every admitted window (without flushing a partial one), then
+  /// stops the engine threads.
+  ~StreamRulePipeline();
+
+  StreamRulePipeline(const StreamRulePipeline&) = delete;
+  StreamRulePipeline& operator=(const StreamRulePipeline&) = delete;
+
+  /// Feeds one raw stream item. In async mode this may block (kBlock
+  /// backpressure) or shed a window (kDropOldest/kReject) when
+  /// max_inflight_windows is reached.
   void Push(const Triple& triple);
 
   /// Feeds a batch.
   void PushBatch(const std::vector<Triple>& triples);
 
-  /// Processes the trailing partial window.
+  /// Emits the trailing partial window and, in async mode, blocks until
+  /// every in-flight window has been reasoned and its callback delivered.
+  /// The pipeline remains usable afterwards.
   void Flush();
 
-  const PipelineStats& stats() const { return stats_; }
+  /// Thread-safe snapshot of the rolling statistics.
+  PipelineStats stats() const;
+
   const PartitioningPlan& plan() const { return plan_; }
   const DecompositionInfo& decomposition_info() const { return info_; }
 
+  /// Reasoning workers actually running (0 in sync mode).
+  size_t num_reason_workers() const { return workers_.size(); }
+
  private:
+  /// A reasoned window parked in the reorder buffer until every
+  /// lower-sequence window has been delivered.
+  struct CompletedWindow {
+    TripleWindow window;
+    StatusOr<ParallelReasonerResult> result{InternalError("not run")};
+  };
+
   StreamRulePipeline(const Program* program, PipelineOptions options,
                      PartitioningPlan plan, DecompositionInfo info,
                      ResultCallback callback);
 
-  void ProcessWindow(const TripleWindow& window);
+  void StartAsyncEngine();
+  /// Stage boundary: windower output → work queue (applies backpressure).
+  void EnqueueWindow(TripleWindow window);
+  /// The synchronous oracle path: reason + emit on the caller thread.
+  void ProcessWindowSync(const TripleWindow& window);
+  void ReasonWorkerLoop(size_t worker_index);
+  void EmitterLoop();
+  /// Records stats and invokes the callback for one reasoned window.
+  void DeliverResult(const TripleWindow& window,
+                     const StatusOr<ParallelReasonerResult>& result);
+  /// True when the smallest completed sequence has no smaller sequence
+  /// still in flight. Requires emit_mutex_.
+  bool CanEmitLocked() const;
 
+  const Program* program_;
   PipelineOptions options_;
   PartitioningPlan plan_;
   DecompositionInfo info_;
   ResultCallback callback_;
-  ParallelReasoner reasoner_;
   std::unique_ptr<StreamQueryProcessor> query_;
+
+  /// Sync mode's single reasoner (null in async mode).
+  std::unique_ptr<ParallelReasoner> sync_reasoner_;
+
+  mutable std::mutex stats_mutex_;
   PipelineStats stats_;
+
+  // --- async engine state (untouched in sync mode) ---
+  std::unique_ptr<BoundedQueue<TripleWindow>> work_queue_;
+  std::vector<std::unique_ptr<ParallelReasoner>> worker_reasoners_;
+  std::vector<std::thread> workers_;
+  std::thread emitter_;
+
+  std::mutex emit_mutex_;
+  std::condition_variable emit_cv_;     ///< Wakes the emitter.
+  std::condition_variable drained_cv_;  ///< Wakes Flush waiters.
+  std::map<uint64_t, CompletedWindow> completed_;  ///< Reorder buffer.
+  std::set<uint64_t> inflight_;  ///< Admitted, not yet reasoned.
+  size_t delivering_ = 0;  ///< Windows mid-callback on the emitter.
+  bool shutdown_ = false;
 };
 
 }  // namespace streamasp

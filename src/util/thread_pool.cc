@@ -31,6 +31,32 @@ void ThreadPool::Submit(std::function<void()> task) {
   work_available_.notify_one();
 }
 
+std::future<void> ThreadPool::SubmitWithFuture(std::function<void()> task) {
+  auto packaged = std::make_shared<std::packaged_task<void()>>(std::move(task));
+  std::future<void> future = packaged->get_future();
+  Submit([packaged] { (*packaged)(); });
+  return future;
+}
+
+void ThreadPool::SubmitAndWaitAll(std::vector<std::function<void()>> tasks) {
+  std::vector<std::future<void>> futures;
+  futures.reserve(tasks.size());
+  for (std::function<void()>& task : tasks) {
+    futures.push_back(SubmitWithFuture(std::move(task)));
+  }
+  // Wait for the whole batch before rethrowing: bailing on the first
+  // failure would unwind caller state that still-running tasks reference.
+  std::exception_ptr first_error;
+  for (std::future<void>& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (first_error == nullptr) first_error = std::current_exception();
+    }
+  }
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+}
+
 void ThreadPool::WaitIdle() {
   std::unique_lock<std::mutex> lock(mutex_);
   all_idle_.wait(lock,

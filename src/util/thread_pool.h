@@ -5,17 +5,36 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace streamasp {
 
+/// std::thread::hardware_concurrency() with the conventional fallback of 2
+/// when the hardware cannot be queried. The one source of truth for every
+/// "0 means pick for me" thread-count option.
+inline size_t DefaultThreadCount() {
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 2 : hardware;
+}
+
 /// Fixed-size worker pool executing arbitrary closures.
 ///
 /// The parallel reasoner PR submits one task per window partition and waits
-/// for the batch with WaitIdle(). Tasks must not themselves block on the
-/// pool (no nested Submit-and-wait), which is all the reasoner needs.
+/// for the batch with SubmitAndWaitAll().
+///
+/// Nesting constraint (important for the async pipeline engine): a task
+/// running ON a pool must never block on futures of tasks submitted to the
+/// SAME pool. If every worker is blocked waiting, the task that would
+/// unblock them can never be scheduled — a guaranteed deadlock, not a
+/// slowdown. The staged engine therefore gives each reasoning worker its
+/// own ParallelReasoner (and hence its own inner pool): a worker only ever
+/// waits on futures from the pool one level below it, never its own.
+/// Waiting on a *different* pool's futures is always safe.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (at least one).
@@ -27,11 +46,24 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task for asynchronous execution.
+  /// Enqueues a task for asynchronous execution (fire and forget).
   void Submit(std::function<void()> task);
 
+  /// Enqueues a task and returns a future that becomes ready when the task
+  /// finishes (or carries its exception). Waiting on the future from
+  /// outside the pool is safe; waiting from a task on this same pool is
+  /// the nesting deadlock described above.
+  std::future<void> SubmitWithFuture(std::function<void()> task);
+
+  /// Submits a batch and blocks until exactly these tasks have completed.
+  /// Unlike WaitIdle(), the wait is unaffected by concurrent Submit calls
+  /// from other threads, so multiple callers can safely run batches on a
+  /// shared pool at the same time.
+  void SubmitAndWaitAll(std::vector<std::function<void()>> tasks);
+
   /// Blocks until the queue is empty and every worker is idle. Concurrent
-  /// Submit calls during the wait extend it.
+  /// Submit calls during the wait extend it; prefer SubmitAndWaitAll for
+  /// batch semantics on a shared pool.
   void WaitIdle();
 
   /// Number of worker threads.

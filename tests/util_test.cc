@@ -1,6 +1,10 @@
 #include <atomic>
+#include <functional>
+#include <future>
 #include <set>
+#include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -299,6 +303,44 @@ TEST(ThreadPoolTest, TasksRunConcurrentlyWithManyWorkers) {
   }
   pool.WaitIdle();
   EXPECT_EQ(started.load(), 2);
+}
+
+TEST(ThreadPoolTest, SubmitWithFutureSignalsCompletion) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::future<void> future =
+      pool.SubmitWithFuture([&counter] { counter.fetch_add(1); });
+  future.get();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, SubmitWithFuturePropagatesException) {
+  ThreadPool pool(1);
+  std::future<void> future =
+      pool.SubmitWithFuture([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, SubmitAndWaitAllWaitsForExactlyItsBatch) {
+  ThreadPool pool(3);
+  // A long-running unrelated task must not extend the batch wait (the
+  // WaitIdle footgun this API exists to avoid).
+  std::atomic<bool> release{false};
+  pool.Submit([&release] {
+    while (!release.load()) {
+      std::this_thread::yield();
+    }
+  });
+
+  std::atomic<int> counter{0};
+  std::vector<std::function<void()>> batch;
+  for (int i = 0; i < 20; ++i) {
+    batch.push_back([&counter] { counter.fetch_add(1); });
+  }
+  pool.SubmitAndWaitAll(std::move(batch));
+  EXPECT_EQ(counter.load(), 20);  // Batch done even while the hog runs.
+  release.store(true);
+  pool.WaitIdle();
 }
 
 }  // namespace
