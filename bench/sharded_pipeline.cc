@@ -1,0 +1,202 @@
+// Sustained-throughput bench for the sharded multi-pipeline engine:
+// the single-pipeline baselines (sync oracle, staged async) vs the
+// sharded engine at shard counts {1, 2, 4, 8} on the paper's traffic
+// workload. Emits one machine-readable JSON document on stdout for the
+// perf trajectory; human-readable notes go to stderr.
+//
+// Throughput is items pushed / wall time of PushBatch+Flush; window
+// latency is the per-delivered-window latency distribution (p50/p99) as
+// seen by the consumer (for sharded runs that is the merged cross-shard
+// window). The JSON schema is documented in docs/benchmarks.md.
+//
+// Usage: sharded_pipeline [items] [window_size]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "stream/generator.h"
+#include "streamrule/pipeline.h"
+#include "streamrule/sharded_pipeline.h"
+#include "streamrule/traffic_workload.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace streamasp;
+
+struct RunResult {
+  std::string mode;     // "sync", "async" or "sharded"
+  size_t shards = 0;    // 0 for the single-pipeline baselines
+  size_t inflight = 0;
+  double wall_ms = 0;
+  double triples_per_sec = 0;
+  double p50_latency_ms = 0;
+  double p99_latency_ms = 0;
+  uint64_t windows = 0;
+  uint64_t answers = 0;
+  uint64_t max_shard_items = 0;  // Skew: busiest shard's routed items.
+  size_t max_merge_reorder_depth = 0;
+};
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  const double rank = p * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + (values[hi] - values[lo]) * frac;
+}
+
+RunResult FinishRun(std::string mode, size_t shards, size_t inflight,
+                    double wall_ms, size_t items,
+                    std::vector<double> latencies) {
+  RunResult run;
+  run.mode = std::move(mode);
+  run.shards = shards;
+  run.inflight = inflight;
+  run.wall_ms = wall_ms;
+  run.triples_per_sec =
+      wall_ms > 0 ? static_cast<double>(items) / (wall_ms / 1000.0) : 0;
+  run.p50_latency_ms = Percentile(latencies, 0.50);
+  run.p99_latency_ms = Percentile(latencies, 0.99);
+  return run;
+}
+
+RunResult RunSingle(const Program& program, const std::vector<Triple>& stream,
+                    size_t window_size, bool async) {
+  PipelineOptions options;
+  options.window_size = window_size;
+  options.async = async;
+  options.max_inflight_windows = 4;
+
+  std::vector<double> latencies;
+  StatusOr<std::unique_ptr<StreamRulePipeline>> pipeline =
+      StreamRulePipeline::Create(
+          &program, options,
+          [&](const TripleWindow&, const ParallelReasonerResult& result) {
+            latencies.push_back(result.latency_ms);
+          });
+  if (!pipeline.ok()) {
+    std::fprintf(stderr, "pipeline: %s\n",
+                 pipeline.status().ToString().c_str());
+    std::exit(1);
+  }
+
+  WallTimer wall;
+  (*pipeline)->PushBatch(stream);
+  (*pipeline)->Flush();
+  const double wall_ms = wall.ElapsedMillis();
+
+  const PipelineStats stats = (*pipeline)->stats();
+  RunResult run = FinishRun(async ? "async" : "sync", 0, async ? 4 : 0,
+                            wall_ms, stream.size(), std::move(latencies));
+  run.windows = stats.windows;
+  run.answers = stats.answers;
+  run.max_shard_items = stats.items;
+  return run;
+}
+
+RunResult RunSharded(const Program& program, const std::vector<Triple>& stream,
+                     size_t window_size, size_t shards) {
+  ShardedPipelineOptions options;
+  options.num_shards = shards;
+  options.pipeline.window_size = window_size;
+  options.pipeline.async = true;
+  options.pipeline.max_inflight_windows = 4;
+
+  std::vector<double> latencies;
+  StatusOr<std::unique_ptr<ShardedPipelineEngine>> engine =
+      ShardedPipelineEngine::Create(
+          &program, options,
+          [&](const TripleWindow&, const ParallelReasonerResult& result) {
+            latencies.push_back(result.latency_ms);
+          });
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine: %s\n", engine.status().ToString().c_str());
+    std::exit(1);
+  }
+
+  WallTimer wall;
+  (*engine)->PushBatch(stream);
+  (*engine)->Flush();
+  const double wall_ms = wall.ElapsedMillis();
+
+  const ShardedPipelineStats stats = (*engine)->stats();
+  RunResult run = FinishRun("sharded", shards, 4, wall_ms, stream.size(),
+                            std::move(latencies));
+  run.windows = stats.merged_windows;
+  run.answers = stats.merged_answers;
+  for (const uint64_t routed : stats.routed_items) {
+    run.max_shard_items = std::max(run.max_shard_items, routed);
+  }
+  run.max_merge_reorder_depth = stats.max_merge_reorder_depth;
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t items = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 60000;
+  const size_t window_size =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 2000;
+
+  SymbolTablePtr symbols = MakeSymbolTable();
+  StatusOr<Program> program = MakeTrafficProgram(
+      symbols, TrafficProgramVariant::kPPrime, /*with_show=*/true);
+  if (!program.ok()) {
+    std::fprintf(stderr, "program: %s\n",
+                 program.status().ToString().c_str());
+    return 1;
+  }
+
+  GeneratorOptions gen_options;
+  gen_options.seed = 2017;
+  SyntheticStreamGenerator generator(MakeTrafficSchema(*symbols),
+                                     gen_options);
+  const std::vector<Triple> stream = generator.GenerateWindow(items);
+
+  std::fprintf(stderr,
+               "sharded_pipeline bench: %zu items, window %zu, %u cores\n",
+               items, window_size, std::thread::hardware_concurrency());
+
+  std::vector<RunResult> runs;
+  // Warm-up (allocator/page-fault costs), then measure.
+  RunSingle(*program, stream, window_size, /*async=*/false);
+  runs.push_back(RunSingle(*program, stream, window_size, /*async=*/false));
+  runs.push_back(RunSingle(*program, stream, window_size, /*async=*/true));
+  for (const size_t shards : {1, 2, 4, 8}) {
+    runs.push_back(RunSharded(*program, stream, window_size, shards));
+  }
+
+  std::printf("{\n");
+  std::printf("  \"bench\": \"sharded_pipeline\",\n");
+  std::printf("  \"workload\": \"traffic_pprime\",\n");
+  std::printf("  \"items\": %zu,\n", items);
+  std::printf("  \"window_size\": %zu,\n", window_size);
+  std::printf("  \"hardware_concurrency\": %u,\n",
+              std::thread::hardware_concurrency());
+  std::printf("  \"runs\": [\n");
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const RunResult& run = runs[i];
+    std::printf(
+        "    {\"mode\": \"%s\", \"shards\": %zu, \"inflight\": %zu, "
+        "\"wall_ms\": %.2f, \"triples_per_sec\": %.1f, "
+        "\"p50_latency_ms\": %.3f, \"p99_latency_ms\": %.3f, "
+        "\"windows\": %llu, \"answers\": %llu, "
+        "\"max_shard_items\": %llu, \"max_merge_reorder_depth\": %zu}%s\n",
+        run.mode.c_str(), run.shards, run.inflight, run.wall_ms,
+        run.triples_per_sec, run.p50_latency_ms, run.p99_latency_ms,
+        static_cast<unsigned long long>(run.windows),
+        static_cast<unsigned long long>(run.answers),
+        static_cast<unsigned long long>(run.max_shard_items),
+        run.max_merge_reorder_depth, i + 1 < runs.size() ? "," : "");
+  }
+  std::printf("  ]\n");
+  std::printf("}\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+#ifndef STREAMASP_STREAM_SHARD_KEY_H_
+#define STREAMASP_STREAM_SHARD_KEY_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "stream/triple.h"
+
+namespace streamasp {
+
+/// Maps a stream item to a stable 64-bit partition key. The sharded
+/// engine routes an item to shard `key % num_shards`, so two items with
+/// equal keys always land on the same shard regardless of shard count.
+///
+/// The extractor decides which regroupings of the input are
+/// answer-preserving: a key is *dependency-respecting* for a program when
+/// any two items that can contribute to the same derivation map to the
+/// same key. Subject keys respect subject-local programs (every rule's
+/// atoms share the subject variable, as in the paper's traffic workload);
+/// dependency-graph-derived keys (see CommunityShardKey in
+/// streamrule/sharded_pipeline.h) respect any program whose partitioning
+/// plan has no duplicated predicates.
+using ShardKeyExtractor = std::function<uint64_t(const Triple&)>;
+
+/// Keys by the subject term (deep hash). The default: all items about the
+/// same entity — the join variable of entity-centric rule sets — shard
+/// together.
+ShardKeyExtractor SubjectShardKey();
+
+/// Keys by the predicate symbol: all instances of one predicate shard
+/// together. Rarely dependency-respecting on its own (most rules join
+/// several predicates); useful as a building block and for stress-testing
+/// skew, since streams usually have few distinct predicates.
+ShardKeyExtractor PredicateShardKey();
+
+/// Keys by subject and object together (object-less items fall back to
+/// the subject alone). Spreads hot subjects at the cost of breaking
+/// subject-locality — only answer-preserving for programs whose rules
+/// never join two items of the same subject.
+ShardKeyExtractor SubjectObjectShardKey();
+
+/// A constant key: every item maps to shard 0. Degenerate on purpose —
+/// the skew worst case used by tests and benchmarks to verify ordering
+/// and accounting hold when one shard receives the entire stream.
+ShardKeyExtractor ConstantShardKey(uint64_t key = 0);
+
+}  // namespace streamasp
+
+#endif  // STREAMASP_STREAM_SHARD_KEY_H_

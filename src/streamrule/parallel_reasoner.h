@@ -54,6 +54,22 @@ struct ParallelReasonerResult {
 /// of Figure 6): partitioning handler → n parallel copies of reasoner R
 /// (each over the full program but only its sub-window) → combining
 /// handler.
+///
+/// Thread-safety: Process and its variants keep no per-call mutable state
+/// (the handlers are immutable, Reasoner is thread-compatible), so
+/// concurrent calls on one instance are safe — they share the inner
+/// ThreadPool, and SubmitAndWaitAll gives each call batch semantics, so
+/// concurrent windows interleave at task granularity rather than corrupt
+/// each other.
+///
+/// Nesting constraint (see util/thread_pool.h): Process blocks on futures
+/// of tasks submitted to the instance's OWN pool. Never call Process from
+/// a task running on that same pool — with every pool worker blocked in
+/// such a call, the partition tasks that would unblock them can never be
+/// scheduled. Callers that fan out windows across threads (the async
+/// engine's reasoning workers, the sharded engine's shards) therefore give
+/// each worker its own ParallelReasoner, so every wait targets the pool
+/// one level below the waiter.
 class ParallelReasoner {
  public:
   /// Dependency-guided mode: partitions follow `plan` (built by

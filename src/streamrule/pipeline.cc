@@ -11,7 +11,7 @@ namespace streamasp {
 
 StatusOr<std::unique_ptr<StreamRulePipeline>> StreamRulePipeline::Create(
     const Program* program, PipelineOptions options,
-    ResultCallback callback) {
+    ResultCallback callback, ErrorCallback error_callback) {
   if (program == nullptr) {
     return InvalidArgumentError("program must not be null");
   }
@@ -43,19 +43,21 @@ StatusOr<std::unique_ptr<StreamRulePipeline>> StreamRulePipeline::Create(
   }
   return std::unique_ptr<StreamRulePipeline>(new StreamRulePipeline(
       program, std::move(options), std::move(plan), info,
-      std::move(callback)));
+      std::move(callback), std::move(error_callback)));
 }
 
 StreamRulePipeline::StreamRulePipeline(const Program* program,
                                        PipelineOptions options,
                                        PartitioningPlan plan,
                                        DecompositionInfo info,
-                                       ResultCallback callback)
+                                       ResultCallback callback,
+                                       ErrorCallback error_callback)
     : program_(program),
       options_(options),
       plan_(std::move(plan)),
       info_(info),
-      callback_(std::move(callback)) {
+      callback_(std::move(callback)),
+      error_callback_(std::move(error_callback)) {
   query_ = std::make_unique<StreamQueryProcessor>(
       options_.window_size, [this](TripleWindow window) {
         if (options_.async) {
@@ -136,6 +138,8 @@ void StreamRulePipeline::PushBatch(const std::vector<Triple>& triples) {
   query_->PushBatch(triples);
 }
 
+void StreamRulePipeline::CloseWindow() { query_->Flush(); }
+
 void StreamRulePipeline::Flush() {
   query_->Flush();
   if (!options_.async) return;
@@ -212,8 +216,24 @@ void StreamRulePipeline::EnqueueWindow(TripleWindow window) {
   }
 }
 
-void StreamRulePipeline::ProcessWindowSync(const TripleWindow& window) {
-  DeliverResult(window, sync_reasoner_->Process(window));
+void StreamRulePipeline::ProcessWindowSync(TripleWindow& window) {
+  if (error_callback_ == nullptr) {
+    // No error channel: let exceptions propagate to the Push caller.
+    DeliverResult(window, sync_reasoner_->Process(window));
+    return;
+  }
+  // With an error channel installed the caller wants exactly one delivery
+  // per window (the sharded engine's merge stalls on a missing slot), so
+  // convert exceptions to the same error path async workers use.
+  StatusOr<ParallelReasonerResult> result{InternalError("not run")};
+  try {
+    result = sync_reasoner_->Process(window);
+  } catch (const std::exception& e) {
+    result = InternalError(std::string("reasoning exception: ") + e.what());
+  } catch (...) {
+    result = InternalError("reasoning exception");
+  }
+  DeliverResult(window, result);
 }
 
 void StreamRulePipeline::ReasonWorkerLoop(size_t worker_index) {
@@ -306,8 +326,7 @@ void StreamRulePipeline::EmitterLoop() {
 }
 
 void StreamRulePipeline::DeliverResult(
-    const TripleWindow& window,
-    const StatusOr<ParallelReasonerResult>& result) {
+    TripleWindow& window, const StatusOr<ParallelReasonerResult>& result) {
   if (!result.ok()) {
     {
       std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -315,6 +334,7 @@ void StreamRulePipeline::DeliverResult(
     }
     STREAMASP_LOG(kError) << "window " << window.sequence << ": "
                           << result.status();
+    if (error_callback_ != nullptr) error_callback_(window, result.status());
     return;
   }
   {

@@ -105,11 +105,42 @@ struct PipelineStats {
 /// strictly in window-sequence order, even when windows complete out of
 /// order. With the lossless kBlock policy the observable output is
 /// byte-identical to async=false.
+///
+/// Thread-safety contract:
+///   * Push / PushBatch / CloseWindow / Flush must be called from one
+///     thread at a time (they share the windower's mutable state). That
+///     thread need not be the one that created the pipeline.
+///   * stats() and the simple accessors are safe from any thread, at any
+///     time, including while the async engine is mid-window.
+///   * The result (and error) callback runs on the caller thread in sync
+///     mode and on the single emitter thread in async mode — never on two
+///     threads at once, always in strictly increasing sequence order.
+///   * Callbacks must not call back into Push/Flush on the same pipeline
+///     (the emitter would deadlock waiting for itself).
 class StreamRulePipeline {
  public:
-  /// Called once per processed window with the window and its result.
+  /// Called once per processed window with the window and its result. The
+  /// window is owned by the delivering thread and discarded right after
+  /// the callback returns, so the callback is handed a mutable reference
+  /// and may steal the window's contents (lambdas taking
+  /// `const TripleWindow&` bind as usual) — which is how the sharded
+  /// engine forwards sub-windows to its merge stage without copying.
   using ResultCallback = std::function<void(
-      const TripleWindow&, const ParallelReasonerResult&)>;
+      TripleWindow&, const ParallelReasonerResult&)>;
+
+  /// Called when reasoning over a window fails. Delivered from the same
+  /// thread and in the same strict sequence order as ResultCallback, so a
+  /// consumer that tracks window sequences (e.g. the sharded engine's
+  /// ordered merge) sees exactly one delivery — success or error — per
+  /// *reasoned* window. Under the lossless kBlock policy every admitted
+  /// window is reasoned; under kDropOldest/kReject a shed window is
+  /// counted in PipelineStats but delivers no callback of either kind.
+  /// Installing it also makes sync mode convert reasoning exceptions into
+  /// error deliveries (matching async mode) instead of letting them
+  /// propagate out of Push, so the one-delivery-per-reasoned-window
+  /// guarantee holds in both modes. Optional; without it errors are only
+  /// logged and counted in PipelineStats::errors.
+  using ErrorCallback = std::function<void(TripleWindow&, const Status&)>;
 
   /// Runs design-time analysis on `program` (which must outlive the
   /// pipeline) and wires the run-time components. Fails when the program
@@ -117,7 +148,7 @@ class StreamRulePipeline {
   /// are inconsistent.
   static StatusOr<std::unique_ptr<StreamRulePipeline>> Create(
       const Program* program, PipelineOptions options,
-      ResultCallback callback);
+      ResultCallback callback, ErrorCallback error_callback = nullptr);
 
   /// Drains every admitted window (without flushing a partial one), then
   /// stops the engine threads.
@@ -133,6 +164,15 @@ class StreamRulePipeline {
 
   /// Feeds a batch.
   void PushBatch(const std::vector<Triple>& triples);
+
+  /// Closes the current window right now, regardless of how full it is,
+  /// and admits it to the engine exactly as a count-triggered close would
+  /// (a no-op when nothing is pending). Unlike Flush this never waits for
+  /// reasoning: it is the punctuation hook external windowers — e.g. the
+  /// sharded engine's router, which aligns per-shard sub-windows on global
+  /// window boundaries — use to drive boundaries themselves. Same thread
+  /// discipline as Push.
+  void CloseWindow();
 
   /// Emits the trailing partial window and, in async mode, blocks until
   /// every in-flight window has been reasoned and its callback delivered.
@@ -158,17 +198,18 @@ class StreamRulePipeline {
 
   StreamRulePipeline(const Program* program, PipelineOptions options,
                      PartitioningPlan plan, DecompositionInfo info,
-                     ResultCallback callback);
+                     ResultCallback callback, ErrorCallback error_callback);
 
   void StartAsyncEngine();
   /// Stage boundary: windower output → work queue (applies backpressure).
   void EnqueueWindow(TripleWindow window);
   /// The synchronous oracle path: reason + emit on the caller thread.
-  void ProcessWindowSync(const TripleWindow& window);
+  void ProcessWindowSync(TripleWindow& window);
   void ReasonWorkerLoop(size_t worker_index);
   void EmitterLoop();
-  /// Records stats and invokes the callback for one reasoned window.
-  void DeliverResult(const TripleWindow& window,
+  /// Records stats and invokes the callback for one reasoned window (the
+  /// callback may gut `window`, which the caller is about to discard).
+  void DeliverResult(TripleWindow& window,
                      const StatusOr<ParallelReasonerResult>& result);
   /// True when the smallest completed sequence has no smaller sequence
   /// still in flight. Requires emit_mutex_.
@@ -179,6 +220,7 @@ class StreamRulePipeline {
   PartitioningPlan plan_;
   DecompositionInfo info_;
   ResultCallback callback_;
+  ErrorCallback error_callback_;
   std::unique_ptr<StreamQueryProcessor> query_;
 
   /// Sync mode's single reasoner (null in async mode).

@@ -1,0 +1,429 @@
+#include "streamrule/sharded_pipeline.h"
+
+#include <algorithm>
+#include <exception>
+#include <iterator>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace streamasp {
+
+StatusOr<std::unique_ptr<ShardedPipelineEngine>> ShardedPipelineEngine::Create(
+    const Program* program, ShardedPipelineOptions options,
+    ResultCallback callback) {
+  if (program == nullptr) {
+    return InvalidArgumentError("program must not be null");
+  }
+  if (callback == nullptr) {
+    return InvalidArgumentError("result callback must not be null");
+  }
+  if (options.num_shards == 0) {
+    return InvalidArgumentError("sharded engine needs num_shards >= 1");
+  }
+  if (options.pipeline.backpressure != BackpressurePolicy::kBlock) {
+    return InvalidArgumentError(
+        "sharded engine requires the lossless kBlock backpressure policy: "
+        "a shed sub-window would leave a hole the ordered merge waits on "
+        "forever");
+  }
+  if (options.shard_key == nullptr) options.shard_key = SubjectShardKey();
+  std::unique_ptr<ShardedPipelineEngine> engine(new ShardedPipelineEngine(
+      program, std::move(options), std::move(callback)));
+  STREAMASP_RETURN_IF_ERROR(engine->StartShards());
+  return engine;
+}
+
+ShardedPipelineEngine::ShardedPipelineEngine(const Program* program,
+                                             ShardedPipelineOptions options,
+                                             ResultCallback callback)
+    : program_(program),
+      options_(std::move(options)),
+      callback_(std::move(callback)),
+      merge_combiner_(options_.pipeline.reasoner.combining),
+      routed_items_(options_.num_shards) {
+  const size_t n = options_.num_shards;
+  batches_.resize(n);
+  pending_in_window_.assign(n, 0);
+  global_sequence_of_.resize(n);
+}
+
+Status ShardedPipelineEngine::StartShards() {
+  const size_t n = options_.num_shards;
+  for (const PredicateSignature& sig : program_->input_predicates()) {
+    selected_.insert(sig.name);
+  }
+
+  // The router owns the global window boundaries: each shard's windower
+  // gets a size it can never reach between punctuations (at most
+  // window_size_ items cross all shards per global window), so every
+  // sub-window close comes from CloseWindow().
+  PipelineOptions inner = options_.pipeline;
+  window_size_ = std::max<size_t>(1, inner.window_size);
+  if (window_size_ < SIZE_MAX) inner.window_size = window_size_ + 1;
+
+  // Budget thread counts left at "pick for me" across the shards, so N
+  // shards do not each claim the whole machine.
+  if (inner.async) {
+    if (inner.num_reason_workers == 0) {
+      inner.num_reason_workers = std::max<size_t>(
+          1, std::min(inner.max_inflight_windows, DefaultThreadCount() / n));
+    }
+    if (inner.reasoner.num_threads == 0) {
+      inner.reasoner.num_threads = std::max<size_t>(
+          1, DefaultThreadCount() / (n * inner.num_reason_workers));
+    }
+  } else if (inner.reasoner.num_threads == 0) {
+    inner.reasoner.num_threads =
+        std::max<size_t>(1, DefaultThreadCount() / n);
+  }
+
+  // Queues before threads: the destructor's cleanup path assumes every
+  // started thread has its queue.
+  merge_queue_ = std::make_unique<BoundedQueue<MergeItem>>(
+      options_.merge_queue_capacity == 0
+          ? std::max<size_t>(8, 2 * n)
+          : options_.merge_queue_capacity,
+      BackpressurePolicy::kBlock);
+  feeder_queues_.reserve(n);
+  for (size_t s = 0; s < n; ++s) {
+    feeder_queues_.push_back(std::make_unique<BoundedQueue<ShardCommand>>(
+        std::max<size_t>(1, options_.feeder_queue_capacity),
+        BackpressurePolicy::kBlock));
+  }
+
+  shards_.reserve(n);
+  for (size_t s = 0; s < n; ++s) {
+    StatusOr<std::unique_ptr<StreamRulePipeline>> shard =
+        StreamRulePipeline::Create(
+            program_, inner,
+            [this, s](TripleWindow& window,
+                      const ParallelReasonerResult& result) {
+              OnShardDelivery(s, window, result);
+            },
+            [this, s](TripleWindow& window, const Status& status) {
+              OnShardDelivery(s, window, status);
+            });
+    STREAMASP_RETURN_IF_ERROR(shard.status());
+    shards_.push_back(std::move(*shard));
+  }
+
+  merger_ = std::thread([this] { MergeLoop(); });
+  feeders_.reserve(n);
+  for (size_t s = 0; s < n; ++s) {
+    feeders_.emplace_back([this, s] { FeederLoop(s); });
+  }
+  return OkStatus();
+}
+
+ShardedPipelineEngine::~ShardedPipelineEngine() {
+  // Drain back to front: stop feeding, let each shard reason what it was
+  // handed, then let the merge thread deliver every assembled window.
+  // A partial global window was never assigned a sequence, so the merge
+  // expects nothing from it.
+  for (std::unique_ptr<BoundedQueue<ShardCommand>>& queue : feeder_queues_) {
+    if (queue != nullptr) queue->Close();
+  }
+  for (std::thread& feeder : feeders_) {
+    if (feeder.joinable()) feeder.join();
+  }
+  shards_.clear();  // Shard destructors drain their admitted sub-windows.
+  if (merge_queue_ != nullptr) merge_queue_->Close();
+  if (merger_.joinable()) merger_.join();
+}
+
+void ShardedPipelineEngine::Push(const Triple& triple) {
+  if (selected_.count(triple.predicate) == 0) {
+    filtered_items_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Route(triple);
+}
+
+void ShardedPipelineEngine::PushBatch(const std::vector<Triple>& triples) {
+  for (const Triple& triple : triples) Push(triple);
+}
+
+void ShardedPipelineEngine::Route(const Triple& triple) {
+  const size_t shard =
+      static_cast<size_t>(options_.shard_key(triple) % shards_.size());
+  batches_[shard].push_back(triple);
+  ++pending_in_window_[shard];
+  routed_items_[shard].fetch_add(1, std::memory_order_relaxed);
+  if (++window_fill_ >= window_size_) {
+    CloseGlobalWindow();
+  } else if (batches_[shard].size() >= options_.router_batch_size) {
+    DispatchBatch(shard, /*close_window=*/false);
+  }
+}
+
+void ShardedPipelineEngine::CloseGlobalWindow() {
+  const uint64_t sequence = next_global_sequence_++;
+  uint32_t expected = 0;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (pending_in_window_[s] > 0) ++expected;
+  }
+  // Record the merge's expectations and the local→global sequence mapping
+  // BEFORE any punctuation is enqueued: a shard could reason and deliver
+  // its sub-window before this loop even finishes.
+  {
+    std::lock_guard<std::mutex> lock(merge_mutex_);
+    expected_.emplace(sequence, expected);
+    ++assigned_windows_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mapping_mutex_);
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      if (pending_in_window_[s] > 0) global_sequence_of_[s].push_back(sequence);
+    }
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (pending_in_window_[s] == 0) continue;
+    DispatchBatch(s, /*close_window=*/true);
+    pending_in_window_[s] = 0;
+  }
+  window_fill_ = 0;
+}
+
+void ShardedPipelineEngine::DispatchBatch(size_t shard, bool close_window) {
+  ShardCommand command;
+  command.batch = std::move(batches_[shard]);
+  batches_[shard].clear();
+  command.close_window = close_window;
+  if (command.batch.empty() && !close_window) return;
+  feeder_queues_[shard]->Push(std::move(command));
+}
+
+void ShardedPipelineEngine::FeederLoop(size_t shard) {
+  StreamRulePipeline& pipeline = *shards_[shard];
+  ShardCommand command;
+  while (feeder_queues_[shard]->Pop(&command)) {
+    if (!command.batch.empty()) pipeline.PushBatch(command.batch);
+    if (command.close_window) pipeline.CloseWindow();
+    if (command.flush) {
+      pipeline.Flush();
+      {
+        std::lock_guard<std::mutex> lock(flush_mutex_);
+        ++flush_acks_;
+      }
+      flush_cv_.notify_all();
+    }
+  }
+}
+
+void ShardedPipelineEngine::Flush() {
+  if (window_fill_ > 0) CloseGlobalWindow();
+  {
+    std::lock_guard<std::mutex> lock(flush_mutex_);
+    flush_acks_ = 0;
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    ShardCommand command;
+    command.flush = true;
+    feeder_queues_[s]->Push(std::move(command));
+  }
+  {
+    std::unique_lock<std::mutex> lock(flush_mutex_);
+    flush_cv_.wait(lock, [this] { return flush_acks_ == shards_.size(); });
+  }
+  std::unique_lock<std::mutex> lock(merge_mutex_);
+  merge_drained_cv_.wait(
+      lock, [this] { return delivered_windows_ == assigned_windows_; });
+}
+
+void ShardedPipelineEngine::OnShardDelivery(
+    size_t shard, TripleWindow& window,
+    StatusOr<ParallelReasonerResult> result) {
+  MergeItem item;
+  {
+    // Shard emitters deliver in local window order, so the front of the
+    // FIFO is this sub-window's global sequence.
+    std::lock_guard<std::mutex> lock(mapping_mutex_);
+    item.global_sequence = global_sequence_of_[shard].front();
+    global_sequence_of_[shard].pop_front();
+  }
+  item.shard = shard;
+  item.window = std::move(window);  // The shard discards it after us.
+  item.result = std::move(result);
+  merge_queue_->Push(std::move(item));
+}
+
+void ShardedPipelineEngine::MergeLoop() {
+  // Reorder state lives on this thread; only the high-water mark and the
+  // delivery counters are shared (under merge_mutex_).
+  std::map<uint64_t, PendingMerge> pending;
+  uint64_t next_sequence = 0;
+  MergeItem item;
+  while (merge_queue_->Pop(&item)) {
+    PendingMerge& slot = pending[item.global_sequence];
+    if (slot.expected == 0) {
+      std::lock_guard<std::mutex> lock(merge_mutex_);
+      slot.expected = expected_.at(item.global_sequence);
+    }
+    slot.contributions.push_back(std::move(item));
+    {
+      std::lock_guard<std::mutex> lock(merge_mutex_);
+      max_merge_reorder_depth_ =
+          std::max(max_merge_reorder_depth_, pending.size());
+    }
+    while (!pending.empty()) {
+      std::map<uint64_t, PendingMerge>::iterator first = pending.begin();
+      if (first->first != next_sequence ||
+          first->second.contributions.size() < first->second.expected) {
+        break;
+      }
+      std::vector<MergeItem> contributions =
+          std::move(first->second.contributions);
+      pending.erase(first);
+      DeliverMerged(next_sequence, std::move(contributions));
+      ++next_sequence;
+    }
+  }
+}
+
+void ShardedPipelineEngine::DeliverMerged(
+    uint64_t global_sequence, std::vector<MergeItem> contributions) {
+  std::sort(contributions.begin(), contributions.end(),
+            [](const MergeItem& a, const MergeItem& b) {
+              return a.shard < b.shard;
+            });
+
+  TripleWindow merged;
+  merged.sequence = global_sequence;
+  size_t total_items = 0;
+  for (const MergeItem& contribution : contributions) {
+    total_items += contribution.window.size();
+  }
+  merged.items.reserve(total_items);
+  Status failure = OkStatus();
+  for (MergeItem& contribution : contributions) {
+    merged.items.insert(
+        merged.items.end(),
+        std::make_move_iterator(contribution.window.items.begin()),
+        std::make_move_iterator(contribution.window.items.end()));
+    if (failure.ok() && !contribution.result.ok()) {
+      failure = contribution.result.status();
+    }
+  }
+
+  bool delivered = false;
+  uint64_t answers = 0;
+  if (failure.ok()) {
+    WallTimer combine_timer;
+    std::vector<std::vector<GroundAnswer>> per_shard;
+    per_shard.reserve(contributions.size());
+    for (MergeItem& contribution : contributions) {
+      per_shard.push_back(std::move(contribution.result->answers));
+    }
+    StatusOr<std::vector<GroundAnswer>> combined =
+        merge_combiner_.Combine(per_shard);
+    if (!combined.ok()) {
+      failure = combined.status();
+    } else {
+      // Cross-shard view of the per-shard measurements: the shards ran
+      // concurrently, so wall-clock-like quantities take the max while
+      // work-like quantities sum.
+      ParallelReasonerResult result;
+      result.answers = std::move(*combined);
+      for (const MergeItem& contribution : contributions) {
+        const ParallelReasonerResult& r = *contribution.result;
+        result.latency_ms = std::max(result.latency_ms, r.latency_ms);
+        result.partition_ms += r.partition_ms;
+        result.reason_ms = std::max(result.reason_ms, r.reason_ms);
+        result.combine_ms += r.combine_ms;
+        result.critical_path_ms =
+            std::max(result.critical_path_ms, r.critical_path_ms);
+        result.num_partitions += r.num_partitions;
+        result.partition_latency_ms.insert(result.partition_latency_ms.end(),
+                                           r.partition_latency_ms.begin(),
+                                           r.partition_latency_ms.end());
+        result.total_partition_items += r.total_partition_items;
+      }
+      result.combine_ms += combine_timer.ElapsedMillis();
+      answers = result.answers.size();
+      try {
+        callback_(merged, result);
+        delivered = true;
+      } catch (const std::exception& e) {
+        STREAMASP_LOG(kError) << "global window " << global_sequence
+                              << ": result callback threw: " << e.what();
+      } catch (...) {
+        STREAMASP_LOG(kError) << "global window " << global_sequence
+                              << ": result callback threw";
+      }
+    }
+  }
+  if (!failure.ok()) {
+    STREAMASP_LOG(kError) << "global window " << global_sequence << ": "
+                          << failure;
+  }
+
+  std::lock_guard<std::mutex> lock(merge_mutex_);
+  expected_.erase(global_sequence);
+  ++delivered_windows_;
+  if (delivered) {
+    ++merged_windows_;
+    merged_answers_ += answers;
+  } else {
+    ++merge_errors_;
+  }
+  if (delivered_windows_ == assigned_windows_) {
+    merge_drained_cv_.notify_all();
+  }
+}
+
+ShardedPipelineStats ShardedPipelineEngine::stats() const {
+  ShardedPipelineStats out;
+  out.per_shard.reserve(shards_.size());
+  for (const std::unique_ptr<StreamRulePipeline>& shard : shards_) {
+    const PipelineStats stats = shard->stats();
+    out.aggregate.windows += stats.windows;
+    out.aggregate.items += stats.items;
+    out.aggregate.answers += stats.answers;
+    out.aggregate.total_latency_ms += stats.total_latency_ms;
+    out.aggregate.max_latency_ms =
+        std::max(out.aggregate.max_latency_ms, stats.max_latency_ms);
+    out.aggregate.total_critical_path_ms += stats.total_critical_path_ms;
+    out.aggregate.errors += stats.errors;
+    out.aggregate.enqueued_windows += stats.enqueued_windows;
+    out.aggregate.dropped_windows += stats.dropped_windows;
+    out.aggregate.rejected_windows += stats.rejected_windows;
+    out.aggregate.max_queue_depth =
+        std::max(out.aggregate.max_queue_depth, stats.max_queue_depth);
+    out.aggregate.max_reorder_depth =
+        std::max(out.aggregate.max_reorder_depth, stats.max_reorder_depth);
+    out.per_shard.push_back(stats);
+  }
+  out.routed_items.reserve(routed_items_.size());
+  for (const std::atomic<uint64_t>& routed : routed_items_) {
+    out.routed_items.push_back(routed.load(std::memory_order_relaxed));
+  }
+  out.filtered_items = filtered_items_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(merge_mutex_);
+    out.merged_windows = merged_windows_;
+    out.merged_answers = merged_answers_;
+    out.merge_errors = merge_errors_;
+    out.max_merge_reorder_depth = max_merge_reorder_depth_;
+  }
+  if (merge_queue_ != nullptr) {
+    out.max_merge_queue_depth = merge_queue_->stats().max_depth;
+  }
+  return out;
+}
+
+ShardKeyExtractor CommunityShardKey(const PartitioningPlan& plan) {
+  return [plan](const Triple& triple) -> uint64_t {
+    const PredicateSignature signature{
+        triple.predicate, triple.object.has_value() ? 2u : 1u};
+    const std::vector<int>& communities = plan.CommunitiesOf(signature);
+    return communities.empty() ? 0
+                               : static_cast<uint64_t>(communities.front());
+  };
+}
+
+}  // namespace streamasp

@@ -1,0 +1,282 @@
+#ifndef STREAMASP_STREAMRULE_SHARDED_PIPELINE_H_
+#define STREAMASP_STREAMRULE_SHARDED_PIPELINE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "stream/shard_key.h"
+#include "streamrule/pipeline.h"
+#include "util/bounded_queue.h"
+
+namespace streamasp {
+
+/// Configuration of the sharded multi-pipeline engine.
+struct ShardedPipelineOptions {
+  /// Number of independent shard pipelines. Each shard owns a full
+  /// StreamRulePipeline (windower + reasoner machinery) plus one feeder
+  /// thread, so the stream is windowed on num_shards threads instead of
+  /// one.
+  size_t num_shards = 2;
+
+  /// Partition key (see stream/shard_key.h). null uses SubjectShardKey().
+  /// Answers are shard-count-invariant only when the key respects the
+  /// program's input dependencies — subject keys for subject-local
+  /// programs, CommunityShardKey(plan) for plans without duplicated
+  /// predicates.
+  ShardKeyExtractor shard_key;
+
+  /// Items buffered per shard before the router hands them to the shard's
+  /// feeder as one batch (amortizes queue crossings). Global window
+  /// boundaries always cut a batch regardless of fill.
+  size_t router_batch_size = 256;
+
+  /// Capacity of each shard's feeder command queue (batches + punctuation
+  /// in flight between the router and that shard). Always lossless
+  /// (kBlock): a full feeder queue backpressures the router.
+  size_t feeder_queue_capacity = 8;
+
+  /// Capacity of the merge queue between shard emitters and the merge
+  /// thread. 0 picks max(8, 2 * num_shards).
+  size_t merge_queue_capacity = 0;
+
+  /// Per-shard pipeline configuration. window_size is interpreted
+  /// globally: a window boundary falls after every window_size routed
+  /// items *across all shards*, and each shard reasons its slice of that
+  /// global window. backpressure must stay kBlock — a shed sub-window
+  /// would leave a hole the ordered merge waits on forever, so Create
+  /// rejects shedding policies. Thread-count fields left at 0 are budgeted
+  /// across shards (hardware threads / num_shards each) rather than per
+  /// pipeline.
+  PipelineOptions pipeline;
+};
+
+/// Statistics of the sharded engine: the per-shard PipelineStats, their
+/// aggregate, and the router/merge counters. Snapshots are returned by
+/// value from ShardedPipelineEngine::stats(), safe from any thread.
+struct ShardedPipelineStats {
+  /// Field-wise sum (max for the high-water marks) over per_shard. Note
+  /// `answers` counts per-shard sub-window answers before merging;
+  /// `merged_answers` counts what consumers actually saw.
+  PipelineStats aggregate;
+  std::vector<PipelineStats> per_shard;
+
+  /// Items routed to each shard (post-filter).
+  std::vector<uint64_t> routed_items;
+  /// Items the router dropped because their predicate is not declared as
+  /// an input of the program.
+  uint64_t filtered_items = 0;
+
+  /// Global windows delivered to the callback.
+  uint64_t merged_windows = 0;
+  /// Answers delivered to the callback (after cross-shard combining).
+  uint64_t merged_answers = 0;
+  /// Global windows suppressed because a shard sub-window failed (the
+  /// per-shard error is also counted in aggregate.errors) or because the
+  /// result callback threw.
+  uint64_t merge_errors = 0;
+  /// High-water mark of the merge queue.
+  size_t max_merge_queue_depth = 0;
+  /// High-water mark of global windows buffered in the merge reorder
+  /// stage (complete or partially assembled).
+  size_t max_merge_reorder_depth = 0;
+};
+
+/// Horizontal scale-out of the staged engine: hash-partitions the input
+/// stream across `num_shards` independent StreamRulePipeline instances and
+/// globally merges their emissions back into strict window-sequence order.
+///
+///   caller thread:  filter ─► shard key ─► router (global window count)
+///        │ per-shard BoundedQueue<ShardCommand> (batches + punctuation)
+///        ▼
+///   feeder threads: shard pipeline Push / CloseWindow   × num_shards
+///        │ each shard: windower ─► workers ─► ordered emitter
+///        ▼
+///   merge thread:   BoundedQueue<MergeItem> ─► reorder by global window
+///                   ─► combine shard answers ─► ResultCallback
+///
+/// Window semantics: the router counts surviving items and punctuates
+/// every shard after each window_size-th item, so global window g is the
+/// same set of items the unsharded pipeline would put in its window g —
+/// merely split by shard key into per-shard sub-windows that are windowed
+/// and reasoned concurrently. The merge stage combines the sub-window
+/// answers with the paper's combining-handler semantics (one pick per
+/// shard, unioned; CombiningHandler), which makes the delivered answers
+/// *shard-count-invariant and byte-identical to the synchronous oracle*
+/// whenever the shard key respects the program's input dependencies.
+/// This is the paper's input-dependency partitioning lifted from intra-
+/// window parallelism to pipeline-level scale-out.
+///
+/// Ordering guarantee: the callback runs on the single merge thread, once
+/// per global window, in strictly increasing global sequence order, no
+/// matter how shards race. Reasoning failures consume their slot (the
+/// window is skipped and counted, never reordered or stalled on).
+///
+/// Thread-safety: Push/PushBatch/Flush single caller thread at a time;
+/// stats()/accessors any thread. The callback must not re-enter the
+/// engine. Internally every wait is on the stage one level downstream
+/// (router → feeder queues → shard pipelines → merge queue), so no stage
+/// ever waits on its own stage — the same no-nested-wait discipline as
+/// ThreadPool (see util/thread_pool.h).
+///
+/// The merged TripleWindow holds the global window's items grouped by
+/// shard (shard 0's slice first), not in original stream arrival order;
+/// sizes and sequences match the unsharded pipeline exactly.
+class ShardedPipelineEngine {
+ public:
+  using ResultCallback = StreamRulePipeline::ResultCallback;
+
+  /// Builds num_shards pipelines over `program` (one design-time analysis
+  /// each; `program` must outlive the engine) and starts the feeder and
+  /// merge threads. Fails on a null program/callback, zero shards, or a
+  /// non-kBlock backpressure policy.
+  static StatusOr<std::unique_ptr<ShardedPipelineEngine>> Create(
+      const Program* program, ShardedPipelineOptions options,
+      ResultCallback callback);
+
+  /// Drains every admitted global window (without flushing a partial
+  /// one), then stops feeders, shard pipelines and the merge thread.
+  ~ShardedPipelineEngine();
+
+  ShardedPipelineEngine(const ShardedPipelineEngine&) = delete;
+  ShardedPipelineEngine& operator=(const ShardedPipelineEngine&) = delete;
+
+  /// Routes one raw stream item. May block when a downstream stage is
+  /// saturated (lossless backpressure all the way to the caller).
+  void Push(const Triple& triple);
+
+  /// Routes a batch.
+  void PushBatch(const std::vector<Triple>& triples);
+
+  /// Closes the trailing partial global window (if any), then blocks
+  /// until every admitted global window has been reasoned on all shards,
+  /// merged, and delivered. The engine remains usable afterwards.
+  void Flush();
+
+  /// Thread-safe snapshot across all shards plus router/merge counters.
+  ShardedPipelineStats stats() const;
+
+  size_t num_shards() const { return shards_.size(); }
+
+  /// Introspection into one shard's pipeline (plan, decomposition info…).
+  const StreamRulePipeline& shard(size_t index) const {
+    return *shards_[index];
+  }
+
+ private:
+  /// One unit of work for a shard's feeder thread: items to push, then
+  /// optionally a window-close (global boundary punctuation), then
+  /// optionally a flush-and-acknowledge barrier.
+  struct ShardCommand {
+    std::vector<Triple> batch;
+    bool close_window = false;
+    bool flush = false;
+  };
+
+  /// One shard's reasoned sub-window travelling to the merge thread.
+  struct MergeItem {
+    uint64_t global_sequence = 0;
+    size_t shard = 0;
+    TripleWindow window;
+    StatusOr<ParallelReasonerResult> result{InternalError("not run")};
+  };
+
+  /// A global window being reassembled from its shard contributions.
+  struct PendingMerge {
+    std::vector<MergeItem> contributions;
+    uint32_t expected = 0;
+  };
+
+  ShardedPipelineEngine(const Program* program,
+                        ShardedPipelineOptions options,
+                        ResultCallback callback);
+
+  Status StartShards();
+  /// Routes one pre-filtered item (caller thread).
+  void Route(const Triple& triple);
+  /// Cuts the current global window: assigns the next global sequence,
+  /// records the expected contributors, punctuates their feeders.
+  void CloseGlobalWindow();
+  /// Hands a shard's pending batch to its feeder (with optional close).
+  void DispatchBatch(size_t shard, bool close_window);
+  void FeederLoop(size_t shard);
+  /// Shard emitter callbacks funnel here (success and error alike); the
+  /// sub-window's items are stolen, not copied (see ResultCallback).
+  void OnShardDelivery(size_t shard, TripleWindow& window,
+                       StatusOr<ParallelReasonerResult> result);
+  void MergeLoop();
+  /// Assembles and delivers one complete global window (merge thread).
+  void DeliverMerged(uint64_t global_sequence,
+                     std::vector<MergeItem> contributions);
+
+  const Program* program_;
+  ShardedPipelineOptions options_;
+  ResultCallback callback_;
+  CombiningHandler merge_combiner_;
+
+  std::unordered_set<SymbolId> selected_;  ///< Router's input filter.
+  size_t window_size_ = 1;                 ///< Global window length.
+
+  // --- router state (caller thread only) ---
+  std::vector<std::vector<Triple>> batches_;    ///< Per-shard micro-batch.
+  std::vector<size_t> pending_in_window_;  ///< Per-shard items this window.
+  size_t window_fill_ = 0;       ///< Items routed since the last boundary.
+  uint64_t next_global_sequence_ = 0;
+
+  // --- router counters (written by the caller thread only; relaxed
+  // atomics so stats() can read them from anywhere without putting a
+  // lock on the per-item routing hot path) ---
+  std::vector<std::atomic<uint64_t>> routed_items_;
+  std::atomic<uint64_t> filtered_items_{0};
+
+  // --- shards ---
+  std::vector<std::unique_ptr<StreamRulePipeline>> shards_;
+  std::vector<std::unique_ptr<BoundedQueue<ShardCommand>>> feeder_queues_;
+  std::vector<std::thread> feeders_;
+
+  /// Per-shard FIFO of global sequences, one entry per punctuated
+  /// sub-window: the router appends before punctuating, the shard's
+  /// emitter pops on delivery (deliveries are in local window order).
+  std::mutex mapping_mutex_;
+  std::vector<std::deque<uint64_t>> global_sequence_of_;
+
+  /// Feeder flush barrier.
+  std::mutex flush_mutex_;
+  std::condition_variable flush_cv_;
+  size_t flush_acks_ = 0;
+
+  // --- merge stage ---
+  std::unique_ptr<BoundedQueue<MergeItem>> merge_queue_;
+  std::thread merger_;
+  mutable std::mutex merge_mutex_;
+  std::condition_variable merge_drained_cv_;  ///< Wakes Flush waiters.
+  /// Expected contribution count per assigned global window.
+  std::unordered_map<uint64_t, uint32_t> expected_;
+  uint64_t assigned_windows_ = 0;   ///< Global sequences handed out.
+  uint64_t delivered_windows_ = 0;  ///< Callback slots consumed (ok + err).
+  uint64_t merged_windows_ = 0;
+  uint64_t merged_answers_ = 0;
+  uint64_t merge_errors_ = 0;
+  size_t max_merge_reorder_depth_ = 0;
+};
+
+/// A dependency-graph-derived shard key: routes every item to the
+/// community its predicate belongs to under `plan` (see
+/// DecomposeInputDependencyGraph), so whole dependency communities shard
+/// together. Answer-preserving exactly when the plan has no duplicated
+/// predicates (a duplicated predicate's items would be needed on several
+/// shards but are routed to their first community only — the engine
+/// still runs, but cross-community rules can lose joins). Predicates
+/// unknown to the plan map to community 0, mirroring PartitioningHandler.
+ShardKeyExtractor CommunityShardKey(const PartitioningPlan& plan);
+
+}  // namespace streamasp
+
+#endif  // STREAMASP_STREAMRULE_SHARDED_PIPELINE_H_

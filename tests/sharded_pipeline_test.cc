@@ -1,0 +1,419 @@
+// The sharded multi-pipeline engine: differential shard-count invariance
+// against the single-pipeline synchronous oracle, skewed-key worst cases,
+// ordered merge delivery, flush/drain semantics, and stats aggregation.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "stream/generator.h"
+#include "stream/shard_key.h"
+#include "streamrule/pipeline.h"
+#include "streamrule/sharded_pipeline.h"
+#include "streamrule/traffic_workload.h"
+
+namespace streamasp {
+namespace {
+
+class ShardedPipelineTest : public ::testing::Test {
+ protected:
+  ShardedPipelineTest() : symbols_(MakeSymbolTable()) {}
+
+  std::vector<Triple> MakeStream(size_t items, uint64_t seed = 2017) {
+    GeneratorOptions options;
+    options.seed = seed;
+    SyntheticStreamGenerator generator(MakeTrafficSchema(*symbols_), options);
+    return generator.GenerateWindow(items);
+  }
+
+  // One transcript line per delivered window: sequence, size, and every
+  // answer set, byte for byte — the common currency for the differential
+  // comparisons. Also asserts the strict emission-order invariant.
+  std::string SyncOracleTranscript(const Program& program, size_t window_size,
+                                   const std::vector<Triple>& stream,
+                                   PipelineStats* stats_out = nullptr) {
+    std::string transcript;
+    int64_t last_sequence = -1;
+    PipelineOptions options;
+    options.window_size = window_size;
+    options.async = false;
+    StatusOr<std::unique_ptr<StreamRulePipeline>> pipeline =
+        StreamRulePipeline::Create(
+            &program, options,
+            [&](const TripleWindow& window,
+                const ParallelReasonerResult& result) {
+              EXPECT_GT(static_cast<int64_t>(window.sequence), last_sequence);
+              last_sequence = static_cast<int64_t>(window.sequence);
+              AppendLine(&transcript, window, result);
+            });
+    EXPECT_TRUE(pipeline.ok()) << pipeline.status();
+    (*pipeline)->PushBatch(stream);
+    (*pipeline)->Flush();
+    if (stats_out != nullptr) *stats_out = (*pipeline)->stats();
+    return transcript;
+  }
+
+  std::string ShardedTranscript(const Program& program,
+                                ShardedPipelineOptions options,
+                                const std::vector<Triple>& stream,
+                                ShardedPipelineStats* stats_out = nullptr) {
+    std::string transcript;
+    int64_t last_sequence = -1;
+    StatusOr<std::unique_ptr<ShardedPipelineEngine>> engine =
+        ShardedPipelineEngine::Create(
+            &program, options,
+            [&](const TripleWindow& window,
+                const ParallelReasonerResult& result) {
+              // The ordered merge's contract: strictly increasing global
+              // sequences no matter how shards race.
+              EXPECT_GT(static_cast<int64_t>(window.sequence), last_sequence);
+              last_sequence = static_cast<int64_t>(window.sequence);
+              AppendLine(&transcript, window, result);
+            });
+    EXPECT_TRUE(engine.ok()) << engine.status();
+    (*engine)->PushBatch(stream);
+    (*engine)->Flush();
+    if (stats_out != nullptr) *stats_out = (*engine)->stats();
+    return transcript;
+  }
+
+  void AppendLine(std::string* transcript, const TripleWindow& window,
+                  const ParallelReasonerResult& result) {
+    *transcript += "#" + std::to_string(window.sequence) + "[" +
+                   std::to_string(window.size()) + "]:";
+    for (const GroundAnswer& answer : result.answers) {
+      *transcript += " " + AnswerToString(answer, *symbols_);
+    }
+    *transcript += "\n";
+  }
+
+  SymbolTablePtr symbols_;
+};
+
+TEST_F(ShardedPipelineTest, ShardCountInvariantAgainstSyncOracle) {
+  // The acceptance bar: for every shard count, the merged stream of
+  // answers is byte-identical to the unsharded synchronous oracle —
+  // subject sharding is dependency-respecting for the traffic workload,
+  // and the router's aligned global windows make window boundaries (and
+  // thus window contents) shard-count-invariant.
+  StatusOr<Program> program = MakeTrafficProgram(
+      symbols_, TrafficProgramVariant::kP, /*with_show=*/true);
+  ASSERT_TRUE(program.ok());
+  const std::vector<Triple> stream = MakeStream(5300);  // 10 full + trailer.
+
+  PipelineStats oracle_stats;
+  const std::string oracle =
+      SyncOracleTranscript(*program, 500, stream, &oracle_stats);
+  ASSERT_FALSE(oracle.empty());
+  ASSERT_EQ(oracle_stats.windows, 11u);
+
+  for (const size_t shards : {1u, 2u, 4u, 8u}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    ShardedPipelineOptions options;
+    options.num_shards = shards;
+    options.pipeline.window_size = 500;
+    options.pipeline.async = true;
+    options.pipeline.max_inflight_windows = 4;
+
+    ShardedPipelineStats stats;
+    EXPECT_EQ(ShardedTranscript(*program, options, stream, &stats), oracle);
+    EXPECT_EQ(stats.merged_windows, oracle_stats.windows);
+    EXPECT_EQ(stats.merged_answers, oracle_stats.answers);
+    EXPECT_EQ(stats.merge_errors, 0u);
+    EXPECT_EQ(stats.aggregate.errors, 0u);
+    // Every routed item ends up in exactly one shard sub-window.
+    EXPECT_EQ(stats.aggregate.items, oracle_stats.items);
+    EXPECT_EQ(std::accumulate(stats.routed_items.begin(),
+                              stats.routed_items.end(), uint64_t{0}),
+              oracle_stats.items);
+  }
+}
+
+TEST_F(ShardedPipelineTest, ConnectedVariantWithDuplicationStaysInvariant) {
+  // P' exercises Louvain + duplicated predicates inside every shard's
+  // ParallelReasoner while the cross-shard merge runs on top.
+  StatusOr<Program> program = MakeTrafficProgram(
+      symbols_, TrafficProgramVariant::kPPrime, /*with_show=*/true);
+  ASSERT_TRUE(program.ok());
+  const std::vector<Triple> stream = MakeStream(3000, /*seed=*/7);
+
+  const std::string oracle = SyncOracleTranscript(*program, 400, stream);
+  for (const size_t shards : {2u, 4u}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    ShardedPipelineOptions options;
+    options.num_shards = shards;
+    options.pipeline.window_size = 400;
+    options.pipeline.async = true;
+    options.pipeline.max_inflight_windows = 4;
+    EXPECT_EQ(ShardedTranscript(*program, options, stream), oracle);
+  }
+}
+
+TEST_F(ShardedPipelineTest, SynchronousShardPipelinesAlsoMatch) {
+  // Inner async=false runs each shard's reasoning on its feeder thread:
+  // still N-way parallel across shards, still byte-identical.
+  StatusOr<Program> program = MakeTrafficProgram(
+      symbols_, TrafficProgramVariant::kP, /*with_show=*/true);
+  ASSERT_TRUE(program.ok());
+  const std::vector<Triple> stream = MakeStream(2500, /*seed=*/11);
+
+  const std::string oracle = SyncOracleTranscript(*program, 300, stream);
+  ShardedPipelineOptions options;
+  options.num_shards = 3;
+  options.pipeline.window_size = 300;
+  options.pipeline.async = false;
+  EXPECT_EQ(ShardedTranscript(*program, options, stream), oracle);
+}
+
+TEST_F(ShardedPipelineTest, CommunityShardKeyMatchesOracleWithoutDuplication) {
+  // Dependency-graph-derived keys: P's input dependency graph is
+  // disconnected, so its plan has no duplicated predicates and routing
+  // whole communities to shards is answer-preserving by the paper's
+  // decomposition theorem.
+  StatusOr<Program> program = MakeTrafficProgram(
+      symbols_, TrafficProgramVariant::kP, /*with_show=*/true);
+  ASSERT_TRUE(program.ok());
+  const std::vector<Triple> stream = MakeStream(2000, /*seed=*/3);
+
+  const std::string oracle = SyncOracleTranscript(*program, 250, stream);
+
+  // Build the plan the same way the pipeline does, then shard by it.
+  StatusOr<InputDependencyGraph> graph =
+      InputDependencyGraph::Build(*program, InputDependencyOptions{});
+  ASSERT_TRUE(graph.ok());
+  DecompositionInfo info;
+  StatusOr<PartitioningPlan> plan =
+      DecomposeInputDependencyGraph(*graph, DecompositionOptions{}, &info);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE(plan->DuplicatedPredicates().empty());
+
+  ShardedPipelineOptions options;
+  options.num_shards = 2;
+  options.shard_key = CommunityShardKey(*plan);
+  options.pipeline.window_size = 250;
+  options.pipeline.async = true;
+  EXPECT_EQ(ShardedTranscript(*program, options, stream), oracle);
+}
+
+TEST_F(ShardedPipelineTest, SkewedKeyRoutesEverythingToOneShardCorrectly) {
+  // Worst-case skew: a constant key sends the entire stream to shard 0.
+  // Ordering, answers and accounting must all hold with the other shards
+  // idle — this also exercises the pending==window_size punctuation edge
+  // (a sub-window that IS the whole global window).
+  StatusOr<Program> program = MakeTrafficProgram(
+      symbols_, TrafficProgramVariant::kP, /*with_show=*/true);
+  ASSERT_TRUE(program.ok());
+  const std::vector<Triple> stream = MakeStream(2100, /*seed=*/13);
+
+  PipelineStats oracle_stats;
+  const std::string oracle =
+      SyncOracleTranscript(*program, 400, stream, &oracle_stats);
+
+  ShardedPipelineOptions options;
+  options.num_shards = 4;
+  options.shard_key = ConstantShardKey();
+  options.pipeline.window_size = 400;
+  options.pipeline.async = true;
+  options.pipeline.max_inflight_windows = 4;
+
+  ShardedPipelineStats stats;
+  EXPECT_EQ(ShardedTranscript(*program, options, stream, &stats), oracle);
+
+  ASSERT_EQ(stats.routed_items.size(), 4u);
+  EXPECT_EQ(stats.routed_items[0], oracle_stats.items);
+  EXPECT_EQ(stats.routed_items[1], 0u);
+  EXPECT_EQ(stats.routed_items[2], 0u);
+  EXPECT_EQ(stats.routed_items[3], 0u);
+  ASSERT_EQ(stats.per_shard.size(), 4u);
+  EXPECT_EQ(stats.per_shard[0].windows, oracle_stats.windows);
+  EXPECT_EQ(stats.per_shard[1].windows, 0u);
+  EXPECT_EQ(stats.merged_windows, oracle_stats.windows);
+  EXPECT_EQ(stats.merge_errors, 0u);
+}
+
+TEST_F(ShardedPipelineTest, StatsAggregateAcrossShards) {
+  StatusOr<Program> program = MakeTrafficProgram(
+      symbols_, TrafficProgramVariant::kP, /*with_show=*/true);
+  ASSERT_TRUE(program.ok());
+
+  ShardedPipelineOptions options;
+  options.num_shards = 4;
+  options.pipeline.window_size = 300;
+  options.pipeline.async = true;
+  StatusOr<std::unique_ptr<ShardedPipelineEngine>> engine =
+      ShardedPipelineEngine::Create(
+          &*program, options,
+          [](const TripleWindow&, const ParallelReasonerResult&) {});
+  ASSERT_TRUE(engine.ok()) << engine.status();
+
+  (*engine)->PushBatch(MakeStream(1500));
+  (*engine)->Flush();
+
+  const ShardedPipelineStats stats = (*engine)->stats();
+  ASSERT_EQ(stats.per_shard.size(), 4u);
+  uint64_t windows = 0;
+  uint64_t items = 0;
+  for (const PipelineStats& shard : stats.per_shard) {
+    windows += shard.windows;
+    items += shard.items;
+  }
+  EXPECT_EQ(stats.aggregate.windows, windows);
+  EXPECT_EQ(stats.aggregate.items, items);
+  EXPECT_EQ(items, 1500u);
+  EXPECT_EQ(stats.merged_windows, 5u);  // 1500 / 300 global windows.
+  EXPECT_EQ(std::accumulate(stats.routed_items.begin(),
+                            stats.routed_items.end(), uint64_t{0}),
+            1500u);
+  EXPECT_EQ(stats.filtered_items, 0u);
+  // Sub-window count >= global windows (each global window splits into
+  // at least one non-empty sub-window) and <= shards * global windows.
+  EXPECT_GE(windows, stats.merged_windows);
+  EXPECT_LE(windows, 4 * stats.merged_windows);
+}
+
+TEST_F(ShardedPipelineTest, FlushDrainsAndEngineStaysUsable) {
+  StatusOr<Program> program = MakeTrafficProgram(
+      symbols_, TrafficProgramVariant::kP, /*with_show=*/true);
+  ASSERT_TRUE(program.ok());
+
+  std::atomic<uint64_t> callbacks{0};
+  ShardedPipelineOptions options;
+  options.num_shards = 2;
+  options.pipeline.window_size = 300;
+  options.pipeline.async = true;
+  StatusOr<std::unique_ptr<ShardedPipelineEngine>> engine =
+      ShardedPipelineEngine::Create(
+          &*program, options,
+          [&](const TripleWindow&, const ParallelReasonerResult&) {
+            ++callbacks;
+          });
+  ASSERT_TRUE(engine.ok()) << engine.status();
+
+  (*engine)->PushBatch(MakeStream(900));
+  (*engine)->Flush();
+  EXPECT_EQ(callbacks.load(), 3u);
+  EXPECT_EQ((*engine)->stats().merged_windows, 3u);
+
+  // The engine keeps running after a flush.
+  (*engine)->PushBatch(MakeStream(600, /*seed=*/5));
+  (*engine)->Flush();
+  EXPECT_EQ(callbacks.load(), 5u);
+}
+
+TEST_F(ShardedPipelineTest, DestructorDrainsAdmittedGlobalWindows) {
+  StatusOr<Program> program = MakeTrafficProgram(
+      symbols_, TrafficProgramVariant::kP, /*with_show=*/true);
+  ASSERT_TRUE(program.ok());
+
+  std::atomic<uint64_t> callbacks{0};
+  {
+    ShardedPipelineOptions options;
+    options.num_shards = 2;
+    options.pipeline.window_size = 200;
+    options.pipeline.async = true;
+    options.pipeline.max_inflight_windows = 8;
+    StatusOr<std::unique_ptr<ShardedPipelineEngine>> engine =
+        ShardedPipelineEngine::Create(
+            &*program, options,
+            [&](const TripleWindow&, const ParallelReasonerResult&) {
+              ++callbacks;
+            });
+    ASSERT_TRUE(engine.ok()) << engine.status();
+    // 4 closed global windows + 100 items of partial window that was
+    // never assigned: the destructor must deliver exactly the closed 4.
+    (*engine)->PushBatch(MakeStream(900));
+  }
+  EXPECT_EQ(callbacks.load(), 4u);
+}
+
+TEST_F(ShardedPipelineTest, CreateValidatesOptions) {
+  StatusOr<Program> program = MakeTrafficProgram(
+      symbols_, TrafficProgramVariant::kP, /*with_show=*/true);
+  ASSERT_TRUE(program.ok());
+  const ShardedPipelineEngine::ResultCallback callback =
+      [](const TripleWindow&, const ParallelReasonerResult&) {};
+
+  ShardedPipelineOptions zero_shards;
+  zero_shards.num_shards = 0;
+  EXPECT_FALSE(
+      ShardedPipelineEngine::Create(&*program, zero_shards, callback).ok());
+
+  ShardedPipelineOptions shedding;
+  shedding.pipeline.backpressure = BackpressurePolicy::kDropOldest;
+  EXPECT_FALSE(
+      ShardedPipelineEngine::Create(&*program, shedding, callback).ok());
+
+  ShardedPipelineOptions ok_options;
+  EXPECT_FALSE(
+      ShardedPipelineEngine::Create(nullptr, ok_options, callback).ok());
+  EXPECT_FALSE(
+      ShardedPipelineEngine::Create(&*program, ok_options, nullptr).ok());
+}
+
+TEST_F(ShardedPipelineTest, FailedSubWindowsSkipTheirSlotInsteadOfStalling) {
+  // Force every sub-window's reasoning to fail (grounding resource limit)
+  // with SYNCHRONOUS inner pipelines: the error deliveries must consume
+  // their merge slots so Flush drains instead of hanging, and the merged
+  // windows are skipped and counted — the engine's error discipline.
+  StatusOr<Program> program = MakeTrafficProgram(
+      symbols_, TrafficProgramVariant::kP, /*with_show=*/true);
+  ASSERT_TRUE(program.ok());
+
+  std::atomic<uint64_t> callbacks{0};
+  ShardedPipelineOptions options;
+  options.num_shards = 2;
+  options.pipeline.window_size = 200;
+  options.pipeline.async = false;
+  options.pipeline.reasoner.reasoner.grounding.max_ground_rules = 1;
+  StatusOr<std::unique_ptr<ShardedPipelineEngine>> engine =
+      ShardedPipelineEngine::Create(
+          &*program, options,
+          [&](const TripleWindow&, const ParallelReasonerResult&) {
+            ++callbacks;
+          });
+  ASSERT_TRUE(engine.ok()) << engine.status();
+
+  (*engine)->PushBatch(MakeStream(600));  // Three global windows.
+  (*engine)->Flush();                     // Must not hang.
+
+  EXPECT_EQ(callbacks.load(), 0u);
+  const ShardedPipelineStats stats = (*engine)->stats();
+  EXPECT_EQ(stats.merged_windows, 0u);
+  EXPECT_EQ(stats.merge_errors, 3u);
+  EXPECT_GE(stats.aggregate.errors, 3u);  // Per-sub-window failures.
+}
+
+TEST_F(ShardedPipelineTest, ThrowingCallbackIsCountedNotFatal) {
+  StatusOr<Program> program = MakeTrafficProgram(
+      symbols_, TrafficProgramVariant::kP, /*with_show=*/true);
+  ASSERT_TRUE(program.ok());
+
+  std::atomic<uint64_t> delivered{0};
+  ShardedPipelineOptions options;
+  options.num_shards = 2;
+  options.pipeline.window_size = 250;
+  options.pipeline.async = true;
+  StatusOr<std::unique_ptr<ShardedPipelineEngine>> engine =
+      ShardedPipelineEngine::Create(
+          &*program, options,
+          [&](const TripleWindow& window, const ParallelReasonerResult&) {
+            if (window.sequence == 0) throw std::runtime_error("boom");
+            ++delivered;
+          });
+  ASSERT_TRUE(engine.ok()) << engine.status();
+
+  (*engine)->PushBatch(MakeStream(750));  // Three global windows.
+  (*engine)->Flush();
+
+  EXPECT_EQ(delivered.load(), 2u);  // Windows 1 and 2 still arrive.
+  const ShardedPipelineStats stats = (*engine)->stats();
+  EXPECT_EQ(stats.merge_errors, 1u);
+  EXPECT_EQ(stats.merged_windows, 2u);
+}
+
+}  // namespace
+}  // namespace streamasp
