@@ -1,12 +1,21 @@
 // Sustained-throughput bench for the staged asynchronous pipeline engine:
 // sync (the one-window-at-a-time oracle) vs async at in-flight depths
-// {1, 2, 4, 8} on the paper's traffic workload. Emits one machine-readable
-// JSON document on stdout for the perf trajectory; human-readable notes go
-// to stderr.
+// {1, 2, 4, 8} on the paper's traffic workload, plus a high-overlap
+// sliding-window pair (slide = window/16) with grounding reuse off vs on.
+// The sliding pair runs a recursive reachability workload over a small
+// node universe — transitive closure makes instantiation the dominant
+// per-window cost, which is the regime the incremental grounder's delta
+// replay targets (the flat traffic rules ground in linear time, so there
+// is little instantiation to save there). Emits one machine-readable JSON
+// document on stdout for the perf trajectory; human-readable notes go to
+// stderr.
 //
 // Throughput is items pushed / wall time of PushBatch+Flush (i.e. the rate
 // the ingest side sustains while reasoning keeps up); window latency is the
-// per-window reasoning latency distribution (p50/p99).
+// per-window reasoning latency distribution (p50/p99). Sliding runs emit
+// more windows per item than tumbling runs and reason a different program,
+// so their triples/s are only comparable to each other, which is exactly
+// how the CI regression gate consumes them (reuse-on vs reuse-off ratio).
 //
 // Usage: async_pipeline [items] [window_size]
 
@@ -17,6 +26,7 @@
 #include <thread>
 #include <vector>
 
+#include "asp/parser.h"
 #include "stream/generator.h"
 #include "streamrule/pipeline.h"
 #include "streamrule/traffic_workload.h"
@@ -27,9 +37,12 @@ namespace {
 using namespace streamasp;
 
 struct RunResult {
-  std::string mode;        // "sync" or "async"
+  std::string mode;        // "sync", "async", "sliding-tc[-reuse]"
+  std::string workload = "traffic_pprime";
   size_t inflight = 0;     // 0 for sync
   size_t workers = 0;
+  size_t window_slide = 0;  // 0 for tumbling runs
+  bool reuse = false;
   double wall_ms = 0;
   double triples_per_sec = 0;
   double p50_latency_ms = 0;
@@ -38,6 +51,12 @@ struct RunResult {
   uint64_t answers = 0;
   size_t max_queue_depth = 0;
   size_t max_reorder_depth = 0;
+  // Grounding reuse counters (zero without reuse; docs/benchmarks.md).
+  uint64_t incremental_windows = 0;
+  uint64_t grounding_fallbacks = 0;
+  uint64_t grounding_rules_retained = 0;
+  uint64_t grounding_rules_retracted = 0;
+  uint64_t grounding_rules_new = 0;
 };
 
 double Percentile(std::vector<double> values, double p) {
@@ -51,9 +70,12 @@ double Percentile(std::vector<double> values, double p) {
 }
 
 RunResult RunOnce(const Program& program, const std::vector<Triple>& stream,
-                  size_t window_size, bool async, size_t inflight) {
+                  size_t window_size, bool async, size_t inflight,
+                  size_t window_slide = 0, bool reuse = false) {
   PipelineOptions options;
   options.window_size = window_size;
+  options.window_slide = window_slide;
+  options.reuse_grounding = reuse;
   options.async = async;
   options.max_inflight_windows = async ? inflight : 4;
 
@@ -80,6 +102,8 @@ RunResult RunOnce(const Program& program, const std::vector<Triple>& stream,
   run.mode = async ? "async" : "sync";
   run.inflight = async ? inflight : 0;
   run.workers = (*pipeline)->num_reason_workers();
+  run.window_slide = window_slide;
+  run.reuse = reuse;
   run.wall_ms = wall_ms;
   run.triples_per_sec =
       wall_ms > 0 ? static_cast<double>(stream.size()) / (wall_ms / 1000.0)
@@ -90,6 +114,60 @@ RunResult RunOnce(const Program& program, const std::vector<Triple>& stream,
   run.answers = stats.answers;
   run.max_queue_depth = stats.max_queue_depth;
   run.max_reorder_depth = stats.max_reorder_depth;
+  run.incremental_windows = stats.incremental_windows;
+  run.grounding_fallbacks = stats.grounding_fallbacks;
+  run.grounding_rules_retained = stats.grounding_rules_retained;
+  run.grounding_rules_retracted = stats.grounding_rules_retracted;
+  run.grounding_rules_new = stats.grounding_rules_new;
+  return run;
+}
+
+// The sliding-reuse showcase: recursive reachability over a sliding edge
+// stream. Grounding (transitive closure instantiation) dominates each
+// window, and consecutive windows share all but `slide` edges, so the
+// incremental grounder retracts/replays a small delta instead of
+// re-deriving the closure from scratch.
+constexpr char kReachProgram[] = R"(
+  #input link/2.
+  #input high/1.
+  reach(X, Y) :- link(X, Y).
+  reach(X, Z) :- reach(X, Y), link(Y, Z).
+  alarm(X, Y) :- high(X), high(Y), reach(X, Y).
+  #show alarm/2.
+)";
+
+RunResult RunSlidingReach(const SymbolTablePtr& symbols, size_t items,
+                          size_t window_size, bool reuse) {
+  Parser parser(symbols);
+  StatusOr<Program> program = parser.ParseProgram(kReachProgram);
+  if (!program.ok()) {
+    std::fprintf(stderr, "reach program: %s\n",
+                 program.status().ToString().c_str());
+    std::exit(1);
+  }
+
+  // A small node universe keeps the closure dense (subjects and objects
+  // drawn from the same ~48 ids), which is what makes instantiation the
+  // dominant cost.
+  GeneratorOptions gen_options;
+  gen_options.seed = 2017;
+  gen_options.location_divisor = std::max<size_t>(1, items / 48);
+  gen_options.value_range = 48;
+  std::vector<StreamPredicate> schema(2);
+  schema[0].predicate = symbols->Intern("link");
+  schema[0].has_object = true;
+  schema[0].weight = 4.0;
+  schema[1].predicate = symbols->Intern("high");
+  schema[1].has_object = false;
+  schema[1].weight = 1.0;
+  SyntheticStreamGenerator generator(schema, gen_options);
+  const std::vector<Triple> stream = generator.GenerateWindow(items);
+
+  const size_t slide = std::max<size_t>(1, window_size / 16);
+  RunResult run = RunOnce(*program, stream, window_size, /*async=*/false,
+                          0, slide, reuse);
+  run.mode = reuse ? "sliding-tc-reuse" : "sliding-tc";
+  run.workload = "reach_tc";
   return run;
 }
 
@@ -126,6 +204,16 @@ int main(int argc, char** argv) {
   for (const size_t depth : {1, 2, 4, 8}) {
     runs.push_back(RunOnce(*program, stream, window_size, true, depth));
   }
+  // High-overlap sliding pair on the recursion-heavy reachability
+  // workload: identical windows, grounding reuse off vs on. Windows are
+  // kept large relative to the pipeline's fixed per-window machinery so
+  // the ratio measures grounding, not dispatch overhead.
+  const size_t tc_items = std::max<size_t>(6400, items / 5);
+  const size_t tc_window = std::min<size_t>(1600, tc_items / 4);
+  runs.push_back(
+      RunSlidingReach(symbols, tc_items, tc_window, /*reuse=*/false));
+  runs.push_back(
+      RunSlidingReach(symbols, tc_items, tc_window, /*reuse=*/true));
 
   std::printf("{\n");
   std::printf("  \"bench\": \"async_pipeline\",\n");
@@ -138,16 +226,29 @@ int main(int argc, char** argv) {
   for (size_t i = 0; i < runs.size(); ++i) {
     const RunResult& run = runs[i];
     std::printf(
-        "    {\"mode\": \"%s\", \"inflight\": %zu, \"workers\": %zu, "
+        "    {\"mode\": \"%s\", \"workload\": \"%s\", "
+        "\"inflight\": %zu, \"workers\": %zu, "
+        "\"window_slide\": %zu, \"reuse\": %s, "
         "\"wall_ms\": %.2f, \"triples_per_sec\": %.1f, "
         "\"p50_latency_ms\": %.3f, \"p99_latency_ms\": %.3f, "
         "\"windows\": %llu, \"answers\": %llu, "
-        "\"max_queue_depth\": %zu, \"max_reorder_depth\": %zu}%s\n",
-        run.mode.c_str(), run.inflight, run.workers, run.wall_ms,
+        "\"max_queue_depth\": %zu, \"max_reorder_depth\": %zu, "
+        "\"incremental_windows\": %llu, \"grounding_fallbacks\": %llu, "
+        "\"grounding_rules_retained\": %llu, "
+        "\"grounding_rules_retracted\": %llu, "
+        "\"grounding_rules_new\": %llu}%s\n",
+        run.mode.c_str(), run.workload.c_str(), run.inflight, run.workers,
+        run.window_slide, run.reuse ? "true" : "false", run.wall_ms,
         run.triples_per_sec, run.p50_latency_ms, run.p99_latency_ms,
         static_cast<unsigned long long>(run.windows),
         static_cast<unsigned long long>(run.answers), run.max_queue_depth,
-        run.max_reorder_depth, i + 1 < runs.size() ? "," : "");
+        run.max_reorder_depth,
+        static_cast<unsigned long long>(run.incremental_windows),
+        static_cast<unsigned long long>(run.grounding_fallbacks),
+        static_cast<unsigned long long>(run.grounding_rules_retained),
+        static_cast<unsigned long long>(run.grounding_rules_retracted),
+        static_cast<unsigned long long>(run.grounding_rules_new),
+        i + 1 < runs.size() ? "," : "");
   }
   std::printf("  ]\n");
   std::printf("}\n");

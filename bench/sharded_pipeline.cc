@@ -40,6 +40,12 @@ struct RunResult {
   uint64_t answers = 0;
   uint64_t max_shard_items = 0;  // Skew: busiest shard's routed items.
   size_t max_merge_reorder_depth = 0;
+  // Grounding reuse counters (docs/benchmarks.md); always present so the
+  // schema is uniform, zero when reuse_grounding is off.
+  uint64_t incremental_windows = 0;
+  uint64_t grounding_fallbacks = 0;
+  uint64_t grounding_rules_retained = 0;
+  uint64_t grounding_rules_new = 0;
 };
 
 double Percentile(std::vector<double> values, double p) {
@@ -98,6 +104,10 @@ RunResult RunSingle(const Program& program, const std::vector<Triple>& stream,
   run.windows = stats.windows;
   run.answers = stats.answers;
   run.max_shard_items = stats.items;
+  run.incremental_windows = stats.incremental_windows;
+  run.grounding_fallbacks = stats.grounding_fallbacks;
+  run.grounding_rules_retained = stats.grounding_rules_retained;
+  run.grounding_rules_new = stats.grounding_rules_new;
   return run;
 }
 
@@ -135,6 +145,10 @@ RunResult RunSharded(const Program& program, const std::vector<Triple>& stream,
     run.max_shard_items = std::max(run.max_shard_items, routed);
   }
   run.max_merge_reorder_depth = stats.max_merge_reorder_depth;
+  run.incremental_windows = stats.aggregate.incremental_windows;
+  run.grounding_fallbacks = stats.aggregate.grounding_fallbacks;
+  run.grounding_rules_retained = stats.aggregate.grounding_rules_retained;
+  run.grounding_rules_new = stats.aggregate.grounding_rules_new;
   return run;
 }
 
@@ -188,13 +202,21 @@ int main(int argc, char** argv) {
         "\"wall_ms\": %.2f, \"triples_per_sec\": %.1f, "
         "\"p50_latency_ms\": %.3f, \"p99_latency_ms\": %.3f, "
         "\"windows\": %llu, \"answers\": %llu, "
-        "\"max_shard_items\": %llu, \"max_merge_reorder_depth\": %zu}%s\n",
+        "\"max_shard_items\": %llu, \"max_merge_reorder_depth\": %zu, "
+        "\"incremental_windows\": %llu, \"grounding_fallbacks\": %llu, "
+        "\"grounding_rules_retained\": %llu, "
+        "\"grounding_rules_new\": %llu}%s\n",
         run.mode.c_str(), run.shards, run.inflight, run.wall_ms,
         run.triples_per_sec, run.p50_latency_ms, run.p99_latency_ms,
         static_cast<unsigned long long>(run.windows),
         static_cast<unsigned long long>(run.answers),
         static_cast<unsigned long long>(run.max_shard_items),
-        run.max_merge_reorder_depth, i + 1 < runs.size() ? "," : "");
+        run.max_merge_reorder_depth,
+        static_cast<unsigned long long>(run.incremental_windows),
+        static_cast<unsigned long long>(run.grounding_fallbacks),
+        static_cast<unsigned long long>(run.grounding_rules_retained),
+        static_cast<unsigned long long>(run.grounding_rules_new),
+        i + 1 < runs.size() ? "," : "");
   }
   std::printf("  ]\n");
   std::printf("}\n");

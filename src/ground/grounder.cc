@@ -9,225 +9,20 @@
 #include "asp/literal.h"
 #include "graph/components.h"
 #include "graph/graph.h"
+#include "ground/instantiate.h"
 
 namespace streamasp {
 
 namespace {
 
-/// Variable binding with trail-based undo. Rules have few variables, so a
-/// linear-scanned vector beats a hash map.
-class Binding {
- public:
-  const Term* Get(SymbolId var) const {
-    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
-      if (it->first == var) return &it->second;
-    }
-    return nullptr;
-  }
-
-  void Push(SymbolId var, const Term& value) {
-    entries_.emplace_back(var, value);
-  }
-
-  size_t Mark() const { return entries_.size(); }
-  void RewindTo(size_t mark) { entries_.resize(mark); }
-
-  bool IsBound(SymbolId var) const { return Get(var) != nullptr; }
-
- private:
-  std::vector<std::pair<SymbolId, Term>> entries_;
-};
-
-Term SubstituteTerm(const Term& term, const Binding& binding);
-
-/// Unifies a (possibly variable-containing) pattern with a ground term,
-/// extending `binding`. On mismatch the caller rewinds using its mark.
-bool MatchTerm(const Term& pattern, const Term& ground, Binding* binding) {
-  switch (pattern.kind()) {
-    case TermKind::kInteger:
-    case TermKind::kSymbol:
-      return pattern == ground;
-    case TermKind::kArithmetic: {
-      // Matching cannot invert arithmetic: the expression must already be
-      // fully bound, in which case it folds to an integer and compares.
-      const Term folded = SubstituteTerm(pattern, *binding);
-      return folded.is_integer() && folded == ground;
-    }
-    case TermKind::kVariable: {
-      if (const Term* bound = binding->Get(pattern.symbol())) {
-        return *bound == ground;
-      }
-      binding->Push(pattern.symbol(), ground);
-      return true;
-    }
-    case TermKind::kFunction: {
-      if (!ground.is_function() || ground.symbol() != pattern.symbol() ||
-          ground.args().size() != pattern.args().size()) {
-        return false;
-      }
-      for (size_t i = 0; i < pattern.args().size(); ++i) {
-        if (!MatchTerm(pattern.args()[i], ground.args()[i], binding)) {
-          return false;
-        }
-      }
-      return true;
-    }
-  }
-  return false;
-}
-
-/// Applies `binding` to a term. Unbound variables are left in place (the
-/// result is ground iff all variables are bound).
-Term SubstituteTerm(const Term& term, const Binding& binding) {
-  switch (term.kind()) {
-    case TermKind::kInteger:
-    case TermKind::kSymbol:
-      return term;
-    case TermKind::kVariable: {
-      const Term* bound = binding.Get(term.symbol());
-      return bound != nullptr ? *bound : term;
-    }
-    case TermKind::kFunction: {
-      std::vector<Term> args;
-      args.reserve(term.args().size());
-      for (const Term& arg : term.args()) {
-        args.push_back(SubstituteTerm(arg, binding));
-      }
-      return Term::Function(term.symbol(), std::move(args));
-    }
-    case TermKind::kArithmetic:
-      // Term::Arithmetic constant-folds once both operands are ground
-      // integers; otherwise the (partially substituted) expression
-      // remains, signalling an undefined or still-open computation.
-      return Term::Arithmetic(term.arith_op(),
-                              SubstituteTerm(term.args()[0], binding),
-                              SubstituteTerm(term.args()[1], binding));
-  }
-  return term;
-}
-
-/// True iff the (ground) term still contains an arithmetic node, i.e. the
-/// expression could not be folded to an integer: symbolic operands or
-/// division/modulo by zero. Such instances are undefined and skipped,
-/// matching Clingo's treatment of undefined arithmetic.
-bool ContainsUnfoldedArithmetic(const Term& term) {
-  if (term.is_arithmetic()) return true;
-  if (term.is_function()) {
-    for (const Term& arg : term.args()) {
-      if (ContainsUnfoldedArithmetic(arg)) return true;
-    }
-  }
-  return false;
-}
-
-bool ContainsUnfoldedArithmetic(const Atom& atom) {
-  for (const Term& arg : atom.args()) {
-    if (ContainsUnfoldedArithmetic(arg)) return true;
-  }
-  return false;
-}
-
-Atom SubstituteAtom(const Atom& atom, const Binding& binding) {
-  std::vector<Term> args;
-  args.reserve(atom.args().size());
-  for (const Term& arg : atom.args()) {
-    args.push_back(SubstituteTerm(arg, binding));
-  }
-  return Atom(atom.predicate(), std::move(args));
-}
-
-/// Lazily built hash index over one argument position of an extension.
-struct PositionIndex {
-  std::unordered_map<Term, std::vector<uint32_t>, TermHash> map;
-  size_t indexed_until = 0;  // Extension prefix already indexed.
-};
-
-/// All derived ("possible") ground atoms of one predicate, in derivation
-/// order, plus semi-naive window bounds and join indexes.
-struct PredicateExtension {
-  std::vector<GroundAtomId> atoms;
-  // Semi-naive bounds, only meaningful while this predicate's component is
-  // being instantiated:
-  //   old   = [0, delta_begin)
-  //   delta = [delta_begin, delta_end)
-  size_t delta_begin = 0;
-  size_t delta_end = 0;
-  std::vector<PositionIndex> indexes;  // Sized to arity on first use.
-};
-
-/// A rule preprocessed for instantiation.
-struct CompiledRule {
-  std::vector<Atom> heads;
-  std::vector<int> head_preds;
-  std::vector<Atom> positive;         // Positive body atoms, body order.
-  std::vector<int> positive_preds;
-  std::vector<Literal> comparisons;
-  std::vector<std::vector<SymbolId>> comparison_vars;
-  std::vector<Atom> negatives;
-  std::vector<int> negative_preds;
-  int component = 0;
-  bool recursive = false;
-  std::vector<size_t> same_component_positions;  // Indices into `positive`.
-};
-
-/// Attempts to resolve pending comparison literals under `binding`.
-/// Comparisons whose two sides become ground are evaluated (undefined
-/// arithmetic counts as false); `Var = expr` assignments whose other side
-/// is ground bind the variable. Loops until no progress. Indexes of newly
-/// resolved comparisons are appended to *newly_done so callers can unmark
-/// them on backtracking (bindings themselves are rewound via the binding
-/// mark). Returns false when a comparison is violated or an assignment
-/// clashes with an existing binding.
-bool ResolveComparisons(const CompiledRule& rule, Binding* binding,
-                        std::vector<bool>* comparison_done,
-                        std::vector<size_t>* newly_done) {
-  bool progress = true;
-  while (progress) {
-    progress = false;
-    for (size_t c = 0; c < rule.comparisons.size(); ++c) {
-      if ((*comparison_done)[c]) continue;
-      const Literal& cmp = rule.comparisons[c];
-      const Term lhs = SubstituteTerm(cmp.lhs(), *binding);
-      const Term rhs = SubstituteTerm(cmp.rhs(), *binding);
-      if (lhs.IsGround() && rhs.IsGround()) {
-        // SubstituteTerm already folded foldable arithmetic; what remains
-        // is undefined (symbolic operand, division by zero) => false.
-        if (ContainsUnfoldedArithmetic(lhs) ||
-            ContainsUnfoldedArithmetic(rhs)) {
-          return false;
-        }
-        if (!EvaluateComparison(cmp.op(), lhs, rhs)) return false;
-        (*comparison_done)[c] = true;
-        newly_done->push_back(c);
-        progress = true;
-        continue;
-      }
-      if (cmp.op() != ComparisonOp::kEqual) continue;
-      // Assignment form: a bare unbound variable against a ground value.
-      const bool lhs_assignable = lhs.is_variable() && rhs.IsGround() &&
-                                  !ContainsUnfoldedArithmetic(rhs);
-      const bool rhs_assignable = rhs.is_variable() && lhs.IsGround() &&
-                                  !ContainsUnfoldedArithmetic(lhs);
-      if (lhs_assignable || rhs_assignable) {
-        const Term& variable = lhs_assignable ? lhs : rhs;
-        const Term& value = lhs_assignable ? rhs : lhs;
-        binding->Push(variable.symbol(), value);
-        (*comparison_done)[c] = true;
-        newly_done->push_back(c);
-        progress = true;
-      }
-    }
-  }
-  return true;
-}
-
-/// Range selector for one positive literal during a semi-naive round.
-enum class RangeKind {
-  kFull,       // [0, extension.size()) — fully evaluated predicate.
-  kOld,        // [0, delta_begin)
-  kDelta,      // [delta_begin, delta_end)
-  kOldDelta,   // [0, delta_end)
-};
+using ground_internal::Binding;
+using ground_internal::CompiledRule;
+using ground_internal::ContainsUnfoldedArithmetic;
+using ground_internal::MatchTerm;
+using ground_internal::PredicateExtension;
+using ground_internal::ResolveComparisons;
+using ground_internal::SubstituteAtom;
+using ground_internal::SubstituteTerm;
 
 class InstantiationEngine {
  public:
@@ -301,7 +96,6 @@ class InstantiationEngine {
   Status EmitInstance(CompiledRule* rule, int current_component,
                       const Binding& binding,
                       const std::vector<GroundAtomId>& matched);
-  void Simplify();
 
   /// Computes the visible index range of `rule`'s positive literal
   /// `position` for the current round.
@@ -516,7 +310,7 @@ Status InstantiationEngine::MatchFrom(
   const std::vector<uint32_t>* bucket = nullptr;
   if (index_position >= 0) {
     if (ext.indexes.empty()) ext.indexes.resize(pattern.args().size());
-    PositionIndex& index = ext.indexes[index_position];
+    ground_internal::PositionIndex& index = ext.indexes[index_position];
     // Extend the index to cover the whole extension (cheap, amortized).
     while (index.indexed_until < ext.atoms.size()) {
       const uint32_t i = static_cast<uint32_t>(index.indexed_until++);
@@ -556,7 +350,14 @@ Status InstantiationEngine::MatchFrom(
   };
 
   if (bucket != nullptr) {
-    for (uint32_t i : *bucket) {
+    // Iterate by index over a size snapshot: a later literal of the same
+    // predicate can lazily extend this very index while we are suspended
+    // in the recursion, reallocating the bucket under a range-for (the
+    // map's value reference itself survives rehashing). Entries appended
+    // mid-iteration lie beyond range_end and are skipped regardless.
+    const size_t bucket_size = bucket->size();
+    for (size_t b = 0; b < bucket_size; ++b) {
+      const uint32_t i = (*bucket)[b];
       if (i < range_begin || i >= range_end) continue;
       STREAMASP_RETURN_IF_ERROR(try_candidate(i));
     }
@@ -680,81 +481,6 @@ Status InstantiationEngine::InstantiateComponent(int component) {
   return OkStatus();
 }
 
-void InstantiationEngine::Simplify() {
-  const size_t num_atoms = atoms_.size();
-  std::vector<bool> definitely_true(num_atoms, false);
-  std::vector<bool> removed(rules_.size(), false);
-  if (derivable_.size() < num_atoms) derivable_.resize(num_atoms, false);
-
-  // Pass 0: erase negative literals over atoms that no rule can derive —
-  // `not a` with underivable `a` always holds.
-  for (GroundRule& rule : rules_) {
-    auto& neg = rule.negative_body;
-    neg.erase(std::remove_if(neg.begin(), neg.end(),
-                             [&](GroundAtomId id) { return !derivable_[id]; }),
-              neg.end());
-  }
-
-  // Fixpoint: propagate definite facts through positive bodies.
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (size_t r = 0; r < rules_.size(); ++r) {
-      if (removed[r]) continue;
-      GroundRule& rule = rules_[r];
-
-      // A definitely-true head atom satisfies the rule outright.
-      bool satisfied = false;
-      for (GroundAtomId h : rule.head) {
-        if (definitely_true[h]) {
-          satisfied = true;
-          break;
-        }
-      }
-      // So does a definitely-true negative-body atom falsifying the body.
-      if (!satisfied) {
-        for (GroundAtomId n : rule.negative_body) {
-          if (definitely_true[n]) {
-            satisfied = true;
-            break;
-          }
-        }
-      }
-      if (satisfied) {
-        removed[r] = true;
-        changed = true;
-        continue;
-      }
-
-      auto& pos = rule.positive_body;
-      const size_t before = pos.size();
-      pos.erase(std::remove_if(
-                    pos.begin(), pos.end(),
-                    [&](GroundAtomId id) { return definitely_true[id]; }),
-                pos.end());
-      if (pos.size() != before) changed = true;
-
-      if (rule.is_fact() && !definitely_true[rule.head.front()]) {
-        definitely_true[rule.head.front()] = true;
-        removed[r] = true;  // Re-emitted once, below.
-        changed = true;
-      }
-    }
-  }
-
-  std::vector<GroundRule> output;
-  output.reserve(rules_.size());
-  for (GroundAtomId a = 0; a < num_atoms; ++a) {
-    if (definitely_true[a]) {
-      output.push_back(GroundRule{{a}, {}, {}});
-    }
-  }
-  for (size_t r = 0; r < rules_.size(); ++r) {
-    if (!removed[r]) output.push_back(std::move(rules_[r]));
-  }
-  rules_ = std::move(output);
-}
-
 Status InstantiationEngine::Run() {
   STREAMASP_RETURN_IF_ERROR(program_.Validate());
   STREAMASP_RETURN_IF_ERROR(BuildDependencies());
@@ -769,7 +495,12 @@ Status InstantiationEngine::Run() {
   }
 
   stats.num_rules_raw = rules_.size();
-  if (options_.simplify) Simplify();
+  if (options_.simplify) {
+    if (derivable_.size() < atoms_.size()) {
+      derivable_.resize(atoms_.size(), false);
+    }
+    ground_internal::SimplifyGroundRules(atoms_.size(), derivable_, &rules_);
+  }
   stats.num_rules = rules_.size();
   stats.num_atoms = atoms_.size();
   for (const GroundRule& rule : rules_) {
@@ -781,15 +512,17 @@ Status InstantiationEngine::Run() {
 
 }  // namespace
 
-StatusOr<GroundProgram> Grounder::Ground(const Program& program) const {
-  return Ground(program, {});
+StatusOr<GroundProgram> Grounder::Ground(const Program& program,
+                                         GroundingStats* stats) const {
+  return Ground(program, {}, stats);
 }
 
-StatusOr<GroundProgram> Grounder::Ground(
-    const Program& program, const std::vector<Atom>& input_facts) const {
+StatusOr<GroundProgram> Grounder::Ground(const Program& program,
+                                         const std::vector<Atom>& input_facts,
+                                         GroundingStats* stats) const {
   InstantiationEngine engine(program, input_facts, options_);
   STREAMASP_RETURN_IF_ERROR(engine.Run());
-  stats_ = engine.stats;
+  if (stats != nullptr) *stats = engine.stats;
   return engine.TakeResult();
 }
 

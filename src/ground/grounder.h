@@ -27,12 +27,37 @@ struct GroundingOptions {
 };
 
 /// Counters describing one grounding run (also used by benchmarks).
+/// Returned by value per call — Grounder and IncrementalGrounder keep no
+/// shared mutable stats state, so concurrent Ground calls cannot race.
 struct GroundingStats {
   size_t num_atoms = 0;          ///< Interned ground atoms.
   size_t num_rules = 0;          ///< Emitted ground rules after simplify.
   size_t num_rules_raw = 0;      ///< Emitted ground rules before simplify.
   size_t num_facts = 0;          ///< Rules that are definite facts.
   size_t num_constraints = 0;    ///< Ground integrity constraints.
+
+  // --- incremental reuse counters (all zero for a batch Grounder run; see
+  // ground/incremental_grounder.h) ---
+  size_t rules_retained = 0;   ///< Cached ground rules carried over.
+  size_t rules_retracted = 0;  ///< Cached rules dropped with expired facts.
+  size_t rules_new = 0;        ///< Rules instantiated from admitted facts.
+  size_t incremental_windows = 0;   ///< Calls that reused the cache.
+  size_t incremental_fallbacks = 0; ///< Calls that reground from scratch.
+
+  /// Field-wise accumulation (max-free: every counter is additive), used
+  /// when aggregating per-partition stats into a per-window total.
+  void Accumulate(const GroundingStats& other) {
+    num_atoms += other.num_atoms;
+    num_rules += other.num_rules;
+    num_rules_raw += other.num_rules_raw;
+    num_facts += other.num_facts;
+    num_constraints += other.num_constraints;
+    rules_retained += other.rules_retained;
+    rules_retracted += other.rules_retracted;
+    rules_new += other.rules_new;
+    incremental_windows += other.incremental_windows;
+    incremental_fallbacks += other.incremental_fallbacks;
+  }
 };
 
 /// Bottom-up instantiator: turns a (safe) non-ground program plus input
@@ -57,22 +82,20 @@ class Grounder {
  public:
   explicit Grounder(GroundingOptions options = {}) : options_(options) {}
 
-  /// Grounds `program` (whose rules may include facts).
-  StatusOr<GroundProgram> Ground(const Program& program) const;
+  /// Grounds `program` (whose rules may include facts). When `stats` is
+  /// non-null it receives this call's counters — per-call snapshot
+  /// semantics, so concurrent Ground calls on one Grounder never race.
+  StatusOr<GroundProgram> Ground(const Program& program,
+                                 GroundingStats* stats = nullptr) const;
 
   /// Grounds `program` extended with `input_facts` (the reasoner's window
   /// contents). The facts must be ground atoms.
   StatusOr<GroundProgram> Ground(const Program& program,
-                                 const std::vector<Atom>& input_facts) const;
-
-  /// Stats from the most recent Ground call. Not thread-safe across
-  /// concurrent Ground calls on the same Grounder; the parallel reasoner
-  /// gives each worker its own Grounder.
-  const GroundingStats& stats() const { return stats_; }
+                                 const std::vector<Atom>& input_facts,
+                                 GroundingStats* stats = nullptr) const;
 
  private:
   GroundingOptions options_;
-  mutable GroundingStats stats_;
 };
 
 }  // namespace streamasp

@@ -1,0 +1,217 @@
+#include "ground/instantiate.h"
+
+#include <algorithm>
+
+namespace streamasp {
+namespace ground_internal {
+
+bool MatchTerm(const Term& pattern, const Term& ground, Binding* binding) {
+  switch (pattern.kind()) {
+    case TermKind::kInteger:
+    case TermKind::kSymbol:
+      return pattern == ground;
+    case TermKind::kArithmetic: {
+      // Matching cannot invert arithmetic: the expression must already be
+      // fully bound, in which case it folds to an integer and compares.
+      const Term folded = SubstituteTerm(pattern, *binding);
+      return folded.is_integer() && folded == ground;
+    }
+    case TermKind::kVariable: {
+      if (const Term* bound = binding->Get(pattern.symbol())) {
+        return *bound == ground;
+      }
+      binding->Push(pattern.symbol(), ground);
+      return true;
+    }
+    case TermKind::kFunction: {
+      if (!ground.is_function() || ground.symbol() != pattern.symbol() ||
+          ground.args().size() != pattern.args().size()) {
+        return false;
+      }
+      for (size_t i = 0; i < pattern.args().size(); ++i) {
+        if (!MatchTerm(pattern.args()[i], ground.args()[i], binding)) {
+          return false;
+        }
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+Term SubstituteTerm(const Term& term, const Binding& binding) {
+  switch (term.kind()) {
+    case TermKind::kInteger:
+    case TermKind::kSymbol:
+      return term;
+    case TermKind::kVariable: {
+      const Term* bound = binding.Get(term.symbol());
+      return bound != nullptr ? *bound : term;
+    }
+    case TermKind::kFunction: {
+      std::vector<Term> args;
+      args.reserve(term.args().size());
+      for (const Term& arg : term.args()) {
+        args.push_back(SubstituteTerm(arg, binding));
+      }
+      return Term::Function(term.symbol(), std::move(args));
+    }
+    case TermKind::kArithmetic:
+      // Term::Arithmetic constant-folds once both operands are ground
+      // integers; otherwise the (partially substituted) expression
+      // remains, signalling an undefined or still-open computation.
+      return Term::Arithmetic(term.arith_op(),
+                              SubstituteTerm(term.args()[0], binding),
+                              SubstituteTerm(term.args()[1], binding));
+  }
+  return term;
+}
+
+bool ContainsUnfoldedArithmetic(const Term& term) {
+  if (term.is_arithmetic()) return true;
+  if (term.is_function()) {
+    for (const Term& arg : term.args()) {
+      if (ContainsUnfoldedArithmetic(arg)) return true;
+    }
+  }
+  return false;
+}
+
+bool ContainsUnfoldedArithmetic(const Atom& atom) {
+  for (const Term& arg : atom.args()) {
+    if (ContainsUnfoldedArithmetic(arg)) return true;
+  }
+  return false;
+}
+
+Atom SubstituteAtom(const Atom& atom, const Binding& binding) {
+  std::vector<Term> args;
+  args.reserve(atom.args().size());
+  for (const Term& arg : atom.args()) {
+    args.push_back(SubstituteTerm(arg, binding));
+  }
+  return Atom(atom.predicate(), std::move(args));
+}
+
+bool ResolveComparisons(const CompiledRule& rule, Binding* binding,
+                        std::vector<bool>* comparison_done,
+                        std::vector<size_t>* newly_done) {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (size_t c = 0; c < rule.comparisons.size(); ++c) {
+      if ((*comparison_done)[c]) continue;
+      const Literal& cmp = rule.comparisons[c];
+      const Term lhs = SubstituteTerm(cmp.lhs(), *binding);
+      const Term rhs = SubstituteTerm(cmp.rhs(), *binding);
+      if (lhs.IsGround() && rhs.IsGround()) {
+        // SubstituteTerm already folded foldable arithmetic; what remains
+        // is undefined (symbolic operand, division by zero) => false.
+        if (ContainsUnfoldedArithmetic(lhs) ||
+            ContainsUnfoldedArithmetic(rhs)) {
+          return false;
+        }
+        if (!EvaluateComparison(cmp.op(), lhs, rhs)) return false;
+        (*comparison_done)[c] = true;
+        newly_done->push_back(c);
+        progress = true;
+        continue;
+      }
+      if (cmp.op() != ComparisonOp::kEqual) continue;
+      // Assignment form: a bare unbound variable against a ground value.
+      const bool lhs_assignable = lhs.is_variable() && rhs.IsGround() &&
+                                  !ContainsUnfoldedArithmetic(rhs);
+      const bool rhs_assignable = rhs.is_variable() && lhs.IsGround() &&
+                                  !ContainsUnfoldedArithmetic(lhs);
+      if (lhs_assignable || rhs_assignable) {
+        const Term& variable = lhs_assignable ? lhs : rhs;
+        const Term& value = lhs_assignable ? rhs : lhs;
+        binding->Push(variable.symbol(), value);
+        (*comparison_done)[c] = true;
+        newly_done->push_back(c);
+        progress = true;
+      }
+    }
+  }
+  return true;
+}
+
+void SimplifyGroundRules(size_t num_atoms, const std::vector<bool>& derivable,
+                         std::vector<GroundRule>* rules_io) {
+  std::vector<GroundRule>& rules = *rules_io;
+  std::vector<bool> definitely_true(num_atoms, false);
+  std::vector<bool> removed(rules.size(), false);
+
+  // Pass 0: erase negative literals over atoms that no rule can derive —
+  // `not a` with underivable `a` always holds.
+  for (GroundRule& rule : rules) {
+    auto& neg = rule.negative_body;
+    neg.erase(std::remove_if(neg.begin(), neg.end(),
+                             [&](GroundAtomId id) {
+                               return id >= derivable.size() || !derivable[id];
+                             }),
+              neg.end());
+  }
+
+  // Fixpoint: propagate definite facts through positive bodies.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t r = 0; r < rules.size(); ++r) {
+      if (removed[r]) continue;
+      GroundRule& rule = rules[r];
+
+      // A definitely-true head atom satisfies the rule outright.
+      bool satisfied = false;
+      for (GroundAtomId h : rule.head) {
+        if (definitely_true[h]) {
+          satisfied = true;
+          break;
+        }
+      }
+      // So does a definitely-true negative-body atom falsifying the body.
+      if (!satisfied) {
+        for (GroundAtomId n : rule.negative_body) {
+          if (definitely_true[n]) {
+            satisfied = true;
+            break;
+          }
+        }
+      }
+      if (satisfied) {
+        removed[r] = true;
+        changed = true;
+        continue;
+      }
+
+      auto& pos = rule.positive_body;
+      const size_t before = pos.size();
+      pos.erase(std::remove_if(
+                    pos.begin(), pos.end(),
+                    [&](GroundAtomId id) { return definitely_true[id]; }),
+                pos.end());
+      if (pos.size() != before) changed = true;
+
+      if (rule.is_fact() && !definitely_true[rule.head.front()]) {
+        definitely_true[rule.head.front()] = true;
+        removed[r] = true;  // Re-emitted once, below.
+        changed = true;
+      }
+    }
+  }
+
+  std::vector<GroundRule> output;
+  output.reserve(rules.size());
+  for (GroundAtomId a = 0; a < num_atoms; ++a) {
+    if (definitely_true[a]) {
+      output.push_back(GroundRule{{a}, {}, {}});
+    }
+  }
+  for (size_t r = 0; r < rules.size(); ++r) {
+    if (!removed[r]) output.push_back(std::move(rules[r]));
+  }
+  rules = std::move(output);
+}
+
+}  // namespace ground_internal
+}  // namespace streamasp

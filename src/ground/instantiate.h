@@ -1,0 +1,133 @@
+#ifndef STREAMASP_GROUND_INSTANTIATE_H_
+#define STREAMASP_GROUND_INSTANTIATE_H_
+
+/// Shared machinery of the bottom-up instantiators: variable bindings with
+/// trail-based undo, term matching/substitution, comparison resolution,
+/// the compiled-rule representation, per-predicate extensions with lazy
+/// join indexes, and the equivalence-preserving ground-program
+/// simplification. Used by both the batch Grounder (ground/grounder.cc)
+/// and the window-to-window IncrementalGrounder
+/// (ground/incremental_grounder.cc), which differ only in how they drive
+/// these primitives (one-shot semi-naive vs delta-replay over a retained
+/// extension cache).
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "asp/atom.h"
+#include "asp/literal.h"
+#include "asp/term.h"
+#include "ground/ground_program.h"
+
+namespace streamasp {
+namespace ground_internal {
+
+/// Variable binding with trail-based undo. Rules have few variables, so a
+/// linear-scanned vector beats a hash map.
+class Binding {
+ public:
+  const Term* Get(SymbolId var) const {
+    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+      if (it->first == var) return &it->second;
+    }
+    return nullptr;
+  }
+
+  void Push(SymbolId var, const Term& value) {
+    entries_.emplace_back(var, value);
+  }
+
+  size_t Mark() const { return entries_.size(); }
+  void RewindTo(size_t mark) { entries_.resize(mark); }
+
+  bool IsBound(SymbolId var) const { return Get(var) != nullptr; }
+
+ private:
+  std::vector<std::pair<SymbolId, Term>> entries_;
+};
+
+/// Unifies a (possibly variable-containing) pattern with a ground term,
+/// extending `binding`. On mismatch the caller rewinds using its mark.
+bool MatchTerm(const Term& pattern, const Term& ground, Binding* binding);
+
+/// Applies `binding` to a term. Unbound variables are left in place (the
+/// result is ground iff all variables are bound).
+Term SubstituteTerm(const Term& term, const Binding& binding);
+
+/// True iff the (ground) term still contains an arithmetic node, i.e. the
+/// expression could not be folded to an integer: symbolic operands or
+/// division/modulo by zero. Such instances are undefined and skipped,
+/// matching Clingo's treatment of undefined arithmetic.
+bool ContainsUnfoldedArithmetic(const Term& term);
+bool ContainsUnfoldedArithmetic(const Atom& atom);
+
+Atom SubstituteAtom(const Atom& atom, const Binding& binding);
+
+/// Lazily built hash index over one argument position of an extension.
+struct PositionIndex {
+  std::unordered_map<Term, std::vector<uint32_t>, TermHash> map;
+  size_t indexed_until = 0;  // Extension prefix already indexed.
+};
+
+/// All derived ("possible") ground atoms of one predicate, in derivation
+/// order, plus semi-naive window bounds and join indexes. Entries may be
+/// tombstoned (kInvalidGroundAtom) by the incremental engine when an atom
+/// is retracted; scans and index buckets skip tombstones.
+struct PredicateExtension {
+  std::vector<GroundAtomId> atoms;
+  // Semi-naive bounds, only meaningful while this predicate's component is
+  // being instantiated:
+  //   old   = [0, delta_begin)
+  //   delta = [delta_begin, delta_end)
+  size_t delta_begin = 0;
+  size_t delta_end = 0;
+  // Extension size at the start of the current window (incremental engine
+  // only): [window_start, atoms.size()) is the window's admission delta.
+  size_t window_start = 0;
+  std::vector<PositionIndex> indexes;  // Sized to arity on first use.
+};
+
+/// A rule preprocessed for instantiation.
+struct CompiledRule {
+  std::vector<Atom> heads;
+  std::vector<int> head_preds;
+  std::vector<Atom> positive;         // Positive body atoms, body order.
+  std::vector<int> positive_preds;
+  std::vector<Literal> comparisons;
+  std::vector<std::vector<SymbolId>> comparison_vars;
+  std::vector<Atom> negatives;
+  std::vector<int> negative_preds;
+  int component = 0;
+  bool recursive = false;
+  std::vector<size_t> same_component_positions;  // Indices into `positive`.
+};
+
+/// Attempts to resolve pending comparison literals under `binding`.
+/// Comparisons whose two sides become ground are evaluated (undefined
+/// arithmetic counts as false); `Var = expr` assignments whose other side
+/// is ground bind the variable. Loops until no progress. Indexes of newly
+/// resolved comparisons are appended to *newly_done so callers can unmark
+/// them on backtracking (bindings themselves are rewound via the binding
+/// mark). Returns false when a comparison is violated or an assignment
+/// clashes with an existing binding.
+bool ResolveComparisons(const CompiledRule& rule, Binding* binding,
+                        std::vector<bool>* comparison_done,
+                        std::vector<size_t>* newly_done);
+
+/// Equivalence-preserving simplification of a ground program, in place:
+/// negative literals on underivable atoms are erased, definite facts are
+/// propagated out of positive bodies, and rules satisfied outright (a
+/// definitely-true head or negative-body atom) are dropped. `derivable`
+/// marks atoms some rule (or fact) can derive; it may over-approximate
+/// (extra true bits weaken the pass but never change the stable models).
+/// Stable models are preserved exactly. `num_atoms` bounds the atom ids
+/// appearing in `rules`.
+void SimplifyGroundRules(size_t num_atoms, const std::vector<bool>& derivable,
+                         std::vector<GroundRule>* rules);
+
+}  // namespace ground_internal
+}  // namespace streamasp
+
+#endif  // STREAMASP_GROUND_INSTANTIATE_H_

@@ -1,5 +1,6 @@
 #include "stream/query_processor.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -7,10 +8,16 @@ namespace streamasp {
 
 StreamQueryProcessor::StreamQueryProcessor(size_t window_size,
                                            WindowCallback callback)
+    : StreamQueryProcessor(window_size, /*slide=*/0, std::move(callback)) {}
+
+StreamQueryProcessor::StreamQueryProcessor(size_t window_size, size_t slide,
+                                           WindowCallback callback)
     : window_size_(window_size == 0 ? 1 : window_size),
+      slide_(slide == 0 ? window_size_
+                        : std::clamp<size_t>(slide, 1, window_size_)),
       callback_(std::move(callback)) {
   assert(callback_ != nullptr);
-  pending_.reserve(window_size_);
+  if (!sliding()) pending_.reserve(window_size_);
 }
 
 void StreamQueryProcessor::RegisterPredicate(SymbolId predicate) {
@@ -22,9 +29,23 @@ void StreamQueryProcessor::Push(const Triple& triple) {
     ++dropped_;
     return;
   }
-  pending_.push_back(triple);
-  if (pending_.size() >= window_size_) {
-    Flush();
+  if (!sliding()) {
+    pending_.push_back(triple);
+    if (pending_.size() >= window_size_) Flush();
+    return;
+  }
+  buffer_.push_back(triple);
+  pending_admitted_.push_back(triple);
+  if (buffer_.size() > window_size_) {
+    pending_expired_.push_back(buffer_.front());
+    buffer_.pop_front();
+  }
+  ++arrivals_since_emit_;
+  // First window fires when the buffer first fills; afterwards every
+  // `slide_` arrivals (same cadence as SlidingCountWindower).
+  if ((!emitted_once_ && buffer_.size() == window_size_) ||
+      (emitted_once_ && arrivals_since_emit_ >= slide_)) {
+    EmitSliding();
   }
 }
 
@@ -33,12 +54,32 @@ void StreamQueryProcessor::PushBatch(const std::vector<Triple>& triples) {
 }
 
 void StreamQueryProcessor::Flush() {
+  if (sliding()) {
+    if (buffer_.empty()) return;
+    if (emitted_once_ && arrivals_since_emit_ == 0) return;  // Nothing new.
+    EmitSliding();
+    return;
+  }
   if (pending_.empty()) return;
   TripleWindow window;
   window.sequence = next_sequence_++;
   window.items = std::move(pending_);
   pending_.clear();
   pending_.reserve(window_size_);
+  callback_(std::move(window));
+}
+
+void StreamQueryProcessor::EmitSliding() {
+  TripleWindow window;
+  window.sequence = next_sequence_++;
+  window.items.assign(buffer_.begin(), buffer_.end());
+  window.has_delta = true;
+  window.expired = std::move(pending_expired_);
+  window.admitted = std::move(pending_admitted_);
+  pending_expired_.clear();
+  pending_admitted_.clear();
+  arrivals_since_emit_ = 0;
+  emitted_once_ = true;
   callback_(std::move(window));
 }
 

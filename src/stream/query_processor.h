@@ -1,6 +1,7 @@
 #ifndef STREAMASP_STREAM_QUERY_PROCESSOR_H_
 #define STREAMASP_STREAM_QUERY_PROCESSOR_H_
 
+#include <deque>
 #include <functional>
 #include <unordered_set>
 #include <vector>
@@ -28,8 +29,18 @@ class StreamQueryProcessor {
   using WindowCallback = std::function<void(TripleWindow)>;
 
   /// `window_size` is the tuple-based window length; `callback` receives
-  /// every completed window.
+  /// every completed window. Tumbling windows: each surviving item appears
+  /// in exactly one window.
   StreamQueryProcessor(size_t window_size, WindowCallback callback);
+
+  /// Sliding variant: emits the most recent `window_size` surviving items
+  /// every `slide` arrivals (first emission once the window fills).
+  /// Requires 1 <= slide <= window_size; slide == window_size (or the
+  /// two-argument constructor) keeps tumbling behaviour. Sliding windows
+  /// carry expired/admitted deltas (TripleWindow::has_delta), which the
+  /// incremental grounding layer consumes.
+  StreamQueryProcessor(size_t window_size, size_t slide,
+                       WindowCallback callback);
 
   /// Registers a predicate the continuous query selects. Items with
   /// unregistered predicates are dropped. No registration = drop all.
@@ -42,8 +53,9 @@ class StreamQueryProcessor {
   /// Feeds a batch of items.
   void PushBatch(const std::vector<Triple>& triples);
 
-  /// Emits the current partial window (if non-empty) regardless of size —
-  /// e.g. at end of stream.
+  /// Emits the current partial window (tumbling) or the current buffer
+  /// contents if anything arrived since the last emission (sliding),
+  /// regardless of size — e.g. at end of stream.
   void Flush();
 
   /// Items dropped by the filter so far.
@@ -53,10 +65,21 @@ class StreamQueryProcessor {
   uint64_t emitted_windows() const { return next_sequence_; }
 
  private:
+  bool sliding() const { return slide_ < window_size_; }
+  void EmitSliding();
+
   size_t window_size_;
+  size_t slide_ = 0;  ///< == window_size_ for tumbling.
   WindowCallback callback_;
   std::unordered_set<SymbolId> selected_;
+  /// Tumbling state: the window under construction.
   std::vector<Triple> pending_;
+  /// Sliding state: last window_size_ survivors + delta accumulators.
+  std::deque<Triple> buffer_;
+  std::vector<Triple> pending_expired_;
+  std::vector<Triple> pending_admitted_;
+  size_t arrivals_since_emit_ = 0;
+  bool emitted_once_ = false;
   uint64_t next_sequence_ = 0;
   uint64_t dropped_ = 0;
 };

@@ -31,9 +31,22 @@ struct Triple {
 /// A tuple-based window: the unit of work the reasoner processes per
 /// computation (paper §I). Windows carry a sequence number so downstream
 /// components can correlate answers with inputs.
+///
+/// Sliding windowers additionally emit the delta against the previous
+/// window of the same stream: as multisets,
+///   previous.items - expired + admitted == items.
+/// The first window's delta is relative to the empty window (admitted ==
+/// items). An item may appear in both sets (pushed and evicted between two
+/// emissions of a time windower) — consumers must net the counts. Windows
+/// from tumbling windowers leave has_delta false; the incremental
+/// grounding layer then falls back to its own snapshot diff.
 struct TripleWindow {
   uint64_t sequence = 0;
   std::vector<Triple> items;
+
+  bool has_delta = false;
+  std::vector<Triple> expired;   ///< Left the window since the previous one.
+  std::vector<Triple> admitted;  ///< Entered the window since the previous.
 
   size_t size() const { return items.size(); }
   bool empty() const { return items.empty(); }

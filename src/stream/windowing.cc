@@ -16,7 +16,11 @@ SlidingCountWindower::SlidingCountWindower(size_t size, size_t slide,
 
 void SlidingCountWindower::Push(const Triple& triple) {
   buffer_.push_back(triple);
-  if (buffer_.size() > size_) buffer_.pop_front();
+  pending_admitted_.push_back(triple);
+  if (buffer_.size() > size_) {
+    pending_expired_.push_back(buffer_.front());
+    buffer_.pop_front();
+  }
   ++arrivals_since_emit_;
   // First window fires when the buffer first fills; afterwards every
   // `slide_` arrivals.
@@ -36,6 +40,11 @@ void SlidingCountWindower::Emit() {
   TripleWindow window;
   window.sequence = next_sequence_++;
   window.items.assign(buffer_.begin(), buffer_.end());
+  window.has_delta = true;
+  window.expired = std::move(pending_expired_);
+  window.admitted = std::move(pending_admitted_);
+  pending_expired_.clear();
+  pending_admitted_.clear();
   arrivals_since_emit_ = 0;
   emitted_once_ = true;
   callback_(window);
@@ -66,6 +75,7 @@ void SlidingTimeWindower::Push(const Triple& triple, int64_t timestamp_ms) {
   }
 
   buffer_.push_back(TimestampedTriple{triple, timestamp_ms});
+  pending_admitted_.push_back(triple);
 }
 
 void SlidingTimeWindower::Flush() {
@@ -76,6 +86,7 @@ void SlidingTimeWindower::Flush() {
 
 void SlidingTimeWindower::EvictOlderThan(int64_t cutoff_ms) {
   while (!buffer_.empty() && buffer_.front().timestamp_ms < cutoff_ms) {
+    pending_expired_.push_back(buffer_.front().triple);
     buffer_.pop_front();
   }
 }
@@ -88,6 +99,13 @@ void SlidingTimeWindower::Emit() {
   for (const TimestampedTriple& item : buffer_) {
     window.items.push_back(item.triple);
   }
+  // Deltas accumulate across skipped (empty) boundaries so the multiset
+  // invariant holds against the previously *emitted* window.
+  window.has_delta = true;
+  window.expired = std::move(pending_expired_);
+  window.admitted = std::move(pending_admitted_);
+  pending_expired_.clear();
+  pending_admitted_.clear();
   callback_(window);
 }
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <vector>
 
 #include "stream/triple.h"
 
@@ -19,6 +20,13 @@ struct TimestampedTriple {
 /// emits a window every `slide` arrivals. slide == size gives the paper's
 /// tumbling behaviour (each item processed exactly once); slide < size
 /// re-processes overlapping suffixes, the usual CQELS/C-SPARQL semantics.
+///
+/// Every emitted window carries its delta against the previously emitted
+/// window (TripleWindow::expired/admitted): the items evicted from and
+/// pushed into the buffer since the last emission. slide == size makes the
+/// delta a full replacement (expired == previous window, admitted == the
+/// new one), which downstream grounding caches treat as a full
+/// invalidation.
 class SlidingCountWindower {
  public:
   using WindowCallback = std::function<void(const TripleWindow&)>;
@@ -41,6 +49,8 @@ class SlidingCountWindower {
   size_t slide_;
   WindowCallback callback_;
   std::deque<Triple> buffer_;
+  std::vector<Triple> pending_expired_;   ///< Evicted since last emission.
+  std::vector<Triple> pending_admitted_;  ///< Arrived since last emission.
   size_t arrivals_since_emit_ = 0;
   bool emitted_once_ = false;
   uint64_t next_sequence_ = 0;
@@ -50,6 +60,12 @@ class SlidingCountWindower {
 /// items whose timestamps fall in the last `size_ms` milliseconds.
 /// Timestamps must be non-decreasing (event time); out-of-order items are
 /// clamped forward to the latest seen timestamp.
+///
+/// Emitted windows carry expired/admitted deltas relative to the
+/// previously *emitted* window (boundaries skipped for being empty fold
+/// their evictions into the next emission). An item that arrives and ages
+/// out between two emissions appears in both sets; the multiset invariant
+/// previous - expired + admitted == items still holds.
 class SlidingTimeWindower {
  public:
   using WindowCallback = std::function<void(const TripleWindow&)>;
@@ -73,6 +89,8 @@ class SlidingTimeWindower {
   int64_t slide_ms_;
   WindowCallback callback_;
   std::deque<TimestampedTriple> buffer_;
+  std::vector<Triple> pending_expired_;
+  std::vector<Triple> pending_admitted_;
   int64_t latest_ms_ = 0;
   int64_t next_emit_ms_ = 0;
   bool saw_any_ = false;

@@ -20,23 +20,64 @@ ParallelReasoner::ParallelReasoner(const Program* program,
                                    PartitioningPlan plan,
                                    ParallelReasonerOptions options)
     : program_(program),
+      reasoner_options_(options.reasoner),
       handler_(std::move(plan)),
       combiner_(options.combining),
       reasoner_(program, options.reasoner),
-      pool_(ResolveThreadCount(options.num_threads)) {}
+      pool_(ResolveThreadCount(options.num_threads)) {
+  if (reasoner_options_.reuse_grounding) {
+    const int partitions = handler_.plan().num_communities();
+    partition_grounders_.reserve(partitions);
+    for (int i = 0; i < partitions; ++i) {
+      partition_grounders_.push_back(std::make_unique<IncrementalGrounder>(
+          program_, reasoner_options_.grounding,
+          reasoner_options_.incremental));
+    }
+  }
+}
 
 StatusOr<ParallelReasonerResult> ParallelReasoner::Process(
     const TripleWindow& window) {
   WallTimer total;
   WallTimer phase;
-  const std::vector<std::vector<Triple>> partitions =
+  std::vector<std::vector<Triple>> partitions =
       handler_.Partition(window.items);
-  const double partition_ms = phase.ElapsedMillis();
 
-  STREAMASP_ASSIGN_OR_RETURN(ParallelReasonerResult result,
-                             RunPartitions(partitions));
-  result.partition_ms = partition_ms;
-  result.latency_ms = total.ElapsedMillis();
+  StatusOr<ParallelReasonerResult> result{InternalError("not run")};
+  if (reasoner_options_.reuse_grounding) {
+    // Partition the delta with the same routing as the items: the
+    // per-item mapping is pure, so partition i's expired/admitted are
+    // exactly the delta of partition i's sub-stream.
+    std::vector<TripleWindow> sub_windows(partitions.size());
+    std::vector<std::vector<Triple>> expired;
+    std::vector<std::vector<Triple>> admitted;
+    if (window.has_delta) {
+      // Auxiliary views of items already counted via window.items: don't
+      // re-count strays.
+      expired = handler_.Partition(window.expired, /*count_strays=*/false);
+      admitted = handler_.Partition(window.admitted, /*count_strays=*/false);
+    }
+    for (size_t i = 0; i < partitions.size(); ++i) {
+      sub_windows[i].sequence = window.sequence;
+      sub_windows[i].items = std::move(partitions[i]);
+      if (window.has_delta) {
+        sub_windows[i].has_delta = true;
+        sub_windows[i].expired = std::move(expired[i]);
+        sub_windows[i].admitted = std::move(admitted[i]);
+      }
+    }
+    const double partition_ms = phase.ElapsedMillis();
+    std::lock_guard<std::mutex> lock(incremental_mutex_);
+    result = RunIncrementalWindows(sub_windows);
+    if (!result.ok()) return result.status();
+    result->partition_ms = partition_ms;
+  } else {
+    const double partition_ms = phase.ElapsedMillis();
+    result = RunPartitions(partitions);
+    if (!result.ok()) return result.status();
+    result->partition_ms = partition_ms;
+  }
+  result->latency_ms = total.ElapsedMillis();
   return result;
 }
 
@@ -103,17 +144,56 @@ StatusOr<ParallelReasonerResult> ParallelReasoner::RunPartitions(
   }
   pool_.SubmitAndWaitAll(std::move(tasks));
   result.reason_ms = phase.ElapsedMillis();
+  return FinishOutcomes(std::move(outcomes), std::move(result));
+}
 
+StatusOr<ParallelReasonerResult> ParallelReasoner::RunIncrementalWindows(
+    const std::vector<TripleWindow>& sub_windows) {
+  // Normally sized by the constructor, but an empty plan (0 communities)
+  // still yields one fallback partition from PartitioningHandler, so
+  // grow on demand rather than index past the vector.
+  while (partition_grounders_.size() < sub_windows.size()) {
+    partition_grounders_.push_back(std::make_unique<IncrementalGrounder>(
+        program_, reasoner_options_.grounding,
+        reasoner_options_.incremental));
+  }
+
+  ParallelReasonerResult result;
+  result.num_partitions = sub_windows.size();
+  for (const TripleWindow& sub : sub_windows) {
+    result.total_partition_items += sub.items.size();
+  }
+
+  WallTimer phase;
+  std::vector<StatusOr<ReasonerResult>> outcomes(
+      sub_windows.size(), StatusOr<ReasonerResult>(InternalError("not run")));
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(sub_windows.size());
+  for (size_t i = 0; i < sub_windows.size(); ++i) {
+    tasks.push_back([this, &sub_windows, &outcomes, i] {
+      outcomes[i] =
+          reasoner_.Process(sub_windows[i], partition_grounders_[i].get());
+    });
+  }
+  pool_.SubmitAndWaitAll(std::move(tasks));
+  result.reason_ms = phase.ElapsedMillis();
+  return FinishOutcomes(std::move(outcomes), std::move(result));
+}
+
+StatusOr<ParallelReasonerResult> ParallelReasoner::FinishOutcomes(
+    std::vector<StatusOr<ReasonerResult>> outcomes,
+    ParallelReasonerResult result) {
   std::vector<std::vector<GroundAnswer>> per_partition;
-  per_partition.reserve(partitions.size());
-  result.partition_latency_ms.reserve(partitions.size());
+  per_partition.reserve(outcomes.size());
+  result.partition_latency_ms.reserve(outcomes.size());
   for (StatusOr<ReasonerResult>& outcome : outcomes) {
     if (!outcome.ok()) return outcome.status();
     result.partition_latency_ms.push_back(outcome->latency_ms);
+    result.grounding.Accumulate(outcome->grounding);
     per_partition.push_back(std::move(outcome->answers));
   }
 
-  phase.Restart();
+  WallTimer phase;
   STREAMASP_ASSIGN_OR_RETURN(result.answers,
                              combiner_.Combine(per_partition));
   result.combine_ms = phase.ElapsedMillis();

@@ -2,6 +2,7 @@
 #define STREAMASP_STREAMRULE_PARALLEL_REASONER_H_
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "depgraph/partitioning_plan.h"
@@ -48,6 +49,10 @@ struct ParallelReasonerResult {
   /// duplicated items (paper §IV: "the average percentage of instances of
   /// the duplicated predicate in a window is 25%").
   size_t total_partition_items = 0;
+
+  /// Grounding counters summed over the window's partitions, including
+  /// the incremental reuse counters when reuse_grounding is enabled.
+  GroundingStats grounding;
 };
 
 /// The reasoner PR of the extended StreamRule architecture (the grey box
@@ -60,7 +65,12 @@ struct ParallelReasonerResult {
 /// concurrent calls on one instance are safe — they share the inner
 /// ThreadPool, and SubmitAndWaitAll gives each call batch semantics, so
 /// concurrent windows interleave at task granularity rather than corrupt
-/// each other.
+/// each other. With reuse_grounding set, Process additionally serializes
+/// whole windows on an internal mutex: the per-partition incremental
+/// grounders are stateful, and interleaving two windows through one cache
+/// would corrupt its window-to-window diff. (The async and sharded
+/// engines give every worker its own ParallelReasoner, so the mutex is
+/// uncontended there.)
 ///
 /// Nesting constraint (see util/thread_pool.h): Process blocks on futures
 /// of tasks submitted to the instance's OWN pool. Never call Process from
@@ -78,10 +88,15 @@ class ParallelReasoner {
   ParallelReasoner(const Program* program, PartitioningPlan plan,
                    ParallelReasonerOptions options = {});
 
-  /// Full PR pipeline over a triple window.
+  /// Full PR pipeline over a triple window. With reuse_grounding set the
+  /// per-partition grounding reuses the previous window's instantiation:
+  /// the window's expired/admitted delta (when the windower emitted one)
+  /// is partitioned alongside the items, so each partition's incremental
+  /// grounder receives its own sub-stream delta.
   StatusOr<ParallelReasonerResult> Process(const TripleWindow& window);
 
-  /// PR pipeline over a window already converted to facts.
+  /// PR pipeline over a window already converted to facts. Always batch
+  /// grounding (no sequence/delta information at this level).
   StatusOr<ParallelReasonerResult> ProcessFacts(
       const std::vector<Atom>& facts);
 
@@ -102,11 +117,28 @@ class ParallelReasoner {
   StatusOr<ParallelReasonerResult> RunPartitions(
       const std::vector<std::vector<Item>>& partitions);
 
+  /// Reuse path: one sub-window (with delta) per partition, each grounded
+  /// through its own IncrementalGrounder. Caller holds incremental_mutex_.
+  StatusOr<ParallelReasonerResult> RunIncrementalWindows(
+      const std::vector<TripleWindow>& sub_windows);
+
+  /// Shared tail: collect per-partition outcomes, combine answers,
+  /// aggregate grounding stats, compute the critical path.
+  StatusOr<ParallelReasonerResult> FinishOutcomes(
+      std::vector<StatusOr<ReasonerResult>> outcomes,
+      ParallelReasonerResult result);
+
   const Program* program_;
+  ReasonerOptions reasoner_options_;
   PartitioningHandler handler_;
   CombiningHandler combiner_;
   Reasoner reasoner_;
   ThreadPool pool_;
+
+  /// Per-partition incremental grounders (reuse_grounding only), plus the
+  /// mutex that serializes whole windows through them.
+  std::mutex incremental_mutex_;
+  std::vector<std::unique_ptr<IncrementalGrounder>> partition_grounders_;
 };
 
 }  // namespace streamasp

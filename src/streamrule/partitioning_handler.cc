@@ -32,7 +32,7 @@ PartitioningHandler::PartitioningHandler(PartitioningPlan plan)
     : plan_(std::move(plan)) {}
 
 std::vector<std::vector<Triple>> PartitioningHandler::Partition(
-    const std::vector<Triple>& window) const {
+    const std::vector<Triple>& window, bool count_strays) const {
   std::vector<std::vector<Triple>> partitions(
       std::max(plan_.num_communities(), 1));
   const auto groups = GroupWindow(window, [](const Triple& t) {
@@ -42,7 +42,9 @@ std::vector<std::vector<Triple>> PartitioningHandler::Partition(
   for (const auto& [signature, indexes] : groups) {
     const std::vector<int>& communities = plan_.CommunitiesOf(signature);
     if (communities.empty()) {
-      stray_items_.fetch_add(indexes.size(), std::memory_order_relaxed);
+      if (count_strays) {
+        stray_items_.fetch_add(indexes.size(), std::memory_order_relaxed);
+      }
       for (size_t i : indexes) partitions[0].push_back(window[i]);
       continue;
     }

@@ -28,9 +28,12 @@ class PartitioningHandler {
   explicit PartitioningHandler(PartitioningPlan plan);
 
   /// Partitions a triple window. The result has plan.num_communities()
-  /// entries; entries may be empty.
+  /// entries; entries may be empty. `count_strays` controls whether
+  /// fallback-routed items bump the stray_items() diagnostic — callers
+  /// re-partitioning auxiliary views of a window (e.g. its
+  /// expired/admitted delta) pass false so each item is counted once.
   std::vector<std::vector<Triple>> Partition(
-      const std::vector<Triple>& window) const;
+      const std::vector<Triple>& window, bool count_strays = true) const;
 
   /// Same routing for windows already converted to ASP facts.
   std::vector<std::vector<Atom>> PartitionFacts(

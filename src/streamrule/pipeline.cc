@@ -22,6 +22,13 @@ StatusOr<std::unique_ptr<StreamRulePipeline>> StreamRulePipeline::Create(
     return InvalidArgumentError(
         "async mode needs max_inflight_windows >= 1");
   }
+  if (options.window_slide > options.window_size) {
+    return InvalidArgumentError(
+        "window_slide must not exceed window_size");
+  }
+  if (options.reuse_grounding) {
+    options.reasoner.reasoner.reuse_grounding = true;
+  }
   STREAMASP_RETURN_IF_ERROR(program->Validate());
 
   PartitioningPlan plan(1);
@@ -59,7 +66,8 @@ StreamRulePipeline::StreamRulePipeline(const Program* program,
       callback_(std::move(callback)),
       error_callback_(std::move(error_callback)) {
   query_ = std::make_unique<StreamQueryProcessor>(
-      options_.window_size, [this](TripleWindow window) {
+      options_.window_size, options_.window_slide,
+      [this](TripleWindow window) {
         if (options_.async) {
           EnqueueWindow(std::move(window));
         } else {
@@ -346,6 +354,11 @@ void StreamRulePipeline::DeliverResult(
     stats_.max_latency_ms =
         std::max(stats_.max_latency_ms, result->latency_ms);
     stats_.total_critical_path_ms += result->critical_path_ms;
+    stats_.incremental_windows += result->grounding.incremental_windows;
+    stats_.grounding_fallbacks += result->grounding.incremental_fallbacks;
+    stats_.grounding_rules_retained += result->grounding.rules_retained;
+    stats_.grounding_rules_retracted += result->grounding.rules_retracted;
+    stats_.grounding_rules_new += result->grounding.rules_new;
   }
   callback_(window, *result);
 }

@@ -23,6 +23,23 @@ struct PipelineOptions {
   /// Tuple-based window size handed to the reasoning layer.
   size_t window_size = 10000;
 
+  /// Sliding windows: emit a window every `window_slide` surviving items
+  /// once the first window_size items have arrived, re-processing the
+  /// overlapping suffix (CQELS/C-SPARQL semantics). 0 or == window_size
+  /// keeps tumbling windows. Sliding windows carry expired/admitted
+  /// deltas, which reuse_grounding consumes. Not supported by the sharded
+  /// engine (its router punctuates tumbling global windows).
+  size_t window_slide = 0;
+
+  /// Reuse grounding across overlapping windows: each reasoning worker
+  /// keeps a per-partition IncrementalGrounder that retracts the rule
+  /// instances of expired facts and grounds only what admitted facts
+  /// enable, falling back to full re-grounding on oversized deltas (see
+  /// ground/incremental_grounder.h). Answers are unchanged; the
+  /// reuse counters land in PipelineStats. Shorthand for
+  /// reasoner.reasoner.reuse_grounding — Create ORs the two.
+  bool reuse_grounding = false;
+
   /// Run whole-window reasoning (R) instead of dependency-partitioned
   /// parallel reasoning (PR). Mostly for baselines.
   bool disable_partitioning = false;
@@ -72,6 +89,15 @@ struct PipelineStats {
   uint64_t rejected_windows = 0;  ///< Refused by kReject backpressure.
   size_t max_queue_depth = 0;     ///< Work-queue high-water mark.
   size_t max_reorder_depth = 0;   ///< Ordered-emitter buffer high-water mark.
+
+  // --- grounding reuse counters (zero without reuse_grounding), summed
+  // over every partition of every reasoned window ---
+  uint64_t incremental_windows = 0;   ///< Partition groundings that reused.
+  uint64_t grounding_fallbacks = 0;   ///< Full re-groundings (first window,
+                                      ///< oversized delta, compaction).
+  uint64_t grounding_rules_retained = 0;
+  uint64_t grounding_rules_retracted = 0;
+  uint64_t grounding_rules_new = 0;
 
   double mean_latency_ms() const {
     return windows == 0 ? 0.0 : total_latency_ms / static_cast<double>(windows);

@@ -31,6 +31,36 @@ StatusOr<ReasonerResult> Reasoner::Process(const TripleWindow& window) const {
   return result;
 }
 
+StatusOr<ReasonerResult> Reasoner::Process(
+    const TripleWindow& window, IncrementalGrounder* grounder) const {
+  if (grounder == nullptr) return Process(window);
+  WallTimer total;
+  WallTimer phase;
+  STREAMASP_ASSIGN_OR_RETURN(std::vector<Atom> facts,
+                             format_.ToFacts(window.items));
+  // The windower's delta (when present and not the first window) becomes
+  // the grounder's diff hint; conversion of the delta counts as
+  // conversion time, as the paper requires for all data transformation.
+  IncrementalGrounder::FactDelta delta;
+  const IncrementalGrounder::FactDelta* delta_ptr = nullptr;
+  if (window.has_delta && window.sequence > 0) {
+    delta.previous_sequence = window.sequence - 1;
+    STREAMASP_ASSIGN_OR_RETURN(delta.expired,
+                               format_.ToFacts(window.expired));
+    STREAMASP_ASSIGN_OR_RETURN(delta.admitted,
+                               format_.ToFacts(window.admitted));
+    delta_ptr = &delta;
+  }
+  const double convert_ms = phase.ElapsedMillis();
+
+  STREAMASP_ASSIGN_OR_RETURN(
+      ReasonerResult result,
+      ProcessFactsIncremental(window.sequence, facts, delta_ptr, grounder));
+  result.convert_ms = convert_ms;
+  result.latency_ms = total.ElapsedMillis();
+  return result;
+}
+
 StatusOr<ReasonerResult> Reasoner::ProcessFacts(
     const std::vector<Atom>& facts) const {
   ReasonerResult result;
@@ -39,20 +69,45 @@ StatusOr<ReasonerResult> Reasoner::ProcessFacts(
   WallTimer phase;
   const Grounder grounder(options_.grounding);
   STREAMASP_ASSIGN_OR_RETURN(GroundProgram ground,
-                             grounder.Ground(*program_, facts));
-  result.grounding = grounder.stats();
+                             grounder.Ground(*program_, facts,
+                                             &result.grounding));
   result.ground_ms = phase.ElapsedMillis();
 
-  phase.Restart();
+  STREAMASP_RETURN_IF_ERROR(SolveGround(ground, &result));
+  result.latency_ms = total.ElapsedMillis();
+  return result;
+}
+
+StatusOr<ReasonerResult> Reasoner::ProcessFactsIncremental(
+    uint64_t sequence, const std::vector<Atom>& facts,
+    const IncrementalGrounder::FactDelta* delta,
+    IncrementalGrounder* grounder) const {
+  ReasonerResult result;
+  WallTimer total;
+
+  WallTimer phase;
+  STREAMASP_ASSIGN_OR_RETURN(
+      const GroundProgram* ground,
+      grounder->GroundWindow(sequence, facts, delta, &result.grounding));
+  result.ground_ms = phase.ElapsedMillis();
+
+  STREAMASP_RETURN_IF_ERROR(SolveGround(*ground, &result));
+  result.latency_ms = total.ElapsedMillis();
+  return result;
+}
+
+Status Reasoner::SolveGround(const GroundProgram& ground,
+                             ReasonerResult* result) const {
+  WallTimer phase;
   const Solver solver(options_.solving);
   STREAMASP_ASSIGN_OR_RETURN(std::vector<AnswerSet> models,
                              solver.Solve(ground));
-  result.solve_ms = phase.ElapsedMillis();
+  result->solve_ms = phase.ElapsedMillis();
 
   const std::vector<PredicateSignature>& shown =
       program_->shown_predicates();
   const bool project = options_.project_to_shown && !shown.empty();
-  result.answers.reserve(models.size());
+  result->answers.reserve(models.size());
   for (const AnswerSet& model : models) {
     GroundAnswer answer;
     answer.reserve(model.atoms.size());
@@ -61,10 +116,9 @@ StatusOr<ReasonerResult> Reasoner::ProcessFacts(
     }
     NormalizeAnswer(&answer);
     if (project) answer = ProjectAnswer(answer, shown);
-    result.answers.push_back(std::move(answer));
+    result->answers.push_back(std::move(answer));
   }
-  result.latency_ms = total.ElapsedMillis();
-  return result;
+  return OkStatus();
 }
 
 }  // namespace streamasp

@@ -1,10 +1,12 @@
 #ifndef STREAMASP_STREAMRULE_REASONER_H_
 #define STREAMASP_STREAMRULE_REASONER_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "asp/program.h"
 #include "ground/grounder.h"
+#include "ground/incremental_grounder.h"
 #include "solve/solver.h"
 #include "stream/format.h"
 #include "stream/triple.h"
@@ -20,6 +22,17 @@ struct ReasonerOptions {
 
   /// Apply the program's #show projection to the returned answers.
   bool project_to_shown = true;
+
+  /// Reuse grounding across overlapping windows: the owning layer (the
+  /// parallel reasoner) keeps one IncrementalGrounder per partition
+  /// sub-stream and routes windows through the incremental Process
+  /// overload instead of batch-grounding from scratch. Answers are
+  /// unchanged (see ground/incremental_grounder.h); only the grounding
+  /// work shrinks to the window delta.
+  bool reuse_grounding = false;
+
+  /// Tuning for the incremental cache (used when reuse_grounding is set).
+  IncrementalGroundingOptions incremental;
 };
 
 /// The outcome of reasoning over one window.
@@ -52,12 +65,30 @@ class Reasoner {
   /// Full pipeline on a triple window: convert → ground → solve.
   StatusOr<ReasonerResult> Process(const TripleWindow& window) const;
 
+  /// Incremental variant: grounds through `grounder` (caller-owned, one
+  /// per sub-stream, calls serialized by the caller), reusing the cached
+  /// instantiation of the previous window. The window's expired/admitted
+  /// delta (when present) is converted alongside the items and handed to
+  /// the grounder as a diff hint. Passing null falls back to the batch
+  /// path.
+  StatusOr<ReasonerResult> Process(const TripleWindow& window,
+                                   IncrementalGrounder* grounder) const;
+
   /// Same pipeline when the caller already has ASP facts.
   StatusOr<ReasonerResult> ProcessFacts(const std::vector<Atom>& facts) const;
+
+  /// Fact-level incremental variant; `delta` may be null.
+  StatusOr<ReasonerResult> ProcessFactsIncremental(
+      uint64_t sequence, const std::vector<Atom>& facts,
+      const IncrementalGrounder::FactDelta* delta,
+      IncrementalGrounder* grounder) const;
 
   const Program& program() const { return *program_; }
 
  private:
+  /// Shared solve + answer-extraction tail of all Process variants.
+  Status SolveGround(const GroundProgram& ground, ReasonerResult* result) const;
+
   const Program* program_;
   ReasonerOptions options_;
   DataFormatProcessor format_;

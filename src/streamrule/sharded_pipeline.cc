@@ -31,6 +31,13 @@ StatusOr<std::unique_ptr<ShardedPipelineEngine>> ShardedPipelineEngine::Create(
         "a shed sub-window would leave a hole the ordered merge waits on "
         "forever");
   }
+  if (options.pipeline.window_slide != 0 &&
+      options.pipeline.window_slide != options.pipeline.window_size) {
+    return InvalidArgumentError(
+        "sharded engine supports tumbling windows only: the router "
+        "punctuates disjoint global windows, so window_slide must be 0 or "
+        "equal to window_size");
+  }
   if (options.shard_key == nullptr) options.shard_key = SubjectShardKey();
   std::unique_ptr<ShardedPipelineEngine> engine(new ShardedPipelineEngine(
       program, std::move(options), std::move(callback)));
@@ -396,6 +403,12 @@ ShardedPipelineStats ShardedPipelineEngine::stats() const {
         std::max(out.aggregate.max_queue_depth, stats.max_queue_depth);
     out.aggregate.max_reorder_depth =
         std::max(out.aggregate.max_reorder_depth, stats.max_reorder_depth);
+    out.aggregate.incremental_windows += stats.incremental_windows;
+    out.aggregate.grounding_fallbacks += stats.grounding_fallbacks;
+    out.aggregate.grounding_rules_retained += stats.grounding_rules_retained;
+    out.aggregate.grounding_rules_retracted +=
+        stats.grounding_rules_retracted;
+    out.aggregate.grounding_rules_new += stats.grounding_rules_new;
     out.per_shard.push_back(stats);
   }
   out.routed_items.reserve(routed_items_.size());

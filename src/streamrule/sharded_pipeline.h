@@ -52,9 +52,13 @@ struct ShardedPipelineOptions {
   /// items *across all shards*, and each shard reasons its slice of that
   /// global window. backpressure must stay kBlock — a shed sub-window
   /// would leave a hole the ordered merge waits on forever, so Create
-  /// rejects shedding policies. Thread-count fields left at 0 are budgeted
-  /// across shards (hardware threads / num_shards each) rather than per
-  /// pipeline.
+  /// rejects shedding policies. window_slide must stay tumbling (0 or ==
+  /// window_size): the router punctuates disjoint global windows.
+  /// reuse_grounding passes through to every shard's reasoners (their
+  /// tumbling sub-windows make the incremental cache fall back unless
+  /// consecutive windows share facts, but answers are unchanged either
+  /// way). Thread-count fields left at 0 are budgeted across shards
+  /// (hardware threads / num_shards each) rather than per pipeline.
   PipelineOptions pipeline;
 };
 

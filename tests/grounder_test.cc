@@ -19,9 +19,8 @@ class GrounderTest : public ::testing::Test {
     StatusOr<Program> program = parser_.ParseProgram(text);
     EXPECT_TRUE(program.ok()) << program.status();
     Grounder grounder(options);
-    StatusOr<GroundProgram> ground = grounder.Ground(*program);
+    StatusOr<GroundProgram> ground = grounder.Ground(*program, &last_stats_);
     EXPECT_TRUE(ground.ok()) << ground.status();
-    last_stats_ = grounder.stats();
     return std::move(ground).value();
   }
 
@@ -46,6 +45,23 @@ TEST_F(GrounderTest, FactsPassThrough) {
   EXPECT_EQ(g.rules().size(), 3u);
   EXPECT_EQ(FactStrings(g),
             (std::set<std::string>{"p(1)", "p(2)", "q(a)"}));
+}
+
+TEST_F(GrounderTest, RecursiveRuleRepeatingItsHeadPredicate) {
+  // Regression: both positive literals share the head predicate, so the
+  // recursion extends the predicate's lazy join index while an index
+  // bucket is mid-iteration — formerly a use-after-free on the bucket's
+  // reallocated storage.
+  std::string text = "r(a, Z) :- r(a, Y), r(Y, Z).\n";
+  for (int i = 1; i <= 20; ++i) {
+    text += "r(a, " + std::to_string(i) + ").\n";
+    text += "r(" + std::to_string(i) + ", " + std::to_string(100 + i) +
+            ").\n";
+  }
+  const GroundProgram g = MustGround(text);
+  const std::set<std::string> facts = FactStrings(g);
+  EXPECT_TRUE(facts.count("r(a,101)"));
+  EXPECT_TRUE(facts.count("r(a,120)"));
 }
 
 TEST_F(GrounderTest, SimpleJoinInstantiates) {

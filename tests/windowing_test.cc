@@ -1,5 +1,8 @@
-// Sliding count/time window extensions over the paper's tumbling windows.
+// Sliding count/time window extensions over the paper's tumbling windows,
+// including the expired/admitted delta emission the incremental grounding
+// layer consumes.
 
+#include <map>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -11,6 +14,28 @@ namespace {
 
 Triple Item(SymbolTable& symbols, int64_t id) {
   return Triple{Term::Integer(id), symbols.Intern("p"), std::nullopt};
+}
+
+std::map<int64_t, int> Counts(const std::vector<Triple>& items) {
+  std::map<int64_t, int> counts;
+  for (const Triple& t : items) ++counts[t.subject.integer_value()];
+  return counts;
+}
+
+/// The delta contract: previous.items - expired + admitted == items, as
+/// multisets (an item may appear in both delta sets and must net out).
+void ExpectDeltaInvariant(const std::vector<TripleWindow>& windows) {
+  std::map<int64_t, int> running;  // Starts as the empty window.
+  for (const TripleWindow& w : windows) {
+    ASSERT_TRUE(w.has_delta) << "window " << w.sequence;
+    for (const Triple& t : w.expired) {
+      if (--running[t.subject.integer_value()] == 0) {
+        running.erase(t.subject.integer_value());
+      }
+    }
+    for (const Triple& t : w.admitted) ++running[t.subject.integer_value()];
+    EXPECT_EQ(running, Counts(w.items)) << "window " << w.sequence;
+  }
 }
 
 class CountWindowTest : public ::testing::Test {
@@ -74,6 +99,60 @@ TEST_F(CountWindowTest, DegenerateParametersClamped) {
   EXPECT_EQ(windows_.size(), 2u);
 }
 
+TEST_F(CountWindowTest, DeltaInvariantAcrossSlideSizes) {
+  for (const size_t slide : {size_t{1}, size_t{2}, size_t{3}, size_t{4}}) {
+    windows_.clear();
+    SlidingCountWindower windower(
+        4, slide, [&](const TripleWindow& w) { windows_.push_back(w); });
+    for (int i = 0; i < 13; ++i) windower.Push(Item(*symbols_, i));
+    windower.Flush();
+    ASSERT_FALSE(windows_.empty()) << "slide " << slide;
+    ExpectDeltaInvariant(windows_);
+  }
+}
+
+TEST_F(CountWindowTest, SlideEqualsSizeIsFullReplacement) {
+  // Tumbling via the sliding windower: consecutive windows are disjoint,
+  // so the delta must be a full replacement — everything expires and the
+  // whole new window is admitted (the grounding cache fully invalidates).
+  SlidingCountWindower windower(
+      3, 3, [&](const TripleWindow& w) { windows_.push_back(w); });
+  for (int i = 0; i < 9; ++i) windower.Push(Item(*symbols_, i));
+  ASSERT_EQ(windows_.size(), 3u);
+  EXPECT_TRUE(windows_[0].expired.empty());
+  EXPECT_EQ(Counts(windows_[0].admitted), Counts(windows_[0].items));
+  for (size_t k = 1; k < windows_.size(); ++k) {
+    EXPECT_EQ(Counts(windows_[k].expired), Counts(windows_[k - 1].items));
+    EXPECT_EQ(Counts(windows_[k].admitted), Counts(windows_[k].items));
+  }
+}
+
+TEST_F(CountWindowTest, DuplicateItemsKeepMultisetDeltas) {
+  SlidingCountWindower windower(
+      4, 2, [&](const TripleWindow& w) { windows_.push_back(w); });
+  // Only two distinct payloads circulate: every window holds duplicates.
+  for (int i = 0; i < 12; ++i) windower.Push(Item(*symbols_, i % 2));
+  windower.Flush();
+  ExpectDeltaInvariant(windows_);
+  // Steady state: each slide expires exactly two items and admits two,
+  // even though the expired and admitted atoms are identical.
+  ASSERT_GE(windows_.size(), 2u);
+  EXPECT_EQ(windows_[1].expired.size(), 2u);
+  EXPECT_EQ(windows_[1].admitted.size(), 2u);
+}
+
+TEST_F(CountWindowTest, FlushDeltaCoversThePartialTail) {
+  SlidingCountWindower windower(
+      4, 4, [&](const TripleWindow& w) { windows_.push_back(w); });
+  for (int i = 0; i < 6; ++i) windower.Push(Item(*symbols_, i));
+  windower.Flush();  // Trailer: the rolling buffer [2..5].
+  ASSERT_EQ(windows_.size(), 2u);
+  ExpectDeltaInvariant(windows_);
+  EXPECT_EQ(windows_[1].size(), 4u);
+  EXPECT_EQ(windows_[1].expired.size(), 2u);   // Items 0, 1 rolled out.
+  EXPECT_EQ(windows_[1].admitted.size(), 2u);  // Items 4, 5 arrived.
+}
+
 class TimeWindowTest : public ::testing::Test {
  protected:
   TimeWindowTest() : symbols_(MakeSymbolTable()) {}
@@ -116,6 +195,46 @@ TEST_F(TimeWindowTest, OutOfOrderTimestampsClampedForward) {
   windower.Push(Item(*symbols_, 3), 900);  // Crosses t=900 boundary.
   ASSERT_EQ(windows_.size(), 1u);
   EXPECT_EQ(windows_[0].size(), 2u);  // Items 1 and 2.
+}
+
+TEST_F(TimeWindowTest, DeltaInvariantWithEvictions) {
+  SlidingTimeWindower windower(
+      1000, 500, [&](const TripleWindow& w) { windows_.push_back(w); });
+  for (int i = 0; i < 30; ++i) {
+    windower.Push(Item(*symbols_, i), i * 130);
+  }
+  windower.Flush();
+  ASSERT_GE(windows_.size(), 3u);
+  ExpectDeltaInvariant(windows_);
+}
+
+TEST_F(TimeWindowTest, ItemAgedOutBetweenEmissionsNetsToZero) {
+  SlidingTimeWindower windower(
+      1000, 1000, [&](const TripleWindow& w) { windows_.push_back(w); });
+  windower.Push(Item(*symbols_, 1), 0);
+  // Item 2 lands at t=1100, then a long gap: the t=2000 boundary emits
+  // {2}, and by t=5000 item 2 has aged out without a non-empty boundary
+  // in between — the skipped boundaries' evictions fold into the next
+  // emitted window's expired set.
+  windower.Push(Item(*symbols_, 2), 1100);
+  windower.Push(Item(*symbols_, 3), 5000);
+  windower.Flush();
+  ASSERT_EQ(windows_.size(), 3u);  // {1} at t=1000, {2} at t=2000, {3} flush.
+  ExpectDeltaInvariant(windows_);
+  EXPECT_EQ(windows_[2].size(), 1u);
+  EXPECT_EQ(windows_[2].items[0].subject.integer_value(), 3);
+}
+
+TEST_F(TimeWindowTest, EmptyWindowBoundariesFoldIntoNextDelta) {
+  SlidingTimeWindower windower(
+      500, 500, [&](const TripleWindow& w) { windows_.push_back(w); });
+  windower.Push(Item(*symbols_, 1), 0);
+  // Crosses many empty boundaries; only non-empty windows are emitted and
+  // the delta ledger still balances.
+  windower.Push(Item(*symbols_, 2), 4000);
+  windower.Flush();
+  ASSERT_EQ(windows_.size(), 2u);
+  ExpectDeltaInvariant(windows_);
 }
 
 TEST_F(TimeWindowTest, FlushOnEmptyIsNoOp) {

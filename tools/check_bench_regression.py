@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""CI bench regression gate.
+
+Compares bench JSON documents (bench/async_pipeline, bench/sharded_pipeline)
+against checked-in reference values in bench/baseline.json:
+
+  * throughput floors: each baseline entry names a run (matched by the
+    key/value pairs under "match") and its reference triples_per_sec; the
+    gate fails when the measured run drops below
+    reference * (1 - tolerance). The tolerance is deliberately generous —
+    CI runners differ wildly from the machine that recorded the baseline —
+    so the floor only catches order-of-magnitude regressions (a serialized
+    pipeline, an accidental O(n^2) in the hot path), not scheduler noise.
+  * ratio gates: machine-independent invariants between two runs of the
+    same document, e.g. grounding reuse must keep a >= 1.3x throughput
+    edge over the same sliding workload without reuse. Ratios divide out
+    the host speed, so their bounds are tight.
+
+Usage:
+  check_bench_regression.py [--baseline bench/baseline.json] \
+      async_pipeline=async.json sharded_pipeline=sharded.json
+
+Exits non-zero (with a per-check report) on any violation. To refresh the
+baseline after an intentional perf change, run the benches on a quiet
+machine and copy the reported triples_per_sec values into
+bench/baseline.json (see docs/benchmarks.md).
+"""
+
+import argparse
+import json
+import sys
+
+
+def matches(run, match):
+    return all(run.get(key) == value for key, value in match.items())
+
+
+def find_run(runs, match, context):
+    found = [run for run in runs if matches(run, match)]
+    if not found:
+        raise SystemExit(f"baseline {context}: no run matches {match}")
+    if len(found) > 1:
+        raise SystemExit(f"baseline {context}: {match} is ambiguous "
+                         f"({len(found)} runs)")
+    return found[0]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", default="bench/baseline.json")
+    parser.add_argument("benches", nargs="+",
+                        help="<baseline-key>=<bench-json-path> pairs")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    tolerance = float(baseline.get("tolerance", 0.8))
+
+    documents = {}
+    for pair in args.benches:
+        name, _, path = pair.partition("=")
+        if not path:
+            raise SystemExit(f"expected <name>=<path>, got: {pair!r}")
+        with open(path) as f:
+            documents[name] = json.load(f)
+
+    failures = []
+    checks = 0
+
+    for name, floors in baseline.get("floors", {}).items():
+        if name not in documents:
+            continue
+        runs = documents[name]["runs"]
+        for floor in floors:
+            checks += 1
+            run = find_run(runs, floor["match"], name)
+            reference = float(floor["triples_per_sec"])
+            minimum = reference * (1.0 - tolerance)
+            measured = float(run["triples_per_sec"])
+            verdict = "ok" if measured >= minimum else "FAIL"
+            print(f"[{verdict}] {name} {floor['match']}: "
+                  f"{measured:.0f} triples/s "
+                  f"(floor {minimum:.0f} = {reference:.0f} * "
+                  f"{1.0 - tolerance:.2f})")
+            if measured < minimum:
+                failures.append(f"{name} {floor['match']}")
+
+    for ratio in baseline.get("ratios", []):
+        name = ratio["bench"]
+        if name not in documents:
+            continue
+        checks += 1
+        runs = documents[name]["runs"]
+        numerator = find_run(runs, ratio["numerator"], name)
+        denominator = find_run(runs, ratio["denominator"], name)
+        denom_tps = float(denominator["triples_per_sec"])
+        measured = (float(numerator["triples_per_sec"]) / denom_tps
+                    if denom_tps > 0 else 0.0)
+        minimum = float(ratio["min_ratio"])
+        verdict = "ok" if measured >= minimum else "FAIL"
+        print(f"[{verdict}] {name} {ratio.get('name', 'ratio')}: "
+              f"{measured:.2f}x (minimum {minimum:.2f}x)")
+        if measured < minimum:
+            failures.append(f"{name} {ratio.get('name', 'ratio')}")
+
+    if checks == 0:
+        raise SystemExit("no checks ran: baseline keys do not match the "
+                         "supplied bench documents")
+    if failures:
+        print(f"\n{len(failures)} bench regression check(s) failed:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"\nall {checks} bench regression checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
