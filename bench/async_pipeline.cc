@@ -1,8 +1,9 @@
 // Sustained-throughput bench for the staged asynchronous pipeline engine:
 // sync (the one-window-at-a-time oracle) vs async at in-flight depths
 // {1, 2, 4, 8} on the paper's traffic workload, plus a high-overlap
-// sliding-window pair (slide = window/16) with grounding reuse off vs on.
-// The sliding pair runs a recursive reachability workload over a small
+// sliding-window triple (slide = window/16): grounding reuse off, on, and
+// on with the persistent warm-started solver (reuse_solving).
+// The sliding runs use a recursive reachability workload over a small
 // node universe — transitive closure makes instantiation the dominant
 // per-window cost, which is the regime the incremental grounder's delta
 // replay targets (the flat traffic rules ground in linear time, so there
@@ -37,12 +38,13 @@ namespace {
 using namespace streamasp;
 
 struct RunResult {
-  std::string mode;        // "sync", "async", "sliding-tc[-reuse]"
+  std::string mode;        // "sync", "async", "sliding-tc[-reuse[-solve]]"
   std::string workload = "traffic_pprime";
   size_t inflight = 0;     // 0 for sync
   size_t workers = 0;
   size_t window_slide = 0;  // 0 for tumbling runs
   bool reuse = false;
+  bool reuse_solving = false;
   double wall_ms = 0;
   double triples_per_sec = 0;
   double p50_latency_ms = 0;
@@ -57,6 +59,23 @@ struct RunResult {
   uint64_t grounding_rules_retained = 0;
   uint64_t grounding_rules_retracted = 0;
   uint64_t grounding_rules_new = 0;
+  // Solver reuse counters (zero without reuse_solving).
+  uint64_t incremental_solve_windows = 0;
+  uint64_t solve_rebuilds = 0;
+  uint64_t solver_rules_retained = 0;
+  uint64_t solver_rules_retracted = 0;
+  uint64_t solver_rules_new = 0;
+  uint64_t warm_start_hits = 0;
+  // Phase-time totals summed over partitions of every reasoned window.
+  // reuse_solving dissolves the boundary between the grounder's
+  // simplification pass and the solve (the persistent solver absorbs the
+  // pruning the assembled+simplified output used to prepay), so the
+  // solve-reuse CI gate compares reason_ms_total = ground + solve — the
+  // whole post-instantiation reasoning cost — across the sliding runs
+  // (machine-independent ratio).
+  double ground_ms_total = 0;
+  double solve_ms_total = 0;
+  double reason_ms_total = 0;
 };
 
 double Percentile(std::vector<double> values, double p) {
@@ -71,11 +90,13 @@ double Percentile(std::vector<double> values, double p) {
 
 RunResult RunOnce(const Program& program, const std::vector<Triple>& stream,
                   size_t window_size, bool async, size_t inflight,
-                  size_t window_slide = 0, bool reuse = false) {
+                  size_t window_slide = 0, bool reuse = false,
+                  bool reuse_solving = false) {
   PipelineOptions options;
   options.window_size = window_size;
   options.window_slide = window_slide;
   options.reuse_grounding = reuse;
+  options.reuse_solving = reuse_solving;
   options.async = async;
   options.max_inflight_windows = async ? inflight : 4;
 
@@ -104,6 +125,7 @@ RunResult RunOnce(const Program& program, const std::vector<Triple>& stream,
   run.workers = (*pipeline)->num_reason_workers();
   run.window_slide = window_slide;
   run.reuse = reuse;
+  run.reuse_solving = reuse_solving;
   run.wall_ms = wall_ms;
   run.triples_per_sec =
       wall_ms > 0 ? static_cast<double>(stream.size()) / (wall_ms / 1000.0)
@@ -119,6 +141,15 @@ RunResult RunOnce(const Program& program, const std::vector<Triple>& stream,
   run.grounding_rules_retained = stats.grounding_rules_retained;
   run.grounding_rules_retracted = stats.grounding_rules_retracted;
   run.grounding_rules_new = stats.grounding_rules_new;
+  run.incremental_solve_windows = stats.incremental_solve_windows;
+  run.solve_rebuilds = stats.solve_rebuilds;
+  run.solver_rules_retained = stats.solver_rules_retained;
+  run.solver_rules_retracted = stats.solver_rules_retracted;
+  run.solver_rules_new = stats.solver_rules_new;
+  run.warm_start_hits = stats.warm_start_hits;
+  run.ground_ms_total = stats.total_ground_ms;
+  run.solve_ms_total = stats.total_solve_ms;
+  run.reason_ms_total = stats.total_ground_ms + stats.total_solve_ms;
   return run;
 }
 
@@ -137,7 +168,8 @@ constexpr char kReachProgram[] = R"(
 )";
 
 RunResult RunSlidingReach(const SymbolTablePtr& symbols, size_t items,
-                          size_t window_size, bool reuse) {
+                          size_t window_size, bool reuse,
+                          bool reuse_solving = false) {
   Parser parser(symbols);
   StatusOr<Program> program = parser.ParseProgram(kReachProgram);
   if (!program.ok()) {
@@ -165,8 +197,10 @@ RunResult RunSlidingReach(const SymbolTablePtr& symbols, size_t items,
 
   const size_t slide = std::max<size_t>(1, window_size / 16);
   RunResult run = RunOnce(*program, stream, window_size, /*async=*/false,
-                          0, slide, reuse);
-  run.mode = reuse ? "sliding-tc-reuse" : "sliding-tc";
+                          0, slide, reuse, reuse_solving);
+  run.mode = reuse_solving ? "sliding-tc-reuse-solve"
+             : reuse      ? "sliding-tc-reuse"
+                          : "sliding-tc";
   run.workload = "reach_tc";
   return run;
 }
@@ -214,6 +248,11 @@ int main(int argc, char** argv) {
       RunSlidingReach(symbols, tc_items, tc_window, /*reuse=*/false));
   runs.push_back(
       RunSlidingReach(symbols, tc_items, tc_window, /*reuse=*/true));
+  // Third leg of the sliding pair: grounding reuse + persistent
+  // warm-started solver. The solve-reuse CI gate compares its
+  // reason_ms_total against the grounding-reuse-only run's.
+  runs.push_back(RunSlidingReach(symbols, tc_items, tc_window,
+                                 /*reuse=*/true, /*reuse_solving=*/true));
 
   std::printf("{\n");
   std::printf("  \"bench\": \"async_pipeline\",\n");
@@ -228,7 +267,7 @@ int main(int argc, char** argv) {
     std::printf(
         "    {\"mode\": \"%s\", \"workload\": \"%s\", "
         "\"inflight\": %zu, \"workers\": %zu, "
-        "\"window_slide\": %zu, \"reuse\": %s, "
+        "\"window_slide\": %zu, \"reuse\": %s, \"reuse_solving\": %s, "
         "\"wall_ms\": %.2f, \"triples_per_sec\": %.1f, "
         "\"p50_latency_ms\": %.3f, \"p99_latency_ms\": %.3f, "
         "\"windows\": %llu, \"answers\": %llu, "
@@ -236,9 +275,15 @@ int main(int argc, char** argv) {
         "\"incremental_windows\": %llu, \"grounding_fallbacks\": %llu, "
         "\"grounding_rules_retained\": %llu, "
         "\"grounding_rules_retracted\": %llu, "
-        "\"grounding_rules_new\": %llu}%s\n",
+        "\"grounding_rules_new\": %llu, "
+        "\"incremental_solve_windows\": %llu, \"solve_rebuilds\": %llu, "
+        "\"solver_rules_retained\": %llu, \"solver_rules_retracted\": %llu, "
+        "\"solver_rules_new\": %llu, \"warm_start_hits\": %llu, "
+        "\"ground_ms_total\": %.2f, \"solve_ms_total\": %.2f, "
+        "\"reason_ms_total\": %.2f}%s\n",
         run.mode.c_str(), run.workload.c_str(), run.inflight, run.workers,
-        run.window_slide, run.reuse ? "true" : "false", run.wall_ms,
+        run.window_slide, run.reuse ? "true" : "false",
+        run.reuse_solving ? "true" : "false", run.wall_ms,
         run.triples_per_sec, run.p50_latency_ms, run.p99_latency_ms,
         static_cast<unsigned long long>(run.windows),
         static_cast<unsigned long long>(run.answers), run.max_queue_depth,
@@ -248,6 +293,13 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(run.grounding_rules_retained),
         static_cast<unsigned long long>(run.grounding_rules_retracted),
         static_cast<unsigned long long>(run.grounding_rules_new),
+        static_cast<unsigned long long>(run.incremental_solve_windows),
+        static_cast<unsigned long long>(run.solve_rebuilds),
+        static_cast<unsigned long long>(run.solver_rules_retained),
+        static_cast<unsigned long long>(run.solver_rules_retracted),
+        static_cast<unsigned long long>(run.solver_rules_new),
+        static_cast<unsigned long long>(run.warm_start_hits),
+        run.ground_ms_total, run.solve_ms_total, run.reason_ms_total,
         i + 1 < runs.size() ? "," : "");
   }
   std::printf("  ]\n");

@@ -1,14 +1,24 @@
 // Component microbenchmarks for the stable-model solver: propagation-only
 // programs (the streaming fast path), choice programs with real search,
-// and the from-first-principles stable-model verification.
+// the from-first-principles stable-model verification, and the
+// cold-vs-incremental sliding-window comparison the solve-reuse CI gate
+// is built on (high-overlap reach_tc windows, per-window Solver::Solve
+// over the assembled output vs one persistent delta-patched
+// IncrementalSolver).
 
+#include <algorithm>
+#include <cstdlib>
 #include <string>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
 #include "asp/parser.h"
 #include "ground/grounder.h"
+#include "ground/incremental_grounder.h"
+#include "solve/incremental_solver.h"
 #include "solve/solver.h"
+#include "util/rng.h"
 
 namespace streamasp {
 namespace {
@@ -110,6 +120,97 @@ void BM_SolveUnfoundedLoops(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_SolveUnfoundedLoops)->Arg(100)->Arg(1000);
+
+// ---------------------------------------------------------------------------
+// Cold vs incremental solving across overlapping windows. Both variants
+// ground through an IncrementalGrounder (so the grounding work is
+// identical); the cold leg assembles + simplifies the per-window output
+// and rebuilds a fresh SearchEngine per window, the incremental leg
+// patches one persistent IncrementalSolver with the grounder's delta.
+
+constexpr char kSlidingReachProgram[] = R"(
+  #input link/2.
+  reach(X, Y) :- link(X, Y).
+  reach(X, Z) :- reach(X, Y), link(Y, Z).
+)";
+
+/// Sliding windows of random link/2 facts over a small node universe
+/// (dense transitive closure, the incremental grounder's target regime).
+std::vector<std::vector<Atom>> MakeSlidingReachWindows(SymbolTable& symbols,
+                                                       size_t window_size,
+                                                       size_t num_windows) {
+  const SymbolId link = symbols.Intern("link");
+  const size_t slide = std::max<size_t>(1, window_size / 16);
+  Rng rng(2017);
+  std::vector<Atom> stream;
+  stream.reserve(window_size + slide * num_windows);
+  for (size_t i = 0; i < window_size + slide * num_windows; ++i) {
+    stream.push_back(
+        Atom(link, {Term::Integer(static_cast<int64_t>(rng.NextBounded(48))),
+                    Term::Integer(static_cast<int64_t>(rng.NextBounded(48)))}));
+  }
+  std::vector<std::vector<Atom>> windows;
+  windows.reserve(num_windows);
+  for (size_t w = 0; w < num_windows; ++w) {
+    const size_t begin = w * slide;
+    windows.emplace_back(stream.begin() + begin,
+                         stream.begin() + begin + window_size);
+  }
+  return windows;
+}
+
+void BM_SlidingReachSolveCold(benchmark::State& state) {
+  SymbolTablePtr symbols = MakeSymbolTable();
+  Parser parser(symbols);
+  const Program program = *parser.ParseProgram(kSlidingReachProgram);
+  const std::vector<std::vector<Atom>> windows = MakeSlidingReachWindows(
+      *symbols, static_cast<size_t>(state.range(0)), 16);
+  for (auto _ : state) {
+    IncrementalGrounder grounder(&program);
+    size_t total_models = 0;
+    for (size_t w = 0; w < windows.size(); ++w) {
+      const StatusOr<const GroundProgram*> ground =
+          grounder.GroundWindow(w, windows[w]);
+      if (!ground.ok()) std::abort();
+      Solver solver;
+      const StatusOr<std::vector<AnswerSet>> models = solver.Solve(**ground);
+      if (!models.ok()) std::abort();
+      total_models += models->size();
+    }
+    benchmark::DoNotOptimize(total_models);
+  }
+  state.SetItemsProcessed(state.iterations() * windows.size());
+}
+BENCHMARK(BM_SlidingReachSolveCold)->Arg(256)->Arg(512);
+
+void BM_SlidingReachSolveIncremental(benchmark::State& state) {
+  SymbolTablePtr symbols = MakeSymbolTable();
+  Parser parser(symbols);
+  const Program program = *parser.ParseProgram(kSlidingReachProgram);
+  const std::vector<std::vector<Atom>> windows = MakeSlidingReachWindows(
+      *symbols, static_cast<size_t>(state.range(0)), 16);
+  SolverOptions solver_options;
+  solver_options.reuse_solving = true;
+  IncrementalGroundingOptions incremental;
+  incremental.assemble_output = false;
+  for (auto _ : state) {
+    IncrementalGrounder grounder(&program, GroundingOptions{}, incremental);
+    IncrementalSolver solver(solver_options);
+    size_t total_models = 0;
+    std::vector<AnswerSet> models;
+    for (size_t w = 0; w < windows.size(); ++w) {
+      if (!grounder.GroundWindow(w, windows[w]).ok()) std::abort();
+      const Status status = solver.SolveWindow(
+          grounder.last_delta(), grounder.cached_rules(),
+          grounder.atom_table().size(), &models);
+      if (!status.ok()) std::abort();
+      total_models += models.size();
+    }
+    benchmark::DoNotOptimize(total_models);
+  }
+  state.SetItemsProcessed(state.iterations() * windows.size());
+}
+BENCHMARK(BM_SlidingReachSolveIncremental)->Arg(256)->Arg(512);
 
 }  // namespace
 }  // namespace streamasp

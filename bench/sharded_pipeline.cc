@@ -46,6 +46,11 @@ struct RunResult {
   uint64_t grounding_fallbacks = 0;
   uint64_t grounding_rules_retained = 0;
   uint64_t grounding_rules_new = 0;
+  // Solver reuse counters; zero when reuse_solving is off.
+  uint64_t incremental_solve_windows = 0;
+  uint64_t solve_rebuilds = 0;
+  uint64_t warm_start_hits = 0;
+  double solve_ms_total = 0;
 };
 
 double Percentile(std::vector<double> values, double p) {
@@ -108,6 +113,10 @@ RunResult RunSingle(const Program& program, const std::vector<Triple>& stream,
   run.grounding_fallbacks = stats.grounding_fallbacks;
   run.grounding_rules_retained = stats.grounding_rules_retained;
   run.grounding_rules_new = stats.grounding_rules_new;
+  run.incremental_solve_windows = stats.incremental_solve_windows;
+  run.solve_rebuilds = stats.solve_rebuilds;
+  run.warm_start_hits = stats.warm_start_hits;
+  run.solve_ms_total = stats.total_solve_ms;
   return run;
 }
 
@@ -149,6 +158,10 @@ RunResult RunSharded(const Program& program, const std::vector<Triple>& stream,
   run.grounding_fallbacks = stats.aggregate.grounding_fallbacks;
   run.grounding_rules_retained = stats.aggregate.grounding_rules_retained;
   run.grounding_rules_new = stats.aggregate.grounding_rules_new;
+  run.incremental_solve_windows = stats.aggregate.incremental_solve_windows;
+  run.solve_rebuilds = stats.aggregate.solve_rebuilds;
+  run.warm_start_hits = stats.aggregate.warm_start_hits;
+  run.solve_ms_total = stats.aggregate.total_solve_ms;
   return run;
 }
 
@@ -205,7 +218,9 @@ int main(int argc, char** argv) {
         "\"max_shard_items\": %llu, \"max_merge_reorder_depth\": %zu, "
         "\"incremental_windows\": %llu, \"grounding_fallbacks\": %llu, "
         "\"grounding_rules_retained\": %llu, "
-        "\"grounding_rules_new\": %llu}%s\n",
+        "\"grounding_rules_new\": %llu, "
+        "\"incremental_solve_windows\": %llu, \"solve_rebuilds\": %llu, "
+        "\"warm_start_hits\": %llu, \"solve_ms_total\": %.2f}%s\n",
         run.mode.c_str(), run.shards, run.inflight, run.wall_ms,
         run.triples_per_sec, run.p50_latency_ms, run.p99_latency_ms,
         static_cast<unsigned long long>(run.windows),
@@ -216,6 +231,10 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(run.grounding_fallbacks),
         static_cast<unsigned long long>(run.grounding_rules_retained),
         static_cast<unsigned long long>(run.grounding_rules_new),
+        static_cast<unsigned long long>(run.incremental_solve_windows),
+        static_cast<unsigned long long>(run.solve_rebuilds),
+        static_cast<unsigned long long>(run.warm_start_hits),
+        run.solve_ms_total,
         i + 1 < runs.size() ? "," : "");
   }
   std::printf("  ]\n");

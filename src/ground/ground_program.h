@@ -68,6 +68,54 @@ struct GroundRule {
   }
 };
 
+/// The window-to-window change of a persistent ground-rule store, as
+/// published by IncrementalGrounder after every GroundWindow call and
+/// consumed by IncrementalSolver to patch its search structures instead of
+/// rebuilding them. Atom ids are stable across the windows a delta spans:
+/// the producing grounder interns atoms into one persistent AtomTable, so
+/// solver-side per-atom indices survive (only a full_rebuild resets them).
+///
+/// The store itself is a dense vector<GroundRule> kept compact by
+/// swap-compaction; the delta therefore describes an exact replay recipe
+/// rather than rule identities:
+///   1. `retracted_slots` lists the killed slots in descending order —
+///      the exact order the producer compacted them. A consumer mirroring
+///      the store replays each step as "move the last rule into the hole
+///      (if distinct), then shrink by one", which keeps its own indices
+///      aligned with the producer's slot numbering.
+///   2. rules [new_rules_begin, store.size()) were appended this window.
+///   3. `fact_delta` is the net multiplicity change of the *window fact*
+///      rules, which live outside the store (they change every window).
+struct GroundingDelta {
+  /// The cache was rebuilt from scratch (first window, oversized delta,
+  /// compaction, prior error): slot numbering and atom ids both restart,
+  /// so consumers must drop mirrored state and re-ingest the whole store.
+  /// fact_delta then carries the full window multiset as additions.
+  bool full_rebuild = true;
+
+  /// Sequence number of the window this delta produced.
+  uint64_t sequence = 0;
+
+  /// Sequence number of the cached window this delta transitions FROM
+  /// (meaningful iff !full_rebuild). Lets a mirroring consumer verify
+  /// the exactly-once-in-order application chain even when the rule
+  /// delta happens to be empty.
+  uint64_t previous_sequence = 0;
+
+  /// Store size before retraction, for consumer-side sync validation.
+  size_t store_size_before = 0;
+
+  /// Killed store slots in descending (compaction-replay) order.
+  std::vector<uint32_t> retracted_slots;
+
+  /// First store index of this window's newly instantiated rules.
+  size_t new_rules_begin = 0;
+
+  /// Net change per window-fact atom: positive counts admit copies of the
+  /// fact rule {id.}, negative counts expire them.
+  std::vector<std::pair<GroundAtomId, int64_t>> fact_delta;
+};
+
 /// The output of grounding: a propositional (variable-free) program, its
 /// atom table, and bookkeeping used by the solver and by tests.
 class GroundProgram {

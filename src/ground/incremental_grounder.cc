@@ -55,8 +55,12 @@ class IncrementalGrounder::Engine {
 
   void Invalidate() { cache_valid_ = false; }
   bool cache_valid() const { return cache_valid_; }
+  bool assembles_output() const { return inc_.assemble_output; }
   uint64_t cached_sequence() const { return cached_sequence_; }
   const GroundProgram& output() const { return out_; }
+  const std::vector<GroundRule>& store() const { return store_; }
+  const AtomTable& atom_table() const { return out_.atoms(); }
+  const GroundingDelta& last_delta() const { return delta_; }
 
  private:
   // --- static program analysis (built once) ---
@@ -142,6 +146,9 @@ class IncrementalGrounder::Engine {
   size_t tombstoned_atoms_ = 0;
   std::unordered_map<Atom, uint32_t, AtomHash> window_counts_;
   size_t window_total_ = 0;
+
+  /// Replay recipe of the last GroundWindow call (see ground_program.h).
+  GroundingDelta delta_;
 
   GroundingStats call_stats_;
 
@@ -315,6 +322,11 @@ void IncrementalGrounder::Engine::CompactStore() {
   // alive, so body references need retargeting exactly once.
   std::sort(dead_slots_.begin(), dead_slots_.end(),
             std::greater<uint32_t>());
+  // Publish the exact replay order so a mirroring consumer (the
+  // incremental solver) can apply the identical swap-compaction and keep
+  // its rule indices aligned with the store's slot numbering.
+  delta_.retracted_slots.insert(delta_.retracted_slots.end(),
+                                dead_slots_.begin(), dead_slots_.end());
   for (const uint32_t slot : dead_slots_) {
     const uint32_t last = static_cast<uint32_t>(store_.size() - 1);
     if (slot != last) {
@@ -442,6 +454,7 @@ Status IncrementalGrounder::Engine::ApplyNetDelta(const NetDelta& net) {
     it->second -= drop;
     if (it->second == 0) window_counts_.erase(it);
     support_[id] -= drop;
+    delta_.fact_delta.emplace_back(id, change);
     if (support_[id] == 0 && derivable_[id]) worklist.push_back(id);
   }
   while (!worklist.empty()) {
@@ -461,6 +474,7 @@ Status IncrementalGrounder::Engine::ApplyNetDelta(const NetDelta& net) {
     const GroundAtomId id = InternAtom(atom);
     window_counts_[atom] += static_cast<uint32_t>(change);
     support_[id] += static_cast<uint32_t>(change);
+    delta_.fact_delta.emplace_back(id, change);
     if (!derivable_[id]) Derive(id);
   }
   return OkStatus();
@@ -738,6 +752,12 @@ Status IncrementalGrounder::Engine::Rebuild(const std::vector<Atom>& facts) {
     ++support_[id];
     if (!derivable_[id]) Derive(id);
   }
+  // A rebuild restarts slot numbering and atom interning, so the delta's
+  // fact view is the full window multiset, not a diff.
+  for (const auto& [atom, count] : window_counts_) {
+    delta_.fact_delta.emplace_back(atoms().Lookup(atom),
+                                   static_cast<int64_t>(count));
+  }
 
   // Fact-independent rules fire exactly once per rebuild.
   for (CompiledRule* rule : groundless_) {
@@ -810,15 +830,25 @@ Status IncrementalGrounder::Engine::GroundWindow(
     }
   }
 
+  delta_ = GroundingDelta{};
+  delta_.full_rebuild = full;
+  delta_.sequence = sequence;
+  delta_.previous_sequence = cached_sequence_;
+  delta_.store_size_before = store_before;
+
   Status status = OkStatus();
   if (full) {
     // A rebuild discards the cache wholesale; rules_retracted stays 0 —
     // it counts only instances removed by expired-fact retraction.
     call_stats_.incremental_fallbacks = 1;
     status = Rebuild(facts);
+    delta_.new_rules_begin = 0;  // The whole store is this window's.
   } else {
     call_stats_.incremental_windows = 1;
     status = ApplyNetDelta(net);
+    // Retraction and compaction are done; everything EvaluateWindow
+    // appends from here on is the window's new-rule tail.
+    delta_.new_rules_begin = store_.size();
     if (status.ok()) status = CheckWindowCounts(facts);
     if (status.ok()) status = EvaluateWindow();
   }
@@ -829,7 +859,16 @@ Status IncrementalGrounder::Engine::GroundWindow(
   window_total_ = facts.size();
   call_stats_.rules_retained =
       full ? 0 : store_before - call_stats_.rules_retracted;
-  AssembleOutput();
+  if (inc_.assemble_output) {
+    AssembleOutput();
+  } else {
+    // Delta consumers solve from the store directly; report raw store
+    // sizes instead of the (never built) simplified output.
+    call_stats_.num_rules_raw = store_.size() + window_total_;
+    call_stats_.num_rules = call_stats_.num_rules_raw;
+    call_stats_.num_atoms = atoms().size();
+    call_stats_.num_facts = window_total_;
+  }
   cache_valid_ = true;
   cached_sequence_ = sequence;
   if (stats != nullptr) *stats = call_stats_;
@@ -858,8 +897,24 @@ bool IncrementalGrounder::cache_valid() const {
   return engine_->cache_valid();
 }
 
+bool IncrementalGrounder::assembles_output() const {
+  return engine_->assembles_output();
+}
+
 uint64_t IncrementalGrounder::cached_sequence() const {
   return engine_->cached_sequence();
+}
+
+const std::vector<GroundRule>& IncrementalGrounder::cached_rules() const {
+  return engine_->store();
+}
+
+const AtomTable& IncrementalGrounder::atom_table() const {
+  return engine_->atom_table();
+}
+
+const GroundingDelta& IncrementalGrounder::last_delta() const {
+  return engine_->last_delta();
 }
 
 }  // namespace streamasp

@@ -29,6 +29,17 @@ struct IncrementalGroundingOptions {
   /// fraction of the store, the next window rebuilds from scratch, which
   /// resets the arena. Bounds cache memory to O(live ground program).
   double compact_garbage_fraction = 0.5;
+
+  /// Assemble the per-window output program (scratch copy of the store +
+  /// fact rules + the shared simplification pass). Callers that solve
+  /// through an IncrementalSolver consume the cached store and the
+  /// GroundingDelta directly, so they disable assembly and skip that
+  /// whole per-window linear pass — the delta-driven replacement of the
+  /// simplify cost ROADMAP calls out. With assembly off, output() is
+  /// stale/empty and only cached_rules()/last_delta()/atom_table() are
+  /// meaningful; num_rules/num_facts stats count the raw store instead of
+  /// the simplified output.
+  bool assemble_output = true;
 };
 
 /// Window-to-window incremental grounder: caches the instantiation of the
@@ -107,8 +118,29 @@ class IncrementalGrounder {
   /// True when a cached window is available for delta reuse.
   bool cache_valid() const;
 
+  /// Whether this grounder assembles the per-window output program
+  /// (IncrementalGroundingOptions::assemble_output). Callers that solve
+  /// from output() must check this: with assembly off only the delta
+  /// view is maintained.
+  bool assembles_output() const;
+
   /// Sequence number of the cached window (meaningful iff cache_valid()).
   uint64_t cached_sequence() const;
+
+  /// The persistent instantiation store (window facts excluded — those are
+  /// described by last_delta().fact_delta). Valid after a successful
+  /// GroundWindow, until the next GroundWindow/Invalidate call. Together
+  /// with the fact rules this is answer-equivalent to the assembled,
+  /// simplified output (see the class comment's correctness model).
+  const std::vector<GroundRule>& cached_rules() const;
+
+  /// The persistent atom table behind the cached rules' (stable) ids.
+  const AtomTable& atom_table() const;
+
+  /// Replay recipe for the last GroundWindow call: what the window
+  /// retracted, appended, and changed among the fact rules. Feed to
+  /// IncrementalSolver::SolveWindow.
+  const GroundingDelta& last_delta() const;
 
   /// Running totals over all GroundWindow calls on this instance.
   const GroundingStats& cumulative_stats() const { return cumulative_; }

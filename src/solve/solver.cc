@@ -22,6 +22,11 @@ struct NormalRule {
 
 /// smodels-style search engine over a normalized program.
 ///
+/// NOTE: solve/incremental_solver.cc mirrors this propagation/search core
+/// over a persistent, delta-patched rule arena — fixes to the invariants
+/// or derivation rules here must be applied there too (the differential
+/// tests in tests/incremental_solver_test.cc compare the two).
+///
 /// Invariants maintained per rule:
 ///   body_unassigned_[r]  — body literals whose atom is still unknown,
 ///   body_false_[r]       — body literals currently false
@@ -54,6 +59,7 @@ class SearchEngine {
 
   void Build() {
     num_atoms_ = program_.num_atoms();
+    rules_.reserve(program_.rules().size());
     for (const GroundRule& rule : program_.rules()) {
       if (rule.head.size() <= 1) {
         NormalRule nr;
@@ -88,6 +94,26 @@ class SearchEngine {
     body_false_.assign(rules_.size(), 0);
     pos_occurrences_.assign(num_atoms_, {});
 
+    // Pre-count the per-atom degrees so each occurrence list is allocated
+    // exactly once instead of growing by repeated push_back reallocation
+    // (the dominant Build cost on large ground programs).
+    std::vector<uint32_t> occ_degree(num_atoms_, 0);
+    std::vector<uint32_t> pos_degree(num_atoms_, 0);
+    std::vector<uint32_t> head_degree(num_atoms_, 0);
+    for (const NormalRule& rule : rules_) {
+      for (GroundAtomId a : rule.pos) {
+        ++occ_degree[a];
+        ++pos_degree[a];
+      }
+      for (GroundAtomId a : rule.neg) ++occ_degree[a];
+      if (rule.head != NormalRule::kNoHead) ++head_degree[rule.head];
+    }
+    for (GroundAtomId a = 0; a < num_atoms_; ++a) {
+      occurrences_[a].reserve(occ_degree[a]);
+      pos_occurrences_[a].reserve(pos_degree[a]);
+      head_rules_[a].reserve(head_degree[a]);
+    }
+
     for (uint32_t r = 0; r < rules_.size(); ++r) {
       const NormalRule& rule = rules_[r];
       body_unassigned_[r] =
@@ -104,6 +130,12 @@ class SearchEngine {
         ++active_count_[rule.head];
       }
     }
+
+    // Every atom enters the trail (and therefore the propagation queue)
+    // at most once per assignment stack, so one num_atoms_-sized block
+    // each removes all growth reallocations during search.
+    trail_.reserve(num_atoms_);
+    queue_.reserve(num_atoms_);
   }
 
   // ---------------------------------------------------------------------
@@ -148,6 +180,7 @@ class SearchEngine {
       value_[atom] = Val::kUnknown;
     }
     queue_.clear();
+    queue_head_ = 0;
   }
 
   // ---------------------------------------------------------------------
@@ -227,9 +260,8 @@ class SearchEngine {
   }
 
   bool Propagate() {
-    while (!queue_.empty()) {
-      const GroundAtomId atom = queue_.front();
-      queue_.pop_front();
+    while (queue_head_ < queue_.size()) {
+      const GroundAtomId atom = queue_[queue_head_++];
       const Val v = value_[atom];
       for (const Occurrence& occ : occurrences_[atom]) {
         if (!ExamineRule(occ.rule)) return false;
@@ -406,7 +438,10 @@ class SearchEngine {
   std::vector<uint32_t> body_false_;
 
   std::vector<GroundAtomId> trail_;
-  std::deque<GroundAtomId> queue_;
+  /// Flat FIFO: [queue_head_, queue_.size()) is the pending segment.
+  /// Reserved once in Build, so propagation never reallocates.
+  std::vector<GroundAtomId> queue_;
+  size_t queue_head_ = 0;
 
   // Scratch space for FalsifyUnfounded.
   std::vector<bool> supported_;

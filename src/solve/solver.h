@@ -35,6 +35,19 @@ struct SolverOptions {
   /// Safety valve on branching decisions, guarding against pathological
   /// search spaces. 0 disables the limit.
   size_t max_decisions = 0;
+
+  /// Reuse the solver's search structures across overlapping windows: the
+  /// owning layer (Reasoner / ParallelReasoner / the pipelines) keeps one
+  /// persistent IncrementalSolver per partition sub-stream and patches it
+  /// with the incremental grounder's GroundingDelta instead of rebuilding
+  /// rule/occurrence/counter arrays per window (see
+  /// solve/incremental_solver.h). Enumeration stays exact and model
+  /// verification stays on; only the per-window rebuild work disappears.
+  /// Implies grounding reuse (the delta is computed by the incremental
+  /// grounder). The stateless Solver itself ignores this flag, mirroring
+  /// how ReasonerOptions::reuse_grounding is honoured by the owning layer
+  /// rather than by Grounder.
+  bool reuse_solving = false;
 };
 
 /// Stable-model solver for ground programs.

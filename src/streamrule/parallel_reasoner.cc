@@ -4,6 +4,7 @@
 #include <thread>
 #include <utility>
 
+#include "util/logging.h"
 #include "util/timer.h"
 
 namespace streamasp {
@@ -14,16 +15,38 @@ size_t ResolveThreadCount(size_t requested) {
   return requested != 0 ? requested : DefaultThreadCount();
 }
 
+/// Resolves the reuse knobs once, before any engine is built: solving
+/// reuse implies grounding reuse (the solver patch is the incremental
+/// grounder's delta) and lets the grounder skip per-window output
+/// assembly (the solver consumes the cached store directly). Disjunctive
+/// programs keep the cold solve path — their shifted rules would break
+/// the solver's 1:1 store-slot mirroring (see solve/incremental_solver.h).
+ReasonerOptions ResolveReuseOptions(const Program* program,
+                                    ReasonerOptions options) {
+  if (!options.solving.reuse_solving) return options;
+  for (const Rule& rule : program->rules()) {
+    if (rule.head().size() > 1) {
+      STREAMASP_LOG(kWarning)
+          << "reuse_solving disabled: program has disjunctive rules";
+      options.solving.reuse_solving = false;
+      return options;
+    }
+  }
+  options.reuse_grounding = true;
+  options.incremental.assemble_output = false;
+  return options;
+}
+
 }  // namespace
 
 ParallelReasoner::ParallelReasoner(const Program* program,
                                    PartitioningPlan plan,
                                    ParallelReasonerOptions options)
     : program_(program),
-      reasoner_options_(options.reasoner),
+      reasoner_options_(ResolveReuseOptions(program, options.reasoner)),
       handler_(std::move(plan)),
       combiner_(options.combining),
-      reasoner_(program, options.reasoner),
+      reasoner_(program, reasoner_options_),
       pool_(ResolveThreadCount(options.num_threads)) {
   if (reasoner_options_.reuse_grounding) {
     const int partitions = handler_.plan().num_communities();
@@ -32,6 +55,13 @@ ParallelReasoner::ParallelReasoner(const Program* program,
       partition_grounders_.push_back(std::make_unique<IncrementalGrounder>(
           program_, reasoner_options_.grounding,
           reasoner_options_.incremental));
+    }
+    if (reasoner_options_.solving.reuse_solving) {
+      partition_solvers_.reserve(partitions);
+      for (int i = 0; i < partitions; ++i) {
+        partition_solvers_.push_back(
+            std::make_unique<IncrementalSolver>(reasoner_options_.solving));
+      }
     }
   }
 }
@@ -157,6 +187,12 @@ StatusOr<ParallelReasonerResult> ParallelReasoner::RunIncrementalWindows(
         program_, reasoner_options_.grounding,
         reasoner_options_.incremental));
   }
+  if (reasoner_options_.solving.reuse_solving) {
+    while (partition_solvers_.size() < sub_windows.size()) {
+      partition_solvers_.push_back(
+          std::make_unique<IncrementalSolver>(reasoner_options_.solving));
+    }
+  }
 
   ParallelReasonerResult result;
   result.num_partitions = sub_windows.size();
@@ -171,8 +207,11 @@ StatusOr<ParallelReasonerResult> ParallelReasoner::RunIncrementalWindows(
   tasks.reserve(sub_windows.size());
   for (size_t i = 0; i < sub_windows.size(); ++i) {
     tasks.push_back([this, &sub_windows, &outcomes, i] {
-      outcomes[i] =
-          reasoner_.Process(sub_windows[i], partition_grounders_[i].get());
+      IncrementalSolver* solver = reasoner_options_.solving.reuse_solving
+                                      ? partition_solvers_[i].get()
+                                      : nullptr;
+      outcomes[i] = reasoner_.Process(sub_windows[i],
+                                      partition_grounders_[i].get(), solver);
     });
   }
   pool_.SubmitAndWaitAll(std::move(tasks));
@@ -190,6 +229,9 @@ StatusOr<ParallelReasonerResult> ParallelReasoner::FinishOutcomes(
     if (!outcome.ok()) return outcome.status();
     result.partition_latency_ms.push_back(outcome->latency_ms);
     result.grounding.Accumulate(outcome->grounding);
+    result.solving.Accumulate(outcome->solving);
+    result.ground_ms += outcome->ground_ms;
+    result.solve_ms += outcome->solve_ms;
     per_partition.push_back(std::move(outcome->answers));
   }
 

@@ -53,6 +53,17 @@ struct ParallelReasonerResult {
   /// Grounding counters summed over the window's partitions, including
   /// the incremental reuse counters when reuse_grounding is enabled.
   GroundingStats grounding;
+
+  /// Solver reuse counters summed over the window's partitions (all zero
+  /// unless reuse_solving is enabled).
+  SolverStats solving;
+
+  /// Grounding / solving phase time summed over the window's partitions
+  /// (CPU-ish totals, not wall time — partitions run concurrently). The
+  /// benches report these so the reuse gates can compare phase cost
+  /// independently of pipeline overhead.
+  double ground_ms = 0;
+  double solve_ms = 0;
 };
 
 /// The reasoner PR of the extended StreamRule architecture (the grey box
@@ -135,10 +146,13 @@ class ParallelReasoner {
   Reasoner reasoner_;
   ThreadPool pool_;
 
-  /// Per-partition incremental grounders (reuse_grounding only), plus the
-  /// mutex that serializes whole windows through them.
+  /// Per-partition incremental grounders (reuse_grounding only) and their
+  /// paired persistent solvers (reuse_solving only — same routing, one
+  /// engine per partition), plus the mutex that serializes whole windows
+  /// through them.
   std::mutex incremental_mutex_;
   std::vector<std::unique_ptr<IncrementalGrounder>> partition_grounders_;
+  std::vector<std::unique_ptr<IncrementalSolver>> partition_solvers_;
 };
 
 }  // namespace streamasp

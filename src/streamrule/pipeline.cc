@@ -29,6 +29,9 @@ StatusOr<std::unique_ptr<StreamRulePipeline>> StreamRulePipeline::Create(
   if (options.reuse_grounding) {
     options.reasoner.reasoner.reuse_grounding = true;
   }
+  if (options.reuse_solving) {
+    options.reasoner.reasoner.solving.reuse_solving = true;
+  }
   STREAMASP_RETURN_IF_ERROR(program->Validate());
 
   PartitioningPlan plan(1);
@@ -359,6 +362,15 @@ void StreamRulePipeline::DeliverResult(
     stats_.grounding_rules_retained += result->grounding.rules_retained;
     stats_.grounding_rules_retracted += result->grounding.rules_retracted;
     stats_.grounding_rules_new += result->grounding.rules_new;
+    stats_.incremental_solve_windows +=
+        result->solving.incremental_solve_windows;
+    stats_.solve_rebuilds += result->solving.solve_rebuilds;
+    stats_.solver_rules_retained += result->solving.rules_retained;
+    stats_.solver_rules_retracted += result->solving.rules_retracted;
+    stats_.solver_rules_new += result->solving.rules_new;
+    stats_.warm_start_hits += result->solving.warm_start_hits;
+    stats_.total_ground_ms += result->ground_ms;
+    stats_.total_solve_ms += result->solve_ms;
   }
   callback_(window, *result);
 }

@@ -40,6 +40,18 @@ struct PipelineOptions {
   /// reasoner.reasoner.reuse_grounding — Create ORs the two.
   bool reuse_grounding = false;
 
+  /// Reuse solving across overlapping windows: each reasoning worker
+  /// pairs its per-partition incremental grounders with persistent
+  /// IncrementalSolvers that patch the previous window's search
+  /// structures with the grounder's rule delta (and warm-start the
+  /// search from the previous model) instead of rebuilding the solver
+  /// per window; the grounder's per-window output assembly and
+  /// simplification pass is skipped too (see solve/incremental_solver.h).
+  /// Implies reuse_grounding. Answers are unchanged; the solver reuse
+  /// counters land in PipelineStats. Shorthand for
+  /// reasoner.reasoner.solving.reuse_solving — Create ORs the two.
+  bool reuse_solving = false;
+
   /// Run whole-window reasoning (R) instead of dependency-partitioned
   /// parallel reasoning (PR). Mostly for baselines.
   bool disable_partitioning = false;
@@ -98,6 +110,23 @@ struct PipelineStats {
   uint64_t grounding_rules_retained = 0;
   uint64_t grounding_rules_retracted = 0;
   uint64_t grounding_rules_new = 0;
+
+  // --- solver reuse counters (zero without reuse_solving), summed over
+  // every partition of every reasoned window ---
+  uint64_t incremental_solve_windows = 0;  ///< Partition solves that patched
+                                           ///< the persistent engine.
+  uint64_t solve_rebuilds = 0;      ///< Full solver re-ingests (first window,
+                                    ///< grounder fallback).
+  uint64_t solver_rules_retained = 0;
+  uint64_t solver_rules_retracted = 0;
+  uint64_t solver_rules_new = 0;
+  uint64_t warm_start_hits = 0;     ///< Partition solves guided by the
+                                    ///< previous window's model.
+
+  // --- phase-time totals summed over every partition of every reasoned
+  // window (CPU-ish; partitions run concurrently), for the bench gates ---
+  double total_ground_ms = 0;
+  double total_solve_ms = 0;
 
   double mean_latency_ms() const {
     return windows == 0 ? 0.0 : total_latency_ms / static_cast<double>(windows);

@@ -32,7 +32,8 @@ StatusOr<ReasonerResult> Reasoner::Process(const TripleWindow& window) const {
 }
 
 StatusOr<ReasonerResult> Reasoner::Process(
-    const TripleWindow& window, IncrementalGrounder* grounder) const {
+    const TripleWindow& window, IncrementalGrounder* grounder,
+    IncrementalSolver* solver) const {
   if (grounder == nullptr) return Process(window);
   WallTimer total;
   WallTimer phase;
@@ -55,7 +56,8 @@ StatusOr<ReasonerResult> Reasoner::Process(
 
   STREAMASP_ASSIGN_OR_RETURN(
       ReasonerResult result,
-      ProcessFactsIncremental(window.sequence, facts, delta_ptr, grounder));
+      ProcessFactsIncremental(window.sequence, facts, delta_ptr, grounder,
+                              solver));
   result.convert_ms = convert_ms;
   result.latency_ms = total.ElapsedMillis();
   return result;
@@ -81,7 +83,14 @@ StatusOr<ReasonerResult> Reasoner::ProcessFacts(
 StatusOr<ReasonerResult> Reasoner::ProcessFactsIncremental(
     uint64_t sequence, const std::vector<Atom>& facts,
     const IncrementalGrounder::FactDelta* delta,
-    IncrementalGrounder* grounder) const {
+    IncrementalGrounder* grounder, IncrementalSolver* solver) const {
+  if (solver == nullptr && !grounder->assembles_output()) {
+    // The cold tail would silently solve the never-assembled (stale or
+    // empty) output program; fail loudly instead.
+    return InvalidArgumentError(
+        "grounder has assemble_output=false but no IncrementalSolver was "
+        "supplied; pair the engines or enable output assembly");
+  }
   ReasonerResult result;
   WallTimer total;
 
@@ -91,7 +100,12 @@ StatusOr<ReasonerResult> Reasoner::ProcessFactsIncremental(
       grounder->GroundWindow(sequence, facts, delta, &result.grounding));
   result.ground_ms = phase.ElapsedMillis();
 
-  STREAMASP_RETURN_IF_ERROR(SolveGround(*ground, &result));
+  if (solver != nullptr) {
+    STREAMASP_RETURN_IF_ERROR(
+        SolveIncremental(sequence, facts, grounder, solver, &result));
+  } else {
+    STREAMASP_RETURN_IF_ERROR(SolveGround(*ground, &result));
+  }
   result.latency_ms = total.ElapsedMillis();
   return result;
 }
@@ -103,7 +117,54 @@ Status Reasoner::SolveGround(const GroundProgram& ground,
   STREAMASP_ASSIGN_OR_RETURN(std::vector<AnswerSet> models,
                              solver.Solve(ground));
   result->solve_ms = phase.ElapsedMillis();
+  ExtractAnswers(ground.atoms(), models, result);
+  return OkStatus();
+}
 
+Status Reasoner::SolveIncremental(uint64_t sequence,
+                                  const std::vector<Atom>& facts,
+                                  IncrementalGrounder* grounder,
+                                  IncrementalSolver* solver,
+                                  ReasonerResult* result) const {
+  WallTimer phase;
+  std::vector<AnswerSet> models;
+  Status status = solver->SolveWindow(
+      grounder->last_delta(), grounder->cached_rules(),
+      grounder->atom_table().size(), &models, &result->solving);
+  double reground_ms = 0;
+  if (status.code() == StatusCode::kFailedPrecondition) {
+    // The mirror lost sync with the grounder cache (a skipped or failed
+    // window upstream). Repair in place: invalidate both engines and
+    // reground this window — the rebuilt cache publishes a full_rebuild
+    // delta the solver can always consume. Costs one full regrounding on
+    // a path that normal operation never takes.
+    STREAMASP_LOG(kWarning) << "window " << sequence
+                            << ": incremental solver resync: " << status;
+    grounder->Invalidate();
+    solver->Invalidate();
+    WallTimer reground;
+    GroundingStats resync_grounding;
+    STREAMASP_RETURN_IF_ERROR(
+        grounder->GroundWindow(sequence, facts, nullptr, &resync_grounding)
+            .status());
+    // The repair grounding is ground-phase work on top of the window's
+    // first grounding, not a replacement for its stats.
+    result->grounding.Accumulate(resync_grounding);
+    reground_ms = reground.ElapsedMillis();
+    result->ground_ms += reground_ms;
+    status = solver->SolveWindow(
+        grounder->last_delta(), grounder->cached_rules(),
+        grounder->atom_table().size(), &models, &result->solving);
+  }
+  STREAMASP_RETURN_IF_ERROR(status);
+  result->solve_ms = phase.ElapsedMillis() - reground_ms;
+  ExtractAnswers(grounder->atom_table(), models, result);
+  return OkStatus();
+}
+
+void Reasoner::ExtractAnswers(const AtomTable& atoms,
+                              const std::vector<AnswerSet>& models,
+                              ReasonerResult* result) const {
   const std::vector<PredicateSignature>& shown =
       program_->shown_predicates();
   const bool project = options_.project_to_shown && !shown.empty();
@@ -112,13 +173,25 @@ Status Reasoner::SolveGround(const GroundProgram& ground,
     GroundAnswer answer;
     answer.reserve(model.atoms.size());
     for (GroundAtomId id : model.atoms) {
-      answer.push_back(ground.atoms().GetAtom(id));
+      const Atom& atom = atoms.GetAtom(id);
+      if (project) {
+        // Filter during extraction (same membership test ProjectAnswer
+        // runs) instead of materializing the full answer and copying the
+        // projected subsequence out of it.
+        bool keep = false;
+        for (const PredicateSignature& sig : shown) {
+          if (atom.signature() == sig) {
+            keep = true;
+            break;
+          }
+        }
+        if (!keep) continue;
+      }
+      answer.push_back(atom);
     }
     NormalizeAnswer(&answer);
-    if (project) answer = ProjectAnswer(answer, shown);
     result->answers.push_back(std::move(answer));
   }
-  return OkStatus();
 }
 
 }  // namespace streamasp

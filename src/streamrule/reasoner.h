@@ -7,6 +7,7 @@
 #include "asp/program.h"
 #include "ground/grounder.h"
 #include "ground/incremental_grounder.h"
+#include "solve/incremental_solver.h"
 #include "solve/solver.h"
 #include "stream/format.h"
 #include "stream/triple.h"
@@ -29,6 +30,14 @@ struct ReasonerOptions {
   /// overload instead of batch-grounding from scratch. Answers are
   /// unchanged (see ground/incremental_grounder.h); only the grounding
   /// work shrinks to the window delta.
+  ///
+  /// Solving reuse rides the same routing: with solving.reuse_solving set
+  /// the owning layer pairs each partition grounder with a persistent
+  /// IncrementalSolver fed by the grounder's GroundingDelta, and the
+  /// grounder skips its per-window output assembly/simplification pass
+  /// (the solver consumes the cached store directly). reuse_solving
+  /// implies reuse_grounding; disjunctive programs keep the cold solve
+  /// path (see solve/incremental_solver.h).
   bool reuse_grounding = false;
 
   /// Tuning for the incremental cache (used when reuse_grounding is set).
@@ -47,6 +56,8 @@ struct ReasonerResult {
   double solve_ms = 0;
 
   GroundingStats grounding;
+  /// Solver reuse counters (all zero on the cold solve path).
+  SolverStats solving;
 };
 
 /// The reasoner R of the StreamRule architecture (the dashed box of
@@ -69,25 +80,50 @@ class Reasoner {
   /// per sub-stream, calls serialized by the caller), reusing the cached
   /// instantiation of the previous window. The window's expired/admitted
   /// delta (when present) is converted alongside the items and handed to
-  /// the grounder as a diff hint. Passing null falls back to the batch
-  /// path.
+  /// the grounder as a diff hint. Passing a null grounder falls back to
+  /// the batch path.
+  ///
+  /// `solver` optionally carries the paired persistent IncrementalSolver
+  /// (same ownership and serialization contract as the grounder): when
+  /// non-null, the solve phase patches it with the grounder's
+  /// GroundingDelta instead of building a cold engine over the assembled
+  /// output — pair it with a grounder whose assemble_output is off. Null
+  /// keeps the cold Solver::Solve tail.
   StatusOr<ReasonerResult> Process(const TripleWindow& window,
-                                   IncrementalGrounder* grounder) const;
+                                   IncrementalGrounder* grounder,
+                                   IncrementalSolver* solver = nullptr) const;
 
   /// Same pipeline when the caller already has ASP facts.
   StatusOr<ReasonerResult> ProcessFacts(const std::vector<Atom>& facts) const;
 
-  /// Fact-level incremental variant; `delta` may be null.
+  /// Fact-level incremental variant; `delta` and `solver` may be null.
   StatusOr<ReasonerResult> ProcessFactsIncremental(
       uint64_t sequence, const std::vector<Atom>& facts,
       const IncrementalGrounder::FactDelta* delta,
-      IncrementalGrounder* grounder) const;
+      IncrementalGrounder* grounder,
+      IncrementalSolver* solver = nullptr) const;
 
   const Program& program() const { return *program_; }
 
  private:
-  /// Shared solve + answer-extraction tail of all Process variants.
+  /// Shared solve + answer-extraction tail of the cold Process variants.
   Status SolveGround(const GroundProgram& ground, ReasonerResult* result) const;
+
+  /// Warm tail: patches `solver` with the grounder's last delta and
+  /// enumerates. A detectably out-of-sync mirror is repaired in place by
+  /// invalidating both engines and regrounding the window once.
+  Status SolveIncremental(uint64_t sequence, const std::vector<Atom>& facts,
+                          IncrementalGrounder* grounder,
+                          IncrementalSolver* solver,
+                          ReasonerResult* result) const;
+
+  /// Maps solver models (dense ids of `atoms`) to projected, normalized
+  /// GroundAnswers in one pass per model: atoms outside the #show
+  /// projection are filtered during extraction rather than copied and
+  /// projected afterwards.
+  void ExtractAnswers(const AtomTable& atoms,
+                      const std::vector<AnswerSet>& models,
+                      ReasonerResult* result) const;
 
   const Program* program_;
   ReasonerOptions options_;

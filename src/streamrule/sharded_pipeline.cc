@@ -409,6 +409,15 @@ ShardedPipelineStats ShardedPipelineEngine::stats() const {
     out.aggregate.grounding_rules_retracted +=
         stats.grounding_rules_retracted;
     out.aggregate.grounding_rules_new += stats.grounding_rules_new;
+    out.aggregate.incremental_solve_windows +=
+        stats.incremental_solve_windows;
+    out.aggregate.solve_rebuilds += stats.solve_rebuilds;
+    out.aggregate.solver_rules_retained += stats.solver_rules_retained;
+    out.aggregate.solver_rules_retracted += stats.solver_rules_retracted;
+    out.aggregate.solver_rules_new += stats.solver_rules_new;
+    out.aggregate.warm_start_hits += stats.warm_start_hits;
+    out.aggregate.total_ground_ms += stats.total_ground_ms;
+    out.aggregate.total_solve_ms += stats.total_solve_ms;
     out.per_shard.push_back(stats);
   }
   out.routed_items.reserve(routed_items_.size());

@@ -54,8 +54,9 @@ struct ShardedPipelineOptions {
   /// would leave a hole the ordered merge waits on forever, so Create
   /// rejects shedding policies. window_slide must stay tumbling (0 or ==
   /// window_size): the router punctuates disjoint global windows.
-  /// reuse_grounding passes through to every shard's reasoners (their
-  /// tumbling sub-windows make the incremental cache fall back unless
+  /// reuse_grounding and reuse_solving pass through to every shard's
+  /// reasoners (their tumbling sub-windows make the incremental cache
+  /// fall back — and the paired persistent solver re-ingest — unless
   /// consecutive windows share facts, but answers are unchanged either
   /// way). Thread-count fields left at 0 are budgeted across shards
   /// (hardware threads / num_shards each) rather than per pipeline.

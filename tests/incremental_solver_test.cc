@@ -1,0 +1,344 @@
+// IncrementalSolver differentials against the cold Solver oracle: the
+// persistent, delta-patched, warm-started engine must return exactly the
+// model set a fresh Grounder + Solver::Solve produces for every window of
+// a sliding stream — across randomized programs (property style), choice
+// programs where warm-start guidance actually reorders the search, and
+// regression shapes where the delta retracts the rule supporting the
+// previous model.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "asp/parser.h"
+#include "ground/grounder.h"
+#include "ground/incremental_grounder.h"
+#include "solve/incremental_solver.h"
+#include "solve/solver.h"
+#include "util/rng.h"
+
+namespace streamasp {
+namespace {
+
+/// A window's models, each as a sorted vector of Atom values (comparable
+/// across different groundings' atom tables), with the models themselves
+/// canonically sorted — order-insensitive comparison, since warm-start
+/// guidance permutes the cold enumeration order.
+using ModelSet = std::vector<std::vector<Atom>>;
+
+ModelSet ToModelSet(const std::vector<AnswerSet>& models,
+                    const AtomTable& atoms) {
+  ModelSet out;
+  out.reserve(models.size());
+  for (const AnswerSet& model : models) {
+    std::vector<Atom> resolved;
+    resolved.reserve(model.atoms.size());
+    for (GroundAtomId id : model.atoms) {
+      resolved.push_back(atoms.GetAtom(id));
+    }
+    std::sort(resolved.begin(), resolved.end());
+    out.push_back(std::move(resolved));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// The cold oracle: fresh batch grounding + fresh Solver per window.
+ModelSet OracleModels(const Program& program, const std::vector<Atom>& facts,
+                      const SolverOptions& options) {
+  Grounder grounder;
+  StatusOr<GroundProgram> ground = grounder.Ground(program, facts);
+  EXPECT_TRUE(ground.ok()) << ground.status();
+  Solver solver(options);
+  StatusOr<std::vector<AnswerSet>> models = solver.Solve(*ground);
+  EXPECT_TRUE(models.ok()) << models.status();
+  return ToModelSet(*models, ground->atoms());
+}
+
+/// Drives one persistent grounder+solver pair over a window stream and
+/// checks every window's model set against the cold oracle.
+void CheckSlidingStream(const Program& program,
+                        const std::vector<std::vector<Atom>>& windows,
+                        SolverStats* total = nullptr,
+                        double fallback_delta_fraction = 0.5) {
+  SolverOptions solver_options;
+  solver_options.reuse_solving = true;
+
+  IncrementalGroundingOptions incremental;
+  incremental.assemble_output = false;
+  incremental.fallback_delta_fraction = fallback_delta_fraction;
+  IncrementalGrounder grounder(&program, GroundingOptions{}, incremental);
+  IncrementalSolver solver(solver_options);
+
+  for (size_t w = 0; w < windows.size(); ++w) {
+    SCOPED_TRACE("window " + std::to_string(w));
+    GroundingStats gstats;
+    StatusOr<const GroundProgram*> ground =
+        grounder.GroundWindow(w, windows[w], nullptr, &gstats);
+    ASSERT_TRUE(ground.ok()) << ground.status();
+
+    std::vector<AnswerSet> models;
+    SolverStats sstats;
+    const Status status =
+        solver.SolveWindow(grounder.last_delta(), grounder.cached_rules(),
+                           grounder.atom_table().size(), &models, &sstats);
+    ASSERT_TRUE(status.ok()) << status;
+    if (total != nullptr) total->Accumulate(sstats);
+
+    EXPECT_EQ(ToModelSet(models, grounder.atom_table()),
+              OracleModels(program, windows[w], solver_options));
+  }
+}
+
+/// Random propositional normal program (the property_test.cc recipe).
+std::string RandomProgram(Rng* rng) {
+  const int num_atoms = 3 + static_cast<int>(rng->NextBounded(5));
+  const int num_rules = 2 + static_cast<int>(rng->NextBounded(10));
+  std::string text;
+  auto atom = [&](int i) { return "a" + std::to_string(i); };
+  for (int r = 0; r < num_rules; ++r) {
+    const int kind = static_cast<int>(rng->NextBounded(10));
+    if (kind < 2) {
+      text += atom(static_cast<int>(rng->NextBounded(num_atoms))) + ".\n";
+      continue;
+    }
+    const bool constraint = kind == 9;
+    const int body_len = 1 + static_cast<int>(rng->NextBounded(3));
+    std::string body;
+    for (int b = 0; b < body_len; ++b) {
+      if (b > 0) body += ", ";
+      if (rng->NextBounded(3) == 0) body += "not ";
+      body += atom(static_cast<int>(rng->NextBounded(num_atoms)));
+    }
+    if (constraint) {
+      text += ":- " + body + ".\n";
+    } else {
+      text += atom(static_cast<int>(rng->NextBounded(num_atoms))) + " :- " +
+              body + ".\n";
+    }
+  }
+  // Window facts arrive on a dedicated input predicate feeding the
+  // program's atoms, so the fact delta actually changes derivations.
+  text += "#input in/1.\n";
+  for (int i = 0; i < num_atoms; ++i) {
+    text += atom(i) + " :- in(" + std::to_string(i) + ").\n";
+  }
+  return text;
+}
+
+class WarmColdPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WarmColdPropertyTest, WarmEnumerationMatchesColdModelSet) {
+  Rng rng(GetParam());
+  SymbolTablePtr symbols = MakeSymbolTable();
+  Parser parser(symbols);
+  const std::string text = RandomProgram(&rng);
+  StatusOr<Program> program = parser.ParseProgram(text);
+  ASSERT_TRUE(program.ok()) << text;
+
+  const SymbolId in = symbols->Intern("in");
+  auto fact = [&](int i) {
+    return Atom(in, {Term::Integer(i)});
+  };
+
+  // A sliding stream of fact windows: each window randomly mutates the
+  // previous one (small deltas exercise the patch path, large ones the
+  // fallback/rebuild path).
+  std::vector<std::vector<Atom>> windows;
+  std::vector<int> current;
+  for (int w = 0; w < 8; ++w) {
+    const int mutations = 1 + static_cast<int>(rng.NextBounded(4));
+    for (int m = 0; m < mutations; ++m) {
+      const int a = static_cast<int>(rng.NextBounded(8));
+      auto it = std::find(current.begin(), current.end(), a);
+      if (it == current.end()) {
+        current.push_back(a);
+      } else {
+        current.erase(it);
+      }
+    }
+    std::vector<Atom> window;
+    window.reserve(current.size());
+    for (int a : current) window.push_back(fact(a));
+    windows.push_back(std::move(window));
+  }
+
+  CheckSlidingStream(*program, windows);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WarmColdPropertyTest,
+                         ::testing::Range<uint64_t>(1, 41));
+
+TEST(IncrementalSolverTest, RetractedSupportDoesNotLeakStaleAssignments) {
+  // Window 0 derives b (and c through the cycle-breaking rule) from fact
+  // a; window 1 retracts a, so the delta removes the very rules that
+  // supported the previous model. A stale watch entry or a leaked trail
+  // assignment would resurrect a or b.
+  SymbolTablePtr symbols = MakeSymbolTable();
+  Parser parser(symbols);
+  StatusOr<Program> program = parser.ParseProgram(R"(
+    #input a/0, d/0.
+    b :- a.
+    c :- b, not d.
+  )");
+  ASSERT_TRUE(program.ok()) << program.status();
+
+  const Atom a(symbols->Intern("a"), {});
+  const Atom d(symbols->Intern("d"), {});
+
+  std::vector<std::vector<Atom>> windows = {
+      {a, d},  // Model: {a, b, d} (c blocked by d).
+      {a},     // Model: {a, b, c}.
+      {d},     // a's rules retracted: model must be exactly {d}.
+      {},      // Everything gone.
+  };
+  // Tiny windows would otherwise trip the grounder's fallback fraction
+  // and reground from scratch; force the delta path so the retraction
+  // replay is what this test exercises.
+  SolverStats total;
+  CheckSlidingStream(*program, windows, &total,
+                     /*fallback_delta_fraction=*/100.0);
+  EXPECT_GT(total.rules_retracted, 0u);
+  EXPECT_GT(total.rules_new, 0u);
+}
+
+TEST(IncrementalSolverTest, WarmStartGuidesOverlappingChoiceWindows) {
+  // A non-stratified program with real search: warm starts must leave the
+  // enumerated model set untouched while the hit counter records the
+  // guided windows.
+  SymbolTablePtr symbols = MakeSymbolTable();
+  Parser parser(symbols);
+  StatusOr<Program> program = parser.ParseProgram(R"(
+    #input on/1.
+    pick(X) :- on(X), not skip(X).
+    skip(X) :- on(X), not pick(X).
+    :- pick(1), pick(2).
+  )");
+  ASSERT_TRUE(program.ok()) << program.status();
+
+  const SymbolId on = symbols->Intern("on");
+  auto fact = [&](int i) { return Atom(on, {Term::Integer(i)}); };
+
+  std::vector<std::vector<Atom>> windows = {
+      {fact(1), fact(2)},
+      {fact(1), fact(2), fact(3)},
+      {fact(2), fact(3)},
+      {fact(2), fact(3), fact(4)},
+  };
+  SolverStats total;
+  CheckSlidingStream(*program, windows, &total);
+  EXPECT_GT(total.warm_start_hits, 0u);
+  EXPECT_GT(total.incremental_solve_windows, 0u);
+}
+
+TEST(IncrementalSolverTest, OutOfSyncDeltaIsReportedNotMisapplied) {
+  SymbolTablePtr symbols = MakeSymbolTable();
+  Parser parser(symbols);
+  StatusOr<Program> program = parser.ParseProgram(R"(
+    #input a/0.
+    b :- a.
+  )");
+  ASSERT_TRUE(program.ok()) << program.status();
+  const Atom a(symbols->Intern("a"), {});
+
+  IncrementalGroundingOptions incremental;
+  incremental.assemble_output = false;
+  // A tiny fallback threshold would defeat the point: keep the default so
+  // window 1's one-fact delta stays incremental.
+  IncrementalGrounder grounder(&*program, GroundingOptions{}, incremental);
+  ASSERT_TRUE(grounder.GroundWindow(0, {a}).ok());
+  ASSERT_TRUE(grounder.GroundWindow(1, {}).ok());
+  ASSERT_TRUE(grounder.last_delta().full_rebuild == false ||
+              grounder.last_delta().retracted_slots.empty());
+
+  // A fresh solver that never consumed window 0's full_rebuild delta must
+  // refuse window 1's incremental delta instead of patching garbage.
+  IncrementalSolver solver;
+  std::vector<AnswerSet> models;
+  if (!grounder.last_delta().full_rebuild) {
+    const Status status = solver.SolveWindow(
+        grounder.last_delta(), grounder.cached_rules(),
+        grounder.atom_table().size(), &models);
+    EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition) << status;
+    EXPECT_FALSE(solver.valid());
+  }
+}
+
+TEST(IncrementalSolverTest, DoubleAppliedDeltaIsRejectedBySequenceChain) {
+  SymbolTablePtr symbols = MakeSymbolTable();
+  Parser parser(symbols);
+  // d occurs only in a rule that also needs the never-arriving b, so
+  // admitting fact d instantiates nothing.
+  StatusOr<Program> program = parser.ParseProgram(R"(
+    #input a/0, b/0, d/0.
+    c :- a, b.
+    e :- d, b.
+  )");
+  ASSERT_TRUE(program.ok()) << program.status();
+  const Atom a(symbols->Intern("a"), {});
+  const Atom d(symbols->Intern("d"), {});
+
+  IncrementalGroundingOptions incremental;
+  incremental.assemble_output = false;
+  incremental.fallback_delta_fraction = 100.0;  // Stay on the delta path.
+  IncrementalGrounder grounder(&*program, GroundingOptions{}, incremental);
+  IncrementalSolver solver;
+  std::vector<AnswerSet> models;
+
+  ASSERT_TRUE(grounder.GroundWindow(0, {a}).ok());
+  ASSERT_TRUE(solver
+                  .SolveWindow(grounder.last_delta(),
+                               grounder.cached_rules(),
+                               grounder.atom_table().size(), &models)
+                  .ok());
+  // Fact d feeds no rule, so window 1's delta carries an empty rule
+  // delta — the store-size checks hold trivially on a replay.
+  ASSERT_TRUE(grounder.GroundWindow(1, {a, d}).ok());
+  ASSERT_FALSE(grounder.last_delta().full_rebuild);
+  ASSERT_TRUE(grounder.last_delta().retracted_slots.empty());
+  ASSERT_TRUE(solver
+                  .SolveWindow(grounder.last_delta(),
+                               grounder.cached_rules(),
+                               grounder.atom_table().size(), &models)
+                  .ok());
+  // Replaying window 1's delta would double-count fact d; only the
+  // sequence chain can catch it.
+  const Status replay = solver.SolveWindow(
+      grounder.last_delta(), grounder.cached_rules(),
+      grounder.atom_table().size(), &models);
+  EXPECT_EQ(replay.code(), StatusCode::kFailedPrecondition) << replay;
+}
+
+TEST(IncrementalSolverTest, MaxModelsCapIsHonoured) {
+  SymbolTablePtr symbols = MakeSymbolTable();
+  Parser parser(symbols);
+  StatusOr<Program> program = parser.ParseProgram(R"(
+    #input on/1.
+    p(X) :- on(X), not q(X).
+    q(X) :- on(X), not p(X).
+  )");
+  ASSERT_TRUE(program.ok()) << program.status();
+  const SymbolId on = symbols->Intern("on");
+
+  SolverOptions options;
+  options.max_models = 2;
+  IncrementalGroundingOptions incremental;
+  incremental.assemble_output = false;
+  IncrementalGrounder grounder(&*program, GroundingOptions{}, incremental);
+  IncrementalSolver solver(options);
+
+  const std::vector<Atom> facts = {Atom(on, {Term::Integer(1)}),
+                                   Atom(on, {Term::Integer(2)})};
+  ASSERT_TRUE(grounder.GroundWindow(0, facts).ok());
+  std::vector<AnswerSet> models;
+  const Status status = solver.SolveWindow(
+      grounder.last_delta(), grounder.cached_rules(),
+      grounder.atom_table().size(), &models);
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_EQ(models.size(), 2u);  // 4 exist; the cap keeps 2.
+}
+
+}  // namespace
+}  // namespace streamasp

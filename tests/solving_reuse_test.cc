@@ -1,0 +1,254 @@
+// Solving reuse threaded through the reasoning layers: ParallelReasoner's
+// per-partition persistent solvers, the sync/async pipelines with
+// reuse_solving, and the sharded engine — all differentially checked
+// against the same configuration without reuse (byte-identical
+// transcripts), across slide sizes, programs P/P', shard counts, and with
+// reuse_grounding both explicitly on and implied.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "asp/parser.h"
+#include "stream/generator.h"
+#include "stream/windowing.h"
+#include "streamrule/parallel_reasoner.h"
+#include "streamrule/pipeline.h"
+#include "streamrule/sharded_pipeline.h"
+#include "streamrule/traffic_workload.h"
+
+namespace streamasp {
+namespace {
+
+class SolvingReuseTest : public ::testing::Test {
+ protected:
+  SolvingReuseTest() : symbols_(MakeSymbolTable()) {}
+
+  Program MustProgram(TrafficProgramVariant variant) {
+    StatusOr<Program> program =
+        MakeTrafficProgram(symbols_, variant, /*with_show=*/true);
+    EXPECT_TRUE(program.ok()) << program.status();
+    return std::move(program).value();
+  }
+
+  std::vector<Triple> MakeStream(size_t items, uint64_t seed = 2017) {
+    GeneratorOptions options;
+    options.seed = seed;
+    SyntheticStreamGenerator generator(MakeTrafficSchema(*symbols_), options);
+    return generator.GenerateWindow(items);
+  }
+
+  void AppendLine(std::string* transcript, const TripleWindow& window,
+                  const ParallelReasonerResult& result) {
+    *transcript += "#" + std::to_string(window.sequence) + "[" +
+                   std::to_string(window.size()) + "]:";
+    for (const GroundAnswer& answer : result.answers) {
+      *transcript += " " + AnswerToString(answer, *symbols_);
+    }
+    *transcript += "\n";
+  }
+
+  std::string PipelineTranscript(const Program& program,
+                                 PipelineOptions options,
+                                 const std::vector<Triple>& stream,
+                                 PipelineStats* stats_out = nullptr) {
+    std::string transcript;
+    StatusOr<std::unique_ptr<StreamRulePipeline>> pipeline =
+        StreamRulePipeline::Create(
+            &program, options,
+            [&](const TripleWindow& window,
+                const ParallelReasonerResult& result) {
+              AppendLine(&transcript, window, result);
+            });
+    EXPECT_TRUE(pipeline.ok()) << pipeline.status();
+    (*pipeline)->PushBatch(stream);
+    (*pipeline)->Flush();
+    if (stats_out != nullptr) *stats_out = (*pipeline)->stats();
+    return transcript;
+  }
+
+  std::string ShardedTranscript(const Program& program,
+                                ShardedPipelineOptions options,
+                                const std::vector<Triple>& stream,
+                                ShardedPipelineStats* stats_out = nullptr) {
+    std::string transcript;
+    StatusOr<std::unique_ptr<ShardedPipelineEngine>> engine =
+        ShardedPipelineEngine::Create(
+            &program, options,
+            [&](const TripleWindow& window,
+                const ParallelReasonerResult& result) {
+              AppendLine(&transcript, window, result);
+            });
+    EXPECT_TRUE(engine.ok()) << engine.status();
+    (*engine)->PushBatch(stream);
+    (*engine)->Flush();
+    if (stats_out != nullptr) *stats_out = (*engine)->stats();
+    return transcript;
+  }
+
+  SymbolTablePtr symbols_;
+};
+
+TEST_F(SolvingReuseTest, ParallelReasonerSlidingWindowsMatchBatch) {
+  for (const TrafficProgramVariant variant :
+       {TrafficProgramVariant::kP, TrafficProgramVariant::kPPrime}) {
+    const Program program = MustProgram(variant);
+    const std::vector<Triple> stream = MakeStream(600);
+    for (const size_t slide : {size_t{25}, size_t{50}, size_t{100}}) {
+      for (const bool explicit_grounding : {false, true}) {
+        SCOPED_TRACE("slide " + std::to_string(slide) +
+                     (explicit_grounding ? " +reuse_grounding" : ""));
+        // reuse_solving alone must imply grounding reuse; setting both
+        // must behave identically.
+        ParallelReasonerOptions warm_options;
+        warm_options.reasoner.solving.reuse_solving = true;
+        warm_options.reasoner.reuse_grounding = explicit_grounding;
+        ParallelReasoner warm(&program, PartitioningPlan(1), warm_options);
+        ParallelReasoner batch(&program, PartitioningPlan(1), {});
+
+        std::string warm_answers;
+        std::string batch_answers;
+        SlidingCountWindower windower(
+            /*size=*/100, slide, [&](const TripleWindow& window) {
+              StatusOr<ParallelReasonerResult> a = warm.Process(window);
+              StatusOr<ParallelReasonerResult> b = batch.Process(window);
+              ASSERT_TRUE(a.ok()) << a.status();
+              ASSERT_TRUE(b.ok()) << b.status();
+              AppendLine(&warm_answers, window, *a);
+              AppendLine(&batch_answers, window, *b);
+            });
+        for (const Triple& t : stream) windower.Push(t);
+        windower.Flush();
+        EXPECT_FALSE(batch_answers.empty());
+        EXPECT_EQ(warm_answers, batch_answers);
+      }
+    }
+  }
+}
+
+TEST_F(SolvingReuseTest, SyncSlidingPipelineMatchesWithAndWithoutReuse) {
+  const Program program = MustProgram(TrafficProgramVariant::kPPrime);
+  const std::vector<Triple> stream = MakeStream(1200);
+
+  PipelineOptions base;
+  base.window_size = 200;
+  base.window_slide = 50;
+  base.async = false;
+
+  PipelineOptions ground_only = base;
+  ground_only.reuse_grounding = true;
+
+  PipelineOptions warm = base;
+  warm.reuse_grounding = true;
+  warm.reuse_solving = true;
+
+  PipelineStats baseline_stats;
+  PipelineStats ground_stats;
+  PipelineStats warm_stats;
+  const std::string want =
+      PipelineTranscript(program, base, stream, &baseline_stats);
+  const std::string ground_got =
+      PipelineTranscript(program, ground_only, stream, &ground_stats);
+  const std::string warm_got =
+      PipelineTranscript(program, warm, stream, &warm_stats);
+  EXPECT_FALSE(want.empty());
+  EXPECT_EQ(want, ground_got);
+  EXPECT_EQ(want, warm_got);
+
+  // Solver counters move only on the reuse_solving run, and the
+  // overlapping windows must actually hit the patch path.
+  EXPECT_EQ(baseline_stats.incremental_solve_windows, 0u);
+  EXPECT_EQ(ground_stats.incremental_solve_windows, 0u);
+  EXPECT_EQ(ground_stats.warm_start_hits, 0u);
+  EXPECT_GT(warm_stats.incremental_solve_windows, 0u);
+  EXPECT_GT(warm_stats.solver_rules_retained, 0u);
+  EXPECT_GT(warm_stats.solver_rules_new, 0u);
+  EXPECT_GT(warm_stats.warm_start_hits, 0u);
+  EXPECT_EQ(warm_stats.windows, baseline_stats.windows);
+}
+
+TEST_F(SolvingReuseTest, AsyncSlidingPipelineMatchesSyncOracle) {
+  const Program program = MustProgram(TrafficProgramVariant::kP);
+  const std::vector<Triple> stream = MakeStream(900);
+
+  PipelineOptions sync;
+  sync.window_size = 150;
+  sync.window_slide = 30;
+  sync.async = false;
+  const std::string want = PipelineTranscript(program, sync, stream);
+
+  PipelineOptions async = sync;
+  async.async = true;
+  async.max_inflight_windows = 4;
+  async.reuse_grounding = true;
+  async.reuse_solving = true;
+  const std::string got = PipelineTranscript(program, async, stream);
+  EXPECT_FALSE(want.empty());
+  EXPECT_EQ(want, got);
+}
+
+TEST_F(SolvingReuseTest, ShardedEngineMatchesWithAndWithoutReuse) {
+  const Program program = MustProgram(TrafficProgramVariant::kPPrime);
+  const std::vector<Triple> stream = MakeStream(800);
+  for (const size_t shards : {size_t{1}, size_t{2}, size_t{4}}) {
+    SCOPED_TRACE("shards " + std::to_string(shards));
+    ShardedPipelineOptions base;
+    base.num_shards = shards;
+    base.pipeline.window_size = 200;
+
+    ShardedPipelineOptions warm = base;
+    warm.pipeline.reuse_grounding = true;
+    warm.pipeline.reuse_solving = true;
+
+    const std::string want = ShardedTranscript(program, base, stream);
+    ShardedPipelineStats warm_stats;
+    const std::string got =
+        ShardedTranscript(program, warm, stream, &warm_stats);
+    EXPECT_FALSE(want.empty());
+    EXPECT_EQ(want, got);
+    // Tumbling global windows: the grounder cache falls back and the
+    // paired solver re-ingests — correct, never corrupting answers.
+    EXPECT_GT(warm_stats.aggregate.solve_rebuilds, 0u);
+  }
+}
+
+TEST_F(SolvingReuseTest, DisjunctiveProgramKeepsColdSolvePath) {
+  Parser parser(symbols_);
+  StatusOr<Program> program = parser.ParseProgram(R"(
+    #input on/1.
+    p(X) | q(X) :- on(X).
+    #show p/1, q/1.
+  )");
+  ASSERT_TRUE(program.ok()) << program.status();
+
+  GeneratorOptions gen;
+  gen.seed = 7;
+  std::vector<StreamPredicate> schema(1);
+  schema[0].predicate = symbols_->Intern("on");
+  schema[0].has_object = false;
+  SyntheticStreamGenerator generator(schema, gen);
+  const std::vector<Triple> stream = generator.GenerateWindow(120);
+
+  PipelineOptions base;
+  base.window_size = 40;
+  base.window_slide = 10;
+
+  PipelineOptions warm = base;
+  warm.reuse_solving = true;
+
+  PipelineStats warm_stats;
+  const std::string want = PipelineTranscript(*program, base, stream);
+  const std::string got =
+      PipelineTranscript(*program, warm, stream, &warm_stats);
+  EXPECT_FALSE(want.empty());
+  EXPECT_EQ(want, got);
+  // The disjunctive guard must route everything through the cold solver.
+  EXPECT_EQ(warm_stats.incremental_solve_windows, 0u);
+  EXPECT_EQ(warm_stats.solve_rebuilds, 0u);
+  EXPECT_EQ(warm_stats.warm_start_hits, 0u);
+}
+
+}  // namespace
+}  // namespace streamasp

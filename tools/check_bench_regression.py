@@ -14,7 +14,12 @@ against checked-in reference values in bench/baseline.json:
   * ratio gates: machine-independent invariants between two runs of the
     same document, e.g. grounding reuse must keep a >= 1.3x throughput
     edge over the same sliding workload without reuse. Ratios divide out
-    the host speed, so their bounds are tight.
+    the host speed, so their bounds are tight. Each ratio may name the
+    run field it divides via "field" (default "triples_per_sec"); time
+    fields put the slower run in the numerator, e.g. the solve-reuse gate
+    divides the grounding-reuse-only run's reason_ms_total (ground +
+    solve — comparable across the phase boundary reuse_solving moves) by
+    the reuse_solving run's, i.e. the reasoning-phase speedup.
 
 Usage:
   check_bench_regression.py [--baseline bench/baseline.json] \
@@ -91,14 +96,22 @@ def main():
             continue
         checks += 1
         runs = documents[name]["runs"]
+        field = ratio.get("field", "triples_per_sec")
         numerator = find_run(runs, ratio["numerator"], name)
         denominator = find_run(runs, ratio["denominator"], name)
-        denom_tps = float(denominator["triples_per_sec"])
-        measured = (float(numerator["triples_per_sec"]) / denom_tps
-                    if denom_tps > 0 else 0.0)
+        for run, role in ((numerator, "numerator"), (denominator,
+                                                     "denominator")):
+            if field not in run:
+                raise SystemExit(
+                    f"baseline {name} {ratio.get('name', 'ratio')}: "
+                    f"{role} run has no field {field!r} "
+                    f"(older bench binary?)")
+        denom_value = float(denominator[field])
+        measured = (float(numerator[field]) / denom_value
+                    if denom_value > 0 else 0.0)
         minimum = float(ratio["min_ratio"])
         verdict = "ok" if measured >= minimum else "FAIL"
-        print(f"[{verdict}] {name} {ratio.get('name', 'ratio')}: "
+        print(f"[{verdict}] {name} {ratio.get('name', 'ratio')} ({field}): "
               f"{measured:.2f}x (minimum {minimum:.2f}x)")
         if measured < minimum:
             failures.append(f"{name} {ratio.get('name', 'ratio')}")
