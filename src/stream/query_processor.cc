@@ -12,12 +12,19 @@ StreamQueryProcessor::StreamQueryProcessor(size_t window_size,
 
 StreamQueryProcessor::StreamQueryProcessor(size_t window_size, size_t slide,
                                            WindowCallback callback)
+    : StreamQueryProcessor(window_size, slide, std::move(callback),
+                           Punctuation::kInternal) {}
+
+StreamQueryProcessor::StreamQueryProcessor(size_t window_size, size_t slide,
+                                           WindowCallback callback,
+                                           Punctuation punctuation)
     : window_size_(window_size == 0 ? 1 : window_size),
       slide_(slide == 0 ? window_size_
                         : std::clamp<size_t>(slide, 1, window_size_)),
+      punctuation_(punctuation),
       callback_(std::move(callback)) {
   assert(callback_ != nullptr);
-  if (!sliding()) pending_.reserve(window_size_);
+  if (!external() && !sliding()) pending_.reserve(window_size_);
 }
 
 void StreamQueryProcessor::RegisterPredicate(SymbolId predicate) {
@@ -27,6 +34,12 @@ void StreamQueryProcessor::RegisterPredicate(SymbolId predicate) {
 void StreamQueryProcessor::Push(const Triple& triple) {
   if (!selected_.count(triple.predicate)) {
     ++dropped_;
+    return;
+  }
+  if (external()) {
+    // Retain only: the external windower decides what expires and when a
+    // window closes (CloseWindowWithDelta).
+    buffer_.push_back(triple);
     return;
   }
   if (!sliding()) {
@@ -53,7 +66,27 @@ void StreamQueryProcessor::PushBatch(const std::vector<Triple>& triples) {
   for (const Triple& t : triples) Push(t);
 }
 
+void StreamQueryProcessor::CloseWindowWithDelta(WindowDelta delta) {
+  assert(external());
+  assert(delta.expired.size() <= buffer_.size());
+  for (size_t i = 0; i < delta.expired.size() && !buffer_.empty(); ++i) {
+    // The expired prefix is positional: the external windower evicts in
+    // global arrival order, and this buffer is the arrival-ordered
+    // sub-stream, so the i-th expired item IS the current front.
+    assert(buffer_.front() == delta.expired[i]);
+    buffer_.pop_front();
+  }
+  TripleWindow window;
+  window.sequence = next_sequence_++;
+  window.items.assign(buffer_.begin(), buffer_.end());
+  window.has_delta = true;
+  window.expired = std::move(delta.expired);
+  window.admitted = std::move(delta.admitted);
+  callback_(std::move(window));
+}
+
 void StreamQueryProcessor::Flush() {
+  if (external()) return;  // Boundaries belong to the external windower.
   if (sliding()) {
     if (buffer_.empty()) return;
     if (emitted_once_ && arrivals_since_emit_ == 0) return;  // Nothing new.

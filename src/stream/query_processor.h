@@ -42,6 +42,22 @@ class StreamQueryProcessor {
   StreamQueryProcessor(size_t window_size, size_t slide,
                        WindowCallback callback);
 
+  /// Who decides when a window closes and what it drops.
+  enum class Punctuation {
+    /// This processor: tuple counts against window_size/slide (above).
+    kInternal,
+    /// An external windower (the sharded engine's router): Push only
+    /// retains survivors; windows are cut exclusively by
+    /// CloseWindowWithDelta, whose delta also drives eviction.
+    /// window_size/slide are ignored and Flush is a no-op — the external
+    /// windower owns end-of-stream punctuation too.
+    kExternal,
+  };
+
+  /// Externally punctuated variant (see Punctuation::kExternal).
+  StreamQueryProcessor(size_t window_size, size_t slide,
+                       WindowCallback callback, Punctuation punctuation);
+
   /// Registers a predicate the continuous query selects. Items with
   /// unregistered predicates are dropped. No registration = drop all.
   void RegisterPredicate(SymbolId predicate);
@@ -53,9 +69,19 @@ class StreamQueryProcessor {
   /// Feeds a batch of items.
   void PushBatch(const std::vector<Triple>& triples);
 
+  /// External punctuation only: evicts `delta.expired` (which must be the
+  /// front of the retained buffer, in arrival order — the caller's
+  /// contract; Debug builds verify it), then emits the remaining buffer
+  /// as a delta-carrying sliding window. `delta.admitted` must be exactly
+  /// the survivors Pushed since the previous punctuation; it is attached
+  /// to the emitted window, not re-applied. An empty delta re-emits the
+  /// unchanged buffer (full reuse downstream).
+  void CloseWindowWithDelta(WindowDelta delta);
+
   /// Emits the current partial window (tumbling) or the current buffer
   /// contents if anything arrived since the last emission (sliding),
-  /// regardless of size — e.g. at end of stream.
+  /// regardless of size — e.g. at end of stream. No-op under external
+  /// punctuation (the external windower owns every boundary).
   void Flush();
 
   /// Items dropped by the filter so far.
@@ -66,10 +92,12 @@ class StreamQueryProcessor {
 
  private:
   bool sliding() const { return slide_ < window_size_; }
+  bool external() const { return punctuation_ == Punctuation::kExternal; }
   void EmitSliding();
 
   size_t window_size_;
   size_t slide_ = 0;  ///< == window_size_ for tumbling.
+  Punctuation punctuation_ = Punctuation::kInternal;
   WindowCallback callback_;
   std::unordered_set<SymbolId> selected_;
   /// Tumbling state: the window under construction.

@@ -103,7 +103,14 @@ class ParallelReasoner {
   /// per-partition grounding reuses the previous window's instantiation:
   /// the window's expired/admitted delta (when the windower emitted one)
   /// is partitioned alongside the items, so each partition's incremental
-  /// grounder receives its own sub-stream delta.
+  /// grounder receives its own sub-stream delta. Delta splitting nests:
+  /// under the sharded engine's sliding global windows the window
+  /// arriving here is already one shard's routed slice (router delta
+  /// punctuation), and the per-partition split applied on top keeps each
+  /// grounder's delta exactly its sub-sub-stream's — both splits are
+  /// per-item and pure, so they compose. The reuse counters
+  /// (ReasonerResult → ParallelReasonerResult) flow identically on the
+  /// single-pipeline and sharded sliding paths.
   StatusOr<ParallelReasonerResult> Process(const TripleWindow& window);
 
   /// PR pipeline over a window already converted to facts. Always batch

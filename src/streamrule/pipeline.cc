@@ -76,7 +76,10 @@ StreamRulePipeline::StreamRulePipeline(const Program* program,
         } else {
           ProcessWindowSync(window);
         }
-      });
+      },
+      options_.external_delta_punctuation
+          ? StreamQueryProcessor::Punctuation::kExternal
+          : StreamQueryProcessor::Punctuation::kInternal);
   for (const PredicateSignature& sig : program->input_predicates()) {
     query_->RegisterPredicate(sig.name);
   }
@@ -150,6 +153,10 @@ void StreamRulePipeline::PushBatch(const std::vector<Triple>& triples) {
 }
 
 void StreamRulePipeline::CloseWindow() { query_->Flush(); }
+
+void StreamRulePipeline::CloseWindow(WindowDelta delta) {
+  query_->CloseWindowWithDelta(std::move(delta));
+}
 
 void StreamRulePipeline::Flush() {
   query_->Flush();

@@ -27,9 +27,20 @@ struct PipelineOptions {
   /// once the first window_size items have arrived, re-processing the
   /// overlapping suffix (CQELS/C-SPARQL semantics). 0 or == window_size
   /// keeps tumbling windows. Sliding windows carry expired/admitted
-  /// deltas, which reuse_grounding consumes. Not supported by the sharded
-  /// engine (its router punctuates tumbling global windows).
+  /// deltas, which reuse_grounding consumes. In the sharded engine the
+  /// slide is global: the router punctuates every shard with its routed
+  /// split of the global delta at each boundary (see
+  /// external_delta_punctuation).
   size_t window_slide = 0;
+
+  /// Internal (set by the sharded engine, leave false elsewhere): window
+  /// boundaries and eviction are driven externally through
+  /// CloseWindow(WindowDelta) instead of by this pipeline's windower —
+  /// the query processor only retains survivors between punctuations and
+  /// window_size/window_slide stop mattering. The emitted windows carry
+  /// the injected deltas, so reuse_grounding/reuse_solving see the same
+  /// incremental shape as internally slid windows.
+  bool external_delta_punctuation = false;
 
   /// Reuse grounding across overlapping windows: each reasoning worker
   /// keeps a per-partition IncrementalGrounder that retracts the rule
@@ -228,6 +239,15 @@ class StreamRulePipeline {
   /// window boundaries — use to drive boundaries themselves. Same thread
   /// discipline as Push.
   void CloseWindow();
+
+  /// Delta-carrying punctuation (requires
+  /// PipelineOptions::external_delta_punctuation): evicts delta.expired
+  /// from the retained buffer, then admits the remaining contents as one
+  /// sliding window whose TripleWindow delta is exactly `delta` — how the
+  /// sharded engine's router extends sliding global windows (and with
+  /// them the grounding/solving reuse stack) to every shard. Same thread
+  /// discipline and non-waiting semantics as CloseWindow().
+  void CloseWindow(WindowDelta delta);
 
   /// Emits the trailing partial window and, in async mode, blocks until
   /// every in-flight window has been reasoned and its callback delivered.

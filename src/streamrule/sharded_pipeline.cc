@@ -29,14 +29,14 @@ StatusOr<std::unique_ptr<ShardedPipelineEngine>> ShardedPipelineEngine::Create(
     return InvalidArgumentError(
         "sharded engine requires the lossless kBlock backpressure policy: "
         "a shed sub-window would leave a hole the ordered merge waits on "
-        "forever");
+        "forever. In particular, sliding global windows with lossy "
+        "shedding (kDropOldest/kReject) stay unsupported until the "
+        "shedding-aware merge lands (see ROADMAP.md)");
   }
-  if (options.pipeline.window_slide != 0 &&
-      options.pipeline.window_slide != options.pipeline.window_size) {
+  if (options.pipeline.window_slide > options.pipeline.window_size) {
     return InvalidArgumentError(
-        "sharded engine supports tumbling windows only: the router "
-        "punctuates disjoint global windows, so window_slide must be 0 or "
-        "equal to window_size");
+        "window_slide must not exceed window_size (global sliding "
+        "windows slide by at most one full window)");
   }
   if (options.shard_key == nullptr) options.shard_key = SubjectShardKey();
   std::unique_ptr<ShardedPipelineEngine> engine(new ShardedPipelineEngine(
@@ -56,6 +56,9 @@ ShardedPipelineEngine::ShardedPipelineEngine(const Program* program,
   const size_t n = options_.num_shards;
   batches_.resize(n);
   pending_in_window_.assign(n, 0);
+  pending_expired_.resize(n);
+  pending_admitted_.resize(n);
+  slice_count_.assign(n, 0);
   global_sequence_of_.resize(n);
 }
 
@@ -68,10 +71,18 @@ Status ShardedPipelineEngine::StartShards() {
   // The router owns the global window boundaries: each shard's windower
   // gets a size it can never reach between punctuations (at most
   // window_size_ items cross all shards per global window), so every
-  // sub-window close comes from CloseWindow().
+  // sub-window close comes from CloseWindow(). Sliding global windows
+  // instead put the shard windowers in external-delta mode: they retain
+  // routed survivors and every boundary arrives as a delta-carrying
+  // CloseWindow(WindowDelta) from the router.
   PipelineOptions inner = options_.pipeline;
   window_size_ = std::max<size_t>(1, inner.window_size);
+  slide_ = inner.window_slide == 0
+               ? window_size_
+               : std::min(inner.window_slide, window_size_);
   if (window_size_ < SIZE_MAX) inner.window_size = window_size_ + 1;
+  inner.window_slide = 0;
+  inner.external_delta_punctuation = sliding();
 
   // Budget thread counts left at "pick for me" across the shards, so N
   // shards do not each claim the whole machine.
@@ -159,10 +170,37 @@ void ShardedPipelineEngine::Route(const Triple& triple) {
   const size_t shard =
       static_cast<size_t>(options_.shard_key(triple) % shards_.size());
   batches_[shard].push_back(triple);
-  ++pending_in_window_[shard];
   routed_items_[shard].fetch_add(1, std::memory_order_relaxed);
-  if (++window_fill_ >= window_size_) {
-    CloseGlobalWindow();
+  if (!sliding()) {
+    ++pending_in_window_[shard];
+    if (++window_fill_ >= window_size_) {
+      CloseGlobalWindow();
+    } else if (batches_[shard].size() >= options_.router_batch_size) {
+      DispatchBatch(shard, /*close_window=*/false);
+    }
+    return;
+  }
+
+  // Sliding global windows: retain the item, record it in its shard's
+  // admitted delta, and evict the globally oldest item once the window
+  // overflows — the eviction lands in the *owning* shard's expired
+  // delta, which is what keeps every per-shard delta exactly the routed
+  // split of the global one.
+  global_window_.emplace_back(triple, static_cast<uint32_t>(shard));
+  pending_admitted_[shard].push_back(triple);
+  ++slice_count_[shard];
+  if (global_window_.size() > window_size_) {
+    std::pair<Triple, uint32_t>& oldest = global_window_.front();
+    pending_expired_[oldest.second].push_back(std::move(oldest.first));
+    --slice_count_[oldest.second];
+    global_window_.pop_front();
+  }
+  ++arrivals_since_emit_;
+  // Same cadence as the unsharded sliding windower: first boundary when
+  // the global window first fills, then every slide_ survivors.
+  if ((!emitted_once_ && global_window_.size() == window_size_) ||
+      (emitted_once_ && arrivals_since_emit_ >= slide_)) {
+    CloseGlobalSlidingWindow();
   } else if (batches_[shard].size() >= options_.router_batch_size) {
     DispatchBatch(shard, /*close_window=*/false);
   }
@@ -196,11 +234,56 @@ void ShardedPipelineEngine::CloseGlobalWindow() {
   window_fill_ = 0;
 }
 
-void ShardedPipelineEngine::DispatchBatch(size_t shard, bool close_window) {
+void ShardedPipelineEngine::CloseGlobalSlidingWindow() {
+  const uint64_t sequence = next_global_sequence_++;
+  uint32_t expected = 0;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (slice_count_[s] > 0) ++expected;
+  }
+  // A boundary only fires with a non-empty global window (first fill or
+  // flush of a non-empty buffer), so at least one shard contributes and
+  // the merge can never be handed an unfulfillable slot.
+  {
+    std::lock_guard<std::mutex> lock(merge_mutex_);
+    expected_.emplace(sequence, expected);
+    ++assigned_windows_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mapping_mutex_);
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      if (slice_count_[s] > 0) global_sequence_of_[s].push_back(sequence);
+    }
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (slice_count_[s] == 0) {
+      // Nothing of this shard survives in the global window: skip the
+      // punctuation (an empty sub-window would distort the merge) and
+      // let its pending deltas fold into its next contributing boundary
+      // — deltas compose, so the folded delta is still exact.
+      if (!pending_expired_[s].empty() || !pending_admitted_[s].empty()) {
+        skipped_empty_slices_.fetch_add(1, std::memory_order_relaxed);
+      }
+      continue;
+    }
+    WindowDelta delta;
+    delta.expired = std::move(pending_expired_[s]);
+    delta.admitted = std::move(pending_admitted_[s]);
+    pending_expired_[s].clear();
+    pending_admitted_[s].clear();
+    DispatchBatch(s, /*close_window=*/true, std::move(delta));
+    delta_punctuations_.fetch_add(1, std::memory_order_relaxed);
+  }
+  arrivals_since_emit_ = 0;
+  emitted_once_ = true;
+}
+
+void ShardedPipelineEngine::DispatchBatch(size_t shard, bool close_window,
+                                          std::optional<WindowDelta> delta) {
   ShardCommand command;
   command.batch = std::move(batches_[shard]);
   batches_[shard].clear();
   command.close_window = close_window;
+  command.delta = std::move(delta);
   if (command.batch.empty() && !close_window) return;
   feeder_queues_[shard]->Push(std::move(command));
 }
@@ -210,7 +293,13 @@ void ShardedPipelineEngine::FeederLoop(size_t shard) {
   ShardCommand command;
   while (feeder_queues_[shard]->Pop(&command)) {
     if (!command.batch.empty()) pipeline.PushBatch(command.batch);
-    if (command.close_window) pipeline.CloseWindow();
+    if (command.close_window) {
+      if (command.delta.has_value()) {
+        pipeline.CloseWindow(std::move(*command.delta));
+      } else {
+        pipeline.CloseWindow();
+      }
+    }
     if (command.flush) {
       pipeline.Flush();
       {
@@ -223,7 +312,17 @@ void ShardedPipelineEngine::FeederLoop(size_t shard) {
 }
 
 void ShardedPipelineEngine::Flush() {
-  if (window_fill_ > 0) CloseGlobalWindow();
+  if (sliding()) {
+    // Mirror the unsharded sliding windower's Flush: emit the retained
+    // buffer as a final window when anything arrived since the last
+    // boundary (or nothing was ever emitted).
+    if (!global_window_.empty() &&
+        (!emitted_once_ || arrivals_since_emit_ > 0)) {
+      CloseGlobalSlidingWindow();
+    }
+  } else if (window_fill_ > 0) {
+    CloseGlobalWindow();
+  }
   {
     std::lock_guard<std::mutex> lock(flush_mutex_);
     flush_acks_ = 0;
@@ -425,6 +524,10 @@ ShardedPipelineStats ShardedPipelineEngine::stats() const {
     out.routed_items.push_back(routed.load(std::memory_order_relaxed));
   }
   out.filtered_items = filtered_items_.load(std::memory_order_relaxed);
+  out.delta_punctuations =
+      delta_punctuations_.load(std::memory_order_relaxed);
+  out.skipped_empty_slices =
+      skipped_empty_slices_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(merge_mutex_);
     out.merged_windows = merged_windows_;

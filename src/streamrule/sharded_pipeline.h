@@ -7,9 +7,11 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "stream/shard_key.h"
@@ -47,19 +49,31 @@ struct ShardedPipelineOptions {
   /// thread. 0 picks max(8, 2 * num_shards).
   size_t merge_queue_capacity = 0;
 
-  /// Per-shard pipeline configuration. window_size is interpreted
-  /// globally: a window boundary falls after every window_size routed
-  /// items *across all shards*, and each shard reasons its slice of that
-  /// global window. backpressure must stay kBlock — a shed sub-window
-  /// would leave a hole the ordered merge waits on forever, so Create
-  /// rejects shedding policies. window_slide must stay tumbling (0 or ==
-  /// window_size): the router punctuates disjoint global windows.
-  /// reuse_grounding and reuse_solving pass through to every shard's
-  /// reasoners (their tumbling sub-windows make the incremental cache
-  /// fall back — and the paired persistent solver re-ingest — unless
-  /// consecutive windows share facts, but answers are unchanged either
-  /// way). Thread-count fields left at 0 are budgeted across shards
-  /// (hardware threads / num_shards each) rather than per pipeline.
+  /// Per-shard pipeline configuration. window_size and window_slide are
+  /// interpreted globally: a window boundary falls after every
+  /// window_size-th (then every window_slide-th) routed item *across all
+  /// shards*, and each shard reasons its slice of that global window.
+  /// backpressure must stay kBlock — a shed sub-window would leave a
+  /// hole the ordered merge waits on forever, so Create rejects shedding
+  /// policies (which also rules out sliding + lossy shedding until the
+  /// shedding-aware merge lands; see ROADMAP.md).
+  ///
+  /// window_slide in (0, window_size) selects *sliding global windows*:
+  /// the router retains the global window's contents and, at each
+  /// boundary, punctuates every shard holding a non-empty slice with its
+  /// routed split of the global expired/admitted delta
+  /// (StreamRulePipeline::CloseWindow(WindowDelta)). Routing is per-item
+  /// and pure, so the per-shard deltas compose back to exactly the
+  /// global delta and the merged answers stay byte-identical to the
+  /// unsharded sliding oracle. reuse_grounding / reuse_solving therefore
+  /// keep their full delta-sized per-window cost under sharding: each
+  /// shard's incremental grounders retract/replay only its slice of the
+  /// slide, and the paired persistent solvers patch instead of
+  /// re-ingesting. With tumbling global windows (slide 0 or ==
+  /// window_size) the sub-windows share no content, so the caches fall
+  /// back every window — correct but not faster. Thread-count fields
+  /// left at 0 are budgeted across shards (hardware threads / num_shards
+  /// each) rather than per pipeline.
   PipelineOptions pipeline;
 };
 
@@ -92,6 +106,16 @@ struct ShardedPipelineStats {
   /// High-water mark of global windows buffered in the merge reorder
   /// stage (complete or partially assembled).
   size_t max_merge_reorder_depth = 0;
+
+  // --- sliding-router counters (zero for tumbling global windows) ---
+  /// Delta punctuations delivered to shards (boundary × contributing
+  /// shard pairs).
+  uint64_t delta_punctuations = 0;
+  /// Boundary × shard pairs where a shard with *pending deltas* was
+  /// skipped because its slice of the global window was empty; the
+  /// folded deltas are delivered with its next punctuation. (A shard the
+  /// key never routes to is skipped silently — it has nothing to fold.)
+  uint64_t skipped_empty_slices = 0;
 };
 
 /// Horizontal scale-out of the staged engine: hash-partitions the input
@@ -111,9 +135,16 @@ struct ShardedPipelineStats {
 /// every shard after each window_size-th item, so global window g is the
 /// same set of items the unsharded pipeline would put in its window g —
 /// merely split by shard key into per-shard sub-windows that are windowed
-/// and reasoned concurrently. The merge stage combines the sub-window
-/// answers with the paper's combining-handler semantics (one pick per
-/// shard, unioned; CombiningHandler), which makes the delivered answers
+/// and reasoned concurrently. Under sliding global windows
+/// (window_slide < window_size) the router additionally retains the
+/// global window's contents and each punctuation carries the shard's
+/// split of the global expired/admitted delta, so the shard windowers
+/// emit delta-carrying sliding sub-windows and the incremental
+/// grounding/solving caches stay warm across overlapping global windows
+/// (shards whose slice is empty are skipped; their deltas fold into the
+/// next punctuation). The merge stage combines the sub-window answers
+/// with the paper's combining-handler semantics (one pick per shard,
+/// unioned; CombiningHandler), which makes the delivered answers
 /// *shard-count-invariant and byte-identical to the synchronous oracle*
 /// whenever the shard key respects the program's input dependencies.
 /// This is the paper's input-dependency partitioning lifted from intra-
@@ -177,11 +208,13 @@ class ShardedPipelineEngine {
 
  private:
   /// One unit of work for a shard's feeder thread: items to push, then
-  /// optionally a window-close (global boundary punctuation), then
-  /// optionally a flush-and-acknowledge barrier.
+  /// optionally a window-close (global boundary punctuation — carrying
+  /// the shard's delta under sliding global windows), then optionally a
+  /// flush-and-acknowledge barrier.
   struct ShardCommand {
     std::vector<Triple> batch;
     bool close_window = false;
+    std::optional<WindowDelta> delta;  ///< Sliding punctuation payload.
     bool flush = false;
   };
 
@@ -204,13 +237,21 @@ class ShardedPipelineEngine {
                         ResultCallback callback);
 
   Status StartShards();
+  bool sliding() const { return slide_ < window_size_; }
   /// Routes one pre-filtered item (caller thread).
   void Route(const Triple& triple);
-  /// Cuts the current global window: assigns the next global sequence,
-  /// records the expected contributors, punctuates their feeders.
+  /// Cuts the current tumbling global window: assigns the next global
+  /// sequence, records the expected contributors, punctuates their
+  /// feeders.
   void CloseGlobalWindow();
-  /// Hands a shard's pending batch to its feeder (with optional close).
-  void DispatchBatch(size_t shard, bool close_window);
+  /// Sliding counterpart: punctuates every shard with a non-empty slice
+  /// of the retained global window, each close carrying the shard's
+  /// accumulated expired/admitted delta.
+  void CloseGlobalSlidingWindow();
+  /// Hands a shard's pending batch to its feeder (with optional close;
+  /// a non-null delta makes the close a sliding delta punctuation).
+  void DispatchBatch(size_t shard, bool close_window,
+                     std::optional<WindowDelta> delta = std::nullopt);
   void FeederLoop(size_t shard);
   /// Shard emitter callbacks funnel here (success and error alike); the
   /// sub-window's items are stolen, not copied (see ResultCallback).
@@ -228,6 +269,7 @@ class ShardedPipelineEngine {
 
   std::unordered_set<SymbolId> selected_;  ///< Router's input filter.
   size_t window_size_ = 1;                 ///< Global window length.
+  size_t slide_ = 1;  ///< Global slide; == window_size_ for tumbling.
 
   // --- router state (caller thread only) ---
   std::vector<std::vector<Triple>> batches_;    ///< Per-shard micro-batch.
@@ -235,11 +277,24 @@ class ShardedPipelineEngine {
   size_t window_fill_ = 0;       ///< Items routed since the last boundary.
   uint64_t next_global_sequence_ = 0;
 
+  // --- sliding router state (caller thread only; untouched when
+  // tumbling). The retained global window with each item's shard keeps
+  // eviction in global arrival order, so every per-shard expired list is
+  // a prefix of that shard's retained sub-stream. ---
+  std::deque<std::pair<Triple, uint32_t>> global_window_;
+  std::vector<std::vector<Triple>> pending_expired_;   ///< Per shard.
+  std::vector<std::vector<Triple>> pending_admitted_;  ///< Per shard.
+  std::vector<size_t> slice_count_;  ///< Retained items per shard.
+  size_t arrivals_since_emit_ = 0;
+  bool emitted_once_ = false;
+
   // --- router counters (written by the caller thread only; relaxed
   // atomics so stats() can read them from anywhere without putting a
   // lock on the per-item routing hot path) ---
   std::vector<std::atomic<uint64_t>> routed_items_;
   std::atomic<uint64_t> filtered_items_{0};
+  std::atomic<uint64_t> delta_punctuations_{0};
+  std::atomic<uint64_t> skipped_empty_slices_{0};
 
   // --- shards ---
   std::vector<std::unique_ptr<StreamRulePipeline>> shards_;

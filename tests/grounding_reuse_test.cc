@@ -201,16 +201,62 @@ TEST_F(GroundingReuseTest, ShardedEngineMatchesWithAndWithoutReuse) {
   }
 }
 
-TEST_F(GroundingReuseTest, ShardedEngineRejectsSlidingWindows) {
+TEST_F(GroundingReuseTest, ShardedSlidingWindowsKeepGroundingReuseIncremental) {
+  // Router delta punctuation: sliding global windows reach the sharded
+  // engine, each shard's grounders replay only the routed slice of the
+  // global delta, and the merged transcript stays byte-identical to the
+  // unsharded sliding oracle.
   const Program program = MustProgram(TrafficProgramVariant::kP);
-  ShardedPipelineOptions options;
-  options.pipeline.window_size = 100;
-  options.pipeline.window_slide = 25;
-  StatusOr<std::unique_ptr<ShardedPipelineEngine>> engine =
-      ShardedPipelineEngine::Create(
-          &program, options,
-          [](TripleWindow&, const ParallelReasonerResult&) {});
-  EXPECT_FALSE(engine.ok());
+  const std::vector<Triple> stream = MakeStream(900);
+
+  PipelineOptions sync;
+  sync.window_size = 150;
+  sync.window_slide = 30;
+  const std::string want = PipelineTranscript(program, sync, stream);
+  ASSERT_FALSE(want.empty());
+
+  for (const size_t shards : {size_t{2}, size_t{4}}) {
+    SCOPED_TRACE("shards " + std::to_string(shards));
+    ShardedPipelineOptions options;
+    options.num_shards = shards;
+    options.pipeline.window_size = 150;
+    options.pipeline.window_slide = 30;
+    options.pipeline.reuse_grounding = true;
+    ShardedPipelineStats stats;
+    EXPECT_EQ(ShardedTranscript(program, options, stream, &stats), want);
+    EXPECT_GT(stats.delta_punctuations, 0u);
+    EXPECT_GT(stats.aggregate.incremental_windows, 0u);
+    EXPECT_GT(stats.aggregate.grounding_rules_retained, 0u);
+  }
+}
+
+TEST_F(GroundingReuseTest, ShardedSlidingValidation) {
+  const Program program = MustProgram(TrafficProgramVariant::kP);
+  const auto callback = [](TripleWindow&, const ParallelReasonerResult&) {};
+
+  // The remaining unsupported sliding combination: lossy shedding (a
+  // shed sub-window would stall the ordered merge; ROADMAP.md).
+  ShardedPipelineOptions lossy;
+  lossy.pipeline.window_size = 100;
+  lossy.pipeline.window_slide = 25;
+  lossy.pipeline.backpressure = BackpressurePolicy::kDropOldest;
+  StatusOr<std::unique_ptr<ShardedPipelineEngine>> shedding =
+      ShardedPipelineEngine::Create(&program, lossy, callback);
+  EXPECT_FALSE(shedding.ok());
+
+  // Sliding by more than a full window never makes sense.
+  ShardedPipelineOptions oversized;
+  oversized.pipeline.window_size = 100;
+  oversized.pipeline.window_slide = 200;
+  EXPECT_FALSE(
+      ShardedPipelineEngine::Create(&program, oversized, callback).ok());
+
+  // In-range slides are now a supported configuration.
+  ShardedPipelineOptions sliding;
+  sliding.pipeline.window_size = 100;
+  sliding.pipeline.window_slide = 25;
+  EXPECT_TRUE(
+      ShardedPipelineEngine::Create(&program, sliding, callback).ok());
 }
 
 TEST_F(GroundingReuseTest, SlidingQueryProcessorEmitsDeltas) {

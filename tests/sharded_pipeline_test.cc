@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "asp/parser.h"
 #include "stream/generator.h"
 #include "stream/shard_key.h"
 #include "streamrule/pipeline.h"
@@ -35,11 +36,13 @@ class ShardedPipelineTest : public ::testing::Test {
   // comparisons. Also asserts the strict emission-order invariant.
   std::string SyncOracleTranscript(const Program& program, size_t window_size,
                                    const std::vector<Triple>& stream,
-                                   PipelineStats* stats_out = nullptr) {
+                                   PipelineStats* stats_out = nullptr,
+                                   size_t window_slide = 0) {
     std::string transcript;
     int64_t last_sequence = -1;
     PipelineOptions options;
     options.window_size = window_size;
+    options.window_slide = window_slide;
     options.async = false;
     StatusOr<std::unique_ptr<StreamRulePipeline>> pipeline =
         StreamRulePipeline::Create(
@@ -233,6 +236,226 @@ TEST_F(ShardedPipelineTest, SkewedKeyRoutesEverythingToOneShardCorrectly) {
   EXPECT_EQ(stats.per_shard[1].windows, 0u);
   EXPECT_EQ(stats.merged_windows, oracle_stats.windows);
   EXPECT_EQ(stats.merge_errors, 0u);
+}
+
+TEST_F(ShardedPipelineTest, SlidingGlobalWindowsMatchSyncOracle) {
+  // The sliding tentpole: router delta punctuation must keep the merged
+  // transcript byte-identical to the unsharded sliding oracle across
+  // slide sizes (including slide == window, the tumbling full-replacement
+  // edge), programs P and P', shard counts 1/2/4, and with the full
+  // reuse stack (reuse_solving implies reuse_grounding) on or off.
+  // (P''s r7 joins car-subject and location-subject items, so subject
+  // sharding is only stream-dependently respecting for it — these fixed
+  // seeds, like the tumbling P' differentials', never co-locate a
+  // cross-shard join opportunity in one window.)
+  for (const TrafficProgramVariant variant :
+       {TrafficProgramVariant::kP, TrafficProgramVariant::kPPrime}) {
+    StatusOr<Program> program =
+        MakeTrafficProgram(symbols_, variant, /*with_show=*/true);
+    ASSERT_TRUE(program.ok());
+    const std::vector<Triple> stream = MakeStream(
+        1200, variant == TrafficProgramVariant::kP ? 2017 : 7);
+    for (const size_t slide : {size_t{40}, size_t{100}, size_t{200}}) {
+      const std::string oracle = SyncOracleTranscript(
+          *program, /*window_size=*/200, stream, nullptr, slide);
+      ASSERT_FALSE(oracle.empty());
+      for (const size_t shards : {size_t{1}, size_t{2}, size_t{4}}) {
+        for (const bool reuse : {false, true}) {
+          SCOPED_TRACE("variant=" + std::to_string(static_cast<int>(variant)) +
+                       " slide=" + std::to_string(slide) +
+                       " shards=" + std::to_string(shards) +
+                       (reuse ? " +reuse" : ""));
+          ShardedPipelineOptions options;
+          options.num_shards = shards;
+          options.pipeline.window_size = 200;
+          options.pipeline.window_slide = slide;
+          options.pipeline.reuse_solving = reuse;
+          ShardedPipelineStats stats;
+          EXPECT_EQ(ShardedTranscript(*program, options, stream, &stats),
+                    oracle);
+          EXPECT_EQ(stats.merge_errors, 0u);
+          if (slide < 200) {
+            EXPECT_GT(stats.delta_punctuations, 0u);
+            if (reuse && slide == 40) {
+              // At the high-overlap slide the routed slices of the delta
+              // stay under the grounder's fallback fraction, so the
+              // persistent engines must actually patch, not rebuild.
+              // (slide == 100 turns over half the window, whose ~2×slide
+              // delta magnitude exceeds the fallback fraction — the
+              // caches legitimately rebuild, still byte-identical above.)
+              EXPECT_GT(stats.aggregate.incremental_solve_windows, 0u);
+              EXPECT_GT(stats.aggregate.grounding_rules_retained, 0u);
+            }
+          } else {
+            // slide == window is the tumbling full-replacement path: the
+            // router keeps disjoint punctuation, no deltas travel.
+            EXPECT_EQ(stats.delta_punctuations, 0u);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_F(ShardedPipelineTest, SlidingSmallSlidesPunctuateEmptyDeltas) {
+  // slide ≪ shards × churn: most boundaries change only one or two
+  // shards' slices, so the other contributing shards are punctuated with
+  // EMPTY deltas (retain everything) — and the transcript must still
+  // match the oracle exactly.
+  StatusOr<Program> program = MakeTrafficProgram(
+      symbols_, TrafficProgramVariant::kP, /*with_show=*/true);
+  ASSERT_TRUE(program.ok());
+  const std::vector<Triple> stream = MakeStream(700, /*seed=*/23);
+
+  const std::string oracle = SyncOracleTranscript(
+      *program, /*window_size=*/120, stream, nullptr, /*window_slide=*/10);
+
+  ShardedPipelineOptions options;
+  options.num_shards = 4;
+  options.pipeline.window_size = 120;
+  options.pipeline.window_slide = 10;
+  options.pipeline.reuse_solving = true;
+  ShardedPipelineStats stats;
+  EXPECT_EQ(ShardedTranscript(*program, options, stream, &stats), oracle);
+  // Punctuations outnumber boundaries (several shards per boundary), and
+  // boundaries outnumber slices that changed — i.e. empty-delta
+  // punctuations really occurred.
+  EXPECT_GT(stats.delta_punctuations, stats.merged_windows);
+  uint64_t admitted_total = 0;
+  for (const PipelineStats& shard : stats.per_shard) {
+    admitted_total += shard.windows;
+  }
+  EXPECT_EQ(admitted_total, stats.delta_punctuations);
+}
+
+TEST_F(ShardedPipelineTest, SlidingDuplicateTriplesExpireAcrossBoundaries) {
+  // Duplicate stream items: the multiset delta contract says each
+  // occurrence expires positionally. Doubling every triple guarantees
+  // duplicates live in the same window and expire across boundaries.
+  StatusOr<Program> program = MakeTrafficProgram(
+      symbols_, TrafficProgramVariant::kP, /*with_show=*/true);
+  ASSERT_TRUE(program.ok());
+  const std::vector<Triple> base = MakeStream(300, /*seed=*/5);
+  std::vector<Triple> stream;
+  stream.reserve(base.size() * 2);
+  for (const Triple& t : base) {
+    stream.push_back(t);
+    stream.push_back(t);
+  }
+
+  const std::string oracle = SyncOracleTranscript(
+      *program, /*window_size=*/100, stream, nullptr, /*window_slide=*/20);
+
+  for (const size_t shards : {size_t{2}, size_t{4}}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    ShardedPipelineOptions options;
+    options.num_shards = shards;
+    options.pipeline.window_size = 100;
+    options.pipeline.window_slide = 20;
+    options.pipeline.reuse_solving = true;
+    ShardedPipelineStats stats;
+    EXPECT_EQ(ShardedTranscript(*program, options, stream, &stats), oracle);
+    EXPECT_EQ(stats.merge_errors, 0u);
+    EXPECT_GT(stats.delta_punctuations, 0u);
+  }
+}
+
+TEST_F(ShardedPipelineTest, SlidingShardWithAdmissionsButNoExpirations) {
+  // A phased stream steered by an object-valued shard key: shard 1 is
+  // empty for the first phase (admissions, no expirations when its items
+  // start), then shard 0's items age out completely (boundaries skip it,
+  // its expirations fold until it contributes again in phase 3).
+  Parser parser(symbols_);
+  StatusOr<Program> program = parser.ParseProgram(R"(
+    #input p/2.
+    q(X, Y) :- p(X, Y).
+    #show q/2.
+  )");
+  ASSERT_TRUE(program.ok()) << program.status();
+
+  const SymbolId p = symbols_->Intern("p");
+  auto item = [&](int64_t subject, int64_t object) {
+    return Triple{Term::Integer(subject), p, Term::Integer(object)};
+  };
+  std::vector<Triple> stream;
+  for (int64_t i = 0; i < 60; ++i) stream.push_back(item(i, 0));       // shard 0
+  for (int64_t i = 0; i < 80; ++i) stream.push_back(item(100 + i, 1)); // shard 1
+  for (int64_t i = 0; i < 40; ++i) stream.push_back(item(200 + i, 0)); // shard 0
+
+  const std::string oracle = SyncOracleTranscript(
+      *program, /*window_size=*/40, stream, nullptr, /*window_slide=*/8);
+
+  ShardedPipelineOptions options;
+  options.num_shards = 2;
+  options.shard_key = [](const Triple& t) {
+    return static_cast<uint64_t>(t.object->integer_value());
+  };
+  options.pipeline.window_size = 40;
+  options.pipeline.window_slide = 8;
+  options.pipeline.reuse_solving = true;
+  ShardedPipelineStats stats;
+  EXPECT_EQ(ShardedTranscript(*program, options, stream, &stats), oracle);
+  EXPECT_EQ(stats.merge_errors, 0u);
+  // Phase 2 drains shard 0's slice entirely: boundaries must have
+  // skipped it while its expirations folded.
+  EXPECT_GT(stats.skipped_empty_slices, 0u);
+  EXPECT_GT(stats.delta_punctuations, 0u);
+  ASSERT_EQ(stats.routed_items.size(), 2u);
+  EXPECT_EQ(stats.routed_items[0], 100u);
+  EXPECT_EQ(stats.routed_items[1], 80u);
+}
+
+TEST_F(ShardedPipelineTest, SlidingFlushBeforeFirstFillEmitsPartialWindow) {
+  // A stream shorter than the global window: no boundary ever fires, so
+  // Flush must emit the retained partial window exactly like the
+  // unsharded sliding windower does (admitted == items, no expirations).
+  StatusOr<Program> program = MakeTrafficProgram(
+      symbols_, TrafficProgramVariant::kP, /*with_show=*/true);
+  ASSERT_TRUE(program.ok());
+  const std::vector<Triple> stream = MakeStream(90, /*seed=*/31);
+
+  const std::string oracle = SyncOracleTranscript(
+      *program, /*window_size=*/200, stream, nullptr, /*window_slide=*/50);
+  ASSERT_FALSE(oracle.empty());
+
+  ShardedPipelineOptions options;
+  options.num_shards = 3;
+  options.pipeline.window_size = 200;
+  options.pipeline.window_slide = 50;
+  options.pipeline.reuse_solving = true;
+  ShardedPipelineStats stats;
+  EXPECT_EQ(ShardedTranscript(*program, options, stream, &stats), oracle);
+  EXPECT_EQ(stats.merged_windows, 1u);
+}
+
+TEST_F(ShardedPipelineTest, SlidingWithAsyncInnerPipelinesMatchesOracle) {
+  // Async inner pipelines put several delta-carrying sub-windows in
+  // flight per shard; each worker's grounders see every Nth sub-window,
+  // reject the stale delta hints, and snapshot-diff instead — the
+  // transcript must stay byte-identical regardless. Program P: subject
+  // sharding is dependency-respecting for it unconditionally (P's r7-free
+  // rules are subject-local; P' joins car-subject and location-subject
+  // items in r7, where subject keys only hold for streams that never
+  // co-locate a cross-shard join in one window).
+  StatusOr<Program> program = MakeTrafficProgram(
+      symbols_, TrafficProgramVariant::kP, /*with_show=*/true);
+  ASSERT_TRUE(program.ok());
+  const std::vector<Triple> stream = MakeStream(1000, /*seed=*/17);
+
+  const std::string oracle = SyncOracleTranscript(
+      *program, /*window_size=*/200, stream, nullptr, /*window_slide=*/40);
+
+  ShardedPipelineOptions options;
+  options.num_shards = 2;
+  options.pipeline.window_size = 200;
+  options.pipeline.window_slide = 40;
+  options.pipeline.async = true;
+  options.pipeline.max_inflight_windows = 4;
+  options.pipeline.reuse_solving = true;
+  ShardedPipelineStats stats;
+  EXPECT_EQ(ShardedTranscript(*program, options, stream, &stats), oracle);
+  EXPECT_EQ(stats.merge_errors, 0u);
+  EXPECT_GT(stats.delta_punctuations, 0u);
 }
 
 TEST_F(ShardedPipelineTest, StatsAggregateAcrossShards) {

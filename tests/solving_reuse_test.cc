@@ -214,6 +214,41 @@ TEST_F(SolvingReuseTest, ShardedEngineMatchesWithAndWithoutReuse) {
   }
 }
 
+TEST_F(SolvingReuseTest, ShardedSlidingEngineKeepsPersistentSolversWarm) {
+  // The sharded sliding path: router delta punctuation hands every shard
+  // its routed slice of the global delta, so the per-partition persistent
+  // solvers patch across overlapping global windows instead of
+  // re-ingesting — byte-identical to the same sharded configuration
+  // without reuse AND to the unsharded sliding sync oracle.
+  const Program program = MustProgram(TrafficProgramVariant::kPPrime);
+  const std::vector<Triple> stream = MakeStream(1000, /*seed=*/19);
+
+  PipelineOptions sync;
+  sync.window_size = 200;
+  sync.window_slide = 40;
+  const std::string oracle = PipelineTranscript(program, sync, stream);
+  ASSERT_FALSE(oracle.empty());
+
+  for (const size_t shards : {size_t{1}, size_t{2}, size_t{4}}) {
+    SCOPED_TRACE("shards " + std::to_string(shards));
+    ShardedPipelineOptions base;
+    base.num_shards = shards;
+    base.pipeline.window_size = 200;
+    base.pipeline.window_slide = 40;
+
+    ShardedPipelineOptions warm = base;
+    warm.pipeline.reuse_solving = true;  // Implies reuse_grounding.
+
+    EXPECT_EQ(ShardedTranscript(program, base, stream), oracle);
+    ShardedPipelineStats warm_stats;
+    EXPECT_EQ(ShardedTranscript(program, warm, stream, &warm_stats), oracle);
+    EXPECT_GT(warm_stats.delta_punctuations, 0u);
+    EXPECT_GT(warm_stats.aggregate.incremental_solve_windows, 0u);
+    EXPECT_GT(warm_stats.aggregate.solver_rules_retained, 0u);
+    EXPECT_GT(warm_stats.aggregate.warm_start_hits, 0u);
+  }
+}
+
 TEST_F(SolvingReuseTest, DisjunctiveProgramKeepsColdSolvePath) {
   Parser parser(symbols_);
   StatusOr<Program> program = parser.ParseProgram(R"(
