@@ -76,6 +76,10 @@ struct RunResult {
   double ground_ms_total = 0;
   double solve_ms_total = 0;
   double reason_ms_total = 0;
+  // Compact-data-plane footprint (peaks; docs/benchmarks.md).
+  size_t window_store_bytes = 0;
+  size_t atom_table_bytes = 0;
+  double bytes_per_triple = 0;
 };
 
 double Percentile(std::vector<double> values, double p) {
@@ -150,6 +154,9 @@ RunResult RunOnce(const Program& program, const std::vector<Triple>& stream,
   run.ground_ms_total = stats.total_ground_ms;
   run.solve_ms_total = stats.total_solve_ms;
   run.reason_ms_total = stats.total_ground_ms + stats.total_solve_ms;
+  run.window_store_bytes = stats.window_store_bytes;
+  run.atom_table_bytes = stats.atom_table_bytes;
+  run.bytes_per_triple = stats.bytes_per_triple();
   return run;
 }
 
@@ -280,7 +287,9 @@ int main(int argc, char** argv) {
         "\"solver_rules_retained\": %llu, \"solver_rules_retracted\": %llu, "
         "\"solver_rules_new\": %llu, \"warm_start_hits\": %llu, "
         "\"ground_ms_total\": %.2f, \"solve_ms_total\": %.2f, "
-        "\"reason_ms_total\": %.2f}%s\n",
+        "\"reason_ms_total\": %.2f, "
+        "\"window_store_bytes\": %zu, \"atom_table_bytes\": %zu, "
+        "\"bytes_per_triple\": %.1f}%s\n",
         run.mode.c_str(), run.workload.c_str(), run.inflight, run.workers,
         run.window_slide, run.reuse ? "true" : "false",
         run.reuse_solving ? "true" : "false", run.wall_ms,
@@ -300,6 +309,7 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(run.solver_rules_new),
         static_cast<unsigned long long>(run.warm_start_hits),
         run.ground_ms_total, run.solve_ms_total, run.reason_ms_total,
+        run.window_store_bytes, run.atom_table_bytes, run.bytes_per_triple,
         i + 1 < runs.size() ? "," : "");
   }
   std::printf("  ]\n");

@@ -69,6 +69,11 @@ struct RunResult {
   double ground_ms_total = 0;
   double solve_ms_total = 0;
   double reason_ms_total = 0;
+  // Compact-data-plane footprint (peaks; sharded runs sum shard peaks and
+  // include the router's retained global window; docs/benchmarks.md).
+  size_t window_store_bytes = 0;
+  size_t atom_table_bytes = 0;
+  double bytes_per_triple = 0;
 };
 
 double Percentile(std::vector<double> values, double p) {
@@ -137,6 +142,9 @@ RunResult RunSingle(const Program& program, const std::vector<Triple>& stream,
   run.ground_ms_total = stats.total_ground_ms;
   run.solve_ms_total = stats.total_solve_ms;
   run.reason_ms_total = stats.total_ground_ms + stats.total_solve_ms;
+  run.window_store_bytes = stats.window_store_bytes;
+  run.atom_table_bytes = stats.atom_table_bytes;
+  run.bytes_per_triple = stats.bytes_per_triple();
   return run;
 }
 
@@ -194,6 +202,9 @@ RunResult RunSharded(const Program& program, const std::vector<Triple>& stream,
   run.solve_ms_total = stats.aggregate.total_solve_ms;
   run.reason_ms_total =
       stats.aggregate.total_ground_ms + stats.aggregate.total_solve_ms;
+  run.window_store_bytes = stats.aggregate.window_store_bytes;
+  run.atom_table_bytes = stats.aggregate.atom_table_bytes;
+  run.bytes_per_triple = stats.aggregate.bytes_per_triple();
   return run;
 }
 
@@ -321,7 +332,9 @@ int main(int argc, char** argv) {
         "\"grounding_rules_new\": %llu, "
         "\"incremental_solve_windows\": %llu, \"solve_rebuilds\": %llu, "
         "\"warm_start_hits\": %llu, \"ground_ms_total\": %.2f, "
-        "\"solve_ms_total\": %.2f, \"reason_ms_total\": %.2f}%s\n",
+        "\"solve_ms_total\": %.2f, \"reason_ms_total\": %.2f, "
+        "\"window_store_bytes\": %zu, \"atom_table_bytes\": %zu, "
+        "\"bytes_per_triple\": %.1f}%s\n",
         run.mode.c_str(), run.workload.c_str(), run.shards, run.inflight,
         run.window_slide, run.reuse ? "true" : "false",
         run.reuse_solving ? "true" : "false", run.wall_ms,
@@ -339,6 +352,7 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(run.solve_rebuilds),
         static_cast<unsigned long long>(run.warm_start_hits),
         run.ground_ms_total, run.solve_ms_total, run.reason_ms_total,
+        run.window_store_bytes, run.atom_table_bytes, run.bytes_per_triple,
         i + 1 < runs.size() ? "," : "");
   }
   std::printf("  ]\n");

@@ -1,0 +1,168 @@
+#include "asp/packed_term.h"
+
+#include <cassert>
+#include <mutex>
+
+namespace streamasp {
+
+PackedTerm::PackedTerm(const Term& term) : bits_(0) {
+  switch (term.kind()) {
+    case TermKind::kInteger: {
+      int64_t v = term.integer_value();
+      if (v >= kMinInlineInt && v <= kMaxInlineInt) {
+        bits_ = (uint64_t{kInt} << kTagShift) |
+                (static_cast<uint64_t>(v) & kPayloadMask);
+        return;
+      }
+      break;  // Out-of-range integer: escape.
+    }
+    case TermKind::kSymbol:
+      bits_ = (uint64_t{kSymbol} << kTagShift) | term.symbol();
+      return;
+    case TermKind::kVariable:
+      bits_ = (uint64_t{kVariable} << kTagShift) | term.symbol();
+      return;
+    case TermKind::kFunction:
+    case TermKind::kArithmetic:
+      break;  // Compound: escape.
+  }
+  bits_ = (uint64_t{kEscape} << kTagShift) |
+          PackedTermArena::Global().Intern(term);
+}
+
+PackedTerm PackedTerm::Integer(int64_t value) {
+  if (value >= kMinInlineInt && value <= kMaxInlineInt) {
+    return FromBits((uint64_t{kInt} << kTagShift) |
+                    (static_cast<uint64_t>(value) & kPayloadMask));
+  }
+  return PackedTerm(Term::Integer(value));
+}
+
+bool PackedTerm::is_integer() const {
+  if (tag() == kInt) return true;
+  if (tag() != kEscape) return false;
+  return PackedTermArena::Global().KindOf(escape_id()) == TermKind::kInteger;
+}
+
+bool PackedTerm::is_function() const {
+  if (tag() != kEscape) return false;
+  return PackedTermArena::Global().KindOf(escape_id()) == TermKind::kFunction;
+}
+
+int64_t PackedTerm::integer_value() const {
+  if (tag() == kInt) {
+    // Sign-extend the 61-bit payload.
+    return static_cast<int64_t>(bits_ << 3) >> 3;
+  }
+  assert(tag() == kEscape);
+  return PackedTermArena::Global().IntegerOf(escape_id());
+}
+
+Term PackedTerm::ToTerm() const {
+  switch (tag()) {
+    case kInt:
+      return Term::Integer(integer_value());
+    case kSymbol:
+      return Term::Symbol(symbol());
+    case kVariable:
+      return Term::Variable(symbol());
+    case kEscape:
+      return PackedTermArena::Global().TermOf(escape_id());
+    case kNone:
+      break;
+  }
+  assert(false && "ToTerm on an absent PackedTerm");
+  return Term();
+}
+
+size_t PackedTerm::Hash() const {
+  // Inline kinds replay Term::Hash without building the Term:
+  //   HashCombine(kind, std::hash<int64_t>(payload)).
+  switch (tag()) {
+    case kInt:
+      return HashCombine(static_cast<size_t>(TermKind::kInteger),
+                         std::hash<int64_t>()(integer_value()));
+    case kSymbol:
+      return HashCombine(static_cast<size_t>(TermKind::kSymbol),
+                         std::hash<int64_t>()(static_cast<int64_t>(symbol())));
+    case kVariable:
+      return HashCombine(static_cast<size_t>(TermKind::kVariable),
+                         std::hash<int64_t>()(static_cast<int64_t>(symbol())));
+    case kEscape:
+      return PackedTermArena::Global().HashOf(escape_id());
+    case kNone:
+      break;
+  }
+  return 0;
+}
+
+std::string PackedTerm::ToString(const SymbolTable& symbols) const {
+  if (!has_value()) return "<none>";
+  return ToTerm().ToString(symbols);
+}
+
+PackedTermArena& PackedTermArena::Global() {
+  static PackedTermArena* arena = new PackedTermArena();
+  return *arena;
+}
+
+uint32_t PackedTermArena::Intern(const Term& term) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    auto it = index_.find(term);
+    if (it != index_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  auto [it, inserted] =
+      index_.try_emplace(term, static_cast<uint32_t>(terms_.size()));
+  if (inserted) {
+    assert(terms_.size() <= PackedTerm::kPayloadMask &&
+           "packed-term arena id overflow");
+    terms_.push_back(term);
+    hashes_.push_back(term.Hash());
+  }
+  return it->second;
+}
+
+Term PackedTermArena::TermOf(uint32_t id) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return terms_[id];
+}
+
+size_t PackedTermArena::HashOf(uint32_t id) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return hashes_[id];
+}
+
+TermKind PackedTermArena::KindOf(uint32_t id) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return terms_[id].kind();
+}
+
+int64_t PackedTermArena::IntegerOf(uint32_t id) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  const Term& t = terms_[id];
+  assert(t.is_integer());
+  return t.integer_value();
+}
+
+size_t PackedTermArena::size() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return terms_.size();
+}
+
+size_t PackedTermArena::ApproxBytes() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  // Term payloads (shared arg vectors are approximated by one Term per
+  // argument slot) + cached hashes + one index entry per term.
+  size_t bytes = terms_.size() * (sizeof(Term) + sizeof(size_t) +
+                                  sizeof(void*) + sizeof(uint32_t));
+  for (const Term& t : terms_) {
+    if (t.is_function() || t.is_arithmetic()) {
+      bytes += t.args().size() * sizeof(Term);
+    }
+  }
+  return bytes;
+}
+
+}  // namespace streamasp

@@ -5,12 +5,36 @@
 namespace streamasp {
 
 GroundAtomId AtomTable::Intern(const Atom& atom) {
-  auto it = index_.find(atom);
-  if (it != index_.end()) return it->second;
-  const GroundAtomId id = static_cast<GroundAtomId>(atoms_.size());
-  atoms_.push_back(atom);
-  index_.emplace(atom, id);
-  return id;
+  const GroundAtomId next = static_cast<GroundAtomId>(atoms_.size());
+  auto [it, inserted] = index_.try_emplace(atom, next);
+  if (inserted) {
+    atoms_.push_back(atom);
+    for (const Term& arg : atom.args()) {
+      packed_args_.push_back(PackedTerm(arg));
+    }
+    arg_offsets_.push_back(static_cast<uint32_t>(packed_args_.size()));
+  }
+  return it->second;
+}
+
+void AtomTable::Reserve(size_t atoms) {
+  index_.reserve(atoms);
+  atoms_.reserve(atoms);
+  arg_offsets_.reserve(atoms + 1);
+  packed_args_.reserve(atoms * 2);  // Stream predicates are arity <= 2.
+}
+
+size_t AtomTable::ApproxBytes() const {
+  size_t bytes = atoms_.capacity() * sizeof(Atom) +
+                 arg_offsets_.capacity() * sizeof(uint32_t) +
+                 packed_args_.capacity() * sizeof(PackedTerm);
+  for (const Atom& atom : atoms_) {
+    // Term arguments live out-of-line in the Atom's vector; one index
+    // entry (key copy + id + bucket link) per atom.
+    bytes += atom.args().capacity() * sizeof(Term) + sizeof(Atom) +
+             sizeof(GroundAtomId) + 2 * sizeof(void*);
+  }
+  return bytes;
 }
 
 GroundAtomId AtomTable::Lookup(const Atom& atom) const {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "asp/atom.h"
+#include "asp/packed_term.h"
 #include "asp/symbol_table.h"
 
 namespace streamasp {
@@ -18,8 +19,25 @@ using GroundAtomId = uint32_t;
 inline constexpr GroundAtomId kInvalidGroundAtom =
     static_cast<GroundAtomId>(-1);
 
+/// Hashes an Atom by mixing its packed argument words instead of the deep
+/// recursive Term hash: each argument folds to one tagged 64-bit word
+/// (compound arguments to their canonical arena id), so the per-probe cost
+/// is a handful of bit operations per argument regardless of term depth.
+struct PackedAtomHash {
+  size_t operator()(const Atom& a) const {
+    uint64_t h = PackedBitsHash()(a.predicate());
+    for (const Term& arg : a.args()) {
+      h = HashCombine(h, PackedBitsHash()(PackedTerm(arg).bits()));
+    }
+    return h;
+  }
+};
+
 /// Bidirectional map between ground Atoms and dense ids, used to give the
-/// solver an integer-indexed view of the ground program.
+/// solver an integer-indexed view of the ground program. The table also
+/// keeps a columnar packed-argument mirror (one tagged 64-bit word per
+/// argument slot) so the grounder's match loops and join indexes can read
+/// candidate arguments slot-wise without touching the Atom's Term vector.
 class AtomTable {
  public:
   AtomTable() = default;
@@ -29,7 +47,8 @@ class AtomTable {
   AtomTable(AtomTable&&) noexcept = default;
   AtomTable& operator=(AtomTable&&) noexcept = default;
 
-  /// Returns the id for `atom`, interning on first use.
+  /// Returns the id for `atom`, interning on first use (a single hash
+  /// probe: try_emplace on both the hit and the miss path).
   GroundAtomId Intern(const Atom& atom);
 
   /// Returns the id for `atom` or kInvalidGroundAtom if never interned.
@@ -38,11 +57,31 @@ class AtomTable {
   /// The atom for an id. Requires a valid id.
   const Atom& GetAtom(GroundAtomId id) const;
 
+  /// The packed argument words of an id, PackedArity(id) slots. Requires
+  /// a valid id; the pointer is invalidated by the next Intern.
+  const PackedTerm* PackedArgs(GroundAtomId id) const {
+    return packed_args_.data() + arg_offsets_[id];
+  }
+  uint32_t PackedArity(GroundAtomId id) const {
+    return arg_offsets_[id + 1] - arg_offsets_[id];
+  }
+
+  /// Pre-sizes the table for `atoms` entries (e.g. the previous window's
+  /// atom count in the incremental engines).
+  void Reserve(size_t atoms);
+
+  /// Approximate retained bytes: atom payloads + packed mirror + index.
+  size_t ApproxBytes() const;
+
   size_t size() const { return atoms_.size(); }
 
  private:
-  std::unordered_map<Atom, GroundAtomId, AtomHash> index_;
+  std::unordered_map<Atom, GroundAtomId, PackedAtomHash> index_;
   std::vector<Atom> atoms_;
+  /// Columnar packed mirror of every atom's arguments: atom id's slots
+  /// are packed_args_[arg_offsets_[id] .. arg_offsets_[id + 1]).
+  std::vector<uint32_t> arg_offsets_{0};
+  std::vector<PackedTerm> packed_args_;
 };
 
 /// A variable-free rule over dense atom ids:

@@ -18,10 +18,12 @@ namespace {
 using ground_internal::Binding;
 using ground_internal::CompiledRule;
 using ground_internal::ContainsUnfoldedArithmetic;
+using ground_internal::MatchPackedTerm;
 using ground_internal::MatchTerm;
+using ground_internal::PrecomputeGroundFlags;
 using ground_internal::PredicateExtension;
 using ground_internal::ResolveComparisons;
-using ground_internal::SubstituteAtom;
+using ground_internal::SubstituteAtomFast;
 using ground_internal::SubstituteTerm;
 
 class InstantiationEngine {
@@ -198,6 +200,7 @@ Status InstantiationEngine::CompileRules(const ComponentAssignment&) {
         }
       }
     }
+    PrecomputeGroundFlags(&cr);
     if (cr.heads.empty()) {
       // Constraints run after all components are fully instantiated.
       cr.component = num_components_;
@@ -296,17 +299,19 @@ Status InstantiationEngine::MatchFrom(
   // Pick an argument position that is ground under the current binding to
   // drive an index lookup; fall back to a scan.
   int index_position = -1;
-  Term index_key;
+  PackedTerm index_key;
   for (size_t p = 0; p < pattern.args().size(); ++p) {
     Term substituted = SubstituteTerm(pattern.args()[p], *binding);
     if (substituted.IsGround()) {
       index_position = static_cast<int>(p);
-      index_key = std::move(substituted);
+      index_key = PackedTerm(substituted);
       break;
     }
   }
 
-  // The candidate list: either an index bucket or the full range.
+  // The candidate list: either an index bucket or the full range. Buckets
+  // are keyed by the argument's packed word, read off the atom table's
+  // columnar mirror — no Term hashing on the probe or build path.
   const std::vector<uint32_t>* bucket = nullptr;
   if (index_position >= 0) {
     if (ext.indexes.empty()) ext.indexes.resize(pattern.args().size());
@@ -314,21 +319,21 @@ Status InstantiationEngine::MatchFrom(
     // Extend the index to cover the whole extension (cheap, amortized).
     while (index.indexed_until < ext.atoms.size()) {
       const uint32_t i = static_cast<uint32_t>(index.indexed_until++);
-      const Atom& atom = atoms_.GetAtom(ext.atoms[i]);
-      index.map[atom.args()[index_position]].push_back(i);
+      index.map[atoms_.PackedArgs(ext.atoms[i])[index_position].bits()]
+          .push_back(i);
     }
-    auto it = index.map.find(index_key);
+    auto it = index.map.find(index_key.bits());
     if (it == index.map.end()) return OkStatus();
     bucket = &it->second;
   }
 
   auto try_candidate = [&](size_t extension_index) -> Status {
     const GroundAtomId id = ext.atoms[extension_index];
-    const Atom& candidate = atoms_.GetAtom(id);
+    const PackedTerm* candidate_args = atoms_.PackedArgs(id);
     const size_t mark = binding->Mark();
-    bool matches = candidate.args().size() == pattern.args().size();
+    bool matches = atoms_.PackedArity(id) == pattern.args().size();
     for (size_t p = 0; matches && p < pattern.args().size(); ++p) {
-      matches = MatchTerm(pattern.args()[p], candidate.args()[p], binding);
+      matches = MatchPackedTerm(pattern.args()[p], candidate_args[p], binding);
     }
     if (matches) {
       // Resolve comparisons/assignments that just became ground; prune on
@@ -376,7 +381,8 @@ Status InstantiationEngine::EmitInstance(
   ground.positive_body.assign(matched.begin(), matched.end());
 
   for (size_t i = 0; i < rule->negatives.size(); ++i) {
-    const Atom instance = SubstituteAtom(rule->negatives[i], binding);
+    const Atom instance = SubstituteAtomFast(rule->negatives[i],
+                                             rule->negatives_ground[i], binding);
     assert(instance.IsGround() && "safety guarantees ground negatives");
     if (ContainsUnfoldedArithmetic(instance)) {
       return OkStatus();  // Undefined arithmetic: skip the instance.
@@ -397,8 +403,9 @@ Status InstantiationEngine::EmitInstance(
     }
   }
 
-  for (const Atom& head : rule->heads) {
-    const Atom instance = SubstituteAtom(head, binding);
+  for (size_t i = 0; i < rule->heads.size(); ++i) {
+    const Atom instance =
+        SubstituteAtomFast(rule->heads[i], rule->heads_ground[i], binding);
     assert(instance.IsGround() && "safety guarantees ground heads");
     if (ContainsUnfoldedArithmetic(instance)) {
       return OkStatus();  // Undefined arithmetic: skip the instance.
@@ -503,6 +510,7 @@ Status InstantiationEngine::Run() {
   }
   stats.num_rules = rules_.size();
   stats.num_atoms = atoms_.size();
+  stats.atom_table_bytes = atoms_.ApproxBytes();
   for (const GroundRule& rule : rules_) {
     if (rule.is_fact()) ++stats.num_facts;
     if (rule.is_constraint()) ++stats.num_constraints;

@@ -44,6 +44,12 @@ struct GroundingStats {
   size_t incremental_windows = 0;   ///< Calls that reused the cache.
   size_t incremental_fallbacks = 0; ///< Calls that reground from scratch.
 
+  /// Approximate bytes retained by the run's AtomTable (atom payloads,
+  /// packed-argument mirror, intern index) — the grounding side of the
+  /// pipeline's bytes-per-triple counter. Per-partition tables are
+  /// disjoint, so Accumulate sums.
+  size_t atom_table_bytes = 0;
+
   /// Field-wise accumulation (max-free: every counter is additive), used
   /// when aggregating per-partition stats into a per-window total.
   void Accumulate(const GroundingStats& other) {
@@ -57,6 +63,7 @@ struct GroundingStats {
     rules_new += other.rules_new;
     incremental_windows += other.incremental_windows;
     incremental_fallbacks += other.incremental_fallbacks;
+    atom_table_bytes += other.atom_table_bytes;
   }
 };
 

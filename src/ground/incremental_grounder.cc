@@ -20,10 +20,12 @@ namespace {
 using ground_internal::Binding;
 using ground_internal::CompiledRule;
 using ground_internal::ContainsUnfoldedArithmetic;
+using ground_internal::MatchPackedTerm;
 using ground_internal::MatchTerm;
+using ground_internal::PrecomputeGroundFlags;
 using ground_internal::PredicateExtension;
 using ground_internal::ResolveComparisons;
-using ground_internal::SubstituteAtom;
+using ground_internal::SubstituteAtomFast;
 using ground_internal::SubstituteTerm;
 
 constexpr uint32_t kNoPosition = static_cast<uint32_t>(-1);
@@ -236,6 +238,7 @@ Status IncrementalGrounder::Engine::Prepare() {
         }
       }
     }
+    PrecomputeGroundFlags(&cr);
     cr.component = cr.heads.empty()
                        ? num_components_
                        : pred_component_[cr.head_preds.front()];
@@ -537,16 +540,18 @@ Status IncrementalGrounder::Engine::MatchFrom(
   if (range_begin >= range_end) return OkStatus();
 
   int index_position = -1;
-  Term index_key;
+  PackedTerm index_key;
   for (size_t p = 0; p < pattern.args().size(); ++p) {
     Term substituted = SubstituteTerm(pattern.args()[p], *binding);
     if (substituted.IsGround()) {
       index_position = static_cast<int>(p);
-      index_key = std::move(substituted);
+      index_key = PackedTerm(substituted);
       break;
     }
   }
 
+  // Buckets are keyed by the argument's packed word, read off the atom
+  // table's columnar mirror — no Term hashing on the probe or build path.
   const std::vector<uint32_t>* bucket = nullptr;
   if (index_position >= 0) {
     if (ext.indexes.empty()) ext.indexes.resize(pattern.args().size());
@@ -554,10 +559,10 @@ Status IncrementalGrounder::Engine::MatchFrom(
     while (index.indexed_until < ext.atoms.size()) {
       const uint32_t i = static_cast<uint32_t>(index.indexed_until++);
       if (ext.atoms[i] == kInvalidGroundAtom) continue;  // Tombstone.
-      const Atom& atom = atoms().GetAtom(ext.atoms[i]);
-      index.map[atom.args()[index_position]].push_back(i);
+      index.map[atoms().PackedArgs(ext.atoms[i])[index_position].bits()]
+          .push_back(i);
     }
-    auto it = index.map.find(index_key);
+    auto it = index.map.find(index_key.bits());
     if (it == index.map.end()) return OkStatus();
     bucket = &it->second;
   }
@@ -565,11 +570,11 @@ Status IncrementalGrounder::Engine::MatchFrom(
   auto try_candidate = [&](size_t extension_index) -> Status {
     const GroundAtomId id = ext.atoms[extension_index];
     if (id == kInvalidGroundAtom) return OkStatus();  // Retracted.
-    const Atom& candidate = atoms().GetAtom(id);
+    const PackedTerm* candidate_args = atoms().PackedArgs(id);
     const size_t mark = binding->Mark();
-    bool matches = candidate.args().size() == pattern.args().size();
+    bool matches = atoms().PackedArity(id) == pattern.args().size();
     for (size_t p = 0; matches && p < pattern.args().size(); ++p) {
-      matches = MatchTerm(pattern.args()[p], candidate.args()[p], binding);
+      matches = MatchPackedTerm(pattern.args()[p], candidate_args[p], binding);
     }
     if (matches) {
       std::vector<size_t> newly_done;
@@ -618,7 +623,8 @@ Status IncrementalGrounder::Engine::EmitInstance(
   // can still change, so the literal is kept and the per-window simplify
   // pass prunes what the current window makes underivable.
   for (size_t i = 0; i < rule->negatives.size(); ++i) {
-    const Atom instance = SubstituteAtom(rule->negatives[i], binding);
+    const Atom instance = SubstituteAtomFast(rule->negatives[i],
+                                             rule->negatives_ground[i], binding);
     assert(instance.IsGround() && "safety guarantees ground negatives");
     if (ContainsUnfoldedArithmetic(instance)) {
       return OkStatus();  // Undefined arithmetic: skip the instance.
@@ -626,8 +632,9 @@ Status IncrementalGrounder::Engine::EmitInstance(
     ground.negative_body.push_back(InternAtom(instance));
   }
 
-  for (const Atom& head : rule->heads) {
-    const Atom instance = SubstituteAtom(head, binding);
+  for (size_t h = 0; h < rule->heads.size(); ++h) {
+    const Atom instance =
+        SubstituteAtomFast(rule->heads[h], rule->heads_ground[h], binding);
     assert(instance.IsGround() && "safety guarantees ground heads");
     if (ContainsUnfoldedArithmetic(instance)) {
       return OkStatus();  // Undefined arithmetic: skip the instance.
@@ -714,7 +721,12 @@ Status IncrementalGrounder::Engine::EvaluateWindow() {
 }
 
 Status IncrementalGrounder::Engine::Rebuild(const std::vector<Atom>& facts) {
+  // Atom interning restarts, but the previous window's population is the
+  // best size estimate: reserve up front so the hot Intern loop never
+  // rehashes mid-window.
+  const size_t previous_atoms = out_.num_atoms();
   out_ = GroundProgram();
+  if (previous_atoms > 0) out_.mutable_atoms().Reserve(previous_atoms);
   derivable_.clear();
   atom_pred_.clear();
   support_.clear();
@@ -871,6 +883,7 @@ Status IncrementalGrounder::Engine::GroundWindow(
   }
   cache_valid_ = true;
   cached_sequence_ = sequence;
+  call_stats_.atom_table_bytes = atoms().ApproxBytes();
   if (stats != nullptr) *stats = call_stats_;
   return OkStatus();
 }

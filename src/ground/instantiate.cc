@@ -39,6 +39,38 @@ bool MatchTerm(const Term& pattern, const Term& ground, Binding* binding) {
   return false;
 }
 
+bool MatchPackedTerm(const Term& pattern, PackedTerm ground,
+                     Binding* binding) {
+  switch (pattern.kind()) {
+    case TermKind::kInteger:
+      // Inline packing of the pattern constant, then one word compare
+      // (out-of-range integers escape to the same canonical arena id the
+      // ground word would carry, so equality still holds word-wise).
+      return PackedTerm::Integer(pattern.integer_value()) == ground;
+    case TermKind::kSymbol:
+      return PackedTerm::Symbol(pattern.symbol()) == ground;
+    case TermKind::kVariable: {
+      const PackedTerm bound = binding->GetPacked(pattern.symbol());
+      if (bound.has_value()) return bound == ground;
+      binding->Push(pattern.symbol(), ground);
+      return true;
+    }
+    case TermKind::kArithmetic: {
+      const Term folded = SubstituteTerm(pattern, *binding);
+      return folded.is_integer() && PackedTerm(folded) == ground;
+    }
+    case TermKind::kFunction: {
+      // Compound pattern: only a compound ground value can match; unpack
+      // it once and fall back to the recursive matcher.
+      if (!ground.is_escape()) return false;
+      const Term ground_term =
+          PackedTermArena::Global().TermOf(ground.escape_id());
+      return MatchTerm(pattern, ground_term, binding);
+    }
+  }
+  return false;
+}
+
 Term SubstituteTerm(const Term& term, const Binding& binding) {
   switch (term.kind()) {
     case TermKind::kInteger:
@@ -91,6 +123,47 @@ Atom SubstituteAtom(const Atom& atom, const Binding& binding) {
     args.push_back(SubstituteTerm(arg, binding));
   }
   return Atom(atom.predicate(), std::move(args));
+}
+
+Atom SubstituteAtomFast(const Atom& atom, bool pattern_ground,
+                        const Binding& binding) {
+  if (pattern_ground) return atom;  // Nothing to substitute.
+  std::vector<Term> args;
+  args.reserve(atom.args().size());
+  for (const Term& arg : atom.args()) {
+    switch (arg.kind()) {
+      case TermKind::kInteger:
+      case TermKind::kSymbol:
+        args.push_back(arg);  // Ground constant: plain copy.
+        break;
+      case TermKind::kVariable: {
+        // Safety guarantees head/negative variables are bound by the
+        // positive body, so the lookup hits; unbound variables (only
+        // possible on unsafe input the engines reject earlier) stay put.
+        const Term* bound = binding.Get(arg.symbol());
+        args.push_back(bound != nullptr ? *bound : arg);
+        break;
+      }
+      case TermKind::kFunction:
+      case TermKind::kArithmetic:
+        args.push_back(SubstituteTerm(arg, binding));
+        break;
+    }
+  }
+  return Atom(atom.predicate(), std::move(args));
+}
+
+void PrecomputeGroundFlags(CompiledRule* rule) {
+  rule->heads_ground.clear();
+  rule->heads_ground.reserve(rule->heads.size());
+  for (const Atom& head : rule->heads) {
+    rule->heads_ground.push_back(head.IsGround());
+  }
+  rule->negatives_ground.clear();
+  rule->negatives_ground.reserve(rule->negatives.size());
+  for (const Atom& negative : rule->negatives) {
+    rule->negatives_ground.push_back(negative.IsGround());
+  }
 }
 
 bool ResolveComparisons(const CompiledRule& rule, Binding* binding,

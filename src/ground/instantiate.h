@@ -18,6 +18,7 @@
 
 #include "asp/atom.h"
 #include "asp/literal.h"
+#include "asp/packed_term.h"
 #include "asp/term.h"
 #include "ground/ground_program.h"
 
@@ -25,18 +26,42 @@ namespace streamasp {
 namespace ground_internal {
 
 /// Variable binding with trail-based undo. Rules have few variables, so a
-/// linear-scanned vector beats a hash map.
+/// linear-scanned vector beats a hash map. Each entry carries the bound
+/// value twice: as a Term (for substitution) and as its packed word (so
+/// the slot-wise match loop compares one 64-bit word per already-bound
+/// variable instead of a deep Term comparison).
 class Binding {
  public:
+  struct Entry {
+    SymbolId var;
+    Term term;
+    PackedTerm packed;
+  };
+
   const Term* Get(SymbolId var) const {
     for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
-      if (it->first == var) return &it->second;
+      if (it->var == var) return &it->term;
     }
     return nullptr;
   }
 
+  /// Packed value of `var`, or the none word when unbound (bound values
+  /// are never none, so none doubles as the not-found sentinel).
+  PackedTerm GetPacked(SymbolId var) const {
+    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+      if (it->var == var) return it->packed;
+    }
+    return PackedTerm();
+  }
+
   void Push(SymbolId var, const Term& value) {
-    entries_.emplace_back(var, value);
+    entries_.push_back(Entry{var, value, PackedTerm(value)});
+  }
+
+  /// Pushes a value already in packed form (the slot-wise match path);
+  /// the Term twin is materialized from the packed word.
+  void Push(SymbolId var, PackedTerm value) {
+    entries_.push_back(Entry{var, value.ToTerm(), value});
   }
 
   size_t Mark() const { return entries_.size(); }
@@ -45,12 +70,19 @@ class Binding {
   bool IsBound(SymbolId var) const { return Get(var) != nullptr; }
 
  private:
-  std::vector<std::pair<SymbolId, Term>> entries_;
+  std::vector<Entry> entries_;
 };
 
 /// Unifies a (possibly variable-containing) pattern with a ground term,
 /// extending `binding`. On mismatch the caller rewinds using its mark.
 bool MatchTerm(const Term& pattern, const Term& ground, Binding* binding);
+
+/// Slot-wise variant over a packed candidate argument, the grounders'
+/// match-loop fast path: inline pattern kinds and already-bound variables
+/// compare as single words; only compound patterns (or compound ground
+/// values on the arena escape path) fall back to the recursive MatchTerm.
+bool MatchPackedTerm(const Term& pattern, PackedTerm ground,
+                     Binding* binding);
 
 /// Applies `binding` to a term. Unbound variables are left in place (the
 /// result is ground iff all variables are bound).
@@ -65,9 +97,20 @@ bool ContainsUnfoldedArithmetic(const Atom& atom);
 
 Atom SubstituteAtom(const Atom& atom, const Binding& binding);
 
-/// Lazily built hash index over one argument position of an extension.
+/// Substitution fast path shared by both grounders' EmitInstance tails:
+/// when `pattern_ground` (the precomputed Atom::IsGround() of the
+/// pattern, cached in CompiledRule) the atom is returned as-is with no
+/// per-argument work, and otherwise variable and constant arguments are
+/// resolved directly — the generic recursive SubstituteTerm runs only for
+/// compound/arithmetic arguments.
+Atom SubstituteAtomFast(const Atom& atom, bool pattern_ground,
+                        const Binding& binding);
+
+/// Lazily built hash index over one argument position of an extension,
+/// keyed by the argument's packed 64-bit word (deep Term hashing only
+/// happens once per distinct compound value, inside arena interning).
 struct PositionIndex {
-  std::unordered_map<Term, std::vector<uint32_t>, TermHash> map;
+  std::unordered_map<uint64_t, std::vector<uint32_t>, PackedBitsHash> map;
   size_t indexed_until = 0;  // Extension prefix already indexed.
 };
 
@@ -102,7 +145,15 @@ struct CompiledRule {
   int component = 0;
   bool recursive = false;
   std::vector<size_t> same_component_positions;  // Indices into `positive`.
+  // Precomputed Atom::IsGround() per head/negative pattern, so
+  // SubstituteAtomFast can short-circuit without walking the args.
+  std::vector<bool> heads_ground;
+  std::vector<bool> negatives_ground;
 };
+
+/// Fills the precomputed per-pattern groundness flags; call once after a
+/// CompiledRule's heads/negatives are final (both engines' CompileRules).
+void PrecomputeGroundFlags(CompiledRule* rule);
 
 /// Attempts to resolve pending comparison literals under `binding`.
 /// Comparisons whose two sides become ground are evaluated (undefined

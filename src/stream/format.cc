@@ -38,12 +38,13 @@ StatusOr<Atom> DataFormatProcessor::ToFact(const Triple& triple) const {
     if (triple.object.has_value()) {
       return InvalidArgumentError("unary predicate received an object");
     }
-    return Atom(triple.predicate, {triple.subject});
+    return Atom(triple.predicate, {triple.subject.ToTerm()});
   }
   if (!triple.object.has_value()) {
     return InvalidArgumentError("binary predicate missing an object");
   }
-  return Atom(triple.predicate, {triple.subject, *triple.object});
+  return Atom(triple.predicate,
+              {triple.subject.ToTerm(), triple.object.ToTerm()});
 }
 
 StatusOr<std::vector<Atom>> DataFormatProcessor::ToFacts(

@@ -39,7 +39,7 @@ void StreamQueryProcessor::Push(const Triple& triple) {
   if (external()) {
     // Retain only: the external windower decides what expires and when a
     // window closes (CloseWindowWithDelta).
-    buffer_.push_back(triple);
+    buffer_.Append(triple);
     return;
   }
   if (!sliding()) {
@@ -47,11 +47,11 @@ void StreamQueryProcessor::Push(const Triple& triple) {
     if (pending_.size() >= window_size_) Flush();
     return;
   }
-  buffer_.push_back(triple);
+  buffer_.Append(triple);
   pending_admitted_.push_back(triple);
   if (buffer_.size() > window_size_) {
-    pending_expired_.push_back(buffer_.front());
-    buffer_.pop_front();
+    pending_expired_.push_back(buffer_.Front());
+    buffer_.PopFront();
   }
   ++arrivals_since_emit_;
   // First window fires when the buffer first fills; afterwards every
@@ -73,12 +73,12 @@ void StreamQueryProcessor::CloseWindowWithDelta(WindowDelta delta) {
     // The expired prefix is positional: the external windower evicts in
     // global arrival order, and this buffer is the arrival-ordered
     // sub-stream, so the i-th expired item IS the current front.
-    assert(buffer_.front() == delta.expired[i]);
-    buffer_.pop_front();
+    assert(buffer_.Front() == delta.expired[i]);
+    buffer_.PopFront();
   }
   TripleWindow window;
   window.sequence = next_sequence_++;
-  window.items.assign(buffer_.begin(), buffer_.end());
+  buffer_.CopyTo(&window.items);
   window.has_delta = true;
   window.expired = std::move(delta.expired);
   window.admitted = std::move(delta.admitted);
@@ -105,7 +105,7 @@ void StreamQueryProcessor::Flush() {
 void StreamQueryProcessor::EmitSliding() {
   TripleWindow window;
   window.sequence = next_sequence_++;
-  window.items.assign(buffer_.begin(), buffer_.end());
+  buffer_.CopyTo(&window.items);
   window.has_delta = true;
   window.expired = std::move(pending_expired_);
   window.admitted = std::move(pending_admitted_);

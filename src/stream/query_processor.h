@@ -1,13 +1,13 @@
 #ifndef STREAMASP_STREAM_QUERY_PROCESSOR_H_
 #define STREAMASP_STREAM_QUERY_PROCESSOR_H_
 
-#include <deque>
 #include <functional>
 #include <unordered_set>
 #include <vector>
 
 #include "asp/symbol_table.h"
 #include "stream/triple.h"
+#include "stream/window_store.h"
 
 namespace streamasp {
 
@@ -90,6 +90,12 @@ class StreamQueryProcessor {
   /// Windows emitted so far.
   uint64_t emitted_windows() const { return next_sequence_; }
 
+  /// Column-storage bytes of the retained sliding/external buffer (the
+  /// query processor's contribution to the bytes-per-triple counter).
+  size_t retained_bytes() const {
+    return buffer_.bytes() + pending_.capacity() * sizeof(Triple);
+  }
+
  private:
   bool sliding() const { return slide_ < window_size_; }
   bool external() const { return punctuation_ == Punctuation::kExternal; }
@@ -102,8 +108,9 @@ class StreamQueryProcessor {
   std::unordered_set<SymbolId> selected_;
   /// Tumbling state: the window under construction.
   std::vector<Triple> pending_;
-  /// Sliding state: last window_size_ survivors + delta accumulators.
-  std::deque<Triple> buffer_;
+  /// Sliding state: last window_size_ survivors + delta accumulators
+  /// (columnar; also the retained buffer under external punctuation).
+  WindowStore buffer_;
   std::vector<Triple> pending_expired_;
   std::vector<Triple> pending_admitted_;
   size_t arrivals_since_emit_ = 0;

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "asp/packed_term.h"
 #include "asp/symbol_table.h"
 #include "asp/term.h"
 
@@ -12,12 +13,16 @@ namespace streamasp {
 
 /// One RDF-style data item <s, p, o> as delivered by the stream query
 /// processor. The predicate is an interned symbol; subject and object are
-/// ground terms (symbols or integers). Items for unary predicates (e.g.
-/// traffic_light(newcastle)) carry no object.
+/// packed ground terms (symbols or integers inline; rare compound values
+/// escape to the global arena). Items for unary predicates (e.g.
+/// traffic_light(newcastle)) carry no object — an absent object is the
+/// all-zero PackedTerm, so the struct is a trivially copyable 24-byte
+/// record and window buffers can hold it columnar without per-item heap
+/// traffic.
 struct Triple {
-  Term subject;
+  PackedTerm subject;
   SymbolId predicate = kInvalidSymbol;
-  std::optional<Term> object;
+  PackedTerm object;
 
   friend bool operator==(const Triple& a, const Triple& b) {
     return a.predicate == b.predicate && a.subject == b.subject &&

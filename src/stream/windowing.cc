@@ -15,11 +15,11 @@ SlidingCountWindower::SlidingCountWindower(size_t size, size_t slide,
 }
 
 void SlidingCountWindower::Push(const Triple& triple) {
-  buffer_.push_back(triple);
+  buffer_.Append(triple);
   pending_admitted_.push_back(triple);
   if (buffer_.size() > size_) {
-    pending_expired_.push_back(buffer_.front());
-    buffer_.pop_front();
+    pending_expired_.push_back(buffer_.Front());
+    buffer_.PopFront();
   }
   ++arrivals_since_emit_;
   // First window fires when the buffer first fills; afterwards every
@@ -39,7 +39,7 @@ void SlidingCountWindower::Flush() {
 void SlidingCountWindower::Emit() {
   TripleWindow window;
   window.sequence = next_sequence_++;
-  window.items.assign(buffer_.begin(), buffer_.end());
+  buffer_.CopyTo(&window.items);
   window.has_delta = true;
   window.expired = std::move(pending_expired_);
   window.admitted = std::move(pending_admitted_);
@@ -74,7 +74,7 @@ void SlidingTimeWindower::Push(const Triple& triple, int64_t timestamp_ms) {
     next_emit_ms_ += slide_ms_;
   }
 
-  buffer_.push_back(TimestampedTriple{triple, timestamp_ms});
+  buffer_.Append(triple, timestamp_ms);
   pending_admitted_.push_back(triple);
 }
 
@@ -85,9 +85,9 @@ void SlidingTimeWindower::Flush() {
 }
 
 void SlidingTimeWindower::EvictOlderThan(int64_t cutoff_ms) {
-  while (!buffer_.empty() && buffer_.front().timestamp_ms < cutoff_ms) {
-    pending_expired_.push_back(buffer_.front().triple);
-    buffer_.pop_front();
+  while (!buffer_.empty() && buffer_.TimestampAt(0) < cutoff_ms) {
+    pending_expired_.push_back(buffer_.Front());
+    buffer_.PopFront();
   }
 }
 
@@ -95,10 +95,7 @@ void SlidingTimeWindower::Emit() {
   if (buffer_.empty()) return;  // Boundaries with no live items are skipped.
   TripleWindow window;
   window.sequence = next_sequence_++;
-  window.items.reserve(buffer_.size());
-  for (const TimestampedTriple& item : buffer_) {
-    window.items.push_back(item.triple);
-  }
+  buffer_.CopyTo(&window.items);
   // Deltas accumulate across skipped (empty) boundaries so the multiset
   // invariant holds against the previously *emitted* window.
   window.has_delta = true;

@@ -2,11 +2,11 @@
 #define STREAMASP_STREAM_WINDOWING_H_
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <vector>
 
 #include "stream/triple.h"
+#include "stream/window_store.h"
 
 namespace streamasp {
 
@@ -42,13 +42,16 @@ class SlidingCountWindower {
 
   uint64_t emitted_windows() const { return next_sequence_; }
 
+  /// Column-storage bytes of the retained buffer (bytes-per-triple stat).
+  size_t retained_bytes() const { return buffer_.bytes(); }
+
  private:
   void Emit();
 
   size_t size_;
   size_t slide_;
   WindowCallback callback_;
-  std::deque<Triple> buffer_;
+  WindowStore buffer_;  ///< Columnar retained window (compact data plane).
   std::vector<Triple> pending_expired_;   ///< Evicted since last emission.
   std::vector<Triple> pending_admitted_;  ///< Arrived since last emission.
   size_t arrivals_since_emit_ = 0;
@@ -81,6 +84,9 @@ class SlidingTimeWindower {
 
   uint64_t emitted_windows() const { return next_sequence_; }
 
+  /// Column-storage bytes of the retained buffer (bytes-per-triple stat).
+  size_t retained_bytes() const { return buffer_.bytes(); }
+
  private:
   void EvictOlderThan(int64_t cutoff_ms);
   void Emit();
@@ -88,7 +94,7 @@ class SlidingTimeWindower {
   int64_t size_ms_;
   int64_t slide_ms_;
   WindowCallback callback_;
-  std::deque<TimestampedTriple> buffer_;
+  WindowStore buffer_{WindowStore::Options{/*with_timestamps=*/true, false}};
   std::vector<Triple> pending_expired_;
   std::vector<Triple> pending_admitted_;
   int64_t latest_ms_ = 0;

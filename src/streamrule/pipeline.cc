@@ -71,6 +71,14 @@ StreamRulePipeline::StreamRulePipeline(const Program* program,
   query_ = std::make_unique<StreamQueryProcessor>(
       options_.window_size, options_.window_slide,
       [this](TripleWindow window) {
+        {
+          // Caller-thread sample: the windower just closed this window, so
+          // its retained buffer is at the per-window peak. Sampling here
+          // (not in stats()) keeps WindowStore reads off foreign threads.
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          stats_.window_store_bytes =
+              std::max(stats_.window_store_bytes, query_->retained_bytes());
+        }
         if (options_.async) {
           EnqueueWindow(std::move(window));
         } else {
@@ -378,6 +386,10 @@ void StreamRulePipeline::DeliverResult(
     stats_.warm_start_hits += result->solving.warm_start_hits;
     stats_.total_ground_ms += result->ground_ms;
     stats_.total_solve_ms += result->solve_ms;
+    stats_.atom_table_bytes =
+        std::max(stats_.atom_table_bytes, result->grounding.atom_table_bytes);
+    stats_.max_window_items =
+        std::max<uint64_t>(stats_.max_window_items, window.size());
   }
   callback_(window, *result);
 }

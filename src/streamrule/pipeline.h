@@ -139,8 +139,27 @@ struct PipelineStats {
   double total_ground_ms = 0;
   double total_solve_ms = 0;
 
+  // --- compact-data-plane footprint (high-water marks, not totals):
+  // how many bytes the packed plane retains per triple it holds ---
+  size_t window_store_bytes = 0;  ///< Peak windower/query retained bytes,
+                                  ///< sampled on the caller thread at each
+                                  ///< window close.
+  size_t atom_table_bytes = 0;    ///< Peak per-window AtomTable bytes
+                                  ///< (summed over partitions).
+  uint64_t max_window_items = 0;  ///< Largest reasoned window.
+
   double mean_latency_ms() const {
     return windows == 0 ? 0.0 : total_latency_ms / static_cast<double>(windows);
+  }
+
+  /// Retained data-plane bytes (window store + grounding atom table, both
+  /// at peak) per triple of the largest window — the machine-independent
+  /// memory-compactness gate benched by tools/check_bench_regression.py.
+  double bytes_per_triple() const {
+    return max_window_items == 0
+               ? 0.0
+               : static_cast<double>(window_store_bytes + atom_table_bytes) /
+                     static_cast<double>(max_window_items);
   }
 };
 

@@ -186,16 +186,22 @@ void ShardedPipelineEngine::Route(const Triple& triple) {
   // overflows — the eviction lands in the *owning* shard's expired
   // delta, which is what keeps every per-shard delta exactly the routed
   // split of the global one.
-  global_window_.emplace_back(triple, static_cast<uint32_t>(shard));
+  global_window_.Append(triple, /*timestamp_ms=*/0,
+                        static_cast<uint32_t>(shard));
   pending_admitted_[shard].push_back(triple);
   ++slice_count_[shard];
   if (global_window_.size() > window_size_) {
-    std::pair<Triple, uint32_t>& oldest = global_window_.front();
-    pending_expired_[oldest.second].push_back(std::move(oldest.first));
-    --slice_count_[oldest.second];
-    global_window_.pop_front();
+    const uint32_t oldest_shard = global_window_.ShardAt(0);
+    pending_expired_[oldest_shard].push_back(global_window_.Front());
+    --slice_count_[oldest_shard];
+    global_window_.PopFront();
   }
   ++arrivals_since_emit_;
+  if (global_window_.bytes() >
+      router_window_bytes_.load(std::memory_order_relaxed)) {
+    router_window_bytes_.store(global_window_.bytes(),
+                               std::memory_order_relaxed);
+  }
   // Same cadence as the unsharded sliding windower: first boundary when
   // the global window first fills, then every slide_ survivors.
   if ((!emitted_once_ && global_window_.size() == window_size_) ||
@@ -517,8 +523,17 @@ ShardedPipelineStats ShardedPipelineEngine::stats() const {
     out.aggregate.warm_start_hits += stats.warm_start_hits;
     out.aggregate.total_ground_ms += stats.total_ground_ms;
     out.aggregate.total_solve_ms += stats.total_solve_ms;
+    // Data-plane footprint: shard peaks coexist (they retain disjoint
+    // splits of the same global window), so bytes sum; the per-shard
+    // window-item peaks likewise sum to ~the global window size, which
+    // keeps aggregate.bytes_per_triple() a per-global-triple figure.
+    out.aggregate.window_store_bytes += stats.window_store_bytes;
+    out.aggregate.atom_table_bytes += stats.atom_table_bytes;
+    out.aggregate.max_window_items += stats.max_window_items;
     out.per_shard.push_back(stats);
   }
+  out.aggregate.window_store_bytes +=
+      router_window_bytes_.load(std::memory_order_relaxed);
   out.routed_items.reserve(routed_items_.size());
   for (const std::atomic<uint64_t>& routed : routed_items_) {
     out.routed_items.push_back(routed.load(std::memory_order_relaxed));

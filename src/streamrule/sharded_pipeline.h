@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "stream/shard_key.h"
+#include "stream/window_store.h"
 #include "streamrule/pipeline.h"
 #include "util/bounded_queue.h"
 
@@ -278,10 +279,12 @@ class ShardedPipelineEngine {
   uint64_t next_global_sequence_ = 0;
 
   // --- sliding router state (caller thread only; untouched when
-  // tumbling). The retained global window with each item's shard keeps
-  // eviction in global arrival order, so every per-shard expired list is
-  // a prefix of that shard's retained sub-stream. ---
-  std::deque<std::pair<Triple, uint32_t>> global_window_;
+  // tumbling). The retained global window is a columnar WindowStore with
+  // a shard-assignment column; eviction in global arrival order keeps
+  // every per-shard expired list a prefix of that shard's retained
+  // sub-stream. ---
+  WindowStore global_window_{
+      WindowStore::Options{/*with_timestamps=*/false, /*with_shards=*/true}};
   std::vector<std::vector<Triple>> pending_expired_;   ///< Per shard.
   std::vector<std::vector<Triple>> pending_admitted_;  ///< Per shard.
   std::vector<size_t> slice_count_;  ///< Retained items per shard.
@@ -295,6 +298,10 @@ class ShardedPipelineEngine {
   std::atomic<uint64_t> filtered_items_{0};
   std::atomic<uint64_t> delta_punctuations_{0};
   std::atomic<uint64_t> skipped_empty_slices_{0};
+  /// Peak bytes of the router's retained global WindowStore, published on
+  /// the caller-thread sliding push path (stats() must not touch
+  /// global_window_ itself — it races the router).
+  std::atomic<size_t> router_window_bytes_{0};
 
   // --- shards ---
   std::vector<std::unique_ptr<StreamRulePipeline>> shards_;

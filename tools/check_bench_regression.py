@@ -20,6 +20,12 @@ against checked-in reference values in bench/baseline.json:
     divides the grounding-reuse-only run's reason_ms_total (ground +
     solve — comparable across the phase boundary reuse_solving moves) by
     the reuse_solving run's, i.e. the reasoning-phase speedup.
+  * ceilings: machine-independent upper bounds on a run field, used for
+    the compact data plane's bytes_per_triple counter (retained window
+    store + grounding atom table bytes per triple of the largest window).
+    Bytes are deterministic for a fixed workload — no tolerance derating;
+    the ceiling caps representation bloat (a reverted packed layout, a
+    leaked per-window buffer) regardless of host speed.
 
 Usage:
   check_bench_regression.py [--baseline bench/baseline.json] \
@@ -115,6 +121,26 @@ def main():
               f"{measured:.2f}x (minimum {minimum:.2f}x)")
         if measured < minimum:
             failures.append(f"{name} {ratio.get('name', 'ratio')}")
+
+    for name, ceilings in baseline.get("ceilings", {}).items():
+        if name not in documents:
+            continue
+        runs = documents[name]["runs"]
+        for ceiling in ceilings:
+            checks += 1
+            run = find_run(runs, ceiling["match"], name)
+            field = ceiling.get("field", "bytes_per_triple")
+            if field not in run:
+                raise SystemExit(
+                    f"baseline {name} ceiling {ceiling['match']}: run has "
+                    f"no field {field!r} (older bench binary?)")
+            maximum = float(ceiling["max"])
+            measured = float(run[field])
+            verdict = "ok" if measured <= maximum else "FAIL"
+            print(f"[{verdict}] {name} {ceiling['match']} ({field}): "
+                  f"{measured:.1f} (ceiling {maximum:.1f})")
+            if measured > maximum:
+                failures.append(f"{name} ceiling {ceiling['match']}")
 
     if checks == 0:
         raise SystemExit("no checks ran: baseline keys do not match the "
