@@ -7,9 +7,11 @@
 // node universe — transitive closure makes instantiation the dominant
 // per-window cost, which is the regime the incremental grounder's delta
 // replay targets (the flat traffic rules ground in linear time, so there
-// is little instantiation to save there). Emits one machine-readable JSON
-// document on stdout for the perf trajectory; human-readable notes go to
-// stderr.
+// is little instantiation to save there). A final burst-overload leg
+// drives a self-clocked flash-crowd stream against an undersized
+// kDropOldest pipeline and reports completeness/shed accounting.
+// Emits one machine-readable JSON document on stdout for the perf
+// trajectory; human-readable notes go to stderr.
 //
 // Throughput is items pushed / wall time of PushBatch+Flush (i.e. the rate
 // the ingest side sustains while reasoning keeps up); window latency is the
@@ -21,6 +23,8 @@
 // Usage: async_pipeline [items] [window_size]
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -80,6 +84,15 @@ struct RunResult {
   size_t window_store_bytes = 0;
   size_t atom_table_bytes = 0;
   double bytes_per_triple = 0;
+  // Graceful-degradation accounting (docs/benchmarks.md): always present
+  // for a uniform schema; lossless runs report 1.0 / 0 / 0 / 0. The
+  // burst-overload leg's completeness is gated by a machine-independent
+  // minimum in bench/baseline.json; unaccounted_windows must be 0 (every
+  // emitted window delivered or tombstoned — the no-stall invariant).
+  double completeness = 1.0;
+  uint64_t shed_windows = 0;
+  double p99_emit_latency_ms = 0;  // Window close -> ordered delivery.
+  long long unaccounted_windows = 0;
 };
 
 double Percentile(std::vector<double> values, double p) {
@@ -157,6 +170,106 @@ RunResult RunOnce(const Program& program, const std::vector<Triple>& stream,
   run.window_store_bytes = stats.window_store_bytes;
   run.atom_table_bytes = stats.atom_table_bytes;
   run.bytes_per_triple = stats.bytes_per_triple();
+  run.completeness = stats.completeness();
+  run.shed_windows = stats.shed_windows();
+  return run;
+}
+
+// Graceful-degradation leg: a flash-crowd burst stream against a
+// deliberately undersized async pipeline (one worker, two in-flight
+// windows) with kDropOldest shedding. Pacing is self-clocked rather than
+// timed: valley windows are pushed behind a Flush() drain barrier, so
+// during valleys ingest can never outrun service and nothing sheds;
+// spike windows are pushed back-to-back, so during spikes ingest is
+// effectively infinitely faster than service and the queue sheds
+// spike_len - (capacity + 1) windows (the worker holds one, the queue
+// retains `capacity`). The shed fraction therefore depends only on the
+// spike shape and queue capacity — not on host speed — which is what
+// makes the completeness minimum in bench/baseline.json a meaningful
+// machine-independent gate (worst case: every spike window past the
+// worker's sheds, completeness 110/120).
+RunResult RunBurstOverload(const Program& program,
+                           const SymbolTablePtr& symbols,
+                           size_t window_size) {
+  using Clock = std::chrono::steady_clock;
+  const size_t burst_window = std::max<size_t>(100, window_size / 4);
+  const size_t num_windows = 120;
+
+  BurstOptions burst;
+  burst.shape = BurstShape::kFlashCrowd;
+  burst.period = 60 * burst_window;  // 6-window spikes, 54-window valleys.
+  burst.burst_fraction = 0.1;
+
+  PipelineOptions options;
+  options.window_size = burst_window;
+  options.async = true;
+  options.num_reason_workers = 1;
+  options.max_inflight_windows = 2;
+  options.backpressure = BackpressurePolicy::kDropOldest;
+  std::vector<Clock::time_point> close_times(num_windows);
+  std::vector<double> latencies;
+  std::vector<double> emit_latencies;
+  StatusOr<std::unique_ptr<StreamRulePipeline>> pipeline =
+      StreamRulePipeline::Create(
+          &program, options,
+          [&](const TripleWindow& window,
+              const ParallelReasonerResult& result) {
+            latencies.push_back(result.latency_ms);
+            if (window.sequence < close_times.size()) {
+              emit_latencies.push_back(
+                  std::chrono::duration<double, std::milli>(
+                      Clock::now() - close_times[window.sequence])
+                      .count());
+            }
+          });
+  if (!pipeline.ok()) {
+    std::fprintf(stderr, "burst pipeline: %s\n",
+                 pipeline.status().ToString().c_str());
+    std::exit(1);
+  }
+
+  BurstyStreamGenerator generator =
+      MakeTrafficBurstGenerator(*symbols, 5, burst);
+  WallTimer wall;
+  for (size_t k = 0; k < num_windows; ++k) {
+    const bool spike = generator.InBurst(generator.position());
+    const std::vector<Triple> chunk = generator.Generate(burst_window);
+    // Stamp before the push: the window closes inside PushBatch.
+    close_times[k] = Clock::now();
+    (*pipeline)->PushBatch(chunk);
+    // Valley: drain before the next window (ingest at service rate).
+    // Spike: no barrier — the next window lands immediately.
+    if (!spike) (*pipeline)->Flush();
+  }
+  (*pipeline)->Flush();
+  const double wall_ms = wall.ElapsedMillis();
+
+  const PipelineStats stats = (*pipeline)->stats();
+  RunResult run;
+  run.mode = "burst-overload";
+  run.workload = "traffic_pprime_flash_crowd";
+  run.inflight = options.max_inflight_windows;
+  run.workers = (*pipeline)->num_reason_workers();
+  run.wall_ms = wall_ms;
+  run.triples_per_sec =
+      wall_ms > 0 ? static_cast<double>(num_windows * burst_window) /
+                        (wall_ms / 1000.0)
+                  : 0;
+  run.p50_latency_ms = Percentile(latencies, 0.50);
+  run.p99_latency_ms = Percentile(latencies, 0.99);
+  run.windows = stats.windows;
+  run.answers = stats.answers;
+  run.max_queue_depth = stats.max_queue_depth;
+  run.max_reorder_depth = stats.max_reorder_depth;
+  run.window_store_bytes = stats.window_store_bytes;
+  run.atom_table_bytes = stats.atom_table_bytes;
+  run.bytes_per_triple = stats.bytes_per_triple();
+  run.completeness = stats.completeness();
+  run.shed_windows = stats.shed_windows();
+  run.p99_emit_latency_ms = Percentile(emit_latencies, 0.99);
+  run.unaccounted_windows =
+      static_cast<long long>(num_windows) -
+      static_cast<long long>(stats.windows + stats.shed_windows());
   return run;
 }
 
@@ -260,6 +373,11 @@ int main(int argc, char** argv) {
   // reason_ms_total against the grounding-reuse-only run's.
   runs.push_back(RunSlidingReach(symbols, tc_items, tc_window,
                                  /*reuse=*/true, /*reuse_solving=*/true));
+  // Graceful-degradation leg: self-clocked flash-crowd overload against
+  // an undersized kDropOldest pipeline (see RunBurstOverload). Gated by a
+  // completeness minimum and an unaccounted_windows ceiling in
+  // bench/baseline.json.
+  runs.push_back(RunBurstOverload(*program, symbols, window_size));
 
   std::printf("{\n");
   std::printf("  \"bench\": \"async_pipeline\",\n");
@@ -289,7 +407,9 @@ int main(int argc, char** argv) {
         "\"ground_ms_total\": %.2f, \"solve_ms_total\": %.2f, "
         "\"reason_ms_total\": %.2f, "
         "\"window_store_bytes\": %zu, \"atom_table_bytes\": %zu, "
-        "\"bytes_per_triple\": %.1f}%s\n",
+        "\"bytes_per_triple\": %.1f, "
+        "\"completeness\": %.4f, \"shed_windows\": %llu, "
+        "\"p99_emit_latency_ms\": %.3f, \"unaccounted_windows\": %lld}%s\n",
         run.mode.c_str(), run.workload.c_str(), run.inflight, run.workers,
         run.window_slide, run.reuse ? "true" : "false",
         run.reuse_solving ? "true" : "false", run.wall_ms,
@@ -310,6 +430,8 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(run.warm_start_hits),
         run.ground_ms_total, run.solve_ms_total, run.reason_ms_total,
         run.window_store_bytes, run.atom_table_bytes, run.bytes_per_triple,
+        run.completeness, static_cast<unsigned long long>(run.shed_windows),
+        run.p99_emit_latency_ms, run.unaccounted_windows,
         i + 1 < runs.size() ? "," : "");
   }
   std::printf("  ]\n");

@@ -77,4 +77,47 @@ TripleWindow SyntheticStreamGenerator::GenerateTripleWindow(
   return window;
 }
 
+BurstyStreamGenerator::BurstyStreamGenerator(
+    std::vector<StreamPredicate> schema, GeneratorOptions options,
+    BurstOptions burst)
+    : base_(std::move(schema), options),
+      burst_(burst),
+      // Decorrelate the overlay draws from the base generator so adding
+      // the overlay never perturbs the base item sequence.
+      overlay_rng_(options.seed ^ 0x9e3779b97f4a7c15ULL) {
+  if (burst_.period == 0) burst_.period = 1;
+  if (burst_.hot_subjects == 0) burst_.hot_subjects = 1;
+  burst_.burst_fraction = std::min(std::max(burst_.burst_fraction, 0.0), 1.0);
+  if (burst_.burst_intensity < 1.0) burst_.burst_intensity = 1.0;
+}
+
+bool BurstyStreamGenerator::InBurst(uint64_t position) const {
+  if (burst_.shape == BurstShape::kSustained) return true;
+  const uint64_t phase = position % burst_.period;
+  return static_cast<double>(phase) <
+         burst_.burst_fraction * static_cast<double>(burst_.period);
+}
+
+double BurstyStreamGenerator::IntensityAt(uint64_t position) const {
+  return InBurst(position) ? burst_.burst_intensity : 1.0;
+}
+
+std::vector<Triple> BurstyStreamGenerator::Generate(size_t count) {
+  std::vector<Triple> items = base_.GenerateWindow(count);
+  const bool storm = burst_.shape == BurstShape::kHotKeyStorm;
+  for (size_t i = 0; i < count; ++i) {
+    const uint64_t position = position_ + i;
+    if (storm && InBurst(position) &&
+        overlay_rng_.NextDouble() < burst_.hot_fraction) {
+      // Collapse the subject onto the hot pool. Hot keys live outside the
+      // base subject range so the storm is visible as distinct entities
+      // (and hashes them onto a fixed small set of shards).
+      items[i].subject = Term::Integer(static_cast<int64_t>(
+          (1u << 20) + overlay_rng_.NextBounded(burst_.hot_subjects)));
+    }
+  }
+  position_ += count;
+  return items;
+}
+
 }  // namespace streamasp

@@ -80,6 +80,92 @@ class SyntheticStreamGenerator {
   uint64_t next_sequence_ = 0;
 };
 
+/// Adversarial load shapes for the overload tests and the burst-overload
+/// bench legs: how the stream's arrival rate and key skew vary over time.
+enum class BurstShape {
+  /// Periodic flash-crowd spikes: inside each spike the intended arrival
+  /// rate jumps to burst_intensity× the base rate (content stays the base
+  /// distribution). Models breaking-news / incident traffic.
+  kFlashCrowd,
+  /// Periodic hot-key storms: spikes additionally collapse subjects onto
+  /// a tiny hot pool, so hash-sharded consumers see one or two shards
+  /// absorb the whole spike. Models a single hot entity going viral.
+  kHotKeyStorm,
+  /// Sustained overload: every position is "in burst" at burst_intensity,
+  /// no recovery valleys. Models steady-state over-admission.
+  kSustained,
+};
+
+constexpr const char* BurstShapeName(BurstShape shape) {
+  switch (shape) {
+    case BurstShape::kFlashCrowd:
+      return "flash-crowd";
+    case BurstShape::kHotKeyStorm:
+      return "hot-key-storm";
+    case BurstShape::kSustained:
+      return "sustained";
+  }
+  return "unknown";
+}
+
+/// Configuration of the adversarial load shape.
+struct BurstOptions {
+  BurstShape shape = BurstShape::kFlashCrowd;
+
+  /// Items per burst cycle (spike + recovery valley).
+  size_t period = 8192;
+
+  /// Fraction of each period spent inside the spike, in (0, 1].
+  double burst_fraction = 0.25;
+
+  /// Intended arrival-rate multiplier inside a spike (IntensityAt); the
+  /// generator itself is pull-based, so producers apply this as a pacing
+  /// hint — push IntensityAt(p)× the sustainable base rate at position p.
+  double burst_intensity = 4.0;
+
+  /// kHotKeyStorm: size of the hot subject pool a spike collapses onto.
+  size_t hot_subjects = 4;
+
+  /// kHotKeyStorm: probability an in-spike item draws its subject from
+  /// the hot pool instead of the base distribution.
+  double hot_fraction = 0.9;
+};
+
+/// Deterministic bursty/adversarial stream: base items come from a
+/// SyntheticStreamGenerator, and a position-driven overlay applies the
+/// BurstShape — rate spikes are exposed as pacing hints (IntensityAt) and
+/// hot-key storms rewrite in-spike subjects onto the hot pool. Determinism
+/// is in (seed, call sequence), like the base generator, and the overlay
+/// is a pure function of the item's global position, so two runs with the
+/// same seed and chunking see byte-identical streams.
+class BurstyStreamGenerator {
+ public:
+  BurstyStreamGenerator(std::vector<StreamPredicate> schema,
+                        GeneratorOptions options, BurstOptions burst);
+
+  /// Generates the next `count` items of the stream (positions continue
+  /// across calls).
+  std::vector<Triple> Generate(size_t count);
+
+  /// True when global position `position` falls inside a spike.
+  bool InBurst(uint64_t position) const;
+
+  /// Intended arrival-rate multiplier at `position` (>= 1.0); producers
+  /// multiply their base push rate by this to realize the load shape.
+  double IntensityAt(uint64_t position) const;
+
+  /// Global position of the next item Generate will produce.
+  uint64_t position() const { return position_; }
+
+  const BurstOptions& burst_options() const { return burst_; }
+
+ private:
+  SyntheticStreamGenerator base_;
+  BurstOptions burst_;
+  Rng overlay_rng_;
+  uint64_t position_ = 0;
+};
+
 }  // namespace streamasp
 
 #endif  // STREAMASP_STREAM_GENERATOR_H_

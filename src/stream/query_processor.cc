@@ -80,9 +80,41 @@ void StreamQueryProcessor::CloseWindowWithDelta(WindowDelta delta) {
   window.sequence = next_sequence_++;
   buffer_.CopyTo(&window.items);
   window.has_delta = true;
-  window.expired = std::move(delta.expired);
-  window.admitted = std::move(delta.admitted);
+  window.delta_base = delta_base_;
+  if (pending_expired_.empty() && pending_admitted_.empty()) {
+    window.expired = std::move(delta.expired);
+    window.admitted = std::move(delta.admitted);
+  } else {
+    // Folded shed deltas are older than the router's: prepend-by-append.
+    window.expired = std::move(pending_expired_);
+    window.admitted = std::move(pending_admitted_);
+    window.expired.insert(window.expired.end(), delta.expired.begin(),
+                          delta.expired.end());
+    window.admitted.insert(window.admitted.end(), delta.admitted.begin(),
+                           delta.admitted.end());
+    pending_expired_.clear();
+    pending_admitted_.clear();
+  }
+  delta_base_ = window.sequence;
   callback_(std::move(window));
+}
+
+void StreamQueryProcessor::FoldShedDelta(TripleWindow* shed) {
+  if (!shed->has_delta) return;
+  // Synchronous sheds only: the window being folded must be this
+  // processor's most recent emission, or the accumulators would net
+  // changes out of order (see header).
+  assert(shed->sequence + 1 == next_sequence_);
+  assert(delta_base_ == shed->sequence);
+  pending_expired_.insert(pending_expired_.end(),
+                          std::make_move_iterator(shed->expired.begin()),
+                          std::make_move_iterator(shed->expired.end()));
+  pending_admitted_.insert(pending_admitted_.end(),
+                           std::make_move_iterator(shed->admitted.begin()),
+                           std::make_move_iterator(shed->admitted.end()));
+  shed->expired.clear();
+  shed->admitted.clear();
+  delta_base_ = shed->delta_base;
 }
 
 void StreamQueryProcessor::Flush() {
@@ -107,10 +139,12 @@ void StreamQueryProcessor::EmitSliding() {
   window.sequence = next_sequence_++;
   buffer_.CopyTo(&window.items);
   window.has_delta = true;
+  window.delta_base = delta_base_;
   window.expired = std::move(pending_expired_);
   window.admitted = std::move(pending_admitted_);
   pending_expired_.clear();
   pending_admitted_.clear();
+  delta_base_ = window.sequence;
   arrivals_since_emit_ = 0;
   emitted_once_ = true;
   callback_(std::move(window));

@@ -84,6 +84,24 @@ class StreamQueryProcessor {
   /// punctuation (the external windower owns every boundary).
   void Flush();
 
+  /// Load-shedding support: hands a just-emitted delta-carrying window's
+  /// delta back so the NEXT emission nets the change across the gap and
+  /// the delivered stream's delta chain stays exact. The shed window's
+  /// expired/admitted move into the delta accumulators and its delta_base
+  /// becomes the accumulators' base, so under external punctuation the
+  /// shard's next punctuation carries (shed delta ∘ next delta) —
+  /// mirroring the router's skipped-empty-slice folding.
+  ///
+  /// Precondition: `shed` must be the most recent emission of this
+  /// processor (shed.sequence == the last emitted sequence) — i.e. the
+  /// caller sheds synchronously from inside the window callback, as the
+  /// pipeline's kReject/admission-control path does. Asynchronous
+  /// evictions (kDropOldest) must NOT fold: their gap is mid-stream, so
+  /// the delta chain simply breaks and incremental consumers detect the
+  /// delta_base mismatch and snapshot-diff. No-op for windows without a
+  /// delta.
+  void FoldShedDelta(TripleWindow* shed);
+
   /// Items dropped by the filter so far.
   uint64_t dropped_count() const { return dropped_; }
 
@@ -110,9 +128,15 @@ class StreamQueryProcessor {
   std::vector<Triple> pending_;
   /// Sliding state: last window_size_ survivors + delta accumulators
   /// (columnar; also the retained buffer under external punctuation).
+  /// Under external punctuation the accumulators hold only folded shed
+  /// deltas (FoldShedDelta), prepended to the router's delta at the next
+  /// punctuation.
   WindowStore buffer_;
   std::vector<Triple> pending_expired_;
   std::vector<Triple> pending_admitted_;
+  /// Emitted sequence the delta accumulators are relative to (becomes the
+  /// next emission's TripleWindow::delta_base).
+  uint64_t delta_base_ = TripleWindow::kNoDeltaBase;
   size_t arrivals_since_emit_ = 0;
   bool emitted_once_ = false;
   uint64_t next_sequence_ = 0;

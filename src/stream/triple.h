@@ -45,11 +45,24 @@ struct Triple {
 /// emissions of a time windower) — consumers must net the counts. Windows
 /// from tumbling windowers leave has_delta false; the incremental
 /// grounding layer then falls back to its own snapshot diff.
+///
+/// Under load shedding the delta is not necessarily relative to
+/// `sequence - 1`: when an emitted window is shed synchronously (kReject
+/// refusal or admission-control rejection) the query processor folds its
+/// delta into the next emission, so the next window's delta nets the
+/// change across the gap. `delta_base` names the emitted sequence the
+/// delta is relative to (kNoDeltaBase for the first emission, whose delta
+/// is relative to the empty window); incremental consumers compare it
+/// against their cached sequence and snapshot-diff on mismatch.
 struct TripleWindow {
+  /// delta_base value of a window whose delta has no predecessor.
+  static constexpr uint64_t kNoDeltaBase = ~uint64_t{0};
+
   uint64_t sequence = 0;
   std::vector<Triple> items;
 
   bool has_delta = false;
+  uint64_t delta_base = kNoDeltaBase;  ///< Window the delta is relative to.
   std::vector<Triple> expired;   ///< Left the window since the previous one.
   std::vector<Triple> admitted;  ///< Entered the window since the previous.
 

@@ -41,6 +41,8 @@ void SlidingCountWindower::Emit() {
   window.sequence = next_sequence_++;
   buffer_.CopyTo(&window.items);
   window.has_delta = true;
+  window.delta_base =
+      window.sequence == 0 ? TripleWindow::kNoDeltaBase : window.sequence - 1;
   window.expired = std::move(pending_expired_);
   window.admitted = std::move(pending_admitted_);
   pending_expired_.clear();
@@ -99,6 +101,8 @@ void SlidingTimeWindower::Emit() {
   // Deltas accumulate across skipped (empty) boundaries so the multiset
   // invariant holds against the previously *emitted* window.
   window.has_delta = true;
+  window.delta_base =
+      window.sequence == 0 ? TripleWindow::kNoDeltaBase : window.sequence - 1;
   window.expired = std::move(pending_expired_);
   window.admitted = std::move(pending_admitted_);
   pending_expired_.clear();

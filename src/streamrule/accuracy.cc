@@ -36,4 +36,16 @@ double MeanAccuracy(const std::vector<GroundAnswer>& pr_answers,
   return sum / static_cast<double>(pr_answers.size());
 }
 
+double CompletenessRatio(uint64_t items_reasoned, uint64_t items_admitted) {
+  if (items_admitted == 0) return 1.0;
+  if (items_reasoned >= items_admitted) return 1.0;
+  return static_cast<double>(items_reasoned) /
+         static_cast<double>(items_admitted);
+}
+
+double EstimatedCompleteness(const std::vector<GroundAnswer>& degraded,
+                             const std::vector<GroundAnswer>& reference) {
+  return MeanAccuracy(degraded, reference);
+}
+
 }  // namespace streamasp

@@ -92,6 +92,7 @@ StatusOr<ParallelReasonerResult> ParallelReasoner::Process(
       sub_windows[i].items = std::move(partitions[i]);
       if (window.has_delta) {
         sub_windows[i].has_delta = true;
+        sub_windows[i].delta_base = window.delta_base;
         sub_windows[i].expired = std::move(expired[i]);
         sub_windows[i].admitted = std::move(admitted[i]);
       }

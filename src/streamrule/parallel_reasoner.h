@@ -26,6 +26,13 @@ struct ParallelReasonerOptions {
 struct ParallelReasonerResult {
   std::vector<GroundAnswer> answers;
 
+  /// Exact completeness of this window's input: the fraction of admitted
+  /// items that were actually reasoned (accuracy.h CompletenessRatio).
+  /// Always 1.0 from the reasoner itself; the sharded engine's merge
+  /// lowers it when tombstoned (shed) sub-windows contributed to the
+  /// merged global window. Exactly 1.0 when nothing was shed.
+  double completeness = 1.0;
+
   /// End-to-end measured wall latency (partitioning + parallel reasoning +
   /// combining). On a machine with at least as many free cores as
   /// partitions this approaches critical_path_ms; on fewer cores the

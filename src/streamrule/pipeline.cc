@@ -11,7 +11,8 @@ namespace streamasp {
 
 StatusOr<std::unique_ptr<StreamRulePipeline>> StreamRulePipeline::Create(
     const Program* program, PipelineOptions options,
-    ResultCallback callback, ErrorCallback error_callback) {
+    ResultCallback callback, ErrorCallback error_callback,
+    ShedCallback shed_callback) {
   if (program == nullptr) {
     return InvalidArgumentError("program must not be null");
   }
@@ -53,7 +54,8 @@ StatusOr<std::unique_ptr<StreamRulePipeline>> StreamRulePipeline::Create(
   }
   return std::unique_ptr<StreamRulePipeline>(new StreamRulePipeline(
       program, std::move(options), std::move(plan), info,
-      std::move(callback), std::move(error_callback)));
+      std::move(callback), std::move(error_callback),
+      std::move(shed_callback)));
 }
 
 StreamRulePipeline::StreamRulePipeline(const Program* program,
@@ -61,13 +63,15 @@ StreamRulePipeline::StreamRulePipeline(const Program* program,
                                        PartitioningPlan plan,
                                        DecompositionInfo info,
                                        ResultCallback callback,
-                                       ErrorCallback error_callback)
+                                       ErrorCallback error_callback,
+                                       ShedCallback shed_callback)
     : program_(program),
       options_(options),
       plan_(std::move(plan)),
       info_(info),
       callback_(std::move(callback)),
-      error_callback_(std::move(error_callback)) {
+      error_callback_(std::move(error_callback)),
+      shed_callback_(std::move(shed_callback)) {
   query_ = std::make_unique<StreamQueryProcessor>(
       options_.window_size, options_.window_slide,
       [this](TripleWindow window) {
@@ -78,6 +82,14 @@ StreamRulePipeline::StreamRulePipeline(const Program* program,
           std::lock_guard<std::mutex> lock(stats_mutex_);
           stats_.window_store_bytes =
               std::max(stats_.window_store_bytes, query_->retained_bytes());
+        }
+        if (options_.admission_filter != nullptr &&
+            !options_.admission_filter(window)) {
+          // Caller-controlled shedding, upstream of the work queue: works
+          // in sync mode too, and its sheds are deterministic — which is
+          // what the overload property tests drive.
+          ShedWindow(std::move(window), /*evicted=*/false);
+          return;
         }
         if (options_.async) {
           EnqueueWindow(std::move(window));
@@ -207,27 +219,19 @@ void StreamRulePipeline::EnqueueWindow(TripleWindow window) {
   switch (pushed) {
     case QueuePushResult::kOk:
       break;
-    case QueuePushResult::kDroppedOldest: {
-      {
-        std::lock_guard<std::mutex> lock(emit_mutex_);
-        inflight_.erase(displaced.sequence);
-      }
-      // The evicted window may have been the emitter's next expected
-      // sequence; let it re-evaluate.
-      emit_cv_.notify_all();
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.dropped_windows;
+    case QueuePushResult::kDroppedOldest:
+      // The evicted window was admitted earlier: its tombstone releases
+      // the sequence slot it would otherwise leave gaping (ShedWindow
+      // parks it in the reorder buffer and wakes the emitter, which may
+      // have been waiting on exactly this sequence).
+      ShedWindow(std::move(displaced), /*evicted=*/true);
       break;
-    }
     case QueuePushResult::kRejected: {
       {
-        std::lock_guard<std::mutex> lock(emit_mutex_);
-        inflight_.erase(sequence);
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        --stats_.enqueued_windows;
       }
-      emit_cv_.notify_all();
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      --stats_.enqueued_windows;
-      ++stats_.rejected_windows;
+      ShedWindow(std::move(window), /*evicted=*/false);
       break;
     }
     case QueuePushResult::kClosed: {
@@ -235,11 +239,52 @@ void StreamRulePipeline::EnqueueWindow(TripleWindow window) {
         std::lock_guard<std::mutex> lock(emit_mutex_);
         inflight_.erase(sequence);
       }
+      emit_cv_.notify_all();
       std::lock_guard<std::mutex> lock(stats_mutex_);
       --stats_.enqueued_windows;
       break;
     }
   }
+}
+
+void StreamRulePipeline::ShedWindow(TripleWindow window, bool evicted) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    if (evicted) {
+      ++stats_.dropped_windows;
+    } else {
+      ++stats_.rejected_windows;
+    }
+    stats_.shed_items += window.size();
+  }
+  if (!evicted) {
+    // A synchronous refusal happens inside this very window's emission
+    // callback, so folding its delta back composes exactly: the next
+    // emission nets the change across the gap and the delivered delta
+    // chain (delta_base) stays unbroken. Evictions are mid-stream — the
+    // admitted windows between the victim and "now" are still queued —
+    // so their delta dies with them and incremental consumers detect the
+    // delta_base gap and snapshot-diff.
+    query_->FoldShedDelta(&window);
+  }
+  if (!options_.async) {
+    DeliverShed(window);
+    return;
+  }
+  const uint64_t sequence = window.sequence;
+  {
+    std::lock_guard<std::mutex> lock(emit_mutex_);
+    inflight_.erase(sequence);
+    CompletedWindow tombstone;
+    tombstone.shed = true;
+    tombstone.window = std::move(window);
+    completed_.emplace(sequence, std::move(tombstone));
+  }
+  emit_cv_.notify_all();
+}
+
+void StreamRulePipeline::DeliverShed(TripleWindow& window) {
+  if (shed_callback_ != nullptr) shed_callback_(window);
 }
 
 void StreamRulePipeline::ProcessWindowSync(TripleWindow& window) {
@@ -323,7 +368,11 @@ void StreamRulePipeline::EmitterLoop() {
       ++delivering_;
       lock.unlock();
       try {
-        DeliverResult(done.window, done.result);
+        if (done.shed) {
+          DeliverShed(done.window);
+        } else {
+          DeliverResult(done.window, done.result);
+        }
       } catch (const std::exception& e) {
         // A throwing ResultCallback would terminate the emitter thread;
         // count it like a reasoning error and keep the stream moving.
@@ -332,14 +381,14 @@ void StreamRulePipeline::EmitterLoop() {
           ++stats_.errors;
         }
         STREAMASP_LOG(kError) << "window " << done.window.sequence
-                              << ": result callback threw: " << e.what();
+                              << ": delivery callback threw: " << e.what();
       } catch (...) {
         {
           std::lock_guard<std::mutex> stats_lock(stats_mutex_);
           ++stats_.errors;
         }
         STREAMASP_LOG(kError) << "window " << done.window.sequence
-                              << ": result callback threw";
+                              << ": delivery callback threw";
       }
       lock.lock();
       --delivering_;

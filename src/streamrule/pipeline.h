@@ -12,6 +12,7 @@
 
 #include "depgraph/decomposition.h"
 #include "stream/query_processor.h"
+#include "streamrule/accuracy.h"
 #include "streamrule/parallel_reasoner.h"
 #include "util/bounded_queue.h"
 #include "util/status.h"
@@ -86,8 +87,24 @@ struct PipelineOptions {
 
   /// What Push does when the work queue is full (async only). kBlock is
   /// lossless and keeps async output identical to sync; kDropOldest /
-  /// kReject shed load under overload and are counted in PipelineStats.
+  /// kReject shed load under overload — every shed window is counted in
+  /// PipelineStats AND surfaces as a tombstone on the ShedCallback, in
+  /// strict sequence order, so ordered consumers (the sharded engine's
+  /// merge) release the sequence's slot instead of waiting forever.
   BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+
+  /// Caller-controlled admission control (deterministic load shedding):
+  /// when set, every window the windower closes is offered to this
+  /// predicate on the caller thread; returning false sheds the window
+  /// exactly like a kReject refusal — counted as rejected, delta folded
+  /// into the next emission, tombstone delivered — independent of the
+  /// backpressure policy, and in sync mode too (where the queue-based
+  /// policies never engage). The overload test suite uses it to drive
+  /// reproducible shed patterns; a production caller can use it as an
+  /// upstream load-shedding hook (e.g. shed when a latency SLO is
+  /// already blown). Must be pure/thread-safe if the same options object
+  /// is shared across shard pipelines.
+  std::function<bool(const TripleWindow&)> admission_filter;
 
   InputDependencyOptions dependency;
   DecompositionOptions decomposition;
@@ -106,12 +123,17 @@ struct PipelineStats {
   double total_critical_path_ms = 0;
   uint64_t errors = 0;
 
-  // --- async engine counters (zero in sync mode) ---
+  // --- async engine counters (zero in sync mode, except that the
+  // admission filter counts under rejected_windows in both modes) ---
   uint64_t enqueued_windows = 0;  ///< Windows admitted to the work queue.
   uint64_t dropped_windows = 0;   ///< Evicted by kDropOldest backpressure.
-  uint64_t rejected_windows = 0;  ///< Refused by kReject backpressure.
+  uint64_t rejected_windows = 0;  ///< Refused by kReject backpressure or
+                                  ///< the admission filter.
   size_t max_queue_depth = 0;     ///< Work-queue high-water mark.
   size_t max_reorder_depth = 0;   ///< Ordered-emitter buffer high-water mark.
+
+  // --- graceful-degradation accounting (streamrule/accuracy.h) ---
+  uint64_t shed_items = 0;  ///< Items in shed (dropped/rejected) windows.
 
   // --- grounding reuse counters (zero without reuse_grounding), summed
   // over every partition of every reasoned window ---
@@ -150,6 +172,18 @@ struct PipelineStats {
 
   double mean_latency_ms() const {
     return windows == 0 ? 0.0 : total_latency_ms / static_cast<double>(windows);
+  }
+
+  /// Windows lost to load shedding (evicted + refused), i.e. the number
+  /// of tombstones the pipeline emitted.
+  uint64_t shed_windows() const { return dropped_windows + rejected_windows; }
+
+  /// Exact stream-level completeness under load shedding: items reasoned
+  /// over items admitted by the windower (accuracy.h CompletenessRatio).
+  /// Exactly 1.0 when nothing was shed. Windows lost to reasoning
+  /// *errors* are tracked separately (errors) and not counted here.
+  double completeness() const {
+    return CompletenessRatio(items, items + shed_items);
   }
 
   /// Retained data-plane bytes (window store + grounding atom table, both
@@ -218,8 +252,9 @@ class StreamRulePipeline {
   /// consumer that tracks window sequences (e.g. the sharded engine's
   /// ordered merge) sees exactly one delivery — success or error — per
   /// *reasoned* window. Under the lossless kBlock policy every admitted
-  /// window is reasoned; under kDropOldest/kReject a shed window is
-  /// counted in PipelineStats but delivers no callback of either kind.
+  /// window is reasoned; a shed window delivers neither callback but
+  /// surfaces as a tombstone on the ShedCallback instead, keeping the
+  /// one-delivery-per-emitted-window invariant across all three channels.
   /// Installing it also makes sync mode convert reasoning exceptions into
   /// error deliveries (matching async mode) instead of letting them
   /// propagate out of Push, so the one-delivery-per-reasoned-window
@@ -227,13 +262,27 @@ class StreamRulePipeline {
   /// logged and counted in PipelineStats::errors.
   using ErrorCallback = std::function<void(TripleWindow&, const Status&)>;
 
+  /// Tombstone channel: called once per shed window with the unreasoned
+  /// window (items intact — the consumer can count the loss; the delta of
+  /// a synchronously shed window has already been folded back into the
+  /// windower, see StreamQueryProcessor::FoldShedDelta). Delivered from
+  /// the same thread and interleaved in the same strict sequence order as
+  /// Result/Error callbacks, so an ordered consumer sees exactly one
+  /// delivery — result, error, or tombstone — for every window the
+  /// windower emitted, and can release per-sequence bookkeeping (the
+  /// sharded engine's merge slot) instead of stalling on a gap. Optional;
+  /// without it shed windows are still counted in PipelineStats and their
+  /// tombstones silently discarded in order.
+  using ShedCallback = std::function<void(TripleWindow&)>;
+
   /// Runs design-time analysis on `program` (which must outlive the
   /// pipeline) and wires the run-time components. Fails when the program
   /// is invalid, declares no usable input predicates, or the async options
   /// are inconsistent.
   static StatusOr<std::unique_ptr<StreamRulePipeline>> Create(
       const Program* program, PipelineOptions options,
-      ResultCallback callback, ErrorCallback error_callback = nullptr);
+      ResultCallback callback, ErrorCallback error_callback = nullptr,
+      ShedCallback shed_callback = nullptr);
 
   /// Drains every admitted window (without flushing a partial one), then
   /// stops the engine threads.
@@ -283,16 +332,19 @@ class StreamRulePipeline {
   size_t num_reason_workers() const { return workers_.size(); }
 
  private:
-  /// A reasoned window parked in the reorder buffer until every
-  /// lower-sequence window has been delivered.
+  /// A reasoned (or shed) window parked in the reorder buffer until every
+  /// lower-sequence window has been delivered. Shed windows ride the same
+  /// buffer so tombstones interleave with results in sequence order.
   struct CompletedWindow {
     TripleWindow window;
     StatusOr<ParallelReasonerResult> result{InternalError("not run")};
+    bool shed = false;  ///< Tombstone: deliver via ShedCallback.
   };
 
   StreamRulePipeline(const Program* program, PipelineOptions options,
                      PartitioningPlan plan, DecompositionInfo info,
-                     ResultCallback callback, ErrorCallback error_callback);
+                     ResultCallback callback, ErrorCallback error_callback,
+                     ShedCallback shed_callback);
 
   void StartAsyncEngine();
   /// Stage boundary: windower output → work queue (applies backpressure).
@@ -305,6 +357,15 @@ class StreamRulePipeline {
   /// callback may gut `window`, which the caller is about to discard).
   void DeliverResult(TripleWindow& window,
                      const StatusOr<ParallelReasonerResult>& result);
+  /// Accounts for one shed window and routes its tombstone into the
+  /// emission stream (directly in sync mode; via the reorder buffer in
+  /// async mode). `evicted` distinguishes asynchronous kDropOldest
+  /// evictions (counted dropped, delta NOT folded — the gap is
+  /// mid-stream) from synchronous refusals (kReject / admission filter:
+  /// counted rejected, delta folded into the next emission).
+  void ShedWindow(TripleWindow window, bool evicted);
+  /// Invokes the shed callback (if any) for one tombstone.
+  void DeliverShed(TripleWindow& window);
   /// True when the smallest completed sequence has no smaller sequence
   /// still in flight. Requires emit_mutex_.
   bool CanEmitLocked() const;
@@ -315,6 +376,7 @@ class StreamRulePipeline {
   DecompositionInfo info_;
   ResultCallback callback_;
   ErrorCallback error_callback_;
+  ShedCallback shed_callback_;
   std::unique_ptr<StreamQueryProcessor> query_;
 
   /// Sync mode's single reasoner (null in async mode).

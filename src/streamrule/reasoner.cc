@@ -42,10 +42,14 @@ StatusOr<ReasonerResult> Reasoner::Process(
   // The windower's delta (when present and not the first window) becomes
   // the grounder's diff hint; conversion of the delta counts as
   // conversion time, as the paper requires for all data transformation.
+  // The hint is relative to the window named by delta_base — under load
+  // shedding that may be further back than sequence-1 (folded deltas
+  // net the change across the shed gap); the grounder/solver compare it
+  // against their cached sequence and snapshot-diff on mismatch.
   IncrementalGrounder::FactDelta delta;
   const IncrementalGrounder::FactDelta* delta_ptr = nullptr;
-  if (window.has_delta && window.sequence > 0) {
-    delta.previous_sequence = window.sequence - 1;
+  if (window.has_delta && window.delta_base != TripleWindow::kNoDeltaBase) {
+    delta.previous_sequence = window.delta_base;
     STREAMASP_ASSIGN_OR_RETURN(delta.expired,
                                format_.ToFacts(window.expired));
     STREAMASP_ASSIGN_OR_RETURN(delta.admitted,

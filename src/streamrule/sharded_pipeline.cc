@@ -7,6 +7,7 @@
 #include <string>
 #include <utility>
 
+#include "streamrule/accuracy.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -25,13 +26,17 @@ StatusOr<std::unique_ptr<ShardedPipelineEngine>> ShardedPipelineEngine::Create(
   if (options.num_shards == 0) {
     return InvalidArgumentError("sharded engine needs num_shards >= 1");
   }
-  if (options.pipeline.backpressure != BackpressurePolicy::kBlock) {
+  // Lossy backpressure policies (kDropOldest/kReject) and the admission
+  // filter are fully supported, sliding global windows included: a shed
+  // sub-window surfaces as a tombstone on the shard's ShedCallback, which
+  // releases its merge slot and lowers the merged window's completeness
+  // instead of stalling the ordered merge (see DeliverMerged).
+  if (options.pipeline.backpressure != BackpressurePolicy::kBlock &&
+      !options.pipeline.async) {
     return InvalidArgumentError(
-        "sharded engine requires the lossless kBlock backpressure policy: "
-        "a shed sub-window would leave a hole the ordered merge waits on "
-        "forever. In particular, sliding global windows with lossy "
-        "shedding (kDropOldest/kReject) stay unsupported until the "
-        "shedding-aware merge lands (see ROADMAP.md)");
+        "lossy backpressure policies only engage in async shard pipelines "
+        "(sync mode has no work queue to shed from); set pipeline.async, "
+        "or use pipeline.admission_filter for synchronous shedding");
   }
   if (options.pipeline.window_slide > options.pipeline.window_size) {
     return InvalidArgumentError(
@@ -125,7 +130,8 @@ Status ShardedPipelineEngine::StartShards() {
             },
             [this, s](TripleWindow& window, const Status& status) {
               OnShardDelivery(s, window, status);
-            });
+            },
+            [this, s](TripleWindow& window) { OnShardShed(s, window); });
     STREAMASP_RETURN_IF_ERROR(shard.status());
     shards_.push_back(std::move(*shard));
   }
@@ -364,6 +370,24 @@ void ShardedPipelineEngine::OnShardDelivery(
   merge_queue_->Push(std::move(item));
 }
 
+void ShardedPipelineEngine::OnShardShed(size_t shard, TripleWindow& window) {
+  // The tombstone releases the merge slot a shed sub-window would
+  // otherwise leave gaping. Shard pipelines interleave tombstones with
+  // result/error deliveries in strict local sequence order (one delivery
+  // per punctuated sub-window across all three callbacks), so the
+  // FIFO-front mapping below stays exact under shedding.
+  MergeItem item;
+  {
+    std::lock_guard<std::mutex> lock(mapping_mutex_);
+    item.global_sequence = global_sequence_of_[shard].front();
+    global_sequence_of_[shard].pop_front();
+  }
+  item.shard = shard;
+  item.shed = true;
+  item.window = std::move(window);  // Items intact: the merge counts them.
+  merge_queue_->Push(std::move(item));
+}
+
 void ShardedPipelineEngine::MergeLoop() {
   // Reorder state lives on this thread; only the high-water mark and the
   // delivery counters are shared (under merge_mutex_).
@@ -411,28 +435,47 @@ void ShardedPipelineEngine::DeliverMerged(
     total_items += contribution.window.size();
   }
   merged.items.reserve(total_items);
+  // Shed (tombstoned) sub-windows contribute their items — the merged
+  // window is the full global window the oracle would have reasoned, so
+  // sizes stay comparable — but no answers: the degradation shows up as
+  // completeness < 1, not as a silently smaller window.
+  size_t reasoned_items = 0;
+  size_t shed_contributions = 0;
   Status failure = OkStatus();
   for (MergeItem& contribution : contributions) {
     merged.items.insert(
         merged.items.end(),
         std::make_move_iterator(contribution.window.items.begin()),
         std::make_move_iterator(contribution.window.items.end()));
+    if (contribution.shed) {
+      ++shed_contributions;
+      continue;
+    }
+    reasoned_items += contribution.window.size();
     if (failure.ok() && !contribution.result.ok()) {
       failure = contribution.result.status();
     }
   }
+  const double completeness =
+      CompletenessRatio(reasoned_items, total_items);
 
   bool delivered = false;
+  bool degraded = false;
   uint64_t answers = 0;
   if (failure.ok()) {
     WallTimer combine_timer;
     std::vector<std::vector<GroundAnswer>> per_shard;
     per_shard.reserve(contributions.size());
     for (MergeItem& contribution : contributions) {
+      if (contribution.shed) continue;
       per_shard.push_back(std::move(contribution.result->answers));
     }
+    // A fully shed global window combines nothing: deliver zero answer
+    // sets (completeness says why) rather than Combine's vacuous empty
+    // union.
     StatusOr<std::vector<GroundAnswer>> combined =
-        merge_combiner_.Combine(per_shard);
+        per_shard.empty() ? std::vector<GroundAnswer>{}
+                          : merge_combiner_.Combine(per_shard);
     if (!combined.ok()) {
       failure = combined.status();
     } else {
@@ -441,7 +484,9 @@ void ShardedPipelineEngine::DeliverMerged(
       // work-like quantities sum.
       ParallelReasonerResult result;
       result.answers = std::move(*combined);
+      result.completeness = completeness;
       for (const MergeItem& contribution : contributions) {
+        if (contribution.shed) continue;
         const ParallelReasonerResult& r = *contribution.result;
         result.latency_ms = std::max(result.latency_ms, r.latency_ms);
         result.partition_ms += r.partition_ms;
@@ -457,6 +502,7 @@ void ShardedPipelineEngine::DeliverMerged(
       }
       result.combine_ms += combine_timer.ElapsedMillis();
       answers = result.answers.size();
+      degraded = completeness < 1.0;
       try {
         callback_(merged, result);
         delivered = true;
@@ -477,9 +523,13 @@ void ShardedPipelineEngine::DeliverMerged(
   std::lock_guard<std::mutex> lock(merge_mutex_);
   expected_.erase(global_sequence);
   ++delivered_windows_;
+  shed_subwindows_ += shed_contributions;
   if (delivered) {
     ++merged_windows_;
     merged_answers_ += answers;
+    completeness_sum_ += completeness;
+    min_completeness_ = std::min(min_completeness_, completeness);
+    if (degraded) ++degraded_windows_;
   } else {
     ++merge_errors_;
   }
@@ -504,6 +554,7 @@ ShardedPipelineStats ShardedPipelineEngine::stats() const {
     out.aggregate.enqueued_windows += stats.enqueued_windows;
     out.aggregate.dropped_windows += stats.dropped_windows;
     out.aggregate.rejected_windows += stats.rejected_windows;
+    out.aggregate.shed_items += stats.shed_items;
     out.aggregate.max_queue_depth =
         std::max(out.aggregate.max_queue_depth, stats.max_queue_depth);
     out.aggregate.max_reorder_depth =
@@ -548,6 +599,11 @@ ShardedPipelineStats ShardedPipelineEngine::stats() const {
     out.merged_windows = merged_windows_;
     out.merged_answers = merged_answers_;
     out.merge_errors = merge_errors_;
+    out.shed_subwindows = shed_subwindows_;
+    out.degraded_windows = degraded_windows_;
+    out.mean_completeness =
+        merged_windows_ == 0 ? 1.0 : completeness_sum_ / merged_windows_;
+    out.min_completeness = min_completeness_;
     out.max_merge_reorder_depth = max_merge_reorder_depth_;
   }
   if (merge_queue_ != nullptr) {

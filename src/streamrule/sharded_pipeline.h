@@ -54,10 +54,20 @@ struct ShardedPipelineOptions {
   /// interpreted globally: a window boundary falls after every
   /// window_size-th (then every window_slide-th) routed item *across all
   /// shards*, and each shard reasons its slice of that global window.
-  /// backpressure must stay kBlock — a shed sub-window would leave a
-  /// hole the ordered merge waits on forever, so Create rejects shedding
-  /// policies (which also rules out sliding + lossy shedding until the
-  /// shedding-aware merge lands; see ROADMAP.md).
+  ///
+  /// Load shedding is supported: lossy backpressure (kDropOldest /
+  /// kReject — async shards only, sync pipelines have no work queue to
+  /// shed from) and pipeline.admission_filter both work under sharding,
+  /// including with sliding global windows. A shed sub-window surfaces
+  /// as a tombstone in the shard's ordered emission stream
+  /// (StreamRulePipeline::ShedCallback), so the merge releases its slot
+  /// instead of stalling; the merged window is delivered with
+  /// completeness < 1 (see ShardedPipelineStats and
+  /// ParallelReasonerResult::completeness). Synchronously shed sliding
+  /// sub-windows fold their delta into the shard's next emission
+  /// (StreamQueryProcessor::FoldShedDelta), mirroring the router's
+  /// skipped-empty-slice folding, so incremental reuse stays exact
+  /// across the gap.
   ///
   /// window_slide in (0, window_size) selects *sliding global windows*:
   /// the router retains the global window's contents and, at each
@@ -117,6 +127,22 @@ struct ShardedPipelineStats {
   /// folded deltas are delivered with its next punctuation. (A shard the
   /// key never routes to is skipped silently — it has nothing to fold.)
   uint64_t skipped_empty_slices = 0;
+
+  // --- graceful-degradation counters (all zero / 1.0 unless a lossy
+  // backpressure policy or admission filter actually shed work) ---
+  /// Shard sub-windows that were shed (tombstoned) instead of reasoned.
+  /// Also reflected item-wise in aggregate.shed_items.
+  uint64_t shed_subwindows = 0;
+  /// Merged windows delivered with completeness < 1.0 (at least one shed
+  /// contribution).
+  uint64_t degraded_windows = 0;
+  /// Mean per-window completeness (items reasoned / items admitted,
+  /// accuracy.h CompletenessRatio) over delivered merged windows; exactly
+  /// 1.0 when nothing was shed.
+  double mean_completeness = 1.0;
+  /// Worst per-window completeness observed; exactly 1.0 when nothing
+  /// was shed.
+  double min_completeness = 1.0;
 };
 
 /// Horizontal scale-out of the staged engine: hash-partitions the input
@@ -154,7 +180,12 @@ struct ShardedPipelineStats {
 /// Ordering guarantee: the callback runs on the single merge thread, once
 /// per global window, in strictly increasing global sequence order, no
 /// matter how shards race. Reasoning failures consume their slot (the
-/// window is skipped and counted, never reordered or stalled on).
+/// window is skipped and counted, never reordered or stalled on), and so
+/// do shed sub-windows: a shard that sheds a sub-window emits a tombstone
+/// in its ordered stream, the merge counts it as that shard's
+/// contribution, and the global window is delivered with the surviving
+/// shards' answers and completeness < 1 — overload degrades answers, it
+/// never stalls or reorders the merge.
 ///
 /// Thread-safety: Push/PushBatch/Flush single caller thread at a time;
 /// stats()/accessors any thread. The callback must not re-enter the
@@ -173,7 +204,9 @@ class ShardedPipelineEngine {
   /// Builds num_shards pipelines over `program` (one design-time analysis
   /// each; `program` must outlive the engine) and starts the feeder and
   /// merge threads. Fails on a null program/callback, zero shards, or a
-  /// non-kBlock backpressure policy.
+  /// lossy backpressure policy on synchronous shard pipelines (queue
+  /// policies only engage when pipeline.async is set; use
+  /// pipeline.admission_filter for synchronous shedding).
   static StatusOr<std::unique_ptr<ShardedPipelineEngine>> Create(
       const Program* program, ShardedPipelineOptions options,
       ResultCallback callback);
@@ -219,10 +252,14 @@ class ShardedPipelineEngine {
     bool flush = false;
   };
 
-  /// One shard's reasoned sub-window travelling to the merge thread.
+  /// One shard's reasoned sub-window travelling to the merge thread — or
+  /// its tombstone: a shed sub-window travels with shed == true, its
+  /// items intact (the merge accounts them as admitted-but-unreasoned)
+  /// and `result` untouched.
   struct MergeItem {
     uint64_t global_sequence = 0;
     size_t shard = 0;
+    bool shed = false;
     TripleWindow window;
     StatusOr<ParallelReasonerResult> result{InternalError("not run")};
   };
@@ -258,6 +295,9 @@ class ShardedPipelineEngine {
   /// sub-window's items are stolen, not copied (see ResultCallback).
   void OnShardDelivery(size_t shard, TripleWindow& window,
                        StatusOr<ParallelReasonerResult> result);
+  /// Shard shed (tombstone) callbacks funnel here: releases the shed
+  /// sub-window's merge slot so the global window assembles without it.
+  void OnShardShed(size_t shard, TripleWindow& window);
   void MergeLoop();
   /// Assembles and delivers one complete global window (merge thread).
   void DeliverMerged(uint64_t global_sequence,
@@ -331,6 +371,10 @@ class ShardedPipelineEngine {
   uint64_t merged_windows_ = 0;
   uint64_t merged_answers_ = 0;
   uint64_t merge_errors_ = 0;
+  uint64_t shed_subwindows_ = 0;
+  uint64_t degraded_windows_ = 0;
+  double completeness_sum_ = 0;  ///< Over delivered merged windows.
+  double min_completeness_ = 1.0;
   size_t max_merge_reorder_depth_ = 0;
 };
 

@@ -48,6 +48,19 @@ StatusOr<Program> MakeTrafficProgram(SymbolTablePtr symbols,
   return parser.ParseProgram(TrafficProgramText(variant, with_show));
 }
 
+BurstyStreamGenerator MakeTrafficBurstGenerator(SymbolTable& symbols,
+                                                uint64_t seed,
+                                                BurstOptions burst) {
+  GeneratorOptions options;
+  options.seed = seed;
+  return BurstyStreamGenerator(MakeTrafficSchema(symbols), options, burst);
+}
+
+std::vector<Triple> MakeTrafficBurstStream(SymbolTable& symbols, size_t items,
+                                           uint64_t seed, BurstOptions burst) {
+  return MakeTrafficBurstGenerator(symbols, seed, burst).Generate(items);
+}
+
 std::vector<StreamPredicate> MakeTrafficSchema(SymbolTable& symbols) {
   const Term high = Term::Symbol(symbols.Intern("high"));
   const Term low = Term::Symbol(symbols.Intern("low"));

@@ -39,6 +39,19 @@ StatusOr<Program> MakeTrafficProgram(SymbolTablePtr symbols,
 /// carrying categorical {high, low} objects, the rest numeric.
 std::vector<StreamPredicate> MakeTrafficSchema(SymbolTable& symbols);
 
+/// Bursty/adversarial traffic stream over the same schema, for the
+/// overload tests and the burst-overload bench legs: the BurstShape
+/// drives arrival-rate spikes (pacing hints) and hot-key storms (see
+/// stream/generator.h). Deterministic in (seed, call sequence).
+BurstyStreamGenerator MakeTrafficBurstGenerator(SymbolTable& symbols,
+                                                uint64_t seed,
+                                                BurstOptions burst = {});
+
+/// Convenience: the first `items` triples of the bursty traffic stream.
+std::vector<Triple> MakeTrafficBurstStream(SymbolTable& symbols, size_t items,
+                                           uint64_t seed,
+                                           BurstOptions burst = {});
+
 }  // namespace streamasp
 
 #endif  // STREAMASP_STREAMRULE_TRAFFIC_WORKLOAD_H_

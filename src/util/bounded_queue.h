@@ -38,6 +38,17 @@ constexpr const char* BackpressurePolicyName(BackpressurePolicy policy) {
   return "unknown";
 }
 
+/// True for the load-shedding policies: items can be lost at this stage
+/// boundary, so the producer must account for every kDroppedOldest /
+/// kRejected outcome. The async pipeline turns each loss into a tombstone
+/// in its ordered emission stream (StreamRulePipeline::ShedCallback), so
+/// downstream consumers — notably the sharded engine's ordered merge —
+/// see an explicit release for the lost sequence instead of a permanent
+/// gap.
+constexpr bool IsLossyPolicy(BackpressurePolicy policy) {
+  return policy != BackpressurePolicy::kBlock;
+}
+
 /// Outcome of one BoundedQueue::Push under the queue's policy.
 enum class QueuePushResult {
   kOk,            ///< Item admitted; nothing displaced.

@@ -565,9 +565,15 @@ TEST_F(ShardedPipelineTest, CreateValidatesOptions) {
   EXPECT_FALSE(
       ShardedPipelineEngine::Create(&*program, zero_shards, callback).ok());
 
+  // Lossy backpressure needs async inner pipelines (sync mode has no work
+  // queue to shed from); with async set the shedding-aware merge handles
+  // it, sliding windows included.
   ShardedPipelineOptions shedding;
   shedding.pipeline.backpressure = BackpressurePolicy::kDropOldest;
   EXPECT_FALSE(
+      ShardedPipelineEngine::Create(&*program, shedding, callback).ok());
+  shedding.pipeline.async = true;
+  EXPECT_TRUE(
       ShardedPipelineEngine::Create(&*program, shedding, callback).ok());
 
   ShardedPipelineOptions ok_options;

@@ -22,10 +22,19 @@ against checked-in reference values in bench/baseline.json:
     the reuse_solving run's, i.e. the reasoning-phase speedup.
   * ceilings: machine-independent upper bounds on a run field, used for
     the compact data plane's bytes_per_triple counter (retained window
-    store + grounding atom table bytes per triple of the largest window).
-    Bytes are deterministic for a fixed workload — no tolerance derating;
-    the ceiling caps representation bloat (a reverted packed layout, a
-    leaked per-window buffer) regardless of host speed.
+    store + grounding atom table bytes per triple of the largest window)
+    and the burst-overload leg's unaccounted_windows (emitted windows
+    neither delivered nor tombstoned — any positive value means the
+    ordered merge stalled on a shed slot). Bytes are deterministic for a
+    fixed workload — no tolerance derating; the ceiling caps
+    representation bloat (a reverted packed layout, a leaked per-window
+    buffer) regardless of host speed.
+  * minimums: machine-independent lower bounds on a run field, used for
+    the burst-overload leg's completeness (items reasoned / items
+    admitted). The leg is self-clocked — valleys push behind a drain
+    barrier, spikes push back-to-back — so the shed fraction is set by
+    queue capacity and spike shape, not host speed, and the bound holds
+    with no tolerance derating.
 
 Usage:
   check_bench_regression.py [--baseline bench/baseline.json] \
@@ -141,6 +150,26 @@ def main():
                   f"{measured:.1f} (ceiling {maximum:.1f})")
             if measured > maximum:
                 failures.append(f"{name} ceiling {ceiling['match']}")
+
+    for name, minimums in baseline.get("minimums", {}).items():
+        if name not in documents:
+            continue
+        runs = documents[name]["runs"]
+        for floor in minimums:
+            checks += 1
+            run = find_run(runs, floor["match"], name)
+            field = floor.get("field", "completeness")
+            if field not in run:
+                raise SystemExit(
+                    f"baseline {name} minimum {floor['match']}: run has "
+                    f"no field {field!r} (older bench binary?)")
+            minimum = float(floor["min"])
+            measured = float(run[field])
+            verdict = "ok" if measured >= minimum else "FAIL"
+            print(f"[{verdict}] {name} {floor['match']} ({field}): "
+                  f"{measured:.4f} (minimum {minimum:.4f})")
+            if measured < minimum:
+                failures.append(f"{name} minimum {floor['match']}")
 
     if checks == 0:
         raise SystemExit("no checks ran: baseline keys do not match the "
