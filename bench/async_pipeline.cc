@@ -10,8 +10,11 @@
 // is little instantiation to save there). A final burst-overload leg
 // drives a self-clocked flash-crowd stream against an undersized
 // kDropOldest pipeline and reports completeness/shed accounting.
-// Emits one machine-readable JSON document on stdout for the perf
-// trajectory; human-readable notes go to stderr.
+// Every leg drives the unified StreamEngine facade (num_shards = 0);
+// emission flows through the single ordered EmissionEvent handler. Emits
+// one machine-readable JSON document on stdout (schema shared with
+// bench/sharded_pipeline via bench/bench_json.h); human-readable notes
+// go to stderr.
 //
 // Throughput is items pushed / wall time of PushBatch+Flush (i.e. the rate
 // the ingest side sustains while reasoning keeps up); window latency is the
@@ -32,68 +35,16 @@
 #include <vector>
 
 #include "asp/parser.h"
+#include "bench/bench_json.h"
 #include "stream/generator.h"
-#include "streamrule/pipeline.h"
+#include "streamrule/engine.h"
 #include "streamrule/traffic_workload.h"
 #include "util/timer.h"
 
 namespace {
 
 using namespace streamasp;
-
-struct RunResult {
-  std::string mode;        // "sync", "async", "sliding-tc[-reuse[-solve]]"
-  std::string workload = "traffic_pprime";
-  size_t inflight = 0;     // 0 for sync
-  size_t workers = 0;
-  size_t window_slide = 0;  // 0 for tumbling runs
-  bool reuse = false;
-  bool reuse_solving = false;
-  double wall_ms = 0;
-  double triples_per_sec = 0;
-  double p50_latency_ms = 0;
-  double p99_latency_ms = 0;
-  uint64_t windows = 0;
-  uint64_t answers = 0;
-  size_t max_queue_depth = 0;
-  size_t max_reorder_depth = 0;
-  // Grounding reuse counters (zero without reuse; docs/benchmarks.md).
-  uint64_t incremental_windows = 0;
-  uint64_t grounding_fallbacks = 0;
-  uint64_t grounding_rules_retained = 0;
-  uint64_t grounding_rules_retracted = 0;
-  uint64_t grounding_rules_new = 0;
-  // Solver reuse counters (zero without reuse_solving).
-  uint64_t incremental_solve_windows = 0;
-  uint64_t solve_rebuilds = 0;
-  uint64_t solver_rules_retained = 0;
-  uint64_t solver_rules_retracted = 0;
-  uint64_t solver_rules_new = 0;
-  uint64_t warm_start_hits = 0;
-  // Phase-time totals summed over partitions of every reasoned window.
-  // reuse_solving dissolves the boundary between the grounder's
-  // simplification pass and the solve (the persistent solver absorbs the
-  // pruning the assembled+simplified output used to prepay), so the
-  // solve-reuse CI gate compares reason_ms_total = ground + solve — the
-  // whole post-instantiation reasoning cost — across the sliding runs
-  // (machine-independent ratio).
-  double ground_ms_total = 0;
-  double solve_ms_total = 0;
-  double reason_ms_total = 0;
-  // Compact-data-plane footprint (peaks; docs/benchmarks.md).
-  size_t window_store_bytes = 0;
-  size_t atom_table_bytes = 0;
-  double bytes_per_triple = 0;
-  // Graceful-degradation accounting (docs/benchmarks.md): always present
-  // for a uniform schema; lossless runs report 1.0 / 0 / 0 / 0. The
-  // burst-overload leg's completeness is gated by a machine-independent
-  // minimum in bench/baseline.json; unaccounted_windows must be 0 (every
-  // emitted window delivered or tombstoned — the no-stall invariant).
-  double completeness = 1.0;
-  uint64_t shed_windows = 0;
-  double p99_emit_latency_ms = 0;  // Window close -> ordered delivery.
-  long long unaccounted_windows = 0;
-};
+using bench::BenchRun;
 
 double Percentile(std::vector<double> values, double p) {
   if (values.empty()) return 0;
@@ -105,41 +56,39 @@ double Percentile(std::vector<double> values, double p) {
   return values[lo] + (values[hi] - values[lo]) * frac;
 }
 
-RunResult RunOnce(const Program& program, const std::vector<Triple>& stream,
-                  size_t window_size, bool async, size_t inflight,
-                  size_t window_slide = 0, bool reuse = false,
-                  bool reuse_solving = false) {
-  PipelineOptions options;
-  options.window_size = window_size;
-  options.window_slide = window_slide;
-  options.reuse_grounding = reuse;
-  options.reuse_solving = reuse_solving;
-  options.async = async;
-  options.max_inflight_windows = async ? inflight : 4;
+BenchRun RunOnce(const Program& program, const std::vector<Triple>& stream,
+                 size_t window_size, bool async, size_t inflight,
+                 size_t window_slide = 0, bool reuse = false,
+                 bool reuse_solving = false) {
+  EngineConfig config;
+  config.pipeline.window_size = window_size;
+  config.pipeline.window_slide = window_slide;
+  config.pipeline.reuse_grounding = reuse;
+  config.pipeline.reuse_solving = reuse_solving;
+  config.pipeline.async = async;
+  config.pipeline.max_inflight_windows = async ? inflight : 4;
 
   std::vector<double> latencies;
-  StatusOr<std::unique_ptr<StreamRulePipeline>> pipeline =
-      StreamRulePipeline::Create(
-          &program, options,
-          [&](const TripleWindow&, const ParallelReasonerResult& result) {
-            latencies.push_back(result.latency_ms);
-          });
-  if (!pipeline.ok()) {
-    std::fprintf(stderr, "pipeline: %s\n",
-                 pipeline.status().ToString().c_str());
+  StatusOr<std::unique_ptr<StreamEngine>> engine = StreamEngine::Create(
+      &program, config, [&](EmissionEvent& event) {
+        if (event.kind == EmissionEvent::Kind::kResult) {
+          latencies.push_back(event.result->latency_ms);
+        }
+      });
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine: %s\n", engine.status().ToString().c_str());
     std::exit(1);
   }
 
   WallTimer wall;
-  (*pipeline)->PushBatch(stream);
-  (*pipeline)->Flush();
+  (*engine)->PushBatch(stream);
+  (*engine)->Flush();
   const double wall_ms = wall.ElapsedMillis();
 
-  const PipelineStats stats = (*pipeline)->stats();
-  RunResult run;
+  BenchRun run;
   run.mode = async ? "async" : "sync";
   run.inflight = async ? inflight : 0;
-  run.workers = (*pipeline)->num_reason_workers();
+  run.workers = (*engine)->num_reason_workers();
   run.window_slide = window_slide;
   run.reuse = reuse;
   run.reuse_solving = reuse_solving;
@@ -149,29 +98,7 @@ RunResult RunOnce(const Program& program, const std::vector<Triple>& stream,
                   : 0;
   run.p50_latency_ms = Percentile(latencies, 0.50);
   run.p99_latency_ms = Percentile(latencies, 0.99);
-  run.windows = stats.windows;
-  run.answers = stats.answers;
-  run.max_queue_depth = stats.max_queue_depth;
-  run.max_reorder_depth = stats.max_reorder_depth;
-  run.incremental_windows = stats.incremental_windows;
-  run.grounding_fallbacks = stats.grounding_fallbacks;
-  run.grounding_rules_retained = stats.grounding_rules_retained;
-  run.grounding_rules_retracted = stats.grounding_rules_retracted;
-  run.grounding_rules_new = stats.grounding_rules_new;
-  run.incremental_solve_windows = stats.incremental_solve_windows;
-  run.solve_rebuilds = stats.solve_rebuilds;
-  run.solver_rules_retained = stats.solver_rules_retained;
-  run.solver_rules_retracted = stats.solver_rules_retracted;
-  run.solver_rules_new = stats.solver_rules_new;
-  run.warm_start_hits = stats.warm_start_hits;
-  run.ground_ms_total = stats.total_ground_ms;
-  run.solve_ms_total = stats.total_solve_ms;
-  run.reason_ms_total = stats.total_ground_ms + stats.total_solve_ms;
-  run.window_store_bytes = stats.window_store_bytes;
-  run.atom_table_bytes = stats.atom_table_bytes;
-  run.bytes_per_triple = stats.bytes_per_triple();
-  run.completeness = stats.completeness();
-  run.shed_windows = stats.shed_windows();
+  bench::FillFromEngineStats((*engine)->stats(), &run);
   return run;
 }
 
@@ -188,9 +115,8 @@ RunResult RunOnce(const Program& program, const std::vector<Triple>& stream,
 // makes the completeness minimum in bench/baseline.json a meaningful
 // machine-independent gate (worst case: every spike window past the
 // worker's sheds, completeness 110/120).
-RunResult RunBurstOverload(const Program& program,
-                           const SymbolTablePtr& symbols,
-                           size_t window_size) {
+BenchRun RunBurstOverload(const Program& program,
+                          const SymbolTablePtr& symbols, size_t window_size) {
   using Clock = std::chrono::steady_clock;
   const size_t burst_window = std::max<size_t>(100, window_size / 4);
   const size_t num_windows = 120;
@@ -200,31 +126,29 @@ RunResult RunBurstOverload(const Program& program,
   burst.period = 60 * burst_window;  // 6-window spikes, 54-window valleys.
   burst.burst_fraction = 0.1;
 
-  PipelineOptions options;
-  options.window_size = burst_window;
-  options.async = true;
-  options.num_reason_workers = 1;
-  options.max_inflight_windows = 2;
-  options.backpressure = BackpressurePolicy::kDropOldest;
+  EngineConfig config;
+  config.pipeline.window_size = burst_window;
+  config.pipeline.async = true;
+  config.pipeline.num_reason_workers = 1;
+  config.pipeline.max_inflight_windows = 2;
+  config.pipeline.backpressure = BackpressurePolicy::kDropOldest;
   std::vector<Clock::time_point> close_times(num_windows);
   std::vector<double> latencies;
   std::vector<double> emit_latencies;
-  StatusOr<std::unique_ptr<StreamRulePipeline>> pipeline =
-      StreamRulePipeline::Create(
-          &program, options,
-          [&](const TripleWindow& window,
-              const ParallelReasonerResult& result) {
-            latencies.push_back(result.latency_ms);
-            if (window.sequence < close_times.size()) {
-              emit_latencies.push_back(
-                  std::chrono::duration<double, std::milli>(
-                      Clock::now() - close_times[window.sequence])
-                      .count());
-            }
-          });
-  if (!pipeline.ok()) {
-    std::fprintf(stderr, "burst pipeline: %s\n",
-                 pipeline.status().ToString().c_str());
+  StatusOr<std::unique_ptr<StreamEngine>> engine = StreamEngine::Create(
+      &program, config, [&](EmissionEvent& event) {
+        if (event.kind != EmissionEvent::Kind::kResult) return;
+        latencies.push_back(event.result->latency_ms);
+        if (event.sequence < close_times.size()) {
+          emit_latencies.push_back(std::chrono::duration<double, std::milli>(
+                                       Clock::now() -
+                                       close_times[event.sequence])
+                                       .count());
+        }
+      });
+  if (!engine.ok()) {
+    std::fprintf(stderr, "burst engine: %s\n",
+                 engine.status().ToString().c_str());
     std::exit(1);
   }
 
@@ -236,20 +160,20 @@ RunResult RunBurstOverload(const Program& program,
     const std::vector<Triple> chunk = generator.Generate(burst_window);
     // Stamp before the push: the window closes inside PushBatch.
     close_times[k] = Clock::now();
-    (*pipeline)->PushBatch(chunk);
+    (*engine)->PushBatch(chunk);
     // Valley: drain before the next window (ingest at service rate).
     // Spike: no barrier — the next window lands immediately.
-    if (!spike) (*pipeline)->Flush();
+    if (!spike) (*engine)->Flush();
   }
-  (*pipeline)->Flush();
+  (*engine)->Flush();
   const double wall_ms = wall.ElapsedMillis();
 
-  const PipelineStats stats = (*pipeline)->stats();
-  RunResult run;
+  const EngineStats stats = (*engine)->stats();
+  BenchRun run;
   run.mode = "burst-overload";
   run.workload = "traffic_pprime_flash_crowd";
-  run.inflight = options.max_inflight_windows;
-  run.workers = (*pipeline)->num_reason_workers();
+  run.inflight = config.pipeline.max_inflight_windows;
+  run.workers = (*engine)->num_reason_workers();
   run.wall_ms = wall_ms;
   run.triples_per_sec =
       wall_ms > 0 ? static_cast<double>(num_windows * burst_window) /
@@ -257,19 +181,10 @@ RunResult RunBurstOverload(const Program& program,
                   : 0;
   run.p50_latency_ms = Percentile(latencies, 0.50);
   run.p99_latency_ms = Percentile(latencies, 0.99);
-  run.windows = stats.windows;
-  run.answers = stats.answers;
-  run.max_queue_depth = stats.max_queue_depth;
-  run.max_reorder_depth = stats.max_reorder_depth;
-  run.window_store_bytes = stats.window_store_bytes;
-  run.atom_table_bytes = stats.atom_table_bytes;
-  run.bytes_per_triple = stats.bytes_per_triple();
-  run.completeness = stats.completeness();
-  run.shed_windows = stats.shed_windows();
+  bench::FillFromEngineStats(stats, &run);
   run.p99_emit_latency_ms = Percentile(emit_latencies, 0.99);
-  run.unaccounted_windows =
-      static_cast<long long>(num_windows) -
-      static_cast<long long>(stats.windows + stats.shed_windows());
+  run.unaccounted_windows = static_cast<long long>(num_windows) -
+                            static_cast<long long>(stats.accounted_windows());
   return run;
 }
 
@@ -287,9 +202,9 @@ constexpr char kReachProgram[] = R"(
   #show alarm/2.
 )";
 
-RunResult RunSlidingReach(const SymbolTablePtr& symbols, size_t items,
-                          size_t window_size, bool reuse,
-                          bool reuse_solving = false) {
+BenchRun RunSlidingReach(const SymbolTablePtr& symbols, size_t items,
+                         size_t window_size, bool reuse,
+                         bool reuse_solving = false) {
   Parser parser(symbols);
   StatusOr<Program> program = parser.ParseProgram(kReachProgram);
   if (!program.ok()) {
@@ -316,8 +231,8 @@ RunResult RunSlidingReach(const SymbolTablePtr& symbols, size_t items,
   const std::vector<Triple> stream = generator.GenerateWindow(items);
 
   const size_t slide = std::max<size_t>(1, window_size / 16);
-  RunResult run = RunOnce(*program, stream, window_size, /*async=*/false,
-                          0, slide, reuse, reuse_solving);
+  BenchRun run = RunOnce(*program, stream, window_size, /*async=*/false, 0,
+                         slide, reuse, reuse_solving);
   run.mode = reuse_solving ? "sliding-tc-reuse-solve"
              : reuse      ? "sliding-tc-reuse"
                           : "sliding-tc";
@@ -351,7 +266,7 @@ int main(int argc, char** argv) {
                "async_pipeline bench: %zu items, window %zu, %u cores\n",
                items, window_size, std::thread::hardware_concurrency());
 
-  std::vector<RunResult> runs;
+  std::vector<BenchRun> runs;
   // Warm-up (first run pays allocator/page-fault costs), then measure.
   RunOnce(*program, stream, window_size, /*async=*/false, 0);
   runs.push_back(RunOnce(*program, stream, window_size, false, 0));
@@ -379,62 +294,8 @@ int main(int argc, char** argv) {
   // bench/baseline.json.
   runs.push_back(RunBurstOverload(*program, symbols, window_size));
 
-  std::printf("{\n");
-  std::printf("  \"bench\": \"async_pipeline\",\n");
-  std::printf("  \"workload\": \"traffic_pprime\",\n");
-  std::printf("  \"items\": %zu,\n", items);
-  std::printf("  \"window_size\": %zu,\n", window_size);
-  std::printf("  \"hardware_concurrency\": %u,\n",
-              std::thread::hardware_concurrency());
-  std::printf("  \"runs\": [\n");
-  for (size_t i = 0; i < runs.size(); ++i) {
-    const RunResult& run = runs[i];
-    std::printf(
-        "    {\"mode\": \"%s\", \"workload\": \"%s\", "
-        "\"inflight\": %zu, \"workers\": %zu, "
-        "\"window_slide\": %zu, \"reuse\": %s, \"reuse_solving\": %s, "
-        "\"wall_ms\": %.2f, \"triples_per_sec\": %.1f, "
-        "\"p50_latency_ms\": %.3f, \"p99_latency_ms\": %.3f, "
-        "\"windows\": %llu, \"answers\": %llu, "
-        "\"max_queue_depth\": %zu, \"max_reorder_depth\": %zu, "
-        "\"incremental_windows\": %llu, \"grounding_fallbacks\": %llu, "
-        "\"grounding_rules_retained\": %llu, "
-        "\"grounding_rules_retracted\": %llu, "
-        "\"grounding_rules_new\": %llu, "
-        "\"incremental_solve_windows\": %llu, \"solve_rebuilds\": %llu, "
-        "\"solver_rules_retained\": %llu, \"solver_rules_retracted\": %llu, "
-        "\"solver_rules_new\": %llu, \"warm_start_hits\": %llu, "
-        "\"ground_ms_total\": %.2f, \"solve_ms_total\": %.2f, "
-        "\"reason_ms_total\": %.2f, "
-        "\"window_store_bytes\": %zu, \"atom_table_bytes\": %zu, "
-        "\"bytes_per_triple\": %.1f, "
-        "\"completeness\": %.4f, \"shed_windows\": %llu, "
-        "\"p99_emit_latency_ms\": %.3f, \"unaccounted_windows\": %lld}%s\n",
-        run.mode.c_str(), run.workload.c_str(), run.inflight, run.workers,
-        run.window_slide, run.reuse ? "true" : "false",
-        run.reuse_solving ? "true" : "false", run.wall_ms,
-        run.triples_per_sec, run.p50_latency_ms, run.p99_latency_ms,
-        static_cast<unsigned long long>(run.windows),
-        static_cast<unsigned long long>(run.answers), run.max_queue_depth,
-        run.max_reorder_depth,
-        static_cast<unsigned long long>(run.incremental_windows),
-        static_cast<unsigned long long>(run.grounding_fallbacks),
-        static_cast<unsigned long long>(run.grounding_rules_retained),
-        static_cast<unsigned long long>(run.grounding_rules_retracted),
-        static_cast<unsigned long long>(run.grounding_rules_new),
-        static_cast<unsigned long long>(run.incremental_solve_windows),
-        static_cast<unsigned long long>(run.solve_rebuilds),
-        static_cast<unsigned long long>(run.solver_rules_retained),
-        static_cast<unsigned long long>(run.solver_rules_retracted),
-        static_cast<unsigned long long>(run.solver_rules_new),
-        static_cast<unsigned long long>(run.warm_start_hits),
-        run.ground_ms_total, run.solve_ms_total, run.reason_ms_total,
-        run.window_store_bytes, run.atom_table_bytes, run.bytes_per_triple,
-        run.completeness, static_cast<unsigned long long>(run.shed_windows),
-        run.p99_emit_latency_ms, run.unaccounted_windows,
-        i + 1 < runs.size() ? "," : "");
-  }
-  std::printf("  ]\n");
-  std::printf("}\n");
+  bench::PrintBenchJson("async_pipeline", "traffic_pprime", items,
+                        window_size, std::thread::hardware_concurrency(),
+                        runs);
   return 0;
 }

@@ -8,8 +8,11 @@
 // a self-clocked flash-crowd stream against an undersized sharded
 // engine (async inner pipelines, kDropOldest): shed sub-windows release
 // their merge slot through tombstones and the run reports
-// completeness/shed accounting. Emits one machine-readable JSON
-// document on stdout for the perf trajectory; human-readable notes go
+// completeness/shed accounting. Every leg drives the unified
+// StreamEngine facade (num_shards selects the shape); emission flows
+// through the single ordered EmissionEvent handler. Emits one
+// machine-readable JSON document on stdout (schema shared with
+// bench/async_pipeline via bench/bench_json.h); human-readable notes go
 // to stderr.
 //
 // Throughput is items pushed / wall time of PushBatch+Flush; window
@@ -31,66 +34,16 @@
 #include <vector>
 
 #include "asp/parser.h"
+#include "bench/bench_json.h"
 #include "stream/generator.h"
-#include "streamrule/pipeline.h"
-#include "streamrule/sharded_pipeline.h"
+#include "streamrule/engine.h"
 #include "streamrule/traffic_workload.h"
 #include "util/timer.h"
 
 namespace {
 
 using namespace streamasp;
-
-struct RunResult {
-  std::string mode;     // "sync", "async", "sharded", "sliding-tc[...]"
-  std::string workload = "traffic_pprime";  // "reach_tc" for sliding runs
-  size_t shards = 0;    // 0 for the single-pipeline baselines
-  size_t inflight = 0;
-  size_t window_slide = 0;  // 0 for tumbling runs
-  bool reuse = false;
-  bool reuse_solving = false;
-  double wall_ms = 0;
-  double triples_per_sec = 0;
-  double p50_latency_ms = 0;
-  double p99_latency_ms = 0;
-  uint64_t windows = 0;
-  uint64_t answers = 0;
-  uint64_t max_shard_items = 0;  // Skew: busiest shard's routed items.
-  size_t max_merge_reorder_depth = 0;
-  uint64_t delta_punctuations = 0;  // Sliding runs: delta closes delivered.
-  // Grounding reuse counters (docs/benchmarks.md); always present so the
-  // schema is uniform, zero when reuse_grounding is off.
-  uint64_t incremental_windows = 0;
-  uint64_t grounding_fallbacks = 0;
-  uint64_t grounding_rules_retained = 0;
-  uint64_t grounding_rules_new = 0;
-  // Solver reuse counters; zero when reuse_solving is off.
-  uint64_t incremental_solve_windows = 0;
-  uint64_t solve_rebuilds = 0;
-  uint64_t warm_start_hits = 0;
-  // Phase totals summed over every partition of every sub-window. The
-  // sharded solve-reuse gate compares reason_ms_total = ground + solve
-  // (reuse_solving moves the simplification work across that boundary).
-  double ground_ms_total = 0;
-  double solve_ms_total = 0;
-  double reason_ms_total = 0;
-  // Compact-data-plane footprint (peaks; sharded runs sum shard peaks and
-  // include the router's retained global window; docs/benchmarks.md).
-  size_t window_store_bytes = 0;
-  size_t atom_table_bytes = 0;
-  double bytes_per_triple = 0;
-  // Graceful-degradation accounting (docs/benchmarks.md): always present
-  // for a uniform schema; lossless runs report 1.0 / 0 / 0 / 0. Sharded
-  // runs report mean per-merged-window completeness and tombstoned shed
-  // sub-windows. The burst-overload leg's completeness is gated by a
-  // machine-independent minimum in bench/baseline.json and its
-  // unaccounted_windows (emitted global windows neither merged nor
-  // errored — the no-stall invariant) by a ceiling of 0.
-  double completeness = 1.0;
-  uint64_t shed_windows = 0;
-  double p99_emit_latency_ms = 0;  // Window close -> ordered delivery.
-  long long unaccounted_windows = 0;
-};
+using bench::BenchRun;
 
 double Percentile(std::vector<double> values, double p) {
   if (values.empty()) return 0;
@@ -102,90 +55,29 @@ double Percentile(std::vector<double> values, double p) {
   return values[lo] + (values[hi] - values[lo]) * frac;
 }
 
-RunResult FinishRun(std::string mode, size_t shards, size_t inflight,
-                    double wall_ms, size_t items,
-                    std::vector<double> latencies) {
-  RunResult run;
-  run.mode = std::move(mode);
-  run.shards = shards;
-  run.inflight = inflight;
-  run.wall_ms = wall_ms;
-  run.triples_per_sec =
-      wall_ms > 0 ? static_cast<double>(items) / (wall_ms / 1000.0) : 0;
-  run.p50_latency_ms = Percentile(latencies, 0.50);
-  run.p99_latency_ms = Percentile(latencies, 0.99);
-  return run;
-}
-
-RunResult RunSingle(const Program& program, const std::vector<Triple>& stream,
-                    size_t window_size, bool async) {
-  PipelineOptions options;
-  options.window_size = window_size;
-  options.async = async;
-  options.max_inflight_windows = 4;
+/// Builds the engine, pushes the whole stream behind a wall timer, and
+/// fills the shared run record. `shards` == 0 is the single-pipeline
+/// shape (sync oracle or staged async).
+BenchRun RunEngine(std::string mode, const Program& program,
+                   const std::vector<Triple>& stream, size_t window_size,
+                   size_t shards, bool async, size_t window_slide = 0,
+                   bool reuse = false, bool reuse_solving = false) {
+  EngineConfig config;
+  config.num_shards = shards;
+  config.pipeline.window_size = window_size;
+  config.pipeline.window_slide = window_slide;
+  config.pipeline.reuse_grounding = reuse;
+  config.pipeline.reuse_solving = reuse_solving;
+  config.pipeline.async = async;
+  config.pipeline.max_inflight_windows = 4;
 
   std::vector<double> latencies;
-  StatusOr<std::unique_ptr<StreamRulePipeline>> pipeline =
-      StreamRulePipeline::Create(
-          &program, options,
-          [&](const TripleWindow&, const ParallelReasonerResult& result) {
-            latencies.push_back(result.latency_ms);
-          });
-  if (!pipeline.ok()) {
-    std::fprintf(stderr, "pipeline: %s\n",
-                 pipeline.status().ToString().c_str());
-    std::exit(1);
-  }
-
-  WallTimer wall;
-  (*pipeline)->PushBatch(stream);
-  (*pipeline)->Flush();
-  const double wall_ms = wall.ElapsedMillis();
-
-  const PipelineStats stats = (*pipeline)->stats();
-  RunResult run = FinishRun(async ? "async" : "sync", 0, async ? 4 : 0,
-                            wall_ms, stream.size(), std::move(latencies));
-  run.windows = stats.windows;
-  run.answers = stats.answers;
-  run.max_shard_items = stats.items;
-  run.incremental_windows = stats.incremental_windows;
-  run.grounding_fallbacks = stats.grounding_fallbacks;
-  run.grounding_rules_retained = stats.grounding_rules_retained;
-  run.grounding_rules_new = stats.grounding_rules_new;
-  run.incremental_solve_windows = stats.incremental_solve_windows;
-  run.solve_rebuilds = stats.solve_rebuilds;
-  run.warm_start_hits = stats.warm_start_hits;
-  run.ground_ms_total = stats.total_ground_ms;
-  run.solve_ms_total = stats.total_solve_ms;
-  run.reason_ms_total = stats.total_ground_ms + stats.total_solve_ms;
-  run.window_store_bytes = stats.window_store_bytes;
-  run.atom_table_bytes = stats.atom_table_bytes;
-  run.bytes_per_triple = stats.bytes_per_triple();
-  run.completeness = stats.completeness();
-  run.shed_windows = stats.shed_windows();
-  return run;
-}
-
-RunResult RunSharded(const Program& program, const std::vector<Triple>& stream,
-                     size_t window_size, size_t shards,
-                     size_t window_slide = 0, bool reuse = false,
-                     bool reuse_solving = false, bool inner_async = true) {
-  ShardedPipelineOptions options;
-  options.num_shards = shards;
-  options.pipeline.window_size = window_size;
-  options.pipeline.window_slide = window_slide;
-  options.pipeline.reuse_grounding = reuse;
-  options.pipeline.reuse_solving = reuse_solving;
-  options.pipeline.async = inner_async;
-  options.pipeline.max_inflight_windows = 4;
-
-  std::vector<double> latencies;
-  StatusOr<std::unique_ptr<ShardedPipelineEngine>> engine =
-      ShardedPipelineEngine::Create(
-          &program, options,
-          [&](const TripleWindow&, const ParallelReasonerResult& result) {
-            latencies.push_back(result.latency_ms);
-          });
+  StatusOr<std::unique_ptr<StreamEngine>> engine = StreamEngine::Create(
+      &program, config, [&](EmissionEvent& event) {
+        if (event.kind == EmissionEvent::Kind::kResult) {
+          latencies.push_back(event.result->latency_ms);
+        }
+      });
   if (!engine.ok()) {
     std::fprintf(stderr, "engine: %s\n", engine.status().ToString().c_str());
     std::exit(1);
@@ -196,35 +88,21 @@ RunResult RunSharded(const Program& program, const std::vector<Triple>& stream,
   (*engine)->Flush();
   const double wall_ms = wall.ElapsedMillis();
 
-  const ShardedPipelineStats stats = (*engine)->stats();
-  RunResult run = FinishRun("sharded", shards, inner_async ? 4 : 0, wall_ms,
-                            stream.size(), std::move(latencies));
+  BenchRun run;
+  run.mode = std::move(mode);
+  run.shards = shards;
+  run.inflight = async ? config.pipeline.max_inflight_windows : 0;
+  run.workers = (*engine)->num_reason_workers();
   run.window_slide = window_slide;
   run.reuse = reuse || reuse_solving;
   run.reuse_solving = reuse_solving;
-  run.windows = stats.merged_windows;
-  run.answers = stats.merged_answers;
-  for (const uint64_t routed : stats.routed_items) {
-    run.max_shard_items = std::max(run.max_shard_items, routed);
-  }
-  run.max_merge_reorder_depth = stats.max_merge_reorder_depth;
-  run.delta_punctuations = stats.delta_punctuations;
-  run.incremental_windows = stats.aggregate.incremental_windows;
-  run.grounding_fallbacks = stats.aggregate.grounding_fallbacks;
-  run.grounding_rules_retained = stats.aggregate.grounding_rules_retained;
-  run.grounding_rules_new = stats.aggregate.grounding_rules_new;
-  run.incremental_solve_windows = stats.aggregate.incremental_solve_windows;
-  run.solve_rebuilds = stats.aggregate.solve_rebuilds;
-  run.warm_start_hits = stats.aggregate.warm_start_hits;
-  run.ground_ms_total = stats.aggregate.total_ground_ms;
-  run.solve_ms_total = stats.aggregate.total_solve_ms;
-  run.reason_ms_total =
-      stats.aggregate.total_ground_ms + stats.aggregate.total_solve_ms;
-  run.window_store_bytes = stats.aggregate.window_store_bytes;
-  run.atom_table_bytes = stats.aggregate.atom_table_bytes;
-  run.bytes_per_triple = stats.aggregate.bytes_per_triple();
-  run.completeness = stats.mean_completeness;
-  run.shed_windows = stats.shed_subwindows;
+  run.wall_ms = wall_ms;
+  run.triples_per_sec =
+      wall_ms > 0 ? static_cast<double>(stream.size()) / (wall_ms / 1000.0)
+                  : 0;
+  run.p50_latency_ms = Percentile(latencies, 0.50);
+  run.p99_latency_ms = Percentile(latencies, 0.99);
+  bench::FillFromEngineStats((*engine)->stats(), &run);
   return run;
 }
 
@@ -240,9 +118,9 @@ RunResult RunSharded(const Program& program, const std::vector<Triple>& stream,
 // shard's work queue overflows by spike_len - capacity - 1 sub-windows
 // regardless of host speed), so the completeness minimum in
 // bench/baseline.json is a meaningful machine-independent gate.
-RunResult RunShardedBurstOverload(const Program& program,
-                                  const SymbolTablePtr& symbols,
-                                  size_t window_size) {
+BenchRun RunShardedBurstOverload(const Program& program,
+                                 const SymbolTablePtr& symbols,
+                                 size_t window_size) {
   using Clock = std::chrono::steady_clock;
   const size_t burst_window = std::max<size_t>(100, window_size / 4);
   const size_t num_windows = 120;
@@ -253,29 +131,27 @@ RunResult RunShardedBurstOverload(const Program& program,
   burst.period = 60 * burst_window;  // 6-window spikes, 54-window valleys.
   burst.burst_fraction = 0.1;
 
-  ShardedPipelineOptions options;
-  options.num_shards = shards;
-  options.pipeline.window_size = burst_window;
-  options.pipeline.async = true;
-  options.pipeline.num_reason_workers = 1;
-  options.pipeline.max_inflight_windows = 2;
-  options.pipeline.backpressure = BackpressurePolicy::kDropOldest;
+  EngineConfig config;
+  config.num_shards = shards;
+  config.pipeline.window_size = burst_window;
+  config.pipeline.async = true;
+  config.pipeline.num_reason_workers = 1;
+  config.pipeline.max_inflight_windows = 2;
+  config.pipeline.backpressure = BackpressurePolicy::kDropOldest;
   std::vector<Clock::time_point> close_times(num_windows);
   std::vector<double> latencies;
   std::vector<double> emit_latencies;
-  StatusOr<std::unique_ptr<ShardedPipelineEngine>> engine =
-      ShardedPipelineEngine::Create(
-          &program, options,
-          [&](const TripleWindow& window,
-              const ParallelReasonerResult& result) {
-            latencies.push_back(result.latency_ms);
-            if (window.sequence < close_times.size()) {
-              emit_latencies.push_back(
-                  std::chrono::duration<double, std::milli>(
-                      Clock::now() - close_times[window.sequence])
-                      .count());
-            }
-          });
+  StatusOr<std::unique_ptr<StreamEngine>> engine = StreamEngine::Create(
+      &program, config, [&](EmissionEvent& event) {
+        if (event.kind != EmissionEvent::Kind::kResult) return;
+        latencies.push_back(event.result->latency_ms);
+        if (event.sequence < close_times.size()) {
+          emit_latencies.push_back(std::chrono::duration<double, std::milli>(
+                                       Clock::now() -
+                                       close_times[event.sequence])
+                                       .count());
+        }
+      });
   if (!engine.ok()) {
     std::fprintf(stderr, "burst engine: %s\n",
                  engine.status().ToString().c_str());
@@ -298,26 +174,24 @@ RunResult RunShardedBurstOverload(const Program& program,
   (*engine)->Flush();
   const double wall_ms = wall.ElapsedMillis();
 
-  const ShardedPipelineStats stats = (*engine)->stats();
-  RunResult run =
-      FinishRun("burst-overload", shards, options.pipeline.max_inflight_windows,
-                wall_ms, num_windows * burst_window, std::move(latencies));
+  const EngineStats stats = (*engine)->stats();
+  BenchRun run;
+  run.mode = "burst-overload";
   run.workload = "traffic_pprime_flash_crowd";
-  run.windows = stats.merged_windows;
-  run.answers = stats.merged_answers;
-  for (const uint64_t routed : stats.routed_items) {
-    run.max_shard_items = std::max(run.max_shard_items, routed);
-  }
-  run.max_merge_reorder_depth = stats.max_merge_reorder_depth;
-  run.window_store_bytes = stats.aggregate.window_store_bytes;
-  run.atom_table_bytes = stats.aggregate.atom_table_bytes;
-  run.bytes_per_triple = stats.aggregate.bytes_per_triple();
-  run.completeness = stats.mean_completeness;
-  run.shed_windows = stats.shed_subwindows;
+  run.shards = shards;
+  run.inflight = config.pipeline.max_inflight_windows;
+  run.workers = (*engine)->num_reason_workers();
+  run.wall_ms = wall_ms;
+  run.triples_per_sec =
+      wall_ms > 0 ? static_cast<double>(num_windows * burst_window) /
+                        (wall_ms / 1000.0)
+                  : 0;
+  run.p50_latency_ms = Percentile(latencies, 0.50);
+  run.p99_latency_ms = Percentile(latencies, 0.99);
+  bench::FillFromEngineStats(stats, &run);
   run.p99_emit_latency_ms = Percentile(emit_latencies, 0.99);
-  run.unaccounted_windows =
-      static_cast<long long>(num_windows) -
-      static_cast<long long>(stats.merged_windows + stats.merge_errors);
+  run.unaccounted_windows = static_cast<long long>(num_windows) -
+                            static_cast<long long>(stats.accounted_windows());
   return run;
 }
 
@@ -341,9 +215,9 @@ constexpr char kReachProgram[] = R"(
   #show alarm/2.
 )";
 
-RunResult RunShardedSlidingReach(const SymbolTablePtr& symbols, size_t items,
-                                 size_t window_size, size_t shards,
-                                 bool reuse_solving) {
+BenchRun RunShardedSlidingReach(const SymbolTablePtr& symbols, size_t items,
+                                size_t window_size, size_t shards,
+                                bool reuse_solving) {
   Parser parser(symbols);
   StatusOr<Program> program = parser.ParseProgram(kReachProgram);
   if (!program.ok()) {
@@ -367,10 +241,10 @@ RunResult RunShardedSlidingReach(const SymbolTablePtr& symbols, size_t items,
   const std::vector<Triple> stream = generator.GenerateWindow(items);
 
   const size_t slide = std::max<size_t>(1, window_size / 16);
-  RunResult run = RunSharded(*program, stream, window_size, shards, slide,
-                             /*reuse=*/reuse_solving, reuse_solving,
-                             /*inner_async=*/false);
-  run.mode = reuse_solving ? "sliding-tc-reuse-solve" : "sliding-tc";
+  BenchRun run = RunEngine(
+      reuse_solving ? "sliding-tc-reuse-solve" : "sliding-tc", *program,
+      stream, window_size, shards, /*async=*/false, slide,
+      /*reuse=*/reuse_solving, reuse_solving);
   run.workload = "reach_tc";
   return run;
 }
@@ -401,13 +275,16 @@ int main(int argc, char** argv) {
                "sharded_pipeline bench: %zu items, window %zu, %u cores\n",
                items, window_size, std::thread::hardware_concurrency());
 
-  std::vector<RunResult> runs;
+  std::vector<BenchRun> runs;
   // Warm-up (allocator/page-fault costs), then measure.
-  RunSingle(*program, stream, window_size, /*async=*/false);
-  runs.push_back(RunSingle(*program, stream, window_size, /*async=*/false));
-  runs.push_back(RunSingle(*program, stream, window_size, /*async=*/true));
+  RunEngine("sync", *program, stream, window_size, 0, /*async=*/false);
+  runs.push_back(
+      RunEngine("sync", *program, stream, window_size, 0, /*async=*/false));
+  runs.push_back(
+      RunEngine("async", *program, stream, window_size, 0, /*async=*/true));
   for (const size_t shards : {1, 2, 4, 8}) {
-    runs.push_back(RunSharded(*program, stream, window_size, shards));
+    runs.push_back(RunEngine("sharded", *program, stream, window_size,
+                             shards, /*async=*/true));
   }
   // The sharded sliding-reuse pair at shards=4: cold vs the full reuse
   // stack on identical sliding global windows. The CI gate enforces the
@@ -426,58 +303,8 @@ int main(int argc, char** argv) {
   // unaccounted_windows ceiling in bench/baseline.json.
   runs.push_back(RunShardedBurstOverload(*program, symbols, window_size));
 
-  std::printf("{\n");
-  std::printf("  \"bench\": \"sharded_pipeline\",\n");
-  std::printf("  \"workload\": \"traffic_pprime\",\n");
-  std::printf("  \"items\": %zu,\n", items);
-  std::printf("  \"window_size\": %zu,\n", window_size);
-  std::printf("  \"hardware_concurrency\": %u,\n",
-              std::thread::hardware_concurrency());
-  std::printf("  \"runs\": [\n");
-  for (size_t i = 0; i < runs.size(); ++i) {
-    const RunResult& run = runs[i];
-    std::printf(
-        "    {\"mode\": \"%s\", \"workload\": \"%s\", \"shards\": %zu, "
-        "\"inflight\": %zu, \"window_slide\": %zu, \"reuse\": %s, "
-        "\"reuse_solving\": %s, "
-        "\"wall_ms\": %.2f, \"triples_per_sec\": %.1f, "
-        "\"p50_latency_ms\": %.3f, \"p99_latency_ms\": %.3f, "
-        "\"windows\": %llu, \"answers\": %llu, "
-        "\"max_shard_items\": %llu, \"max_merge_reorder_depth\": %zu, "
-        "\"delta_punctuations\": %llu, "
-        "\"incremental_windows\": %llu, \"grounding_fallbacks\": %llu, "
-        "\"grounding_rules_retained\": %llu, "
-        "\"grounding_rules_new\": %llu, "
-        "\"incremental_solve_windows\": %llu, \"solve_rebuilds\": %llu, "
-        "\"warm_start_hits\": %llu, \"ground_ms_total\": %.2f, "
-        "\"solve_ms_total\": %.2f, \"reason_ms_total\": %.2f, "
-        "\"window_store_bytes\": %zu, \"atom_table_bytes\": %zu, "
-        "\"bytes_per_triple\": %.1f, "
-        "\"completeness\": %.4f, \"shed_windows\": %llu, "
-        "\"p99_emit_latency_ms\": %.3f, \"unaccounted_windows\": %lld}%s\n",
-        run.mode.c_str(), run.workload.c_str(), run.shards, run.inflight,
-        run.window_slide, run.reuse ? "true" : "false",
-        run.reuse_solving ? "true" : "false", run.wall_ms,
-        run.triples_per_sec, run.p50_latency_ms, run.p99_latency_ms,
-        static_cast<unsigned long long>(run.windows),
-        static_cast<unsigned long long>(run.answers),
-        static_cast<unsigned long long>(run.max_shard_items),
-        run.max_merge_reorder_depth,
-        static_cast<unsigned long long>(run.delta_punctuations),
-        static_cast<unsigned long long>(run.incremental_windows),
-        static_cast<unsigned long long>(run.grounding_fallbacks),
-        static_cast<unsigned long long>(run.grounding_rules_retained),
-        static_cast<unsigned long long>(run.grounding_rules_new),
-        static_cast<unsigned long long>(run.incremental_solve_windows),
-        static_cast<unsigned long long>(run.solve_rebuilds),
-        static_cast<unsigned long long>(run.warm_start_hits),
-        run.ground_ms_total, run.solve_ms_total, run.reason_ms_total,
-        run.window_store_bytes, run.atom_table_bytes, run.bytes_per_triple,
-        run.completeness, static_cast<unsigned long long>(run.shed_windows),
-        run.p99_emit_latency_ms, run.unaccounted_windows,
-        i + 1 < runs.size() ? "," : "");
-  }
-  std::printf("  ]\n");
-  std::printf("}\n");
+  bench::PrintBenchJson("sharded_pipeline", "traffic_pprime", items,
+                        window_size, std::thread::hardware_concurrency(),
+                        runs);
   return 0;
 }

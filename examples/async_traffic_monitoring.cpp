@@ -1,11 +1,11 @@
-// The traffic scenario on the staged asynchronous execution engine: the
-// StreamRulePipeline facade with async=true keeps several windows in
-// flight — ingestion and windowing run on this thread while a pool of
-// reasoning workers grounds and solves earlier windows, and the ordered
-// emitter still delivers results strictly in window order.
+// The traffic scenario on the staged asynchronous execution engine,
+// through the unified StreamEngine facade (async = true): ingestion and
+// windowing run on this thread while a pool of reasoning workers grounds
+// and solves earlier windows, and the ordered emitter still delivers one
+// EmissionEvent per window in strict window order.
 //
 //   ingest -> windower -> BoundedQueue -> ParallelReasoner workers
-//          -> ordered emitter -> events (in window order)
+//          -> ordered emitter -> EmissionEvents (in window order)
 //
 // Usage: async_traffic_monitoring [window_size] [num_windows] [inflight]
 
@@ -13,7 +13,7 @@
 #include <cstdlib>
 
 #include "stream/generator.h"
-#include "streamrule/pipeline.h"
+#include "streamrule/engine.h"
 #include "streamrule/traffic_workload.h"
 #include "util/timer.h"
 
@@ -33,38 +33,36 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  PipelineOptions options;
-  options.window_size = window_size;
-  options.async = true;
-  options.max_inflight_windows = inflight;
-  // options.backpressure = BackpressurePolicy::kDropOldest would shed the
-  // oldest queued window instead of slowing ingestion under overload.
+  EngineConfig config;
+  config.pipeline.window_size = window_size;
+  config.pipeline.async = true;
+  config.pipeline.max_inflight_windows = inflight;
+  // config.pipeline.backpressure = BackpressurePolicy::kDropOldest would
+  // shed the oldest queued window instead of slowing ingestion under
+  // overload (shed windows then arrive as kShed tombstone events).
 
   uint64_t total_events = 0;
-  StatusOr<std::unique_ptr<StreamRulePipeline>> pipeline =
-      StreamRulePipeline::Create(
-          &*program, options,
-          [&](const TripleWindow& window,
-              const ParallelReasonerResult& result) {
-            std::printf(
-                "window %llu (%zu items): latency %.2f ms, %zu partitions, "
-                "%zu answer(s)\n",
-                static_cast<unsigned long long>(window.sequence),
-                window.size(), result.latency_ms, result.num_partitions,
-                result.answers.size());
-            for (const GroundAnswer& answer : result.answers) {
-              total_events += answer.size();
-              std::printf("  events: %s\n",
-                          AnswerToString(answer, *symbols).c_str());
-            }
-          });
-  if (!pipeline.ok()) {
-    std::fprintf(stderr, "pipeline: %s\n",
-                 pipeline.status().ToString().c_str());
+  StatusOr<std::unique_ptr<StreamEngine>> engine = StreamEngine::Create(
+      &*program, config, [&](EmissionEvent& event) {
+        if (event.kind != EmissionEvent::Kind::kResult) return;
+        std::printf(
+            "window %llu (%zu items): latency %.2f ms, %zu partitions, "
+            "%zu answer(s)\n",
+            static_cast<unsigned long long>(event.sequence),
+            event.window->size(), event.result->latency_ms,
+            event.result->num_partitions, event.result->answers.size());
+        for (const GroundAnswer& answer : event.result->answers) {
+          total_events += answer.size();
+          std::printf("  events: %s\n",
+                      AnswerToString(answer, *symbols).c_str());
+        }
+      });
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine: %s\n", engine.status().ToString().c_str());
     return 1;
   }
   std::printf("async engine: %zu reasoning workers, %zu windows in flight\n",
-              (*pipeline)->num_reason_workers(), inflight);
+              (*engine)->num_reason_workers(), inflight);
 
   SyntheticStreamGenerator generator(MakeTrafficSchema(*symbols),
                                      GeneratorOptions{});
@@ -72,19 +70,19 @@ int main(int argc, char** argv) {
   for (size_t i = 0; i < num_windows; ++i) {
     // Push never waits for reasoning (until the in-flight bound bites):
     // windows pile into the work queue while the workers chew.
-    (*pipeline)->PushBatch(generator.GenerateWindow(window_size));
+    (*engine)->PushBatch(generator.GenerateWindow(window_size));
   }
-  (*pipeline)->Flush();  // Drain every in-flight window.
+  (*engine)->Flush();  // Drain every in-flight window.
   const double wall_ms = wall.ElapsedMillis();
 
-  const PipelineStats stats = (*pipeline)->stats();
+  const EngineStats stats = (*engine)->stats();
   std::printf(
       "processed %llu windows / %llu items in %.2f ms "
       "(%.0f triples/s, mean window latency %.2f ms, queue depth peak %zu)\n",
-      static_cast<unsigned long long>(stats.windows),
-      static_cast<unsigned long long>(stats.items), wall_ms,
-      static_cast<double>(stats.items) / (wall_ms / 1000.0),
-      stats.mean_latency_ms(), stats.max_queue_depth);
+      static_cast<unsigned long long>(stats.delivered_windows),
+      static_cast<unsigned long long>(stats.reasoning.items), wall_ms,
+      static_cast<double>(stats.reasoning.items) / (wall_ms / 1000.0),
+      stats.reasoning.mean_latency_ms(), stats.reasoning.max_queue_depth);
   std::printf("total detected events: %llu\n",
               static_cast<unsigned long long>(total_events));
   return 0;

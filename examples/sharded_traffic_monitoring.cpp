@@ -1,12 +1,15 @@
-// The traffic scenario on the sharded multi-pipeline engine: the stream
-// is hash-partitioned by subject across several independent pipelines
-// (each with its own windower, work queue and reasoning workers), and the
-// ordered merge recombines per-shard answers so events still arrive in
-// strict global window order — byte-identical to a single pipeline,
-// because subject sharding respects the traffic rules' dependencies.
+// The traffic scenario on the sharded multi-pipeline engine, through the
+// unified StreamEngine facade (num_shards >= 1): the stream is
+// hash-partitioned by subject across several independent pipelines (each
+// with its own windower, work queue and reasoning workers), and the
+// ordered merge recombines per-shard answers so EmissionEvents still
+// arrive in strict global window order — byte-identical to a single
+// pipeline: subject sharding respects the traffic rules' dependencies,
+// and the router broadcasts P'-duplicated predicates (car_number) to
+// every shard so r7's cross-shard join survives hashing.
 //
 //   router (subject hash) -> N x [windower -> workers -> emitter]
-//                         -> ordered merge -> events (in window order)
+//                         -> ordered merge -> EmissionEvents
 //
 // Usage: sharded_traffic_monitoring [window_size] [num_windows] [shards]
 
@@ -14,7 +17,7 @@
 #include <cstdlib>
 
 #include "stream/generator.h"
-#include "streamrule/sharded_pipeline.h"
+#include "streamrule/engine.h"
 #include "streamrule/traffic_workload.h"
 #include "util/timer.h"
 
@@ -34,32 +37,30 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  ShardedPipelineOptions options;
-  options.num_shards = shards;
-  options.pipeline.window_size = window_size;
-  options.pipeline.async = true;
-  options.pipeline.max_inflight_windows = 4;
-  // options.shard_key defaults to SubjectShardKey(); see
+  EngineConfig config;
+  config.num_shards = shards;
+  config.pipeline.window_size = window_size;
+  config.pipeline.async = true;
+  config.pipeline.max_inflight_windows = 4;
+  // config.shard_key defaults to SubjectShardKey(); see
   // stream/shard_key.h and CommunityShardKey for alternatives.
 
   uint64_t total_events = 0;
-  StatusOr<std::unique_ptr<ShardedPipelineEngine>> engine =
-      ShardedPipelineEngine::Create(
-          &*program, options,
-          [&](const TripleWindow& window,
-              const ParallelReasonerResult& result) {
-            std::printf(
-                "window %llu (%zu items): shard-parallel latency %.2f ms, "
-                "%zu partitions, %zu answer(s)\n",
-                static_cast<unsigned long long>(window.sequence),
-                window.size(), result.latency_ms, result.num_partitions,
-                result.answers.size());
-            for (const GroundAnswer& answer : result.answers) {
-              total_events += answer.size();
-              std::printf("  events: %s\n",
-                          AnswerToString(answer, *symbols).c_str());
-            }
-          });
+  StatusOr<std::unique_ptr<StreamEngine>> engine = StreamEngine::Create(
+      &*program, config, [&](EmissionEvent& event) {
+        if (event.kind != EmissionEvent::Kind::kResult) return;
+        std::printf(
+            "window %llu (%zu items): shard-parallel latency %.2f ms, "
+            "%zu partitions, %zu answer(s)\n",
+            static_cast<unsigned long long>(event.sequence),
+            event.window->size(), event.result->latency_ms,
+            event.result->num_partitions, event.result->answers.size());
+        for (const GroundAnswer& answer : event.result->answers) {
+          total_events += answer.size();
+          std::printf("  events: %s\n",
+                      AnswerToString(answer, *symbols).c_str());
+        }
+      });
   if (!engine.ok()) {
     std::fprintf(stderr, "engine: %s\n", engine.status().ToString().c_str());
     return 1;
@@ -77,13 +78,13 @@ int main(int argc, char** argv) {
   (*engine)->Flush();  // Drain every shard and the ordered merge.
   const double wall_ms = wall.ElapsedMillis();
 
-  const ShardedPipelineStats stats = (*engine)->stats();
+  const EngineStats stats = (*engine)->stats();
   std::printf(
       "processed %llu global windows / %llu items in %.2f ms "
       "(%.0f triples/s, merge reorder peak %zu)\n",
-      static_cast<unsigned long long>(stats.merged_windows),
-      static_cast<unsigned long long>(stats.aggregate.items), wall_ms,
-      static_cast<double>(stats.aggregate.items) / (wall_ms / 1000.0),
+      static_cast<unsigned long long>(stats.delivered_windows),
+      static_cast<unsigned long long>(stats.reasoning.items), wall_ms,
+      static_cast<double>(stats.reasoning.items) / (wall_ms / 1000.0),
       stats.max_merge_reorder_depth);
   for (size_t s = 0; s < stats.per_shard.size(); ++s) {
     std::printf(

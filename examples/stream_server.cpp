@@ -1,0 +1,46 @@
+// Multi-tenant streaming server over TCP: clients open named sessions
+// (ASP program text + engine spec), push triples, and receive the ordered
+// answer/error/shed event stream — all over the length-prefixed wire
+// protocol in src/server/wire.h. tools/stream_client.py is the matching
+// client; CI drives the pair as a smoke test.
+//
+// Prints "listening port=<N>" once the socket is bound, then serves until
+// stdin reaches EOF (or the process is terminated), which is what lets a
+// driving script shut the server down cleanly by closing its stdin.
+//
+// Usage: stream_server [port]   (port 0 = pick an ephemeral port)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "server/server.h"
+#include "server/tcp.h"
+
+int main(int argc, char** argv) {
+  using namespace streamasp;
+
+  const uint16_t port =
+      argc > 1 ? static_cast<uint16_t>(std::atoi(argv[1])) : 0;
+
+  StreamServer server;
+  TcpServer::Options options;
+  options.port = port;
+  TcpServer tcp(&server, options);
+  Status status = tcp.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "start: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("listening port=%u\n", tcp.port());
+  std::fflush(stdout);
+
+  // Serve until the driver closes our stdin.
+  int c;
+  while ((c = std::getchar()) != EOF) {
+  }
+
+  tcp.Stop();
+  server.CloseAll();
+  std::fprintf(stderr, "stream_server: shut down\n");
+  return 0;
+}

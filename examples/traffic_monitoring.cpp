@@ -1,22 +1,20 @@
-// End-to-end extended-StreamRule pipeline on the paper's traffic scenario
-// (§II-A): a synthetic RDF stream flows through the stream query processor
-// into the dependency-partitioned parallel reasoner; detected events are
-// printed per window.
+// End-to-end StreamRule run on the paper's traffic scenario (§II-A)
+// through the unified StreamEngine facade: one validated config (here the
+// synchronous single-pipeline shape), one ordered EmissionEvent stream.
+// Underneath, the synthetic RDF stream flows through the stream query
+// processor into the dependency-partitioned parallel reasoner; detected
+// events are printed per window.
 //
-//   stream -> StreamQueryProcessor -> PartitioningHandler -> n x Reasoner
-//          -> CombiningHandler -> events
+//   stream -> StreamEngine [query processor -> partitioning -> n x Reasoner
+//          -> combining] -> EmissionEvents
 //
 // Usage: traffic_monitoring [window_size] [num_windows]
 
 #include <cstdio>
 #include <cstdlib>
 
-#include "depgraph/decomposition.h"
-#include "depgraph/input_dependency_graph.h"
 #include "stream/generator.h"
-#include "stream/query_processor.h"
-#include "streamrule/accuracy.h"
-#include "streamrule/parallel_reasoner.h"
+#include "streamrule/engine.h"
 #include "streamrule/traffic_workload.h"
 
 int main(int argc, char** argv) {
@@ -34,56 +32,50 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  // Design time: input dependency analysis -> partitioning plan.
-  StatusOr<InputDependencyGraph> graph = InputDependencyGraph::Build(*program);
-  if (!graph.ok()) {
-    std::fprintf(stderr, "graph: %s\n", graph.status().ToString().c_str());
-    return 1;
-  }
-  DecompositionInfo info;
-  StatusOr<PartitioningPlan> plan =
-      DecomposeInputDependencyGraph(*graph, {}, &info);
-  if (!plan.ok()) {
-    std::fprintf(stderr, "plan: %s\n", plan.status().ToString().c_str());
-    return 1;
-  }
-  std::printf("design time: %s\n", plan->ToString(*symbols).c_str());
+  // num_shards = 0 and async = false pick the synchronous oracle shape:
+  // one window at a time, reasoned on this thread.
+  EngineConfig config;
+  config.pipeline.window_size = window_size;
 
-  ParallelReasoner reasoner(&*program, *plan);
-
-  // Run time: the query processor filters the raw stream and emits
-  // tuple-based windows straight into the reasoner.
   uint64_t total_events = 0;
-  StreamQueryProcessor query(window_size, [&](const TripleWindow& window) {
-    StatusOr<ParallelReasonerResult> result = reasoner.Process(window);
-    if (!result.ok()) {
-      std::fprintf(stderr, "window %llu: %s\n",
-                   static_cast<unsigned long long>(window.sequence),
-                   result.status().ToString().c_str());
-      return;
-    }
-    std::printf(
-        "window %llu (%zu items): latency %.2f ms (critical path %.2f ms), "
-        "%zu partitions, %zu answer(s)\n",
-        static_cast<unsigned long long>(window.sequence), window.size(),
-        result->latency_ms, result->critical_path_ms,
-        result->num_partitions, result->answers.size());
-    for (const GroundAnswer& answer : result->answers) {
-      total_events += answer.size();
-      std::printf("  events: %s\n",
-                  AnswerToString(answer, *symbols).c_str());
-    }
-  });
-  for (const PredicateSignature& sig : program->input_predicates()) {
-    query.RegisterPredicate(sig.name);
+  StatusOr<std::unique_ptr<StreamEngine>> engine = StreamEngine::Create(
+      &*program, config, [&](EmissionEvent& event) {
+        if (event.kind == EmissionEvent::Kind::kError) {
+          std::fprintf(stderr, "window %llu: %s\n",
+                       static_cast<unsigned long long>(event.sequence),
+                       event.status.ToString().c_str());
+          return;
+        }
+        if (event.kind != EmissionEvent::Kind::kResult) return;
+        std::printf(
+            "window %llu (%zu items): latency %.2f ms (critical path "
+            "%.2f ms), %zu partitions, %zu answer(s)\n",
+            static_cast<unsigned long long>(event.sequence),
+            event.window->size(), event.result->latency_ms,
+            event.result->critical_path_ms, event.result->num_partitions,
+            event.result->answers.size());
+        for (const GroundAnswer& answer : event.result->answers) {
+          total_events += answer.size();
+          std::printf("  events: %s\n",
+                      AnswerToString(answer, *symbols).c_str());
+        }
+      });
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine: %s\n", engine.status().ToString().c_str());
+    return 1;
   }
+  // Design time already happened inside Create: input dependency analysis
+  // -> partitioning plan, exposed for introspection on the underlying
+  // pipeline.
+  std::printf("design time: %s\n",
+              (*engine)->pipeline()->plan().ToString(*symbols).c_str());
 
   SyntheticStreamGenerator generator(MakeTrafficSchema(*symbols),
                                      GeneratorOptions{});
   for (size_t i = 0; i < num_windows; ++i) {
-    query.PushBatch(generator.GenerateWindow(window_size));
+    (*engine)->PushBatch(generator.GenerateWindow(window_size));
   }
-  query.Flush();
+  (*engine)->Flush();
 
   std::printf("total detected events: %llu\n",
               static_cast<unsigned long long>(total_events));

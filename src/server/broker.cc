@@ -1,0 +1,192 @@
+#include "server/broker.h"
+
+#include <deque>
+#include <utility>
+#include <vector>
+
+namespace streamasp {
+
+SessionBroker::SessionBroker(StreamServer* server, SendFn send)
+    : server_(server), send_(std::move(send)) {}
+
+SessionBroker::~SessionBroker() {
+  std::vector<std::string> doomed;
+  {
+    std::lock_guard<std::mutex> lock(owned_mutex_);
+    doomed.assign(owned_.begin(), owned_.end());
+    owned_.clear();
+  }
+  // Draining a session flushes its last emissions through Send — the
+  // send_ callable must stay valid until these closes finish, which is
+  // why transports destroy the broker before their own send machinery.
+  for (const std::string& name : doomed) {
+    // kNotFound just means someone closed it server-side already.
+    Status status = server_->CloseSession(name);
+    (void)status;
+  }
+}
+
+void SessionBroker::Send(std::string payload) {
+  std::lock_guard<std::mutex> lock(send_mutex_);
+  send_(std::move(payload));
+}
+
+void SessionBroker::HandleRequest(std::string_view payload) {
+  StatusOr<WireRequest> parsed = ParseRequest(payload);
+  if (!parsed.ok()) {
+    Send(FormatError("request", "", parsed.status()));
+    return;
+  }
+  WireRequest& request = *parsed;
+  switch (request.command) {
+    case WireRequest::Command::kPing:
+      Send(FormatOk("ping", ""));
+      return;
+    case WireRequest::Command::kOpen:
+      HandleOpen(std::move(request));
+      return;
+    case WireRequest::Command::kPush:
+      HandlePush(request);
+      return;
+    case WireRequest::Command::kFlush: {
+      StatusOr<std::shared_ptr<StreamSession>> session =
+          server_->FindSession(request.session);
+      if (!session.ok()) {
+        Send(FormatError("flush", request.session, session.status()));
+        return;
+      }
+      Status status = (*session)->Flush();
+      Send(status.ok() ? FormatOk("flush", request.session)
+                       : FormatError("flush", request.session, status));
+      return;
+    }
+    case WireRequest::Command::kStats: {
+      StatusOr<std::shared_ptr<StreamSession>> session =
+          server_->FindSession(request.session);
+      if (!session.ok()) {
+        Send(FormatError("stats", request.session, session.status()));
+        return;
+      }
+      Send(FormatStats(request.session, (*session)->stats()));
+      return;
+    }
+    case WireRequest::Command::kClose: {
+      {
+        std::lock_guard<std::mutex> lock(owned_mutex_);
+        owned_.erase(request.session);
+      }
+      Status status = server_->CloseSession(request.session);
+      Send(status.ok() ? FormatOk("close", request.session)
+                       : FormatError("close", request.session, status));
+      return;
+    }
+  }
+}
+
+void SessionBroker::HandleOpen(WireRequest request) {
+  const std::string name = request.session;
+  StatusOr<std::shared_ptr<StreamSession>> session = server_->CreateSession(
+      name, std::move(request.options),
+      [this](const SessionEvent& event) { Send(FormatEvent(event)); });
+  if (!session.ok()) {
+    Send(FormatError("open", name, session.status()));
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(owned_mutex_);
+    owned_.insert(name);
+  }
+  Send(FormatOk("open", name));
+}
+
+void SessionBroker::HandlePush(const WireRequest& request) {
+  StatusOr<std::shared_ptr<StreamSession>> session =
+      server_->FindSession(request.session);
+  if (!session.ok()) {
+    Send(FormatError("push", request.session, session.status()));
+    return;
+  }
+  std::vector<Triple> batch;
+  batch.reserve(request.lines.size());
+  for (const std::string& line : request.lines) {
+    StatusOr<Triple> triple = ParseTripleLine(line, (*session)->symbols());
+    if (!triple.ok()) {
+      Send(FormatError("push", request.session, triple.status()));
+      return;
+    }
+    batch.push_back(*triple);
+  }
+  Status status = (*session)->Push(std::move(batch));
+  Send(status.ok() ? FormatOk("push", request.session)
+                   : FormatError("push", request.session, status));
+}
+
+namespace {
+
+/// The in-process transport: Send() executes the request inline on the
+/// calling thread through a private broker; server→client payloads are
+/// delivered to the Receive handler (buffered and replayed in order when
+/// none is installed yet). The client handler must not call Send() from
+/// inside a delivery — deliveries are serialized on the same lock.
+class InProcConnection : public SessionTransport {
+ public:
+  explicit InProcConnection(StreamServer* server)
+      : broker_(std::make_unique<SessionBroker>(
+            server, [this](std::string payload) {
+              DeliverToClient(std::move(payload));
+            })) {}
+
+  ~InProcConnection() override { Close(); }
+
+  Status Send(std::string payload) override {
+    std::lock_guard<std::mutex> lock(request_mutex_);
+    if (broker_ == nullptr) {
+      return FailedPreconditionError("connection is closed");
+    }
+    broker_->HandleRequest(payload);
+    return OkStatus();
+  }
+
+  void Receive(PayloadHandler handler) override {
+    std::deque<std::string> replay;
+    {
+      std::lock_guard<std::mutex> lock(client_mutex_);
+      handler_ = std::move(handler);
+      replay.swap(buffered_);
+      if (handler_ == nullptr) return;
+      for (std::string& payload : replay) handler_(std::move(payload));
+    }
+  }
+
+  void Close() override {
+    std::lock_guard<std::mutex> lock(request_mutex_);
+    // Destroying the broker drains this connection's sessions; their
+    // final events still flow through DeliverToClient.
+    broker_.reset();
+  }
+
+ private:
+  void DeliverToClient(std::string payload) {
+    std::lock_guard<std::mutex> lock(client_mutex_);
+    if (handler_ != nullptr) {
+      handler_(std::move(payload));
+    } else {
+      buffered_.push_back(std::move(payload));
+    }
+  }
+
+  std::mutex request_mutex_;
+  std::unique_ptr<SessionBroker> broker_;
+
+  std::mutex client_mutex_;
+  PayloadHandler handler_;
+  std::deque<std::string> buffered_;
+};
+
+}  // namespace
+
+std::unique_ptr<SessionTransport> StreamServer::Connect() {
+  return std::make_unique<InProcConnection>(this);
+}
+
+}  // namespace streamasp

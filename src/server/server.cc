@@ -1,0 +1,104 @@
+#include "server/server.h"
+
+#include <utility>
+
+namespace streamasp {
+
+StreamServer::StreamServer(ServerOptions options)
+    : options_(std::move(options)) {}
+
+StreamServer::~StreamServer() { CloseAll(); }
+
+StatusOr<std::shared_ptr<StreamSession>> StreamServer::CreateSession(
+    std::string name, SessionOptions options, SessionEventHandler handler) {
+  if (options_.session_reasoner_threads > 0 &&
+      options.engine.pipeline.reasoner.num_threads == 0) {
+    // Fair multiplexing: without this, every tenant's reasoner would
+    // default to all cores and the sessions would thrash each other.
+    options.engine.pipeline.reasoner.num_threads =
+        options_.session_reasoner_threads;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (sessions_.size() >= options_.max_sessions) {
+      return ResourceExhaustedError(
+          "session limit reached (" + std::to_string(options_.max_sessions) +
+          "); close a session first");
+    }
+    if (sessions_.count(name) != 0) {
+      return InvalidArgumentError("session '" + name + "' already exists");
+    }
+  }
+  // Build outside the lock: Create parses and grounds the program, which
+  // can take a while — don't stall the registry. The name is re-checked
+  // on insert in case of a racing create.
+  STREAMASP_ASSIGN_OR_RETURN(
+      std::unique_ptr<StreamSession> session,
+      StreamSession::Create(name, std::move(options), std::move(handler)));
+  std::shared_ptr<StreamSession> shared(std::move(session));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (sessions_.size() >= options_.max_sessions) {
+      return ResourceExhaustedError(
+          "session limit reached (" + std::to_string(options_.max_sessions) +
+          "); close a session first");
+    }
+    if (!sessions_.emplace(name, shared).second) {
+      return InvalidArgumentError("session '" + name + "' already exists");
+    }
+  }
+  return shared;
+}
+
+StatusOr<std::shared_ptr<StreamSession>> StreamServer::FindSession(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sessions_.find(name);
+  if (it == sessions_.end()) {
+    return NotFoundError("no session named '" + name + "'");
+  }
+  return it->second;
+}
+
+Status StreamServer::CloseSession(const std::string& name) {
+  std::shared_ptr<StreamSession> session;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = sessions_.find(name);
+    if (it == sessions_.end()) {
+      return NotFoundError("no session named '" + name + "'");
+    }
+    session = std::move(it->second);
+    sessions_.erase(it);
+  }
+  // Drain outside the lock — closing waits for in-flight windows, and
+  // other tenants must keep creating/finding sessions meanwhile.
+  session->Close();
+  return OkStatus();
+}
+
+void StreamServer::CloseAll() {
+  std::vector<std::shared_ptr<StreamSession>> doomed;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    doomed.reserve(sessions_.size());
+    for (auto& entry : sessions_) doomed.push_back(std::move(entry.second));
+    sessions_.clear();
+  }
+  for (auto& session : doomed) session->Close();
+}
+
+std::vector<std::string> StreamServer::session_names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(sessions_.size());
+  for (const auto& entry : sessions_) names.push_back(entry.first);
+  return names;
+}
+
+size_t StreamServer::num_sessions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sessions_.size();
+}
+
+}  // namespace streamasp

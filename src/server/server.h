@@ -1,0 +1,86 @@
+#ifndef STREAMASP_SERVER_SERVER_H_
+#define STREAMASP_SERVER_SERVER_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "server/session.h"
+#include "stream/transport.h"
+#include "util/status.h"
+
+namespace streamasp {
+
+/// Server-wide tenancy limits.
+struct ServerOptions {
+  /// Bound on concurrently open sessions; CreateSession refuses beyond
+  /// it with kResourceExhausted.
+  size_t max_sessions = 64;
+
+  /// Default reasoner thread budget applied to a session whose config
+  /// leaves reasoner threads at 0 (the engine's "all cores" default would
+  /// let one tenant claim the machine). 0 disables the override.
+  size_t session_reasoner_threads = 2;
+};
+
+/// The multi-tenant front end: a named-session registry over shared
+/// reasoner resources. Transports call CreateSession/FindSession/
+/// CloseSession; each session runs its own engine, pump, and symbol
+/// table, isolated from its siblings except for CPU.
+///
+/// Sessions are handed out as shared_ptr so a connection can keep
+/// pushing into a session another thread is concurrently closing — the
+/// session object outlives registry removal and refuses cleanly.
+///
+/// Thread-safe throughout.
+class StreamServer {
+ public:
+  explicit StreamServer(ServerOptions options = {});
+
+  /// Closes every remaining session.
+  ~StreamServer();
+
+  StreamServer(const StreamServer&) = delete;
+  StreamServer& operator=(const StreamServer&) = delete;
+
+  /// Registers and starts a session. kInvalidArgument on a duplicate
+  /// name, kResourceExhausted at max_sessions; otherwise whatever
+  /// StreamSession::Create reports (parse/validation failures).
+  StatusOr<std::shared_ptr<StreamSession>> CreateSession(
+      std::string name, SessionOptions options, SessionEventHandler handler);
+
+  /// kNotFound when no session has this name.
+  StatusOr<std::shared_ptr<StreamSession>> FindSession(
+      const std::string& name) const;
+
+  /// Removes the session from the registry and drains it (blocking until
+  /// kClosed). kNotFound when absent — a second CloseSession of the same
+  /// name reports kNotFound while the first blocks in Close(), which is
+  /// the idempotence transports want.
+  Status CloseSession(const std::string& name);
+
+  /// Closes every open session (registry order is unspecified; each
+  /// close drains fully).
+  void CloseAll();
+
+  std::vector<std::string> session_names() const;
+  size_t num_sessions() const;
+  const ServerOptions& options() const { return options_; }
+
+  /// Opens an in-process connection speaking the wire protocol
+  /// (src/server/wire.h) against this server — the same code path the
+  /// TCP transport drives, minus the socket. Defined in broker.cc.
+  std::unique_ptr<SessionTransport> Connect();
+
+ private:
+  const ServerOptions options_;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<StreamSession>> sessions_;
+};
+
+}  // namespace streamasp
+
+#endif  // STREAMASP_SERVER_SERVER_H_

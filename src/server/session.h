@@ -1,0 +1,210 @@
+#ifndef STREAMASP_SERVER_SESSION_H_
+#define STREAMASP_SERVER_SESSION_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "asp/program.h"
+#include "streamrule/engine.h"
+#include "util/bounded_queue.h"
+#include "util/status.h"
+
+namespace streamasp {
+
+/// Lifecycle of a stream session.
+///
+///   kRunning ──Close()──► kDraining ──(queue drained, engine flushed)──►
+///   kClosed
+///
+/// Push/Flush are accepted in kRunning only; Close is idempotent from any
+/// state and safe under in-flight windows (it drains what was admitted —
+/// every admitted batch is windowed, reasoned, and delivered before the
+/// session reports kClosed).
+enum class SessionState { kRunning, kDraining, kClosed };
+
+constexpr const char* SessionStateName(SessionState state) {
+  switch (state) {
+    case SessionState::kRunning:
+      return "running";
+    case SessionState::kDraining:
+      return "draining";
+    case SessionState::kClosed:
+      return "closed";
+  }
+  return "unknown";
+}
+
+/// One delivery of a session's ordered emission stream: the engine's
+/// EmissionEvent plus the session context a multi-tenant consumer needs
+/// to route and render it. Delivered from the session's engine thread
+/// (pump, emitter, or merge — one at a time, in strictly increasing
+/// session_sequence order); the handler must not call back into the
+/// session.
+struct SessionEvent {
+  /// The session's name (stable for the session's lifetime).
+  const std::string& session;
+  /// Per-session emission counter, contiguous from 0 across all kinds.
+  uint64_t session_sequence;
+  /// The session's symbol table — what renders this event's answers.
+  const SymbolTable& symbols;
+  /// The underlying ordered emission (result | error | shed). Owned by
+  /// the delivering thread; contents may be stolen.
+  EmissionEvent& event;
+};
+
+using SessionEventHandler = std::function<void(const SessionEvent&)>;
+
+/// Everything a client registers a session with: the program text and
+/// the engine spec, plus the session's own admission control.
+struct SessionOptions {
+  /// ASP program source, parsed against the session's private symbol
+  /// table (sessions share no symbols — full tenant isolation).
+  std::string program_text;
+
+  /// Engine shape and tuning (streamrule/engine.h): window geometry,
+  /// shards, async staging, reuse flags, backpressure, admission filter.
+  EngineConfig engine;
+
+  /// Bound on batches queued between Push and the session's pump thread
+  /// — the per-session admission budget.
+  size_t ingest_queue_capacity = 16;
+
+  /// What Push does when the session is saturated (the ingest queue is
+  /// at capacity): kBlock backpressures the caller (lossless); kReject
+  /// refuses the batch with kResourceExhausted so one tenant's overload
+  /// never blocks the transport thread serving others. kDropOldest is
+  /// rejected at Create — silently dropping accepted batches would break
+  /// the session's at-most-once-refusal accounting.
+  BackpressurePolicy admission = BackpressurePolicy::kBlock;
+};
+
+/// Point-in-time view of a session (SessionStats from stats(), safe from
+/// any thread).
+struct SessionStats {
+  SessionState state = SessionState::kRunning;
+  uint64_t pushed_batches = 0;
+  uint64_t pushed_items = 0;
+  /// Batches/items refused by admission control (kReject saturation).
+  uint64_t rejected_batches = 0;
+  uint64_t rejected_items = 0;
+  /// Emissions delivered to the event handler, by kind.
+  uint64_t result_events = 0;
+  uint64_t error_events = 0;
+  uint64_t shed_events = 0;
+  /// The engine's unified snapshot.
+  EngineStats engine;
+
+  uint64_t events() const {
+    return result_events + error_events + shed_events;
+  }
+};
+
+/// One named, single-tenant stream session: a private symbol table, a
+/// parsed program, a StreamEngine, and a bounded ingest queue drained by
+/// a dedicated pump thread. Clients push triple batches and subscribe to
+/// the ordered SessionEvent stream; the pump decouples transport threads
+/// from reasoning, so a slow session backpressures (or sheds) its own
+/// queue without stalling its siblings.
+///
+/// Thread-safety: Push/Flush/Close/stats from any thread, concurrently.
+/// The event handler must not call back into the session (the pump or
+/// emitter delivering it would deadlock on itself).
+class StreamSession {
+ public:
+  /// Parses the program, builds the engine, starts the pump. Fails on an
+  /// unparsable/invalid program or options the engine validator rejects.
+  static StatusOr<std::unique_ptr<StreamSession>> Create(
+      std::string name, SessionOptions options, SessionEventHandler handler);
+
+  /// Closes (drains) the session, then joins the pump.
+  ~StreamSession();
+
+  StreamSession(const StreamSession&) = delete;
+  StreamSession& operator=(const StreamSession&) = delete;
+
+  /// Queues one batch for the pump. Returns kFailedPrecondition when the
+  /// session is not running, kResourceExhausted when kReject admission
+  /// refuses a saturated push; blocks instead under kBlock admission.
+  Status Push(std::vector<Triple> batch);
+
+  /// Live barrier: blocks until everything pushed before this call has
+  /// been windowed, reasoned, and delivered (the trailing partial window
+  /// included). The session remains running. kFailedPrecondition when
+  /// not running.
+  Status Flush();
+
+  /// Drains and closes: stops admission (kDraining), lets the pump
+  /// finish every queued batch, flushes the engine end-of-stream, then
+  /// reports kClosed. Idempotent and thread-safe — concurrent and
+  /// repeated calls all return after the session is closed.
+  void Close();
+
+  SessionState state() const;
+  SessionStats stats() const;
+
+  const std::string& name() const { return name_; }
+  /// The session's private symbol table (what ParseTripleLine and event
+  /// rendering use). Thread-safe by SymbolTable's own contract.
+  SymbolTable& symbols() { return *symbols_; }
+  const Program& program() const { return *program_; }
+
+ private:
+  /// One unit of pump work: a batch to push, then optionally a flush
+  /// barrier to acknowledge.
+  struct IngestCommand {
+    std::vector<Triple> batch;
+    bool flush = false;
+  };
+
+  StreamSession(std::string name, SessionOptions options,
+                SessionEventHandler handler);
+
+  Status Init(const std::string& program_text);
+  void PumpLoop();
+  /// The engine's emission handler: wraps events with session context.
+  void OnEmission(EmissionEvent& event);
+
+  const std::string name_;
+  SessionOptions options_;
+  SessionEventHandler handler_;
+
+  SymbolTablePtr symbols_;
+  std::unique_ptr<Program> program_;
+  std::unique_ptr<StreamEngine> engine_;
+
+  BoundedQueue<IngestCommand> queue_;
+  /// Depth mirror for kReject admission (atomic so Push never takes the
+  /// pump's locks): incremented before enqueue, decremented after the
+  /// pump finishes a command.
+  std::atomic<size_t> queued_commands_{0};
+  std::thread pump_;
+
+  mutable std::mutex state_mutex_;
+  SessionState state_ = SessionState::kRunning;
+  std::condition_variable closed_cv_;
+  bool close_started_ = false;
+
+  std::mutex flush_mutex_;
+  std::condition_variable flush_cv_;
+  uint64_t flush_tickets_ = 0;
+  uint64_t flush_completed_ = 0;
+
+  std::atomic<uint64_t> pushed_batches_{0};
+  std::atomic<uint64_t> pushed_items_{0};
+  std::atomic<uint64_t> rejected_batches_{0};
+  std::atomic<uint64_t> rejected_items_{0};
+  std::atomic<uint64_t> result_events_{0};
+  std::atomic<uint64_t> error_events_{0};
+  std::atomic<uint64_t> shed_events_{0};
+  std::atomic<uint64_t> next_event_sequence_{0};
+};
+
+}  // namespace streamasp
+
+#endif  // STREAMASP_SERVER_SESSION_H_

@@ -1,0 +1,172 @@
+#include "server/tcp.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "server/broker.h"
+#include "server/wire.h"
+#include "util/logging.h"
+
+namespace streamasp {
+
+/// One accepted client: its socket, the broker serving it, and the
+/// reader thread pumping frames into the broker.
+struct TcpServer::Connection {
+  int fd = -1;
+  std::thread reader;
+  std::mutex write_mutex_;
+  bool write_failed = false;
+
+  /// Sends one framed payload; after the first failure the connection
+  /// goes write-dead (the reader notices EOF/reset and tears down).
+  void SendFramed(const std::string& payload) {
+    const std::string frame = EncodeFrame(payload);
+    std::lock_guard<std::mutex> lock(write_mutex_);
+    if (write_failed) return;
+    size_t sent = 0;
+    while (sent < frame.size()) {
+      const ssize_t n = ::send(fd, frame.data() + sent, frame.size() - sent,
+                               MSG_NOSIGNAL);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        write_failed = true;
+        return;
+      }
+      sent += static_cast<size_t>(n);
+    }
+  }
+};
+
+TcpServer::TcpServer(StreamServer* server, Options options)
+    : server_(server), options_(options) {}
+
+TcpServer::~TcpServer() { Stop(); }
+
+Status TcpServer::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (started_) return FailedPreconditionError("TcpServer already started");
+    started_ = true;
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return InternalError(std::string("socket: ") + std::strerror(errno));
+  }
+  int reuse = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string error = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return InternalError("bind: " + error);
+  }
+  if (::listen(listen_fd_, options_.backlog) < 0) {
+    const std::string error = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return InternalError("listen: " + error);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) < 0) {
+    const std::string error = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return InternalError("getsockname: " + error);
+  }
+  port_ = ntohs(bound.sin_port);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return OkStatus();
+}
+
+void TcpServer::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // Listener shut down (Stop) or fatally broken.
+    }
+    int nodelay = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+    auto connection = std::make_shared<Connection>();
+    connection->fd = fd;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) {
+        ::close(fd);
+        return;
+      }
+      connections_.push_back(connection);
+    }
+    connection->reader =
+        std::thread([this, connection] { ServeConnection(connection); });
+  }
+}
+
+void TcpServer::ServeConnection(std::shared_ptr<Connection> connection) {
+  {
+    // Broker scope: destroyed (draining this connection's sessions)
+    // before the reader exits, while SendFramed is still safe to call.
+    SessionBroker broker(server_, [connection](std::string payload) {
+      connection->SendFramed(payload);
+    });
+    FrameDecoder decoder;
+    char buffer[16384];
+    bool open = true;
+    while (open) {
+      const ssize_t n = ::recv(connection->fd, buffer, sizeof(buffer), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;
+      decoder.Feed(std::string_view(buffer, static_cast<size_t>(n)));
+      std::string payload;
+      while (decoder.Next(&payload)) broker.HandleRequest(payload);
+      if (!decoder.status().ok()) {
+        STREAMASP_LOG(kWarning)
+            << "tcp connection dropped: " << decoder.status().ToString();
+        open = false;
+      }
+    }
+  }
+  ::shutdown(connection->fd, SHUT_RDWR);
+}
+
+void TcpServer::Stop() {
+  std::vector<std::shared_ptr<Connection>> connections;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!started_ || stopping_) return;
+    stopping_ = true;
+    connections.swap(connections_);
+  }
+  if (listen_fd_ >= 0) {
+    // Unblocks accept() so the accept thread exits.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (auto& connection : connections) {
+    // Unblocks the reader's recv(); its broker then drains the sessions.
+    ::shutdown(connection->fd, SHUT_RDWR);
+  }
+  for (auto& connection : connections) {
+    if (connection->reader.joinable()) connection->reader.join();
+    ::close(connection->fd);
+  }
+}
+
+}  // namespace streamasp

@@ -1,0 +1,72 @@
+#ifndef STREAMASP_SERVER_TCP_H_
+#define STREAMASP_SERVER_TCP_H_
+
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "server/server.h"
+#include "util/status.h"
+
+namespace streamasp {
+
+/// Minimal TCP front end for the session server: listens on a loopback
+/// port, frames the wire protocol (src/server/wire.h) with 4-byte
+/// big-endian length prefixes, and runs one SessionBroker per accepted
+/// connection (reader thread per connection; replies and subscription
+/// events are written back framed, serialized by the broker). Dropping a
+/// connection closes the sessions it opened.
+///
+/// This is a smoke-test/demo transport, not a hardened network server:
+/// no TLS, no auth, no write backpressure beyond the socket buffer.
+class TcpServer {
+ public:
+  struct Options {
+    /// 0 binds an ephemeral port (read it back from port()).
+    uint16_t port = 0;
+    int backlog = 16;
+  };
+
+  /// `server` must outlive this transport.
+  TcpServer(StreamServer* server, Options options);
+
+  /// Stops listening and tears down every connection.
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Binds, listens, and starts the accept thread. kInternal on socket
+  /// errors; kFailedPrecondition when already started.
+  Status Start();
+
+  /// The bound port (valid after Start).
+  uint16_t port() const { return port_; }
+
+  /// Stops accepting, shuts every connection down, joins all threads,
+  /// and drains the sessions those connections opened. Idempotent.
+  void Stop();
+
+ private:
+  struct Connection;
+
+  void AcceptLoop();
+  void ServeConnection(std::shared_ptr<Connection> connection);
+
+  StreamServer* const server_;
+  const Options options_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+
+  std::mutex mutex_;
+  bool started_ = false;
+  bool stopping_ = false;
+  std::vector<std::shared_ptr<Connection>> connections_;
+};
+
+}  // namespace streamasp
+
+#endif  // STREAMASP_SERVER_TCP_H_

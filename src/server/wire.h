@@ -1,0 +1,105 @@
+#ifndef STREAMASP_SERVER_WIRE_H_
+#define STREAMASP_SERVER_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "asp/symbol_table.h"
+#include "server/session.h"
+#include "stream/triple.h"
+#include "util/status.h"
+
+namespace streamasp {
+
+/// The session server's wire protocol: transport payloads are UTF-8
+/// text, one request or reply per payload, lines separated by '\n'. The
+/// TCP transport frames each payload with a 4-byte big-endian length
+/// prefix; the in-proc transport passes payloads through unframed.
+///
+/// Requests (first line = verb, space-separated fields):
+///   ping
+///   open <session> [key=value ...]        + program-text lines
+///   push <session>                        + one triple per line
+///   flush <session>
+///   stats <session>
+///   close <session>
+///
+/// open options: window=N slide=N shards=N async=0|1 inflight=N
+///   workers=N reuse=none|ground|solve queue=N admission=block|reject
+///   batch=N
+///
+/// Triple lines: `<predicate> <subject> [<object>]` — integer tokens
+/// become integer terms, anything else is interned as a symbol.
+///
+/// Replies (one per request, in request order):
+///   ok <verb> <session>
+///   ok stats <session>                    + key=value lines
+///   error <verb> <session> <message>
+///
+/// Subscription events (interleaved between replies, never inside one):
+///   event <session> result seq=N completeness=C items=N answers=N
+///                                         + one rendered answer per line
+///   event <session> error seq=N <message>
+///   event <session> shed seq=N items=N
+
+/// Frame-size ceiling: a decoder rejects larger frames as a protocol
+/// error instead of buffering unboundedly.
+inline constexpr uint32_t kMaxFramePayload = 16u << 20;
+
+/// Wraps one payload in the TCP framing: 4-byte big-endian length +
+/// payload bytes.
+std::string EncodeFrame(std::string_view payload);
+
+/// Incremental decoder for the length-prefixed stream: feed raw bytes,
+/// pop complete payloads. After status() goes bad (oversized frame) the
+/// decoder stays wedged — close the connection.
+class FrameDecoder {
+ public:
+  void Feed(std::string_view data);
+
+  /// Moves the next complete payload into `*payload`. False when no
+  /// complete frame is buffered (or the decoder is wedged).
+  bool Next(std::string* payload);
+
+  const Status& status() const { return status_; }
+
+ private:
+  std::string buffer_;
+  size_t offset_ = 0;  ///< Consumed prefix of buffer_.
+  Status status_ = OkStatus();
+};
+
+/// One parsed client request.
+struct WireRequest {
+  enum class Command { kPing, kOpen, kPush, kFlush, kStats, kClose };
+
+  Command command = Command::kPing;
+  std::string session;
+
+  /// kOpen only: options assembled from key=value fields; program text
+  /// from the remaining lines lands in options.program_text.
+  SessionOptions options;
+
+  /// kPush only: the triple lines (unparsed — the broker parses them
+  /// against the target session's symbol table).
+  std::vector<std::string> lines;
+};
+
+/// Parses one request payload. kInvalidArgument on an unknown verb,
+/// missing session, or malformed option.
+StatusOr<WireRequest> ParseRequest(std::string_view payload);
+
+/// Parses one `<predicate> <subject> [<object>]` line against `symbols`.
+StatusOr<Triple> ParseTripleLine(std::string_view line, SymbolTable& symbols);
+
+/// Reply/event formatting (the broker's half of the protocol).
+std::string FormatOk(std::string_view verb, std::string_view session);
+std::string FormatError(std::string_view verb, std::string_view session,
+                        const Status& status);
+std::string FormatStats(std::string_view session, const SessionStats& stats);
+std::string FormatEvent(const SessionEvent& event);
+
+}  // namespace streamasp
+
+#endif  // STREAMASP_SERVER_WIRE_H_

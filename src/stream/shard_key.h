@@ -18,8 +18,11 @@ namespace streamasp {
 /// same key. Subject keys respect subject-local programs (every rule's
 /// atoms share the subject variable, as in the paper's traffic workload);
 /// dependency-graph-derived keys (see CommunityShardKey in
-/// streamrule/sharded_pipeline.h) respect any program whose partitioning
-/// plan has no duplicated predicates.
+/// streamrule/sharded_pipeline.h) respect community-partitioned
+/// programs. Either way the router backs the key up by broadcasting
+/// *duplicated* predicates (ones several dependency communities need)
+/// to every shard, so a key only has to respect the dependencies among
+/// non-duplicated predicates.
 using ShardKeyExtractor = std::function<uint64_t(const Triple&)>;
 
 /// Keys by the subject term (deep hash). The default: all items about the

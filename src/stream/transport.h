@@ -1,0 +1,49 @@
+#ifndef STREAMASP_STREAM_TRANSPORT_H_
+#define STREAMASP_STREAM_TRANSPORT_H_
+
+#include <functional>
+#include <string>
+
+#include "util/status.h"
+
+namespace streamasp {
+
+/// One bidirectional, message-oriented connection between a stream client
+/// and a serving endpoint — the ingest seam every front end plugs into.
+/// Payloads are opaque byte strings: the session server layers its
+/// line-oriented request/event protocol on top (src/server/wire.h), the
+/// TCP transport adds length-prefix framing on the wire, and the in-proc
+/// implementation (src/server/broker.h InProcConnection) passes payloads
+/// through untouched — so benches and tests drive the exact server code
+/// path without a socket.
+///
+/// Contract:
+///   * Send() carries one client→server payload; thread-safe, and may
+///     block on the server's admission control (in-proc executes the
+///     request inline on the calling thread).
+///   * Receive() installs the client-side handler for server→client
+///     payloads (responses and subscription events). Deliveries come
+///     from server threads, one at a time; payloads that arrive before a
+///     handler is installed are buffered and replayed in order.
+///   * Close() tears the connection down; the server end releases
+///     per-connection resources (the session broker closes the sessions
+///     this connection opened). Idempotent.
+class SessionTransport {
+ public:
+  using PayloadHandler = std::function<void(std::string payload)>;
+
+  virtual ~SessionTransport() = default;
+
+  /// Sends one client→server payload.
+  virtual Status Send(std::string payload) = 0;
+
+  /// Installs (or replaces) the server→client payload handler.
+  virtual void Receive(PayloadHandler handler) = 0;
+
+  /// Closes the connection. Idempotent.
+  virtual void Close() = 0;
+};
+
+}  // namespace streamasp
+
+#endif  // STREAMASP_STREAM_TRANSPORT_H_

@@ -5,34 +5,61 @@
 #include <string>
 #include <utility>
 
+#include "streamrule/validate.h"
 #include "util/logging.h"
 
 namespace streamasp {
 
 StatusOr<std::unique_ptr<StreamRulePipeline>> StreamRulePipeline::Create(
     const Program* program, PipelineOptions options,
+    EmissionHandler handler) {
+  if (handler == nullptr) {
+    return InvalidArgumentError("emission handler must not be null");
+  }
+  return CreateInternal(program, std::move(options), std::move(handler),
+                        /*has_error_channel=*/true);
+}
+
+StatusOr<std::unique_ptr<StreamRulePipeline>> StreamRulePipeline::Create(
+    const Program* program, PipelineOptions options,
     ResultCallback callback, ErrorCallback error_callback,
     ShedCallback shed_callback) {
-  if (program == nullptr) {
-    return InvalidArgumentError("program must not be null");
-  }
   if (callback == nullptr) {
     return InvalidArgumentError("result callback must not be null");
   }
-  if (options.async && options.max_inflight_windows == 0) {
-    return InvalidArgumentError(
-        "async mode needs max_inflight_windows >= 1");
+  const bool has_error_channel = error_callback != nullptr;
+  EmissionHandler handler =
+      [callback = std::move(callback),
+       error_callback = std::move(error_callback),
+       shed_callback = std::move(shed_callback)](EmissionEvent& event) {
+        switch (event.kind) {
+          case EmissionEvent::Kind::kResult:
+            callback(*event.window, *event.result);
+            break;
+          case EmissionEvent::Kind::kError:
+            if (error_callback != nullptr) {
+              error_callback(*event.window, event.status);
+            }
+            break;
+          case EmissionEvent::Kind::kShed:
+            if (shed_callback != nullptr) shed_callback(*event.window);
+            break;
+        }
+      };
+  return CreateInternal(program, std::move(options), std::move(handler),
+                        has_error_channel);
+}
+
+StatusOr<std::unique_ptr<StreamRulePipeline>>
+StreamRulePipeline::CreateInternal(const Program* program,
+                                   PipelineOptions options,
+                                   EmissionHandler handler,
+                                   bool has_error_channel) {
+  if (program == nullptr) {
+    return InvalidArgumentError("program must not be null");
   }
-  if (options.window_slide > options.window_size) {
-    return InvalidArgumentError(
-        "window_slide must not exceed window_size");
-  }
-  if (options.reuse_grounding) {
-    options.reasoner.reasoner.reuse_grounding = true;
-  }
-  if (options.reuse_solving) {
-    options.reasoner.reasoner.solving.reuse_solving = true;
-  }
+  NormalizePipelineOptions(&options);
+  STREAMASP_RETURN_IF_ERROR(ValidatePipelineOptions(options));
   STREAMASP_RETURN_IF_ERROR(program->Validate());
 
   PartitioningPlan plan(1);
@@ -54,24 +81,21 @@ StatusOr<std::unique_ptr<StreamRulePipeline>> StreamRulePipeline::Create(
   }
   return std::unique_ptr<StreamRulePipeline>(new StreamRulePipeline(
       program, std::move(options), std::move(plan), info,
-      std::move(callback), std::move(error_callback),
-      std::move(shed_callback)));
+      std::move(handler), has_error_channel));
 }
 
 StreamRulePipeline::StreamRulePipeline(const Program* program,
                                        PipelineOptions options,
                                        PartitioningPlan plan,
                                        DecompositionInfo info,
-                                       ResultCallback callback,
-                                       ErrorCallback error_callback,
-                                       ShedCallback shed_callback)
+                                       EmissionHandler handler,
+                                       bool has_error_channel)
     : program_(program),
       options_(options),
       plan_(std::move(plan)),
       info_(info),
-      callback_(std::move(callback)),
-      error_callback_(std::move(error_callback)),
-      shed_callback_(std::move(shed_callback)) {
+      handler_(std::move(handler)),
+      has_error_channel_(has_error_channel) {
   query_ = std::make_unique<StreamQueryProcessor>(
       options_.window_size, options_.window_slide,
       [this](TripleWindow window) {
@@ -284,11 +308,16 @@ void StreamRulePipeline::ShedWindow(TripleWindow window, bool evicted) {
 }
 
 void StreamRulePipeline::DeliverShed(TripleWindow& window) {
-  if (shed_callback_ != nullptr) shed_callback_(window);
+  EmissionEvent event;
+  event.kind = EmissionEvent::Kind::kShed;
+  event.sequence = window.sequence;
+  event.window = &window;
+  event.completeness = 0.0;
+  handler_(event);
 }
 
 void StreamRulePipeline::ProcessWindowSync(TripleWindow& window) {
-  if (error_callback_ == nullptr) {
+  if (!has_error_channel_) {
     // No error channel: let exceptions propagate to the Push caller.
     DeliverResult(window, sync_reasoner_->Process(window));
     return;
@@ -409,7 +438,13 @@ void StreamRulePipeline::DeliverResult(
     }
     STREAMASP_LOG(kError) << "window " << window.sequence << ": "
                           << result.status();
-    if (error_callback_ != nullptr) error_callback_(window, result.status());
+    EmissionEvent event;
+    event.kind = EmissionEvent::Kind::kError;
+    event.sequence = window.sequence;
+    event.window = &window;
+    event.status = result.status();
+    event.completeness = 0.0;
+    handler_(event);
     return;
   }
   {
@@ -440,7 +475,12 @@ void StreamRulePipeline::DeliverResult(
     stats_.max_window_items =
         std::max<uint64_t>(stats_.max_window_items, window.size());
   }
-  callback_(window, *result);
+  EmissionEvent event;
+  event.sequence = window.sequence;
+  event.window = &window;
+  event.result = &*result;
+  event.completeness = result->completeness;
+  handler_(event);
 }
 
 }  // namespace streamasp

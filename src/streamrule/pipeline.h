@@ -13,6 +13,7 @@
 #include "depgraph/decomposition.h"
 #include "stream/query_processor.h"
 #include "streamrule/accuracy.h"
+#include "streamrule/emission.h"
 #include "streamrule/parallel_reasoner.h"
 #include "util/bounded_queue.h"
 #include "util/status.h"
@@ -238,6 +239,11 @@ struct PipelineStats {
 ///     (the emitter would deadlock waiting for itself).
 class StreamRulePipeline {
  public:
+  /// Legacy adapter surface. The primary emission surface is the single
+  /// ordered EmissionHandler (streamrule/emission.h); the callback trio
+  /// below is kept so existing call sites migrate mechanically — the trio
+  /// Create wraps them in one handler internally.
+  ///
   /// Called once per processed window with the window and its result. The
   /// window is owned by the delivering thread and discarded right after
   /// the callback returns, so the callback is handed a mutable reference
@@ -276,9 +282,22 @@ class StreamRulePipeline {
   using ShedCallback = std::function<void(TripleWindow&)>;
 
   /// Runs design-time analysis on `program` (which must outlive the
-  /// pipeline) and wires the run-time components. Fails when the program
-  /// is invalid, declares no usable input predicates, or the async options
-  /// are inconsistent.
+  /// pipeline) and wires the run-time components, delivering every
+  /// emitted window — result, error, or shed tombstone — as one ordered
+  /// EmissionEvent. With a handler the error channel is always present:
+  /// sync-mode reasoning exceptions are converted into kError events
+  /// instead of propagating out of Push, exactly as if an ErrorCallback
+  /// were installed. Fails when the program is invalid, declares no
+  /// usable input predicates, or the options are inconsistent
+  /// (streamrule/validate.h).
+  static StatusOr<std::unique_ptr<StreamRulePipeline>> Create(
+      const Program* program, PipelineOptions options,
+      EmissionHandler handler);
+
+  /// Callback-trio adapter over the handler surface, preserving the trio
+  /// semantics bit for bit: a null error_callback keeps sync-mode
+  /// exceptions propagating out of Push, and null error/shed callbacks
+  /// silently discard their events.
   static StatusOr<std::unique_ptr<StreamRulePipeline>> Create(
       const Program* program, PipelineOptions options,
       ResultCallback callback, ErrorCallback error_callback = nullptr,
@@ -341,10 +360,16 @@ class StreamRulePipeline {
     bool shed = false;  ///< Tombstone: deliver via ShedCallback.
   };
 
+  /// Shared Create body: normalizes + validates options, runs design-time
+  /// analysis, constructs. `has_error_channel` is false only for the trio
+  /// adapter without an ErrorCallback (sync exceptions then propagate).
+  static StatusOr<std::unique_ptr<StreamRulePipeline>> CreateInternal(
+      const Program* program, PipelineOptions options,
+      EmissionHandler handler, bool has_error_channel);
+
   StreamRulePipeline(const Program* program, PipelineOptions options,
                      PartitioningPlan plan, DecompositionInfo info,
-                     ResultCallback callback, ErrorCallback error_callback,
-                     ShedCallback shed_callback);
+                     EmissionHandler handler, bool has_error_channel);
 
   void StartAsyncEngine();
   /// Stage boundary: windower output → work queue (applies backpressure).
@@ -374,9 +399,11 @@ class StreamRulePipeline {
   PipelineOptions options_;
   PartitioningPlan plan_;
   DecompositionInfo info_;
-  ResultCallback callback_;
-  ErrorCallback error_callback_;
-  ShedCallback shed_callback_;
+  EmissionHandler handler_;
+  /// False only via the trio adapter with no ErrorCallback: sync-mode
+  /// reasoning exceptions then propagate out of Push instead of being
+  /// converted into kError emissions.
+  bool has_error_channel_ = true;
   std::unique_ptr<StreamQueryProcessor> query_;
 
   /// Sync mode's single reasoner (null in async mode).

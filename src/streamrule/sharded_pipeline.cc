@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "streamrule/accuracy.h"
+#include "streamrule/validate.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -16,46 +17,49 @@ namespace streamasp {
 
 StatusOr<std::unique_ptr<ShardedPipelineEngine>> ShardedPipelineEngine::Create(
     const Program* program, ShardedPipelineOptions options,
-    ResultCallback callback) {
+    EmissionHandler handler) {
   if (program == nullptr) {
     return InvalidArgumentError("program must not be null");
   }
-  if (callback == nullptr) {
-    return InvalidArgumentError("result callback must not be null");
-  }
-  if (options.num_shards == 0) {
-    return InvalidArgumentError("sharded engine needs num_shards >= 1");
+  if (handler == nullptr) {
+    return InvalidArgumentError("emission handler must not be null");
   }
   // Lossy backpressure policies (kDropOldest/kReject) and the admission
   // filter are fully supported, sliding global windows included: a shed
-  // sub-window surfaces as a tombstone on the shard's ShedCallback, which
-  // releases its merge slot and lowers the merged window's completeness
-  // instead of stalling the ordered merge (see DeliverMerged).
-  if (options.pipeline.backpressure != BackpressurePolicy::kBlock &&
-      !options.pipeline.async) {
-    return InvalidArgumentError(
-        "lossy backpressure policies only engage in async shard pipelines "
-        "(sync mode has no work queue to shed from); set pipeline.async, "
-        "or use pipeline.admission_filter for synchronous shedding");
-  }
-  if (options.pipeline.window_slide > options.pipeline.window_size) {
-    return InvalidArgumentError(
-        "window_slide must not exceed window_size (global sliding "
-        "windows slide by at most one full window)");
-  }
+  // sub-window surfaces as a tombstone in the shard's emission stream,
+  // which releases its merge slot and lowers the merged window's
+  // completeness instead of stalling the ordered merge (see
+  // DeliverMerged). The cross-cutting option rules live in the shared
+  // validator.
+  STREAMASP_RETURN_IF_ERROR(ValidateShardedPipelineOptions(options));
   if (options.shard_key == nullptr) options.shard_key = SubjectShardKey();
   std::unique_ptr<ShardedPipelineEngine> engine(new ShardedPipelineEngine(
-      program, std::move(options), std::move(callback)));
+      program, std::move(options), std::move(handler)));
   STREAMASP_RETURN_IF_ERROR(engine->StartShards());
   return engine;
 }
 
+StatusOr<std::unique_ptr<ShardedPipelineEngine>> ShardedPipelineEngine::Create(
+    const Program* program, ShardedPipelineOptions options,
+    ResultCallback callback) {
+  if (callback == nullptr) {
+    return InvalidArgumentError("result callback must not be null");
+  }
+  EmissionHandler handler =
+      [callback = std::move(callback)](EmissionEvent& event) {
+        if (event.kind == EmissionEvent::Kind::kResult) {
+          callback(*event.window, *event.result);
+        }
+      };
+  return Create(program, std::move(options), std::move(handler));
+}
+
 ShardedPipelineEngine::ShardedPipelineEngine(const Program* program,
                                              ShardedPipelineOptions options,
-                                             ResultCallback callback)
+                                             EmissionHandler handler)
     : program_(program),
       options_(std::move(options)),
-      callback_(std::move(callback)),
+      handler_(std::move(handler)),
       merge_combiner_(options_.pipeline.reasoner.combining),
       routed_items_(options_.num_shards) {
   const size_t n = options_.num_shards;
@@ -124,16 +128,35 @@ Status ShardedPipelineEngine::StartShards() {
     StatusOr<std::unique_ptr<StreamRulePipeline>> shard =
         StreamRulePipeline::Create(
             program_, inner,
-            [this, s](TripleWindow& window,
-                      const ParallelReasonerResult& result) {
-              OnShardDelivery(s, window, result);
-            },
-            [this, s](TripleWindow& window, const Status& status) {
-              OnShardDelivery(s, window, status);
-            },
-            [this, s](TripleWindow& window) { OnShardShed(s, window); });
+            EmissionHandler([this, s](EmissionEvent& event) {
+              switch (event.kind) {
+                case EmissionEvent::Kind::kResult:
+                  OnShardDelivery(s, *event.window, *event.result);
+                  break;
+                case EmissionEvent::Kind::kError:
+                  OnShardDelivery(s, *event.window, event.status);
+                  break;
+                case EmissionEvent::Kind::kShed:
+                  OnShardShed(s, *event.window);
+                  break;
+              }
+            }));
     STREAMASP_RETURN_IF_ERROR(shard.status());
     shards_.push_back(std::move(*shard));
+  }
+
+  // The paper's duplication device, lifted to the router: a predicate
+  // whose ground atoms several dependency communities need cannot be
+  // co-located with all of its consumers by any single-shard hash, so
+  // its items are broadcast to every shard (Route) and deduplicated at
+  // the merge (IsReplica). Every shard analyzes the same program, so
+  // shard 0's plan speaks for all. With one shard there is nobody to
+  // broadcast to; keep the hot path untouched.
+  if (n > 1) {
+    for (const PredicateSignature& sig :
+         shards_[0]->plan().DuplicatedPredicates()) {
+      duplicated_.insert(sig.name);
+    }
   }
 
   merger_ = std::thread([this] { MergeLoop(); });
@@ -172,13 +195,46 @@ void ShardedPipelineEngine::PushBatch(const std::vector<Triple>& triples) {
   for (const Triple& triple : triples) Push(triple);
 }
 
+bool ShardedPipelineEngine::IsReplica(const Triple& triple,
+                                      size_t shard) const {
+  return duplicated_.count(triple.predicate) > 0 &&
+         static_cast<size_t>(options_.shard_key(triple) % shards_.size()) !=
+             shard;
+}
+
+// Sentinel shard assignment in the retained global WindowStore for
+// broadcast (duplicated-predicate) items: eviction must reach every
+// shard's expired delta, not a single owner's.
+constexpr uint32_t kBroadcastShard = UINT32_MAX;
+
 void ShardedPipelineEngine::Route(const Triple& triple) {
   const size_t shard =
       static_cast<size_t>(options_.shard_key(triple) % shards_.size());
+  // Duplicated predicates are broadcast: every shard gets a copy in its
+  // batch stream, but only the owning shard's copy advances the global
+  // window fill — replicas are reasoning context, not window content.
+  const bool broadcast =
+      !duplicated_.empty() && duplicated_.count(triple.predicate) > 0;
   batches_[shard].push_back(triple);
   routed_items_[shard].fetch_add(1, std::memory_order_relaxed);
+  if (broadcast) {
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      if (s == shard) continue;
+      batches_[s].push_back(triple);
+      routed_items_[s].fetch_add(1, std::memory_order_relaxed);
+      broadcast_copies_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
   if (!sliding()) {
     ++pending_in_window_[shard];
+    if (broadcast) {
+      // Replica-holding shards must be punctuated at the boundary too,
+      // or their windowers would leak the replicas into the next
+      // sub-window.
+      for (size_t s = 0; s < shards_.size(); ++s) {
+        if (s != shard) ++pending_in_window_[s];
+      }
+    }
     if (++window_fill_ >= window_size_) {
       CloseGlobalWindow();
     } else if (batches_[shard].size() >= options_.router_batch_size) {
@@ -191,15 +247,33 @@ void ShardedPipelineEngine::Route(const Triple& triple) {
   // admitted delta, and evict the globally oldest item once the window
   // overflows — the eviction lands in the *owning* shard's expired
   // delta, which is what keeps every per-shard delta exactly the routed
-  // split of the global one.
+  // split of the global one. A broadcast item is retained once (global
+  // window content is ownership-based) but its admission, slice
+  // presence and eventual eviction touch every shard, mirroring the
+  // replica copies in their batch streams.
   global_window_.Append(triple, /*timestamp_ms=*/0,
-                        static_cast<uint32_t>(shard));
+                        broadcast ? kBroadcastShard
+                                  : static_cast<uint32_t>(shard));
   pending_admitted_[shard].push_back(triple);
   ++slice_count_[shard];
+  if (broadcast) {
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      if (s == shard) continue;
+      pending_admitted_[s].push_back(triple);
+      ++slice_count_[s];
+    }
+  }
   if (global_window_.size() > window_size_) {
     const uint32_t oldest_shard = global_window_.ShardAt(0);
-    pending_expired_[oldest_shard].push_back(global_window_.Front());
-    --slice_count_[oldest_shard];
+    if (oldest_shard == kBroadcastShard) {
+      for (size_t s = 0; s < shards_.size(); ++s) {
+        pending_expired_[s].push_back(global_window_.Front());
+        --slice_count_[s];
+      }
+    } else {
+      pending_expired_[oldest_shard].push_back(global_window_.Front());
+      --slice_count_[oldest_shard];
+    }
     global_window_.PopFront();
   }
   ++arrivals_since_emit_;
@@ -430,28 +504,37 @@ void ShardedPipelineEngine::DeliverMerged(
 
   TripleWindow merged;
   merged.sequence = global_sequence;
-  size_t total_items = 0;
+  size_t upper_bound = 0;
   for (const MergeItem& contribution : contributions) {
-    total_items += contribution.window.size();
+    upper_bound += contribution.window.size();
   }
-  merged.items.reserve(total_items);
+  merged.items.reserve(upper_bound);
   // Shed (tombstoned) sub-windows contribute their items — the merged
   // window is the full global window the oracle would have reasoned, so
   // sizes stay comparable — but no answers: the degradation shows up as
-  // completeness < 1, not as a silently smaller window.
+  // completeness < 1, not as a silently smaller window. Broadcast
+  // replicas of duplicated predicates are skipped everywhere (merged
+  // items, completeness numerator and denominator): each global item is
+  // accounted once, at its owning shard, exactly as the unsharded
+  // pipeline would hold it.
+  const bool has_replicas = !duplicated_.empty();
+  size_t total_items = 0;
   size_t reasoned_items = 0;
   size_t shed_contributions = 0;
   Status failure = OkStatus();
   for (MergeItem& contribution : contributions) {
-    merged.items.insert(
-        merged.items.end(),
-        std::make_move_iterator(contribution.window.items.begin()),
-        std::make_move_iterator(contribution.window.items.end()));
+    size_t owned = 0;
+    for (Triple& item : contribution.window.items) {
+      if (has_replicas && IsReplica(item, contribution.shard)) continue;
+      merged.items.push_back(std::move(item));
+      ++owned;
+    }
+    total_items += owned;
     if (contribution.shed) {
       ++shed_contributions;
       continue;
     }
-    reasoned_items += contribution.window.size();
+    reasoned_items += owned;
     if (failure.ok() && !contribution.result.ok()) {
       failure = contribution.result.status();
     }
@@ -503,21 +586,45 @@ void ShardedPipelineEngine::DeliverMerged(
       result.combine_ms += combine_timer.ElapsedMillis();
       answers = result.answers.size();
       degraded = completeness < 1.0;
+      EmissionEvent event;
+      event.sequence = global_sequence;
+      event.window = &merged;
+      event.result = &result;
+      event.completeness = completeness;
       try {
-        callback_(merged, result);
+        handler_(event);
         delivered = true;
       } catch (const std::exception& e) {
         STREAMASP_LOG(kError) << "global window " << global_sequence
-                              << ": result callback threw: " << e.what();
+                              << ": emission handler threw: " << e.what();
       } catch (...) {
         STREAMASP_LOG(kError) << "global window " << global_sequence
-                              << ": result callback threw";
+                              << ": emission handler threw";
       }
     }
   }
   if (!failure.ok()) {
     STREAMASP_LOG(kError) << "global window " << global_sequence << ": "
                           << failure;
+    // Errors consume their slot in the emission stream too: handler-based
+    // consumers (the session server) see why the window is missing; the
+    // legacy result-callback adapter drops the event, matching the old
+    // log-and-count behavior. Counted as merge_errors either way.
+    EmissionEvent event;
+    event.kind = EmissionEvent::Kind::kError;
+    event.sequence = global_sequence;
+    event.window = &merged;
+    event.status = failure;
+    event.completeness = 0.0;
+    try {
+      handler_(event);
+    } catch (const std::exception& e) {
+      STREAMASP_LOG(kError) << "global window " << global_sequence
+                            << ": emission handler threw: " << e.what();
+    } catch (...) {
+      STREAMASP_LOG(kError) << "global window " << global_sequence
+                            << ": emission handler threw";
+    }
   }
 
   std::lock_guard<std::mutex> lock(merge_mutex_);
@@ -590,6 +697,7 @@ ShardedPipelineStats ShardedPipelineEngine::stats() const {
     out.routed_items.push_back(routed.load(std::memory_order_relaxed));
   }
   out.filtered_items = filtered_items_.load(std::memory_order_relaxed);
+  out.broadcast_copies = broadcast_copies_.load(std::memory_order_relaxed);
   out.delta_punctuations =
       delta_punctuations_.load(std::memory_order_relaxed);
   out.skipped_empty_slices =

@@ -32,8 +32,15 @@ struct ShardedPipelineOptions {
   /// Partition key (see stream/shard_key.h). null uses SubjectShardKey().
   /// Answers are shard-count-invariant only when the key respects the
   /// program's input dependencies — subject keys for subject-local
-  /// programs, CommunityShardKey(plan) for plans without duplicated
-  /// predicates.
+  /// programs, CommunityShardKey(plan) for community-partitioned ones.
+  /// The router helps the key out with the paper's duplication device:
+  /// items of a *duplicated* predicate (one whose ground atoms several
+  /// dependency communities need, PartitioningPlan::DuplicatedPredicates)
+  /// are broadcast to every shard, so rules that join a duplicated
+  /// predicate against facts living on another shard do not silently
+  /// lose the join. The key still decides the item's *owning* shard,
+  /// which is the copy global window accounting and the merged window
+  /// count — replicas are pure reasoning context.
   ShardKeyExtractor shard_key;
 
   /// Items buffered per shard before the router hands them to the shard's
@@ -75,8 +82,10 @@ struct ShardedPipelineOptions {
   /// routed split of the global expired/admitted delta
   /// (StreamRulePipeline::CloseWindow(WindowDelta)). Routing is per-item
   /// and pure, so the per-shard deltas compose back to exactly the
-  /// global delta and the merged answers stay byte-identical to the
-  /// unsharded sliding oracle. reuse_grounding / reuse_solving therefore
+  /// global delta (duplicated-predicate items appear in every shard's
+  /// delta — admitted and expired alike — matching their broadcast) and
+  /// the merged answers stay byte-identical to the unsharded sliding
+  /// oracle. reuse_grounding / reuse_solving therefore
   /// keep their full delta-sized per-window cost under sharding: each
   /// shard's incremental grounders retract/replay only its slice of the
   /// slide, and the paired persistent solvers patch instead of
@@ -98,11 +107,17 @@ struct ShardedPipelineStats {
   PipelineStats aggregate;
   std::vector<PipelineStats> per_shard;
 
-  /// Items routed to each shard (post-filter).
+  /// Items routed to each shard (post-filter). Includes broadcast
+  /// replicas, so with duplicated predicates the sum across shards
+  /// exceeds the number of pushed items by exactly broadcast_copies.
   std::vector<uint64_t> routed_items;
   /// Items the router dropped because their predicate is not declared as
   /// an input of the program.
   uint64_t filtered_items = 0;
+  /// Extra per-shard copies fanned out for duplicated predicates (the
+  /// owner's copy is not counted). Zero when the plan has no duplicated
+  /// predicates or the engine runs a single shard.
+  uint64_t broadcast_copies = 0;
 
   /// Global windows delivered to the callback.
   uint64_t merged_windows = 0;
@@ -175,7 +190,14 @@ struct ShardedPipelineStats {
 /// *shard-count-invariant and byte-identical to the synchronous oracle*
 /// whenever the shard key respects the program's input dependencies.
 /// This is the paper's input-dependency partitioning lifted from intra-
-/// window parallelism to pipeline-level scale-out.
+/// window parallelism to pipeline-level scale-out — including its
+/// duplication device: items of predicates the plan marks as duplicated
+/// (needed by rules in more than one dependency community, e.g.
+/// car_number in the connected P' variant) are broadcast to every shard
+/// as reasoning context, because a hash key alone cannot co-locate them
+/// with every rule that joins against them. Each such item still has one
+/// *owning* shard (its hash); replicas never count toward global window
+/// boundaries, the merged window's items, or completeness.
 ///
 /// Ordering guarantee: the callback runs on the single merge thread, once
 /// per global window, in strictly increasing global sequence order, no
@@ -196,17 +218,32 @@ struct ShardedPipelineStats {
 ///
 /// The merged TripleWindow holds the global window's items grouped by
 /// shard (shard 0's slice first), not in original stream arrival order;
-/// sizes and sequences match the unsharded pipeline exactly.
+/// sizes and sequences match the unsharded pipeline exactly (broadcast
+/// replicas are skipped at the merge — only the owning shard's copy of a
+/// duplicated-predicate item lands in the merged window).
 class ShardedPipelineEngine {
  public:
   using ResultCallback = StreamRulePipeline::ResultCallback;
 
   /// Builds num_shards pipelines over `program` (one design-time analysis
   /// each; `program` must outlive the engine) and starts the feeder and
-  /// merge threads. Fails on a null program/callback, zero shards, or a
-  /// lossy backpressure policy on synchronous shard pipelines (queue
-  /// policies only engage when pipeline.async is set; use
-  /// pipeline.admission_filter for synchronous shedding).
+  /// merge threads, delivering every merged global window as one ordered
+  /// EmissionEvent on the merge thread: kResult for a combined window
+  /// (completeness < 1 when shed shard contributions degraded it — a
+  /// fully shed window still delivers kResult with zero answers), kError
+  /// when a shard sub-window failed or cross-shard combining did (the
+  /// slot is consumed, never stalled on). The engine itself emits no
+  /// kShed events: shard-level tombstones are absorbed into the merged
+  /// window's completeness. Fails on a null program/handler or options
+  /// the shared validator rejects (zero shards, lossy backpressure on
+  /// synchronous shard pipelines — see streamrule/validate.h).
+  static StatusOr<std::unique_ptr<ShardedPipelineEngine>> Create(
+      const Program* program, ShardedPipelineOptions options,
+      EmissionHandler handler);
+
+  /// Result-callback adapter over the handler surface: kError events are
+  /// logged + counted only (merge_errors), exactly the pre-handler
+  /// behavior.
   static StatusOr<std::unique_ptr<ShardedPipelineEngine>> Create(
       const Program* program, ShardedPipelineOptions options,
       ResultCallback callback);
@@ -272,10 +309,15 @@ class ShardedPipelineEngine {
 
   ShardedPipelineEngine(const Program* program,
                         ShardedPipelineOptions options,
-                        ResultCallback callback);
+                        EmissionHandler handler);
 
   Status StartShards();
   bool sliding() const { return slide_ < window_size_; }
+  /// True when `triple` sits in shard `shard`'s sub-window only as a
+  /// broadcast replica of a duplicated predicate (its owning shard is a
+  /// different one). Pure in (triple, shard), so the merge can recompute
+  /// ownership instead of tagging items in flight.
+  bool IsReplica(const Triple& triple, size_t shard) const;
   /// Routes one pre-filtered item (caller thread).
   void Route(const Triple& triple);
   /// Cuts the current tumbling global window: assigns the next global
@@ -305,10 +347,13 @@ class ShardedPipelineEngine {
 
   const Program* program_;
   ShardedPipelineOptions options_;
-  ResultCallback callback_;
+  EmissionHandler handler_;
   CombiningHandler merge_combiner_;
 
   std::unordered_set<SymbolId> selected_;  ///< Router's input filter.
+  /// Predicates the shards' partitioning plan duplicates across
+  /// communities; the router broadcasts their items to every shard.
+  std::unordered_set<SymbolId> duplicated_;
   size_t window_size_ = 1;                 ///< Global window length.
   size_t slide_ = 1;  ///< Global slide; == window_size_ for tumbling.
 
@@ -336,6 +381,7 @@ class ShardedPipelineEngine {
   // lock on the per-item routing hot path) ---
   std::vector<std::atomic<uint64_t>> routed_items_;
   std::atomic<uint64_t> filtered_items_{0};
+  std::atomic<uint64_t> broadcast_copies_{0};
   std::atomic<uint64_t> delta_punctuations_{0};
   std::atomic<uint64_t> skipped_empty_slices_{0};
   /// Peak bytes of the router's retained global WindowStore, published on
@@ -381,11 +427,11 @@ class ShardedPipelineEngine {
 /// A dependency-graph-derived shard key: routes every item to the
 /// community its predicate belongs to under `plan` (see
 /// DecomposeInputDependencyGraph), so whole dependency communities shard
-/// together. Answer-preserving exactly when the plan has no duplicated
-/// predicates (a duplicated predicate's items would be needed on several
-/// shards but are routed to their first community only — the engine
-/// still runs, but cross-community rules can lose joins). Predicates
-/// unknown to the plan map to community 0, mirroring PartitioningHandler.
+/// together. A duplicated predicate's items hash to their first
+/// community (their owner); the router's broadcast places the replica
+/// copies on every other shard, so cross-community rules keep their
+/// joins. Predicates unknown to the plan map to community 0, mirroring
+/// PartitioningHandler.
 ShardKeyExtractor CommunityShardKey(const PartitioningPlan& plan);
 
 }  // namespace streamasp

@@ -1,0 +1,41 @@
+#include "streamrule/validate.h"
+
+#include "streamrule/pipeline.h"
+#include "streamrule/sharded_pipeline.h"
+
+namespace streamasp {
+
+void NormalizePipelineOptions(PipelineOptions* options) {
+  if (options->reuse_grounding) {
+    options->reasoner.reasoner.reuse_grounding = true;
+  }
+  if (options->reuse_solving) {
+    options->reasoner.reasoner.solving.reuse_solving = true;
+  }
+}
+
+Status ValidatePipelineOptions(const PipelineOptions& options, bool sharded) {
+  if (options.async && options.max_inflight_windows == 0) {
+    return InvalidArgumentError("async mode needs max_inflight_windows >= 1");
+  }
+  if (options.window_slide > options.window_size) {
+    return InvalidArgumentError("window_slide must not exceed window_size");
+  }
+  if (sharded && options.backpressure != BackpressurePolicy::kBlock &&
+      !options.async) {
+    return InvalidArgumentError(
+        "lossy backpressure policies only engage in async shard pipelines "
+        "(sync mode has no work queue to shed from); set pipeline.async, "
+        "or use pipeline.admission_filter for synchronous shedding");
+  }
+  return OkStatus();
+}
+
+Status ValidateShardedPipelineOptions(const ShardedPipelineOptions& options) {
+  if (options.num_shards == 0) {
+    return InvalidArgumentError("sharded engine needs num_shards >= 1");
+  }
+  return ValidatePipelineOptions(options.pipeline, /*sharded=*/true);
+}
+
+}  // namespace streamasp

@@ -109,7 +109,11 @@ TEST_F(PipelineFacadeTest, CreateRejectsBadArguments) {
                    nullptr, {},
                    [](const TripleWindow&, const ParallelReasonerResult&) {})
                    .ok());
-  EXPECT_FALSE(StreamRulePipeline::Create(&*program, {}, nullptr).ok());
+  EXPECT_FALSE(StreamRulePipeline::Create(
+                   &*program, {}, StreamRulePipeline::ResultCallback())
+                   .ok());
+  EXPECT_FALSE(
+      StreamRulePipeline::Create(&*program, {}, EmissionHandler()).ok());
 }
 
 TEST_F(PipelineFacadeTest, CreateRejectsProgramWithoutInputs) {

@@ -138,7 +138,11 @@ TEST_F(ShardedPipelineTest, ShardCountInvariantAgainstSyncOracle) {
 
 TEST_F(ShardedPipelineTest, ConnectedVariantWithDuplicationStaysInvariant) {
   // P' exercises Louvain + duplicated predicates inside every shard's
-  // ParallelReasoner while the cross-shard merge runs on top.
+  // ParallelReasoner while the cross-shard merge runs on top. At the
+  // router level the duplicated predicate (car_number) is broadcast to
+  // every shard, which is what makes r7's cross-shard join
+  // (car_fire(X), many_cars(X)) exact regardless of how subjects hash
+  // — tests/engine_test.cc covers the case that needs it.
   StatusOr<Program> program = MakeTrafficProgram(
       symbols_, TrafficProgramVariant::kPPrime, /*with_show=*/true);
   ASSERT_TRUE(program.ok());
@@ -432,11 +436,11 @@ TEST_F(ShardedPipelineTest, SlidingWithAsyncInnerPipelinesMatchesOracle) {
   // Async inner pipelines put several delta-carrying sub-windows in
   // flight per shard; each worker's grounders see every Nth sub-window,
   // reject the stale delta hints, and snapshot-diff instead — the
-  // transcript must stay byte-identical regardless. Program P: subject
-  // sharding is dependency-respecting for it unconditionally (P's r7-free
-  // rules are subject-local; P' joins car-subject and location-subject
-  // items in r7, where subject keys only hold for streams that never
-  // co-locate a cross-shard join in one window).
+  // transcript must stay byte-identical regardless. Program P: its
+  // rules are subject-local, so subject sharding is
+  // dependency-respecting with no help from the router's
+  // duplicated-predicate broadcast (P's plan duplicates nothing —
+  // this leg isolates the delta machinery from the broadcast path).
   StatusOr<Program> program = MakeTrafficProgram(
       symbols_, TrafficProgramVariant::kP, /*with_show=*/true);
   ASSERT_TRUE(program.ok());
@@ -579,8 +583,13 @@ TEST_F(ShardedPipelineTest, CreateValidatesOptions) {
   ShardedPipelineOptions ok_options;
   EXPECT_FALSE(
       ShardedPipelineEngine::Create(nullptr, ok_options, callback).ok());
+  EXPECT_FALSE(ShardedPipelineEngine::Create(
+                   &*program, ok_options,
+                   ShardedPipelineEngine::ResultCallback())
+                   .ok());
   EXPECT_FALSE(
-      ShardedPipelineEngine::Create(&*program, ok_options, nullptr).ok());
+      ShardedPipelineEngine::Create(&*program, ok_options, EmissionHandler())
+          .ok());
 }
 
 TEST_F(ShardedPipelineTest, FailedSubWindowsSkipTheirSlotInsteadOfStalling) {

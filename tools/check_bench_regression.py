@@ -87,6 +87,33 @@ def main():
     failures = []
     checks = 0
 
+    # Strict run schema: both benches emit the same record shape (see
+    # bench/bench_json.h), and the baseline pins the exact field list.
+    # Unknown fields mean the serializer and baseline drifted apart;
+    # missing fields mean a bench stopped reporting something a gate may
+    # silently depend on. Either way: fail loudly.
+    run_fields = baseline.get("schema", {}).get("run_fields")
+    if run_fields:
+        expected = set(run_fields)
+        for name, document in documents.items():
+            for i, run in enumerate(document["runs"]):
+                checks += 1
+                unknown = sorted(set(run) - expected)
+                missing = sorted(expected - set(run))
+                if unknown or missing:
+                    detail = []
+                    if unknown:
+                        detail.append(f"unknown fields {unknown}")
+                    if missing:
+                        detail.append(f"missing fields {missing}")
+                    message = (f"{name} run {i} "
+                               f"({run.get('mode', '?')}): "
+                               + ", ".join(detail))
+                    print(f"[FAIL] schema {message}")
+                    failures.append(f"schema {message}")
+        print(f"[ok] schema: {sum(len(d['runs']) for d in documents.values())}"
+              f" runs checked against {len(expected)} fields")
+
     for name, floors in baseline.get("floors", {}).items():
         if name not in documents:
             continue

@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Smoke-test client for the StreamRule session server (examples/stream_server).
+
+Speaks the length-prefixed wire protocol from src/server/wire.h: opens a
+session running the paper's traffic program, pushes triples crafted to
+fire the traffic_jam and car_fire/give_notification rules, flushes, and
+asserts that at least one result event carrying answers came back.
+
+Usage:
+  stream_client.py --port N [--windows 3] [--window-size 60] [-v]
+
+Exits 0 on success (nonzero answers observed), 1 otherwise.
+"""
+
+import argparse
+import socket
+import struct
+import sys
+
+# The paper's traffic program (P variant, listing 1) plus #show — kept in
+# sync with src/streamrule/traffic_workload.cc by the rule names the
+# assertions below rely on (traffic_jam, car_fire, give_notification).
+TRAFFIC_PROGRAM = """\
+very_slow_speed(X) :- average_speed(X, S), S < 20.
+many_cars(X) :- car_number(X, N), N > 60.
+traffic_jam(X) :- very_slow_speed(X), many_cars(X), traffic_light(X).
+car_fire(Y) :- car_in_smoke(Y, N), N > 70, car_speed(Y, 0).
+car_fire(Y) :- car_in_smoke(Y, N), N > 85.
+give_notification(X) :- traffic_jam(X), car_location(Y, X).
+#input average_speed/2, car_number/2, traffic_light/1, car_in_smoke/2.
+#input car_speed/2, car_location/2.
+#show traffic_jam/1, car_fire/1, give_notification/1.
+"""
+
+
+def send_frame(sock, payload: str):
+    data = payload.encode()
+    sock.sendall(struct.pack(">I", len(data)) + data)
+
+
+class FrameReader:
+    def __init__(self, sock):
+        self.sock = sock
+        self.buffer = b""
+
+    def next_frame(self) -> str:
+        while True:
+            if len(self.buffer) >= 4:
+                (length,) = struct.unpack(">I", self.buffer[:4])
+                if len(self.buffer) >= 4 + length:
+                    payload = self.buffer[4:4 + length]
+                    self.buffer = self.buffer[4 + length:]
+                    return payload.decode()
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                raise SystemExit("server closed the connection")
+            self.buffer += chunk
+
+
+def window_triples(window_size: int, seq: int):
+    """One window of triples guaranteed to fire the rules: a jammed,
+    smoky junction plus filler traffic_light facts to pad the window."""
+    lines = [
+        # traffic_jam(j<seq>): slow average speed, many cars, a light.
+        f"average_speed j{seq} 10",
+        f"car_number j{seq} 80",
+        f"traffic_light j{seq}",
+        # give_notification(j<seq>): a car located at the jammed junction.
+        f"car_location c{seq} j{seq}",
+        # car_fire(c<seq>): heavy smoke while standing still.
+        f"car_in_smoke c{seq} 90",
+        f"car_speed c{seq} 0",
+    ]
+    filler = 0
+    while len(lines) < window_size:
+        lines.append(f"traffic_light pad{seq}_{filler}")
+        filler += 1
+    return lines[:window_size]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--windows", type=int, default=3)
+    parser.add_argument("--window-size", type=int, default=60)
+    parser.add_argument("-v", "--verbose", action="store_true")
+    args = parser.parse_args()
+
+    sock = socket.create_connection((args.host, args.port), timeout=30)
+    reader = FrameReader(sock)
+
+    result_events = 0
+    answers = 0
+
+    def await_reply(expect_verb):
+        """Reads frames until the pending request's reply; counts the
+        subscription events that interleave before it."""
+        nonlocal result_events, answers
+        while True:
+            frame = reader.next_frame()
+            if args.verbose:
+                print(frame)
+                print("--")
+            head = frame.split("\n", 1)[0].split()
+            if head[0] == "event":
+                if head[2] == "result":
+                    result_events += 1
+                    for field in head[3:]:
+                        if field.startswith("answers="):
+                            answers += int(field.split("=", 1)[1])
+                continue
+            if head[0] == "error":
+                raise SystemExit(f"server error: {frame}")
+            assert head[0] == "ok" and head[1] == expect_verb, frame
+            return frame
+
+    send_frame(sock, "ping")
+    await_reply("ping")
+
+    open_line = (f"open smoke window={args.window_size} "
+                 f"async=1 inflight=2 workers=1")
+    send_frame(sock, open_line + "\n" + TRAFFIC_PROGRAM)
+    await_reply("open")
+
+    for seq in range(args.windows):
+        lines = window_triples(args.window_size, seq)
+        send_frame(sock, "push smoke\n" + "\n".join(lines))
+        await_reply("push")
+
+    send_frame(sock, "flush smoke")
+    await_reply("flush")
+
+    send_frame(sock, "stats smoke")
+    stats_frame = await_reply("stats")
+    stats = dict(line.split("=", 1) for line in stats_frame.split("\n")[1:]
+                 if "=" in line)
+
+    send_frame(sock, "close smoke")
+    await_reply("close")
+    sock.close()
+
+    print(f"stream_client: {result_events} result events, "
+          f"{answers} answers, server stats: "
+          f"windows={stats.get('delivered_windows')} "
+          f"answers={stats.get('delivered_answers')} "
+          f"completeness={stats.get('completeness')}")
+    if result_events < args.windows:
+        print(f"FAIL: expected >= {args.windows} result events")
+        return 1
+    if answers <= 0:
+        print("FAIL: no answers came back (expected traffic_jam/car_fire "
+              "events every window)")
+        return 1
+    if int(stats.get("delivered_answers", "0")) <= 0:
+        print("FAIL: server-side delivered_answers is zero")
+        return 1
+    print("stream_client: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
