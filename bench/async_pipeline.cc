@@ -59,12 +59,14 @@ double Percentile(std::vector<double> values, double p) {
 BenchRun RunOnce(const Program& program, const std::vector<Triple>& stream,
                  size_t window_size, bool async, size_t inflight,
                  size_t window_slide = 0, bool reuse = false,
-                 bool reuse_solving = false) {
+                 bool reuse_solving = false, bool maintain_fixpoint = true) {
   EngineConfig config;
   config.pipeline.window_size = window_size;
   config.pipeline.window_slide = window_slide;
   config.pipeline.reuse_grounding = reuse;
   config.pipeline.reuse_solving = reuse_solving;
+  config.pipeline.reasoner.reasoner.solving.maintain_fixpoint =
+      maintain_fixpoint;
   config.pipeline.async = async;
   config.pipeline.max_inflight_windows = async ? inflight : 4;
 
@@ -204,7 +206,8 @@ constexpr char kReachProgram[] = R"(
 
 BenchRun RunSlidingReach(const SymbolTablePtr& symbols, size_t items,
                          size_t window_size, bool reuse,
-                         bool reuse_solving = false) {
+                         bool reuse_solving = false,
+                         bool maintain_fixpoint = true) {
   Parser parser(symbols);
   StatusOr<Program> program = parser.ParseProgram(kReachProgram);
   if (!program.ok()) {
@@ -232,10 +235,12 @@ BenchRun RunSlidingReach(const SymbolTablePtr& symbols, size_t items,
 
   const size_t slide = std::max<size_t>(1, window_size / 16);
   BenchRun run = RunOnce(*program, stream, window_size, /*async=*/false, 0,
-                         slide, reuse, reuse_solving);
-  run.mode = reuse_solving ? "sliding-tc-reuse-solve"
-             : reuse      ? "sliding-tc-reuse"
-                          : "sliding-tc";
+                         slide, reuse, reuse_solving, maintain_fixpoint);
+  run.mode = reuse_solving
+                 ? (maintain_fixpoint ? "sliding-tc-reuse-solve"
+                                      : "sliding-tc-reuse-solve-patched")
+             : reuse ? "sliding-tc-reuse"
+                     : "sliding-tc";
   run.workload = "reach_tc";
   return run;
 }
@@ -288,6 +293,14 @@ int main(int argc, char** argv) {
   // reason_ms_total against the grounding-reuse-only run's.
   runs.push_back(RunSlidingReach(symbols, tc_items, tc_window,
                                  /*reuse=*/true, /*reuse_solving=*/true));
+  // Fourth leg: same persistent solver but with delta-sized model
+  // maintenance disabled (PR 4's patched-rebuild behavior: every window
+  // recomputes the definite closure from the patched rule store). The
+  // maintained-fixpoint CI gate compares the previous leg's
+  // reason_ms_total against this one's.
+  runs.push_back(RunSlidingReach(symbols, tc_items, tc_window,
+                                 /*reuse=*/true, /*reuse_solving=*/true,
+                                 /*maintain_fixpoint=*/false));
   // Graceful-degradation leg: self-clocked flash-crowd overload against
   // an undersized kDropOldest pipeline (see RunBurstOverload). Gated by a
   // completeness minimum and an unaccounted_windows ceiling in

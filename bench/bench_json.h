@@ -58,6 +58,15 @@ struct BenchRun {
   uint64_t solver_rules_retracted = 0;
   uint64_t solver_rules_new = 0;
   uint64_t warm_start_hits = 0;
+  uint64_t atoms_touched = 0;
+  uint64_t assignments_reused = 0;
+  uint64_t fixpoint_maintained_windows = 0;
+  /// atoms_touched / (atoms_touched + assignments_reused): the fraction
+  /// of per-window solve state actually recomputed. Machine-independent
+  /// for a fixed workload, so bench/baseline.json puts a ceiling on it —
+  /// the delta-sized-solve claim is this ratio staying ≪ 1 on
+  /// high-overlap sliding legs. 0 when no solving happened.
+  double atoms_touched_ratio = 0;
   double ground_ms_total = 0;
   double solve_ms_total = 0;
   double reason_ms_total = 0;
@@ -92,6 +101,16 @@ inline void FillFromEngineStats(const EngineStats& stats, BenchRun* run) {
   run->solver_rules_retracted = stats.reasoning.solver_rules_retracted;
   run->solver_rules_new = stats.reasoning.solver_rules_new;
   run->warm_start_hits = stats.reasoning.warm_start_hits;
+  run->atoms_touched = stats.reasoning.atoms_touched;
+  run->assignments_reused = stats.reasoning.assignments_reused;
+  run->fixpoint_maintained_windows =
+      stats.reasoning.fixpoint_maintained_windows;
+  const double touched_total = static_cast<double>(
+      stats.reasoning.atoms_touched + stats.reasoning.assignments_reused);
+  run->atoms_touched_ratio =
+      touched_total > 0
+          ? static_cast<double>(stats.reasoning.atoms_touched) / touched_total
+          : 0.0;
   run->ground_ms_total = stats.reasoning.total_ground_ms;
   run->solve_ms_total = stats.reasoning.total_solve_ms;
   run->reason_ms_total =
@@ -142,6 +161,9 @@ inline void PrintBenchJson(const char* bench_name, const char* workload,
         "\"incremental_solve_windows\": %llu, \"solve_rebuilds\": %llu, "
         "\"solver_rules_retained\": %llu, \"solver_rules_retracted\": %llu, "
         "\"solver_rules_new\": %llu, \"warm_start_hits\": %llu, "
+        "\"atoms_touched\": %llu, \"assignments_reused\": %llu, "
+        "\"fixpoint_maintained_windows\": %llu, "
+        "\"atoms_touched_ratio\": %.4f, "
         "\"ground_ms_total\": %.2f, \"solve_ms_total\": %.2f, "
         "\"reason_ms_total\": %.2f, "
         "\"window_store_bytes\": %zu, \"atom_table_bytes\": %zu, "
@@ -169,6 +191,10 @@ inline void PrintBenchJson(const char* bench_name, const char* workload,
         static_cast<unsigned long long>(run.solver_rules_retracted),
         static_cast<unsigned long long>(run.solver_rules_new),
         static_cast<unsigned long long>(run.warm_start_hits),
+        static_cast<unsigned long long>(run.atoms_touched),
+        static_cast<unsigned long long>(run.assignments_reused),
+        static_cast<unsigned long long>(run.fixpoint_maintained_windows),
+        run.atoms_touched_ratio,
         run.ground_ms_total, run.solve_ms_total, run.reason_ms_total,
         run.window_store_bytes, run.atom_table_bytes, run.bytes_per_triple,
         run.completeness, static_cast<unsigned long long>(run.shed_windows),

@@ -87,7 +87,8 @@ class IncrementalGrounder::Engine {
 
   // --- per-window phases ---
   Status ComputeNetDelta(const std::vector<Atom>& facts,
-                         const FactDelta* delta, NetDelta* net) const;
+                         const FactDelta* delta, NetDelta* net,
+                         bool* used_snapshot_diff) const;
   Status ApplyNetDelta(const NetDelta& net);
   Status CheckWindowCounts(const std::vector<Atom>& facts) const;
   Status Rebuild(const std::vector<Atom>& facts);
@@ -386,8 +387,15 @@ Status IncrementalGrounder::Engine::EmitIncrementalRule(GroundRule rule) {
 
 Status IncrementalGrounder::Engine::ComputeNetDelta(
     const std::vector<Atom>& facts, const FactDelta* delta,
-    NetDelta* net) const {
+    NetDelta* net, bool* used_snapshot_diff) const {
   net->clear();
+  // A snapshot diff counts as a *resync* only when the caller supplied a
+  // hint that could not be used (chain gap after a kDropOldest eviction,
+  // or an inconsistent hint): the computed delta is still exact, but
+  // downstream consumers treat their incrementally maintained solve state
+  // as suspect. Hint-less callers diff every window by design — that is
+  // the normal mode, not a resync.
+  *used_snapshot_diff = false;
   if (delta != nullptr && delta->previous_sequence == cached_sequence_) {
     int64_t total_change = 0;
     for (const Atom& a : delta->admitted) {
@@ -420,6 +428,7 @@ Status IncrementalGrounder::Engine::ComputeNetDelta(
     if (consistent) return OkStatus();
     net->clear();
   }
+  *used_snapshot_diff = delta != nullptr;
   // Snapshot diff: net = multiset(facts) - multiset(cached window).
   for (const Atom& a : facts) ++(*net)[a];
   for (const auto& [atom, count] : window_counts_) {
@@ -829,8 +838,9 @@ Status IncrementalGrounder::Engine::GroundWindow(
     }
   }
   NetDelta net;
+  bool resynced = false;
   if (!full) {
-    STREAMASP_RETURN_IF_ERROR(ComputeNetDelta(facts, delta, &net));
+    STREAMASP_RETURN_IF_ERROR(ComputeNetDelta(facts, delta, &net, &resynced));
     size_t magnitude = 0;
     for (const auto& [atom, change] : net) {
       magnitude += static_cast<size_t>(std::llabs(change));
@@ -844,6 +854,7 @@ Status IncrementalGrounder::Engine::GroundWindow(
 
   delta_ = GroundingDelta{};
   delta_.full_rebuild = full;
+  delta_.resynced = !full && resynced;
   delta_.sequence = sequence;
   delta_.previous_sequence = cached_sequence_;
   delta_.store_size_before = store_before;

@@ -5,32 +5,33 @@
 #include <utility>
 #include <vector>
 
+#include "solve/propagation_core.h"
+
 namespace streamasp {
 
 namespace {
 
-enum class Val : int8_t { kUnknown = 0, kTrue = 1, kFalse = 2 };
-
-constexpr int32_t kNoHead = -1;
 constexpr uint32_t kNoRule = static_cast<uint32_t>(-1);
 /// rule_origin_ tag for window-fact rules (not mirrored from the store).
 constexpr uint32_t kWindowFact = static_cast<uint32_t>(-1);
 
 }  // namespace
 
-/// The persistent search engine. The propagation/search core mirrors
-/// solver.cc's SearchEngine (same invariants: body_unassigned_/body_false_
-/// per rule, active_count_ per atom, trail-based undo), with three
-/// structural differences:
-///   * rules_ and every occurrence list live across SolveWindow calls and
-///     are patched by GroundingDelta replay instead of being rebuilt;
-///     removal swap-compacts rules_ the same way the grounder compacts its
-///     store, so all arrays stay dense for the per-window linear passes;
+/// The persistent engine: the shared PropagationCore in its patched-arena
+/// shape (rules and occurrence lists live across SolveWindow calls and
+/// are patched by GroundingDelta replay; removal swap-compacts the rule
+/// arrays the same way the grounder compacts its store), plus the
+/// store-slot/window-fact mirroring and warm-start bookkeeping that only
+/// make sense for a persistent engine:
+///   * rule_origin_/store_to_rule_ keep rule indices aligned with store
+///     slots through the grounder's exact swap-compaction order;
 ///   * window facts are first-class rules (one per distinct fact atom,
 ///     tracked in fact_rule_of_/fact_count_), so propagation and the
 ///     unfounded-set pass need no special fact handling;
-///   * model verification reuses the persistent pos_occurrences_ lists and
-///     flat scratch buffers instead of Solver's per-model allocations.
+///   * the previous window's model orders decision signs (guidance) and,
+///     for the definite fragment, the model itself is *maintained* across
+///     windows by the core's justification tracking — see SolveMaintained
+///     and ARCHITECTURE.md "Delta-sized model maintenance".
 class IncrementalSolver::Engine {
  public:
   explicit Engine(SolverOptions options) : options_(options) {}
@@ -39,25 +40,35 @@ class IncrementalSolver::Engine {
                      const std::vector<GroundRule>& store, size_t num_atoms,
                      std::vector<AnswerSet>* models);
 
-  void Invalidate() { valid_ = false; }
+  void Invalidate() {
+    valid_ = false;
+    core_.InvalidateMaintained();
+  }
   bool valid() const { return valid_; }
   const SolverStats& call_stats() const { return call_stats_; }
 
  private:
-  /// A normalized rule: head == kNoHead encodes an integrity constraint.
-  /// Disjunctive heads are rejected (see the class comment in the header).
-  struct Rule {
-    int32_t head = kNoHead;
-    std::vector<GroundAtomId> pos;
-    std::vector<GroundAtomId> neg;
+  using CoreRule = PropagationCore::CoreRule;
+  using Val = PropagationCore::Val;
+
+  /// Enumeration policy for the persistent engine: guided sign ordering
+  /// (explore the branch that agrees with the previous window's model
+  /// first, so a barely changed window walks straight to its model) and
+  /// model verification through the core's persistent scratch buffers.
+  struct GuidedClient {
+    Engine* engine;
+
+    bool AcceptModel(const std::vector<GroundAtomId>& atoms) const {
+      return !engine->options_.verify_models ||
+             engine->core_.VerifyStable(atoms);
+    }
+    Val FirstSign(GroundAtomId atom) const {
+      if (engine->guide_ && !engine->prev_model_[atom]) return Val::kFalse;
+      return Val::kTrue;
+    }
   };
 
-  struct Occurrence {
-    uint32_t rule;
-    bool in_positive_body;
-  };
-
-  // --- mirror maintenance -----------------------------------------------
+  // --- mirror maintenance ----------------------------------------------
 
   void Reset();
   void EnsureAtomCapacity(size_t num_atoms);
@@ -68,69 +79,37 @@ class IncrementalSolver::Engine {
       const std::vector<std::pair<GroundAtomId, int64_t>>& fact_delta,
       bool rebuild);
 
-  /// Removes every occurrence of `rule` from `list` (duplicate body atoms
-  /// yield duplicate entries, so this compacts rather than swap-erases
-  /// a single match).
-  static void EraseOccurrences(std::vector<Occurrence>* list, uint32_t rule,
-                               bool in_positive_body);
-  static void EraseAll(std::vector<uint32_t>* list, uint32_t rule);
-  static void RetargetOccurrences(std::vector<Occurrence>* list,
-                                  uint32_t from, uint32_t to,
-                                  bool in_positive_body);
-  static void RetargetAll(std::vector<uint32_t>* list, uint32_t from,
-                          uint32_t to);
+  // --- solving ----------------------------------------------------------
 
-  // --- assignment, propagation and search (solver.cc's discipline) ------
-
-  bool Assign(GroundAtomId atom, Val v);
-  void UndoTo(size_t mark);
-  bool ForceBodyTrue(uint32_t r);
-  bool FalsifyLastLiteral(uint32_t r);
-  uint32_t SingleActiveRule(GroundAtomId h) const;
-  bool ExamineRule(uint32_t r);
-  bool Propagate();
-  /// Fills supported_ with the well-founded supported closure under the
-  /// current assignment (rules with a false body do not support). At rest
-  /// this is the least-model closure of the live rules.
-  void ComputeSupportClosure();
-  bool FalsifyUnfounded(bool* progress);
-  bool Expand();
-  bool InitialPropagationSeeds();
-  GroundAtomId PickUnassigned() const;
-  bool ReachedModelCap() const;
-  void RecordModel();
-  Status Search();
   Status Enumerate(std::vector<AnswerSet>* models);
 
-  /// Definite fast path: when the live rule set has no negative literals
-  /// and no constraints, the program has exactly one stable model — the
-  /// least model, i.e. the well-founded supported closure of the facts.
-  /// One support pass computes it (the same algorithm FalsifyUnfounded
-  /// runs, which correctly refuses over-retained positive cycles), and
-  /// VerifyStable still checks it from first principles, so this replaces
-  /// only the propagation/search machinery, not the verification. Returns
-  /// false when verification rejects the closure (never expected), in
-  /// which case the caller falls back to the full search.
-  bool SolveDefinite();
+  /// Delta-sized maintained fixpoint for the definite fragment: commit
+  /// the window's patch into the core's justification-tracked model (or
+  /// rebuild it after an invalidation) instead of recomputing the
+  /// assignment from scratch. Returns false when verification rejects a
+  /// rebuilt closure (never expected), in which case the caller falls
+  /// back to the full search.
+  bool SolveMaintained(std::vector<AnswerSet>* models);
 
-  /// Exact stable-model test over the live (non-disjunctive) rule set,
-  /// equivalent to IsStableModel on the assembled program: the model must
-  /// satisfy every rule and equal the least model of the reduct. Uses the
-  /// persistent pos_occurrences_ lists and flat scratch, so it allocates
-  /// nothing after warm-up.
-  bool VerifyStable(const std::vector<GroundAtomId>& model);
+  /// Definite fast path without model maintenance (maintain_fixpoint
+  /// off): one support-closure pass computes the unique stable model —
+  /// the least model — and VerifyStable still checks it from first
+  /// principles. Returns false when verification rejects the closure
+  /// (never expected), in which case the caller falls back to the full
+  /// search.
+  bool SolveDefinite(std::vector<AnswerSet>* models);
 
   SolverOptions options_;
   SolverStats call_stats_;
+
+  PropagationCore core_;
 
   bool valid_ = false;
   /// Sequence of the last applied delta; incremental deltas must chain
   /// from it (catches double-application even when the rule delta is
   /// empty and the size checks hold trivially).
   uint64_t last_sequence_ = 0;
-  size_t num_atoms_ = 0;
 
-  std::vector<Rule> rules_;
   /// Per rule: owning store slot, or kWindowFact for fact rules.
   std::vector<uint32_t> rule_origin_;
   /// Store slot -> rule index; size tracks the mirrored store exactly.
@@ -140,85 +119,32 @@ class IncrementalSolver::Engine {
   std::vector<uint32_t> fact_rule_of_;
   std::vector<uint32_t> fact_count_;
 
-  /// Live rules with a non-empty negative body / that are constraints;
-  /// both zero ⇔ the mirror is a definite program (see SolveDefinite).
-  size_t negative_body_rules_ = 0;
-  size_t constraint_rules_ = 0;
-
-  std::vector<Val> value_;
-  std::vector<std::vector<Occurrence>> occurrences_;
-  std::vector<std::vector<uint32_t>> pos_occurrences_;
-  std::vector<std::vector<uint32_t>> head_rules_;
-  std::vector<uint32_t> active_count_;
-  std::vector<uint32_t> body_unassigned_;
-  std::vector<uint32_t> body_false_;
-
-  std::vector<GroundAtomId> trail_;
-  /// Flat FIFO: [queue_head_, queue_.size()) is the pending segment.
-  std::vector<GroundAtomId> queue_;
-  size_t queue_head_ = 0;
-
-  // Scratch for FalsifyUnfounded (reused across windows).
-  std::vector<uint8_t> supported_;
-  std::vector<uint32_t> unsupported_pos_;
-  std::vector<GroundAtomId> ready_;
-
-  // Scratch for VerifyStable (reused across windows).
-  std::vector<uint8_t> in_model_;
-  std::vector<uint8_t> reduct_enabled_;
-  std::vector<uint8_t> least_true_;
-  std::vector<uint32_t> least_missing_;
-  std::vector<GroundAtomId> least_queue_;
-
   /// Membership vector of the previous window's first model, used to
   /// order decision signs; meaningless unless has_prev_model_.
   std::vector<uint8_t> prev_model_;
   bool has_prev_model_ = false;
   bool guide_ = false;
-
-  std::vector<AnswerSet>* models_ = nullptr;
-  size_t decisions_ = 0;
 };
 
 // ---------------------------------------------------------------------------
 // Mirror maintenance.
 
 void IncrementalSolver::Engine::Reset() {
-  num_atoms_ = 0;
-  negative_body_rules_ = 0;
-  constraint_rules_ = 0;
-  rules_.clear();
+  core_.Reset();
   rule_origin_.clear();
   store_to_rule_.clear();
   fact_rule_of_.clear();
   fact_count_.clear();
-  value_.clear();
-  occurrences_.clear();
-  pos_occurrences_.clear();
-  head_rules_.clear();
-  active_count_.clear();
-  body_unassigned_.clear();
-  body_false_.clear();
-  trail_.clear();
-  queue_.clear();
-  queue_head_ = 0;
   prev_model_.clear();
   has_prev_model_ = false;
 }
 
 void IncrementalSolver::Engine::EnsureAtomCapacity(size_t num_atoms) {
-  if (num_atoms <= num_atoms_) return;
-  value_.resize(num_atoms, Val::kUnknown);
-  occurrences_.resize(num_atoms);
-  pos_occurrences_.resize(num_atoms);
-  head_rules_.resize(num_atoms);
-  active_count_.resize(num_atoms, 0);
+  if (num_atoms <= core_.num_atoms()) return;
   fact_rule_of_.resize(num_atoms, kNoRule);
   fact_count_.resize(num_atoms, 0);
   prev_model_.resize(num_atoms, 0);
-  num_atoms_ = num_atoms;
-  trail_.reserve(num_atoms);
-  queue_.reserve(num_atoms);
+  core_.EnsureAtomCapacity(num_atoms);
 }
 
 Status IncrementalSolver::Engine::AddRule(const GroundRule& rule,
@@ -228,146 +154,51 @@ Status IncrementalSolver::Engine::AddRule(const GroundRule& rule,
         "incremental solving supports normal (non-disjunctive) programs "
         "only; route disjunctive programs through the cold solver");
   }
-  const uint32_t r = static_cast<uint32_t>(rules_.size());
-  Rule nr;
-  nr.head = rule.head.empty() ? kNoHead
+  CoreRule nr;
+  nr.head = rule.head.empty() ? CoreRule::kNoHead
                               : static_cast<int32_t>(rule.head[0]);
   nr.pos = rule.positive_body;
   nr.neg = rule.negative_body;
-  for (GroundAtomId a : nr.pos) {
-    occurrences_[a].push_back(Occurrence{r, true});
-    pos_occurrences_[a].push_back(r);
-  }
-  for (GroundAtomId a : nr.neg) {
-    occurrences_[a].push_back(Occurrence{r, false});
-  }
-  if (nr.head != kNoHead) {
-    head_rules_[nr.head].push_back(r);
-    ++active_count_[nr.head];
-  } else {
-    ++constraint_rules_;
-  }
-  if (!nr.neg.empty()) ++negative_body_rules_;
-  body_unassigned_.push_back(
-      static_cast<uint32_t>(nr.pos.size() + nr.neg.size()));
-  body_false_.push_back(0);
+  core_.AddRule(std::move(nr));
   rule_origin_.push_back(origin);
-  rules_.push_back(std::move(nr));
   ++call_stats_.rules_new;
   return OkStatus();
 }
 
 void IncrementalSolver::Engine::AddFactRule(GroundAtomId atom) {
   assert(fact_rule_of_[atom] == kNoRule);
-  const uint32_t r = static_cast<uint32_t>(rules_.size());
-  Rule nr;
+  CoreRule nr;
   nr.head = static_cast<int32_t>(atom);
-  head_rules_[atom].push_back(r);
-  ++active_count_[atom];
-  body_unassigned_.push_back(0);
-  body_false_.push_back(0);
+  const uint32_t r = core_.AddRule(std::move(nr));
   rule_origin_.push_back(kWindowFact);
-  rules_.push_back(std::move(nr));
   fact_rule_of_[atom] = r;
   ++call_stats_.rules_new;
 }
 
-void IncrementalSolver::Engine::EraseOccurrences(
-    std::vector<Occurrence>* list, uint32_t rule, bool in_positive_body) {
-  size_t w = 0;
-  for (size_t i = 0; i < list->size(); ++i) {
-    const Occurrence& occ = (*list)[i];
-    if (occ.rule == rule && occ.in_positive_body == in_positive_body) {
-      continue;
-    }
-    (*list)[w++] = occ;
-  }
-  list->resize(w);
-}
-
-void IncrementalSolver::Engine::EraseAll(std::vector<uint32_t>* list,
-                                         uint32_t rule) {
-  size_t w = 0;
-  for (size_t i = 0; i < list->size(); ++i) {
-    if ((*list)[i] == rule) continue;
-    (*list)[w++] = (*list)[i];
-  }
-  list->resize(w);
-}
-
-void IncrementalSolver::Engine::RetargetOccurrences(
-    std::vector<Occurrence>* list, uint32_t from, uint32_t to,
-    bool in_positive_body) {
-  for (Occurrence& occ : *list) {
-    if (occ.rule == from && occ.in_positive_body == in_positive_body) {
-      occ.rule = to;
-    }
-  }
-}
-
-void IncrementalSolver::Engine::RetargetAll(std::vector<uint32_t>* list,
-                                            uint32_t from, uint32_t to) {
-  for (uint32_t& r : *list) {
-    if (r == from) r = to;
-  }
-}
-
 void IncrementalSolver::Engine::RemoveRule(uint32_t index) {
-  assert(index < rules_.size());
-  {
-    const Rule& rule = rules_[index];
-    for (GroundAtomId a : rule.pos) {
-      EraseOccurrences(&occurrences_[a], index, true);
-      EraseAll(&pos_occurrences_[a], index);
-    }
-    for (GroundAtomId a : rule.neg) {
-      EraseOccurrences(&occurrences_[a], index, false);
-    }
-    if (rule.head != kNoHead) {
-      EraseAll(&head_rules_[rule.head], index);
-      --active_count_[rule.head];
-    } else {
-      --constraint_rules_;
-    }
-    if (!rule.neg.empty()) --negative_body_rules_;
-  }
+  core_.RemoveRule(index);
   ++call_stats_.rules_retracted;
 
-  const uint32_t last = static_cast<uint32_t>(rules_.size() - 1);
+  // Mirror the core's swap-compaction on the origin bookkeeping: the old
+  // last rule (if any) moved into `index`.
+  const uint32_t last = static_cast<uint32_t>(rule_origin_.size() - 1);
   if (index != last) {
-    Rule moved = std::move(rules_[last]);
-    for (GroundAtomId a : moved.pos) {
-      RetargetOccurrences(&occurrences_[a], last, index, true);
-      RetargetAll(&pos_occurrences_[a], last, index);
-    }
-    for (GroundAtomId a : moved.neg) {
-      RetargetOccurrences(&occurrences_[a], last, index, false);
-    }
-    if (moved.head != kNoHead) {
-      RetargetAll(&head_rules_[moved.head], last, index);
-    }
-    rules_[index] = std::move(moved);
-    body_unassigned_[index] = body_unassigned_[last];
-    body_false_[index] = body_false_[last];
     const uint32_t origin = rule_origin_[last];
     rule_origin_[index] = origin;
     if (origin == kWindowFact) {
-      fact_rule_of_[rules_[index].head] = index;
+      fact_rule_of_[core_.rule(index).head] = index;
     } else {
       store_to_rule_[origin] = index;
     }
   }
-  rules_.pop_back();
   rule_origin_.pop_back();
-  body_unassigned_.pop_back();
-  body_false_.pop_back();
 }
 
 Status IncrementalSolver::Engine::ApplyFactDelta(
     const std::vector<std::pair<GroundAtomId, int64_t>>& fact_delta,
     bool rebuild) {
   for (const auto& [atom, change] : fact_delta) {
-    if (atom >= num_atoms_) {
+    if (atom >= core_.num_atoms()) {
       return FailedPreconditionError(
           "fact delta names an atom beyond the mirrored table");
     }
@@ -396,357 +227,75 @@ Status IncrementalSolver::Engine::ApplyFactDelta(
 }
 
 // ---------------------------------------------------------------------------
-// Assignment, propagation and search. Follows solver.cc's SearchEngine;
-// see the invariants documented there.
-
-bool IncrementalSolver::Engine::Assign(GroundAtomId atom, Val v) {
-  assert(v != Val::kUnknown);
-  if (value_[atom] != Val::kUnknown) return value_[atom] == v;
-  value_[atom] = v;
-  trail_.push_back(atom);
-  for (const Occurrence& occ : occurrences_[atom]) {
-    --body_unassigned_[occ.rule];
-    const bool literal_false =
-        occ.in_positive_body ? (v == Val::kFalse) : (v == Val::kTrue);
-    if (literal_false) {
-      if (++body_false_[occ.rule] == 1) {
-        const int32_t h = rules_[occ.rule].head;
-        if (h != kNoHead) --active_count_[h];
-      }
-    }
-  }
-  queue_.push_back(atom);
-  return true;
-}
-
-void IncrementalSolver::Engine::UndoTo(size_t mark) {
-  while (trail_.size() > mark) {
-    const GroundAtomId atom = trail_.back();
-    trail_.pop_back();
-    const Val v = value_[atom];
-    for (const Occurrence& occ : occurrences_[atom]) {
-      ++body_unassigned_[occ.rule];
-      const bool literal_false =
-          occ.in_positive_body ? (v == Val::kFalse) : (v == Val::kTrue);
-      if (literal_false) {
-        if (body_false_[occ.rule]-- == 1) {
-          const int32_t h = rules_[occ.rule].head;
-          if (h != kNoHead) ++active_count_[h];
-        }
-      }
-    }
-    value_[atom] = Val::kUnknown;
-  }
-  queue_.clear();
-  queue_head_ = 0;
-}
-
-bool IncrementalSolver::Engine::ForceBodyTrue(uint32_t r) {
-  for (GroundAtomId a : rules_[r].pos) {
-    if (!Assign(a, Val::kTrue)) return false;
-  }
-  for (GroundAtomId a : rules_[r].neg) {
-    if (!Assign(a, Val::kFalse)) return false;
-  }
-  return true;
-}
-
-bool IncrementalSolver::Engine::FalsifyLastLiteral(uint32_t r) {
-  for (GroundAtomId a : rules_[r].pos) {
-    if (value_[a] == Val::kUnknown) return Assign(a, Val::kFalse);
-  }
-  for (GroundAtomId a : rules_[r].neg) {
-    if (value_[a] == Val::kUnknown) return Assign(a, Val::kTrue);
-  }
-  assert(false && "no unassigned literal to falsify");
-  return true;
-}
-
-uint32_t IncrementalSolver::Engine::SingleActiveRule(GroundAtomId h) const {
-  for (uint32_t r : head_rules_[h]) {
-    if (body_false_[r] == 0) return r;
-  }
-  assert(false && "active_count out of sync");
-  return 0;
-}
-
-bool IncrementalSolver::Engine::ExamineRule(uint32_t r) {
-  const Rule& rule = rules_[r];
-  if (body_false_[r] == 0) {
-    if (body_unassigned_[r] == 0) {
-      if (rule.head == kNoHead) return false;
-      if (!Assign(static_cast<GroundAtomId>(rule.head), Val::kTrue)) {
-        return false;
-      }
-    } else if (body_unassigned_[r] == 1) {
-      const bool head_false =
-          rule.head == kNoHead || value_[rule.head] == Val::kFalse;
-      if (head_false && !FalsifyLastLiteral(r)) return false;
-    }
-    if (rule.head != kNoHead && value_[rule.head] == Val::kTrue &&
-        active_count_[rule.head] == 1 && !ForceBodyTrue(r)) {
-      return false;
-    }
-  } else {
-    const int32_t h = rule.head;
-    if (h != kNoHead) {
-      if (active_count_[h] == 0) {
-        if (!Assign(static_cast<GroundAtomId>(h), Val::kFalse)) return false;
-      } else if (active_count_[h] == 1 && value_[h] == Val::kTrue) {
-        if (!ForceBodyTrue(SingleActiveRule(h))) return false;
-      }
-    }
-  }
-  return true;
-}
-
-bool IncrementalSolver::Engine::Propagate() {
-  while (queue_head_ < queue_.size()) {
-    const GroundAtomId atom = queue_[queue_head_++];
-    const Val v = value_[atom];
-    for (const Occurrence& occ : occurrences_[atom]) {
-      if (!ExamineRule(occ.rule)) return false;
-    }
-    if (v == Val::kFalse) {
-      for (uint32_t r : head_rules_[atom]) {
-        if (body_false_[r] != 0) continue;
-        if (body_unassigned_[r] == 0) return false;  // Body true, head false.
-        if (body_unassigned_[r] == 1 && !FalsifyLastLiteral(r)) return false;
-      }
-    } else {  // kTrue
-      if (active_count_[atom] == 0) return false;  // True without support.
-      if (active_count_[atom] == 1 &&
-          !ForceBodyTrue(SingleActiveRule(atom))) {
-        return false;
-      }
-    }
-  }
-  return true;
-}
-
-void IncrementalSolver::Engine::ComputeSupportClosure() {
-  supported_.assign(num_atoms_, 0);
-  unsupported_pos_.assign(rules_.size(), 0);
-  ready_.clear();
-  size_t ready_head = 0;
-
-  auto mark_supported = [&](GroundAtomId a) {
-    if (!supported_[a]) {
-      supported_[a] = 1;
-      ready_.push_back(a);
-    }
-  };
-
-  for (uint32_t r = 0; r < rules_.size(); ++r) {
-    if (body_false_[r] != 0 || rules_[r].head == kNoHead) continue;
-    unsupported_pos_[r] = static_cast<uint32_t>(rules_[r].pos.size());
-    if (unsupported_pos_[r] == 0) {
-      mark_supported(static_cast<GroundAtomId>(rules_[r].head));
-    }
-  }
-  while (ready_head < ready_.size()) {
-    const GroundAtomId a = ready_[ready_head++];
-    for (uint32_t r : pos_occurrences_[a]) {
-      if (body_false_[r] != 0 || rules_[r].head == kNoHead) continue;
-      if (--unsupported_pos_[r] == 0) {
-        mark_supported(static_cast<GroundAtomId>(rules_[r].head));
-      }
-    }
-  }
-}
-
-bool IncrementalSolver::Engine::FalsifyUnfounded(bool* progress) {
-  ComputeSupportClosure();
-  *progress = false;
-  for (GroundAtomId a = 0; a < num_atoms_; ++a) {
-    if (supported_[a] || value_[a] == Val::kFalse) continue;
-    if (!Assign(a, Val::kFalse)) return false;
-    *progress = true;
-  }
-  return true;
-}
-
-bool IncrementalSolver::Engine::Expand() {
-  for (;;) {
-    if (!Propagate()) return false;
-    bool progress = false;
-    if (!FalsifyUnfounded(&progress)) return false;
-    if (!progress) return true;
-  }
-}
-
-bool IncrementalSolver::Engine::InitialPropagationSeeds() {
-  for (uint32_t r = 0; r < rules_.size(); ++r) {
-    if (body_unassigned_[r] == 0 && body_false_[r] == 0) {
-      if (rules_[r].head == kNoHead) return false;
-      if (!Assign(static_cast<GroundAtomId>(rules_[r].head), Val::kTrue)) {
-        return false;
-      }
-    }
-  }
-  for (GroundAtomId a = 0; a < num_atoms_; ++a) {
-    if (value_[a] == Val::kUnknown && active_count_[a] == 0) {
-      if (!Assign(a, Val::kFalse)) return false;
-    }
-  }
-  return true;
-}
-
-GroundAtomId IncrementalSolver::Engine::PickUnassigned() const {
-  for (GroundAtomId a = 0; a < num_atoms_; ++a) {
-    if (value_[a] == Val::kUnknown) return a;
-  }
-  return kInvalidGroundAtom;
-}
-
-bool IncrementalSolver::Engine::ReachedModelCap() const {
-  return options_.max_models != 0 && models_->size() >= options_.max_models;
-}
-
-void IncrementalSolver::Engine::RecordModel() {
-  AnswerSet model;
-  for (GroundAtomId a = 0; a < num_atoms_; ++a) {
-    if (value_[a] == Val::kTrue) model.atoms.push_back(a);
-  }
-  if (options_.verify_models && !VerifyStable(model.atoms)) return;
-  models_->push_back(std::move(model));
-}
-
-Status IncrementalSolver::Engine::Search() {
-  const size_t entry_mark = trail_.size();
-  Status status = OkStatus();
-  if (Expand()) {
-    const GroundAtomId atom = PickUnassigned();
-    if (atom == kInvalidGroundAtom) {
-      RecordModel();
-    } else {
-      ++decisions_;
-      if (options_.max_decisions != 0 &&
-          decisions_ > options_.max_decisions) {
-        status = ResourceExhaustedError(
-            "decision limit exceeded (" +
-            std::to_string(options_.max_decisions) + ")");
-      } else {
-        // Guided sign ordering: explore the branch that agrees with the
-        // previous window's model first, so a barely changed window walks
-        // straight to its model. Both branches are still explored —
-        // guidance permutes the enumeration, never prunes it.
-        Val first = Val::kTrue;
-        if (guide_ && !prev_model_[atom]) first = Val::kFalse;
-        const Val second = first == Val::kTrue ? Val::kFalse : Val::kTrue;
-        for (const Val v : {first, second}) {
-          const size_t mark = trail_.size();
-          Assign(atom, v);  // Atom is unassigned; cannot conflict here.
-          status = Search();
-          UndoTo(mark);
-          if (!status.ok() || ReachedModelCap()) break;
-        }
-      }
-    }
-  }
-  UndoTo(entry_mark);
-  return status;
-}
+// Solving.
 
 Status IncrementalSolver::Engine::Enumerate(std::vector<AnswerSet>* models) {
-  models_ = models;
-  decisions_ = 0;
-  assert(trail_.empty());
-  if (negative_body_rules_ == 0 && constraint_rules_ == 0 &&
-      SolveDefinite()) {
-    // Definite mirror: the least model is the one stable model; the full
-    // propagation/search machinery has nothing further to enumerate.
-    return OkStatus();
+  if (core_.definite()) {
+    if (options_.maintain_fixpoint) {
+      if (SolveMaintained(models)) return OkStatus();
+    } else if (SolveDefinite(models)) {
+      return OkStatus();
+    }
   }
+  // Full propagation/search machinery: the whole assignment is recomputed.
+  core_.InvalidateMaintained();
   if (guide_) ++call_stats_.warm_start_hits;
-  Status status = OkStatus();
-  if (InitialPropagationSeeds()) {
-    status = Search();
-  }
-  // Unlike the throwaway cold engine, the root seeds must be unwound too:
-  // the mirror returns to its rest state (all atoms unknown, counters at
-  // their static values) for the next window's delta patch.
-  UndoTo(0);
-  return status;
+  call_stats_.atoms_touched += core_.num_atoms();
+  GuidedClient client{this};
+  return core_.Enumerate(options_, client, models);
 }
 
-bool IncrementalSolver::Engine::SolveDefinite() {
+bool IncrementalSolver::Engine::SolveMaintained(
+    std::vector<AnswerSet>* models) {
+  AnswerSet model;
+  if (core_.maintained_valid()) {
+    // The steady state: commit the patch's seed lists — retraction
+    // cascades only through the broken justification subtree, insertion
+    // propagates forward semi-naive — and read the model back. Every
+    // assignment outside the touched cone is reused verbatim, which is
+    // exactly why this window skips the O(program) closure and
+    // verification passes (the rebuild windows below still verify, and
+    // debug builds re-check every maintained window).
+    const size_t touched = core_.CommitMaintainedPatch();
+    core_.AppendMaintainedModel(&model.atoms);
+    ++call_stats_.fixpoint_maintained_windows;
+    call_stats_.atoms_touched += touched;
+    const size_t live = core_.num_atoms();
+    call_stats_.assignments_reused += live - std::min(touched, live);
+    assert(core_.VerifyStable(model.atoms) &&
+           "maintained fixpoint diverged from the stable model");
+  } else {
+    core_.RebuildMaintainedModel();
+    core_.AppendMaintainedModel(&model.atoms);
+    call_stats_.atoms_touched += core_.num_atoms();
+    if (options_.verify_models && !core_.VerifyStable(model.atoms)) {
+      core_.InvalidateMaintained();
+      return false;
+    }
+  }
+  models->push_back(std::move(model));
+  return true;
+}
+
+bool IncrementalSolver::Engine::SolveDefinite(
+    std::vector<AnswerSet>* models) {
   // Well-founded supported closure of the facts. Between windows the
   // mirror is at rest (no assignments, body_false_ all zero), so the
   // closure's body_false_ filter admits every live rule and the result
   // is exactly the least model; over-retained positive cycles cannot
   // self-support and correctly stay out of it.
-  ComputeSupportClosure();
+  core_.ComputeSupportClosure();
+  call_stats_.atoms_touched += core_.num_atoms();
 
   AnswerSet model;
-  for (GroundAtomId a = 0; a < num_atoms_; ++a) {
-    if (supported_[a]) model.atoms.push_back(a);
+  const std::vector<uint8_t>& supported = core_.supported();
+  for (GroundAtomId a = 0; a < core_.num_atoms(); ++a) {
+    if (supported[a]) model.atoms.push_back(a);
   }
-  if (options_.verify_models && !VerifyStable(model.atoms)) return false;
-  models_->push_back(std::move(model));
-  return true;
-}
-
-bool IncrementalSolver::Engine::VerifyStable(
-    const std::vector<GroundAtomId>& model) {
-  in_model_.assign(num_atoms_, 0);
-  for (GroundAtomId a : model) in_model_[a] = 1;
-  reduct_enabled_.assign(rules_.size(), 0);
-
-  // 1. The model must satisfy every rule; remember the reduct membership.
-  for (uint32_t r = 0; r < rules_.size(); ++r) {
-    const Rule& rule = rules_[r];
-    bool neg_blocked = false;
-    for (GroundAtomId a : rule.neg) {
-      if (in_model_[a]) {
-        neg_blocked = true;
-        break;
-      }
-    }
-    if (neg_blocked) continue;
-    reduct_enabled_[r] = 1;
-    bool pos_holds = true;
-    for (GroundAtomId a : rule.pos) {
-      if (!in_model_[a]) {
-        pos_holds = false;
-        break;
-      }
-    }
-    if (pos_holds) {
-      if (rule.head == kNoHead || !in_model_[rule.head]) return false;
-    }
+  if (options_.verify_models && !core_.VerifyStable(model.atoms)) {
+    return false;
   }
-
-  // 2. The model must equal the least model of the reduct.
-  least_true_.assign(num_atoms_, 0);
-  least_missing_.assign(rules_.size(), 0);
-  least_queue_.clear();
-  size_t queue_head = 0;
-  auto derive = [&](GroundAtomId a) {
-    if (!least_true_[a]) {
-      least_true_[a] = 1;
-      least_queue_.push_back(a);
-    }
-  };
-  for (uint32_t r = 0; r < rules_.size(); ++r) {
-    if (!reduct_enabled_[r] || rules_[r].head == kNoHead) continue;
-    least_missing_[r] = static_cast<uint32_t>(rules_[r].pos.size());
-    if (least_missing_[r] == 0) {
-      derive(static_cast<GroundAtomId>(rules_[r].head));
-    }
-  }
-  while (queue_head < least_queue_.size()) {
-    const GroundAtomId a = least_queue_[queue_head++];
-    for (uint32_t r : pos_occurrences_[a]) {
-      if (!reduct_enabled_[r] || rules_[r].head == kNoHead) continue;
-      if (--least_missing_[r] == 0) {
-        derive(static_cast<GroundAtomId>(rules_[r].head));
-      }
-    }
-  }
-  for (GroundAtomId a = 0; a < num_atoms_; ++a) {
-    if (least_true_[a] != in_model_[a]) return false;
-  }
+  models->push_back(std::move(model));
   return true;
 }
 
@@ -765,7 +314,7 @@ Status IncrementalSolver::Engine::SolveWindow(
     ++call_stats_.solve_rebuilds;
     store_to_rule_.reserve(store.size());
     for (uint32_t s = 0; s < store.size(); ++s) {
-      store_to_rule_.push_back(static_cast<uint32_t>(rules_.size()));
+      store_to_rule_.push_back(static_cast<uint32_t>(core_.num_rules()));
       const Status status = AddRule(store[s], s);
       if (!status.ok()) {
         valid_ = false;
@@ -783,20 +332,33 @@ Status IncrementalSolver::Engine::SolveWindow(
           "incremental delta against an invalid solver mirror");
     }
     if (store_to_rule_.size() != delta.store_size_before ||
-        num_atoms < num_atoms_ || delta.previous_sequence != last_sequence_) {
-      valid_ = false;
+        num_atoms < core_.num_atoms() ||
+        delta.previous_sequence != last_sequence_) {
+      Invalidate();
       return FailedPreconditionError(
           "solver mirror out of sync with the grounder store");
     }
+    if (delta.resynced) {
+      // The grounder recovered this delta by snapshot diff (eviction gap
+      // or hint-chain break). The replay itself is exact, but the
+      // maintained model's incremental trust chain is deliberately reset
+      // here rather than relying on downstream desync detection; the next
+      // maintained window pays one O(program) rebuild, counted as a
+      // solve rebuild.
+      if (core_.maintained_valid()) {
+        core_.InvalidateMaintained();
+        ++call_stats_.solve_rebuilds;
+      }
+    }
     EnsureAtomCapacity(num_atoms);
     ++call_stats_.incremental_solve_windows;
-    const size_t rules_before = rules_.size();
+    const size_t rules_before = core_.num_rules();
 
     // Retraction: replay the grounder's swap-compaction on the slot map
     // while unhooking each dead rule from the watch structures.
     for (const uint32_t slot : delta.retracted_slots) {
       if (slot >= store_to_rule_.size()) {
-        valid_ = false;
+        Invalidate();
         return FailedPreconditionError(
             "retracted slot beyond the mirrored store");
       }
@@ -812,14 +374,14 @@ Status IncrementalSolver::Engine::SolveWindow(
     }
     if (store_to_rule_.size() != delta.new_rules_begin ||
         store.size() < delta.new_rules_begin) {
-      valid_ = false;
+      Invalidate();
       return FailedPreconditionError(
           "solver mirror out of sync after retraction replay");
     }
 
     for (uint32_t s = static_cast<uint32_t>(delta.new_rules_begin);
          s < store.size(); ++s) {
-      store_to_rule_.push_back(static_cast<uint32_t>(rules_.size()));
+      store_to_rule_.push_back(static_cast<uint32_t>(core_.num_rules()));
       const Status status = AddRule(store[s], s);
       if (!status.ok()) {
         valid_ = false;
@@ -839,7 +401,7 @@ Status IncrementalSolver::Engine::SolveWindow(
   last_sequence_ = delta.sequence;
 
   // Guidance is armed here but counted in Enumerate, only when the search
-  // machinery actually runs (the definite fast path takes no decisions).
+  // machinery actually runs (the definite paths take no decisions).
   guide_ = has_prev_model_;
 
   const Status status = Enumerate(models);

@@ -32,6 +32,18 @@ struct SolverStats {
   /// Windows whose branch decisions were guided by the previous window's
   /// answer set.
   size_t warm_start_hits = 0;
+  /// Atom assignments recomputed: the touched-cone flips on maintained
+  /// windows, the full live atom count on every other solve. The
+  /// delta-sized-solve claim is exactly atoms_touched ≪ live atoms.
+  size_t atoms_touched = 0;
+  /// Atom assignments carried over verbatim from the previous window's
+  /// maintained model (live atoms minus the touched cone; 0 on
+  /// non-maintained windows).
+  size_t assignments_reused = 0;
+  /// Windows answered from the maintained fixpoint by committing the
+  /// delta patch alone — no root propagation, closure, or search pass
+  /// over the full program.
+  size_t fixpoint_maintained_windows = 0;
 
   /// Field-wise accumulation (every counter is additive).
   void Accumulate(const SolverStats& other) {
@@ -41,6 +53,9 @@ struct SolverStats {
     incremental_solve_windows += other.incremental_solve_windows;
     solve_rebuilds += other.solve_rebuilds;
     warm_start_hits += other.warm_start_hits;
+    atoms_touched += other.atoms_touched;
+    assignments_reused += other.assignments_reused;
+    fixpoint_maintained_windows += other.fixpoint_maintained_windows;
   }
 };
 

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <deque>
+#include <utility>
 #include <vector>
+
+#include "solve/propagation_core.h"
 
 namespace streamasp {
 
@@ -11,444 +14,56 @@ namespace {
 
 enum class Val : int8_t { kUnknown = 0, kTrue = 1, kFalse = 2 };
 
-/// A normalized (non-disjunctive) rule: `head :- pos, not neg.` with
-/// head == kNoHead encoding an integrity constraint.
-struct NormalRule {
-  static constexpr int32_t kNoHead = -1;
-  int32_t head = kNoHead;
-  std::vector<GroundAtomId> pos;
-  std::vector<GroundAtomId> neg;
-};
-
-/// smodels-style search engine over a normalized program.
-///
-/// NOTE: solve/incremental_solver.cc mirrors this propagation/search core
-/// over a persistent, delta-patched rule arena — fixes to the invariants
-/// or derivation rules here must be applied there too (the differential
-/// tests in tests/incremental_solver_test.cc compare the two).
-///
-/// Invariants maintained per rule:
-///   body_unassigned_[r]  — body literals whose atom is still unknown,
-///   body_false_[r]       — body literals currently false
-///                          (positive literal with false atom, or negative
-///                          literal with true atom),
-/// and per atom:
-///   active_count_[a]     — rules with head a whose body is not yet false.
-///
-/// Counters are updated eagerly in Assign/Unassign; consequences are
-/// derived when an atom is popped from the propagation queue.
-class SearchEngine {
- public:
-  SearchEngine(const GroundProgram& program, const SolverOptions& options)
-      : program_(program), options_(options) {
-    Build();
-  }
-
-  Status Enumerate(std::vector<AnswerSet>* models) {
-    models_ = models;
-    // Root-level implications: facts and unsupported atoms.
-    if (!InitialPropagationSeeds()) return OkStatus();
-    return Search();
-  }
-
- private:
-  struct Occurrence {
-    uint32_t rule;
-    bool in_positive_body;
-  };
-
-  void Build() {
-    num_atoms_ = program_.num_atoms();
-    rules_.reserve(program_.rules().size());
-    for (const GroundRule& rule : program_.rules()) {
-      if (rule.head.size() <= 1) {
-        NormalRule nr;
-        nr.head = rule.head.empty() ? NormalRule::kNoHead
-                                    : static_cast<int32_t>(rule.head[0]);
+/// Normalizes `program` for the shared propagation core: disjunctive
+/// heads are shifted (a|b :- B  =>  a :- B, not b.  b :- B, not a.),
+/// which is complete for head-cycle-free programs; every candidate of a
+/// shifted program is later checked for minimality against the original
+/// program. Sets *has_disjunction when any rule was shifted.
+std::vector<PropagationCore::CoreRule> NormalizeRules(
+    const GroundProgram& program, bool* has_disjunction) {
+  std::vector<PropagationCore::CoreRule> rules;
+  rules.reserve(program.rules().size());
+  *has_disjunction = false;
+  for (const GroundRule& rule : program.rules()) {
+    if (rule.head.size() <= 1) {
+      PropagationCore::CoreRule nr;
+      nr.head = rule.head.empty()
+                    ? PropagationCore::CoreRule::kNoHead
+                    : static_cast<int32_t>(rule.head[0]);
+      nr.pos = rule.positive_body;
+      nr.neg = rule.negative_body;
+      rules.push_back(std::move(nr));
+    } else {
+      *has_disjunction = true;
+      for (size_t i = 0; i < rule.head.size(); ++i) {
+        PropagationCore::CoreRule nr;
+        nr.head = static_cast<int32_t>(rule.head[i]);
         nr.pos = rule.positive_body;
         nr.neg = rule.negative_body;
-        rules_.push_back(std::move(nr));
-      } else {
-        // Shift the disjunction: a|b :- B  =>  a :- B, not b.  b :- B, not a.
-        // Complete for head-cycle-free programs; every candidate is later
-        // checked for minimality against the original program.
-        has_disjunction_ = true;
-        for (size_t i = 0; i < rule.head.size(); ++i) {
-          NormalRule nr;
-          nr.head = static_cast<int32_t>(rule.head[i]);
-          nr.pos = rule.positive_body;
-          nr.neg = rule.negative_body;
-          for (size_t j = 0; j < rule.head.size(); ++j) {
-            if (j != i) nr.neg.push_back(rule.head[j]);
-          }
-          rules_.push_back(std::move(nr));
+        for (size_t j = 0; j < rule.head.size(); ++j) {
+          if (j != i) nr.neg.push_back(rule.head[j]);
         }
+        rules.push_back(std::move(nr));
       }
-    }
-
-    value_.assign(num_atoms_, Val::kUnknown);
-    occurrences_.assign(num_atoms_, {});
-    head_rules_.assign(num_atoms_, {});
-    active_count_.assign(num_atoms_, 0);
-    body_unassigned_.assign(rules_.size(), 0);
-    body_false_.assign(rules_.size(), 0);
-    pos_occurrences_.assign(num_atoms_, {});
-
-    // Pre-count the per-atom degrees so each occurrence list is allocated
-    // exactly once instead of growing by repeated push_back reallocation
-    // (the dominant Build cost on large ground programs).
-    std::vector<uint32_t> occ_degree(num_atoms_, 0);
-    std::vector<uint32_t> pos_degree(num_atoms_, 0);
-    std::vector<uint32_t> head_degree(num_atoms_, 0);
-    for (const NormalRule& rule : rules_) {
-      for (GroundAtomId a : rule.pos) {
-        ++occ_degree[a];
-        ++pos_degree[a];
-      }
-      for (GroundAtomId a : rule.neg) ++occ_degree[a];
-      if (rule.head != NormalRule::kNoHead) ++head_degree[rule.head];
-    }
-    for (GroundAtomId a = 0; a < num_atoms_; ++a) {
-      occurrences_[a].reserve(occ_degree[a]);
-      pos_occurrences_[a].reserve(pos_degree[a]);
-      head_rules_[a].reserve(head_degree[a]);
-    }
-
-    for (uint32_t r = 0; r < rules_.size(); ++r) {
-      const NormalRule& rule = rules_[r];
-      body_unassigned_[r] =
-          static_cast<uint32_t>(rule.pos.size() + rule.neg.size());
-      for (GroundAtomId a : rule.pos) {
-        occurrences_[a].push_back(Occurrence{r, true});
-        pos_occurrences_[a].push_back(r);
-      }
-      for (GroundAtomId a : rule.neg) {
-        occurrences_[a].push_back(Occurrence{r, false});
-      }
-      if (rule.head != NormalRule::kNoHead) {
-        head_rules_[rule.head].push_back(r);
-        ++active_count_[rule.head];
-      }
-    }
-
-    // Every atom enters the trail (and therefore the propagation queue)
-    // at most once per assignment stack, so one num_atoms_-sized block
-    // each removes all growth reallocations during search.
-    trail_.reserve(num_atoms_);
-    queue_.reserve(num_atoms_);
-  }
-
-  // ---------------------------------------------------------------------
-  // Assignment and trail.
-
-  bool Assign(GroundAtomId atom, Val v) {
-    assert(v != Val::kUnknown);
-    if (value_[atom] != Val::kUnknown) return value_[atom] == v;
-    value_[atom] = v;
-    trail_.push_back(atom);
-    for (const Occurrence& occ : occurrences_[atom]) {
-      --body_unassigned_[occ.rule];
-      const bool literal_false =
-          occ.in_positive_body ? (v == Val::kFalse) : (v == Val::kTrue);
-      if (literal_false) {
-        if (++body_false_[occ.rule] == 1) {
-          const int32_t h = rules_[occ.rule].head;
-          if (h != NormalRule::kNoHead) --active_count_[h];
-        }
-      }
-    }
-    queue_.push_back(atom);
-    return true;
-  }
-
-  void UndoTo(size_t mark) {
-    while (trail_.size() > mark) {
-      const GroundAtomId atom = trail_.back();
-      trail_.pop_back();
-      const Val v = value_[atom];
-      for (const Occurrence& occ : occurrences_[atom]) {
-        ++body_unassigned_[occ.rule];
-        const bool literal_false =
-            occ.in_positive_body ? (v == Val::kFalse) : (v == Val::kTrue);
-        if (literal_false) {
-          if (body_false_[occ.rule]-- == 1) {
-            const int32_t h = rules_[occ.rule].head;
-            if (h != NormalRule::kNoHead) ++active_count_[h];
-          }
-        }
-      }
-      value_[atom] = Val::kUnknown;
-    }
-    queue_.clear();
-    queue_head_ = 0;
-  }
-
-  // ---------------------------------------------------------------------
-  // Propagation ("atleast").
-
-  /// Forces every body literal of `r` true. Returns false on conflict.
-  bool ForceBodyTrue(uint32_t r) {
-    for (GroundAtomId a : rules_[r].pos) {
-      if (!Assign(a, Val::kTrue)) return false;
-    }
-    for (GroundAtomId a : rules_[r].neg) {
-      if (!Assign(a, Val::kFalse)) return false;
-    }
-    return true;
-  }
-
-  /// Falsifies the single unassigned body literal of `r`. Returns false on
-  /// conflict.
-  bool FalsifyLastLiteral(uint32_t r) {
-    for (GroundAtomId a : rules_[r].pos) {
-      if (value_[a] == Val::kUnknown) return Assign(a, Val::kFalse);
-    }
-    for (GroundAtomId a : rules_[r].neg) {
-      if (value_[a] == Val::kUnknown) return Assign(a, Val::kTrue);
-    }
-    assert(false && "no unassigned literal to falsify");
-    return true;
-  }
-
-  /// The unique rule with head `h` whose body is not false. Requires
-  /// active_count_[h] == 1.
-  uint32_t SingleActiveRule(GroundAtomId h) const {
-    for (uint32_t r : head_rules_[h]) {
-      if (body_false_[r] == 0) return r;
-    }
-    assert(false && "active_count out of sync");
-    return 0;
-  }
-
-  /// Derives consequences of a rule's current state. Returns false on
-  /// conflict.
-  bool ExamineRule(uint32_t r) {
-    const NormalRule& rule = rules_[r];
-    if (body_false_[r] == 0) {
-      if (body_unassigned_[r] == 0) {
-        // Body fully true: fire.
-        if (rule.head == NormalRule::kNoHead) return false;
-        if (!Assign(static_cast<GroundAtomId>(rule.head), Val::kTrue)) {
-          return false;
-        }
-      } else if (body_unassigned_[r] == 1) {
-        const bool head_false =
-            rule.head == NormalRule::kNoHead ||
-            value_[rule.head] == Val::kFalse;
-        if (head_false && !FalsifyLastLiteral(r)) return false;
-      }
-      // Head true with this as the single active rule: body must hold.
-      if (rule.head != NormalRule::kNoHead &&
-          value_[rule.head] == Val::kTrue &&
-          active_count_[rule.head] == 1 && !ForceBodyTrue(r)) {
-        return false;
-      }
-    } else {
-      // Rule deactivated: its head may have lost support.
-      const int32_t h = rule.head;
-      if (h != NormalRule::kNoHead) {
-        if (active_count_[h] == 0) {
-          if (!Assign(static_cast<GroundAtomId>(h), Val::kFalse)) {
-            return false;
-          }
-        } else if (active_count_[h] == 1 && value_[h] == Val::kTrue) {
-          if (!ForceBodyTrue(SingleActiveRule(h))) return false;
-        }
-      }
-    }
-    return true;
-  }
-
-  bool Propagate() {
-    while (queue_head_ < queue_.size()) {
-      const GroundAtomId atom = queue_[queue_head_++];
-      const Val v = value_[atom];
-      for (const Occurrence& occ : occurrences_[atom]) {
-        if (!ExamineRule(occ.rule)) return false;
-      }
-      if (v == Val::kFalse) {
-        for (uint32_t r : head_rules_[atom]) {
-          if (body_false_[r] != 0) continue;
-          if (body_unassigned_[r] == 0) return false;  // Body true, head false.
-          if (body_unassigned_[r] == 1 && !FalsifyLastLiteral(r)) {
-            return false;
-          }
-        }
-      } else {  // kTrue
-        if (active_count_[atom] == 0) return false;  // True without support.
-        if (active_count_[atom] == 1 &&
-            !ForceBodyTrue(SingleActiveRule(atom))) {
-          return false;
-        }
-      }
-    }
-    return true;
-  }
-
-  // ---------------------------------------------------------------------
-  // Unfounded-set falsification ("atmost").
-
-  /// Computes the atoms with well-founded external support given the
-  /// current assignment, and falsifies the rest. Returns false on conflict
-  /// (a true atom turned out unfounded). Sets *progress when it assigned
-  /// anything.
-  bool FalsifyUnfounded(bool* progress) {
-    supported_.assign(num_atoms_, false);
-    unsupported_pos_.assign(rules_.size(), 0);
-    std::deque<GroundAtomId> ready;
-
-    auto mark_supported = [&](GroundAtomId a) {
-      if (!supported_[a]) {
-        supported_[a] = true;
-        ready.push_back(a);
-      }
-    };
-
-    for (uint32_t r = 0; r < rules_.size(); ++r) {
-      if (body_false_[r] != 0 || rules_[r].head == NormalRule::kNoHead) {
-        continue;
-      }
-      unsupported_pos_[r] = static_cast<uint32_t>(rules_[r].pos.size());
-      if (unsupported_pos_[r] == 0) {
-        mark_supported(static_cast<GroundAtomId>(rules_[r].head));
-      }
-    }
-    while (!ready.empty()) {
-      const GroundAtomId a = ready.front();
-      ready.pop_front();
-      for (uint32_t r : pos_occurrences_[a]) {
-        if (body_false_[r] != 0 || rules_[r].head == NormalRule::kNoHead) {
-          continue;
-        }
-        if (--unsupported_pos_[r] == 0) {
-          mark_supported(static_cast<GroundAtomId>(rules_[r].head));
-        }
-      }
-    }
-
-    *progress = false;
-    for (GroundAtomId a = 0; a < num_atoms_; ++a) {
-      if (supported_[a] || value_[a] == Val::kFalse) continue;
-      // `a` is unfounded: no rule chain can ever support it.
-      if (!Assign(a, Val::kFalse)) return false;
-      *progress = true;
-    }
-    return true;
-  }
-
-  /// Propagation and unfounded-set falsification to mutual fixpoint.
-  bool Expand() {
-    for (;;) {
-      if (!Propagate()) return false;
-      bool progress = false;
-      if (!FalsifyUnfounded(&progress)) return false;
-      if (!progress) return true;
     }
   }
+  return rules;
+}
 
-  // ---------------------------------------------------------------------
-  // Search.
+/// The cold solve's enumeration policy: no sign guidance, and candidate
+/// models verify against the *original* program (shifted disjunctive
+/// candidates must pass the exact minimality check; for normal programs
+/// the check is optional verification per SolverOptions::verify_models).
+struct ColdSolveClient {
+  const GroundProgram& program;
+  bool check_models;
 
-  bool InitialPropagationSeeds() {
-    // Empty-body rules fire unconditionally; atoms with no potentially
-    // supporting rule are false (Clark-completion direction, valid under
-    // stable semantics).
-    for (uint32_t r = 0; r < rules_.size(); ++r) {
-      if (body_unassigned_[r] == 0 && body_false_[r] == 0) {
-        if (rules_[r].head == NormalRule::kNoHead) return false;
-        if (!Assign(static_cast<GroundAtomId>(rules_[r].head), Val::kTrue)) {
-          return false;
-        }
-      }
-    }
-    for (GroundAtomId a = 0; a < num_atoms_; ++a) {
-      if (value_[a] == Val::kUnknown && active_count_[a] == 0) {
-        if (!Assign(a, Val::kFalse)) return false;
-      }
-    }
-    return true;
+  bool AcceptModel(const std::vector<GroundAtomId>& atoms) const {
+    return !check_models || IsStableModel(program, atoms);
   }
-
-  GroundAtomId PickUnassigned() const {
-    for (GroundAtomId a = 0; a < num_atoms_; ++a) {
-      if (value_[a] == Val::kUnknown) return a;
-    }
-    return kInvalidGroundAtom;
+  PropagationCore::Val FirstSign(GroundAtomId) const {
+    return PropagationCore::Val::kTrue;
   }
-
-  bool ReachedModelCap() const {
-    return options_.max_models != 0 && models_->size() >= options_.max_models;
-  }
-
-  void RecordModel() {
-    AnswerSet model;
-    for (GroundAtomId a = 0; a < num_atoms_; ++a) {
-      if (value_[a] == Val::kTrue) model.atoms.push_back(a);
-    }
-    // Shifted disjunctive candidates must pass the exact minimality check;
-    // for normal programs the check is optional verification.
-    if (has_disjunction_ || options_.verify_models) {
-      if (!IsStableModel(program_, model.atoms)) return;
-    }
-    models_->push_back(std::move(model));
-  }
-
-  Status Search() {
-    const size_t entry_mark = trail_.size();
-    Status status = OkStatus();
-    if (Expand()) {
-      const GroundAtomId atom = PickUnassigned();
-      if (atom == kInvalidGroundAtom) {
-        RecordModel();
-      } else {
-        ++decisions_;
-        if (options_.max_decisions != 0 &&
-            decisions_ > options_.max_decisions) {
-          status = ResourceExhaustedError(
-              "decision limit exceeded (" +
-              std::to_string(options_.max_decisions) + ")");
-        } else {
-          for (const Val v : {Val::kTrue, Val::kFalse}) {
-            const size_t mark = trail_.size();
-            Assign(atom, v);  // Atom is unassigned; cannot conflict here.
-            status = Search();
-            UndoTo(mark);
-            if (!status.ok() || ReachedModelCap()) break;
-          }
-        }
-      }
-    }
-    UndoTo(entry_mark);
-    return status;
-  }
-
-  const GroundProgram& program_;
-  const SolverOptions& options_;
-
-  size_t num_atoms_ = 0;
-  std::vector<NormalRule> rules_;
-  bool has_disjunction_ = false;
-
-  std::vector<Val> value_;
-  std::vector<std::vector<Occurrence>> occurrences_;
-  std::vector<std::vector<uint32_t>> pos_occurrences_;
-  std::vector<std::vector<uint32_t>> head_rules_;
-  std::vector<uint32_t> active_count_;
-  std::vector<uint32_t> body_unassigned_;
-  std::vector<uint32_t> body_false_;
-
-  std::vector<GroundAtomId> trail_;
-  /// Flat FIFO: [queue_head_, queue_.size()) is the pending segment.
-  /// Reserved once in Build, so propagation never reallocates.
-  std::vector<GroundAtomId> queue_;
-  size_t queue_head_ = 0;
-
-  // Scratch space for FalsifyUnfounded.
-  std::vector<bool> supported_;
-  std::vector<uint32_t> unsupported_pos_;
-
-  std::vector<AnswerSet>* models_ = nullptr;
-  size_t decisions_ = 0;
 };
 
 /// Least model of the definite program given by `rules` (head + positive
@@ -635,9 +250,17 @@ bool IsStableModel(const GroundProgram& program,
 
 StatusOr<std::vector<AnswerSet>> Solver::Solve(
     const GroundProgram& program) const {
+  bool has_disjunction = false;
+  std::vector<PropagationCore::CoreRule> rules =
+      NormalizeRules(program, &has_disjunction);
+
+  PropagationCore core;
+  core.BuildFromRules(std::move(rules), program.num_atoms());
+
+  ColdSolveClient client{program,
+                         has_disjunction || options_.verify_models};
   std::vector<AnswerSet> models;
-  SearchEngine engine(program, options_);
-  STREAMASP_RETURN_IF_ERROR(engine.Enumerate(&models));
+  STREAMASP_RETURN_IF_ERROR(core.Enumerate(options_, client, &models));
   return models;
 }
 

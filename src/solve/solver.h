@@ -48,6 +48,18 @@ struct SolverOptions {
   /// how ReasonerOptions::reuse_grounding is honoured by the owning layer
   /// rather than by Grounder.
   bool reuse_solving = false;
+
+  /// Maintain the model itself across reused windows (definite/stratified
+  /// fragment): the persistent engine keeps a justification-tracked
+  /// fixpoint, so retracting an expired fact only de-justifies and
+  /// re-propagates its transitive cone and admitting a new fact only
+  /// propagates forward — per-window solve cost becomes delta-sized
+  /// instead of linear in the live ground program. Assignments outside
+  /// the touched cone are reused verbatim (counted in
+  /// SolverStats::assignments_reused). Off reverts to PR 4's behavior of
+  /// recomputing the assignment from scratch on the patched rule arena.
+  /// No effect without reuse_solving; the stateless Solver ignores it.
+  bool maintain_fixpoint = true;
 };
 
 /// Stable-model solver for ground programs.

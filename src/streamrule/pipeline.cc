@@ -468,6 +468,10 @@ void StreamRulePipeline::DeliverResult(
     stats_.solver_rules_retracted += result->solving.rules_retracted;
     stats_.solver_rules_new += result->solving.rules_new;
     stats_.warm_start_hits += result->solving.warm_start_hits;
+    stats_.atoms_touched += result->solving.atoms_touched;
+    stats_.assignments_reused += result->solving.assignments_reused;
+    stats_.fixpoint_maintained_windows +=
+        result->solving.fixpoint_maintained_windows;
     stats_.total_ground_ms += result->ground_ms;
     stats_.total_solve_ms += result->solve_ms;
     stats_.atom_table_bytes =

@@ -156,6 +156,14 @@ struct PipelineStats {
   uint64_t solver_rules_new = 0;
   uint64_t warm_start_hits = 0;     ///< Partition solves guided by the
                                     ///< previous window's model.
+  uint64_t atoms_touched = 0;       ///< Atom assignments recomputed (the
+                                    ///< touched cone on maintained windows,
+                                    ///< the full atom count elsewhere).
+  uint64_t assignments_reused = 0;  ///< Assignments carried over verbatim
+                                    ///< from the maintained fixpoint.
+  uint64_t fixpoint_maintained_windows = 0;  ///< Partition solves answered
+                                    ///< by committing the delta patch into
+                                    ///< the maintained model alone.
 
   // --- phase-time totals summed over every partition of every reasoned
   // window (CPU-ish; partitions run concurrently), for the bench gates ---

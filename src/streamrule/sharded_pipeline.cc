@@ -679,6 +679,10 @@ ShardedPipelineStats ShardedPipelineEngine::stats() const {
     out.aggregate.solver_rules_retracted += stats.solver_rules_retracted;
     out.aggregate.solver_rules_new += stats.solver_rules_new;
     out.aggregate.warm_start_hits += stats.warm_start_hits;
+    out.aggregate.atoms_touched += stats.atoms_touched;
+    out.aggregate.assignments_reused += stats.assignments_reused;
+    out.aggregate.fixpoint_maintained_windows +=
+        stats.fixpoint_maintained_windows;
     out.aggregate.total_ground_ms += stats.total_ground_ms;
     out.aggregate.total_solve_ms += stats.total_solve_ms;
     // Data-plane footprint: shard peaks coexist (they retain disjoint

@@ -249,6 +249,121 @@ TEST_F(SolvingReuseTest, ShardedSlidingEngineKeepsPersistentSolversWarm) {
   }
 }
 
+TEST_F(SolvingReuseTest, MaintainedFixpointColumnMatchesPatchedRebuild) {
+  // The maintained-fixpoint column of the differential matrix: for every
+  // slide size and both traffic programs, the reuse_solving pipeline with
+  // delta-sized model maintenance (the default) and with it disabled
+  // (PR 4's patched-rebuild behavior) must both produce the no-reuse
+  // baseline transcript byte for byte. The traffic programs are
+  // non-definite, so maintenance must also know to stay out of the way.
+  for (const TrafficProgramVariant variant :
+       {TrafficProgramVariant::kP, TrafficProgramVariant::kPPrime}) {
+    const Program program = MustProgram(variant);
+    const std::vector<Triple> stream = MakeStream(1200);
+    for (const size_t slide : {size_t{25}, size_t{50}, size_t{100}}) {
+      SCOPED_TRACE("slide " + std::to_string(slide));
+      PipelineOptions base;
+      base.window_size = 200;
+      base.window_slide = slide;
+
+      PipelineOptions maintained = base;
+      maintained.reuse_solving = true;
+      maintained.reasoner.reasoner.solving.maintain_fixpoint = true;
+
+      PipelineOptions patched = base;
+      patched.reuse_solving = true;
+      patched.reasoner.reasoner.solving.maintain_fixpoint = false;
+
+      const std::string want = PipelineTranscript(program, base, stream);
+      EXPECT_FALSE(want.empty());
+      EXPECT_EQ(PipelineTranscript(program, maintained, stream), want);
+      EXPECT_EQ(PipelineTranscript(program, patched, stream), want);
+    }
+  }
+}
+
+TEST_F(SolvingReuseTest, ShardedMaintainedFixpointColumnMatchesOracle) {
+  // Same column across shard counts: maintained and patched-rebuild
+  // configurations must both reproduce the unsharded sliding sync oracle.
+  const Program program = MustProgram(TrafficProgramVariant::kPPrime);
+  const std::vector<Triple> stream = MakeStream(1000, /*seed=*/19);
+
+  PipelineOptions sync;
+  sync.window_size = 200;
+  sync.window_slide = 40;
+  const std::string oracle = PipelineTranscript(program, sync, stream);
+  ASSERT_FALSE(oracle.empty());
+
+  for (const size_t shards : {size_t{1}, size_t{2}, size_t{4}}) {
+    SCOPED_TRACE("shards " + std::to_string(shards));
+    ShardedPipelineOptions maintained;
+    maintained.num_shards = shards;
+    maintained.pipeline.window_size = 200;
+    maintained.pipeline.window_slide = 40;
+    maintained.pipeline.reuse_solving = true;
+
+    ShardedPipelineOptions patched = maintained;
+    patched.pipeline.reasoner.reasoner.solving.maintain_fixpoint = false;
+
+    EXPECT_EQ(ShardedTranscript(program, maintained, stream), oracle);
+    EXPECT_EQ(ShardedTranscript(program, patched, stream), oracle);
+  }
+}
+
+TEST_F(SolvingReuseTest, DefiniteSlidingPipelineMaintainsRootFixpoint) {
+  // A definite recursive workload (the maintained path's home turf):
+  // sliding reachability. The maintained run must match the no-reuse
+  // baseline transcript, actually ride the maintained fixpoint
+  // (fixpoint_maintained_windows), and carry most of the model across
+  // windows untouched (assignments_reused); with maintenance off the
+  // counter must stay zero while the transcript still matches.
+  Parser parser(symbols_);
+  StatusOr<Program> program = parser.ParseProgram(R"(
+    #input link/2.
+    reach(X, Y) :- link(X, Y).
+    reach(X, Z) :- reach(X, Y), link(Y, Z).
+    #show reach/2.
+  )");
+  ASSERT_TRUE(program.ok()) << program.status();
+
+  GeneratorOptions gen;
+  gen.seed = 2017;
+  gen.value_range = 24;
+  gen.location_divisor = 8;
+  std::vector<StreamPredicate> schema(1);
+  schema[0].predicate = symbols_->Intern("link");
+  schema[0].has_object = true;
+  SyntheticStreamGenerator generator(schema, gen);
+  const std::vector<Triple> stream = generator.GenerateWindow(600);
+
+  PipelineOptions base;
+  base.window_size = 120;
+  base.window_slide = 10;
+
+  PipelineOptions maintained = base;
+  maintained.reuse_solving = true;
+
+  PipelineOptions patched = base;
+  patched.reuse_solving = true;
+  patched.reasoner.reasoner.solving.maintain_fixpoint = false;
+
+  const std::string want = PipelineTranscript(*program, base, stream);
+  EXPECT_FALSE(want.empty());
+
+  PipelineStats maintained_stats;
+  EXPECT_EQ(PipelineTranscript(*program, maintained, stream,
+                               &maintained_stats),
+            want);
+  EXPECT_GT(maintained_stats.fixpoint_maintained_windows, 0u);
+  EXPECT_GT(maintained_stats.atoms_touched, 0u);
+  EXPECT_GT(maintained_stats.assignments_reused, 0u);
+
+  PipelineStats patched_stats;
+  EXPECT_EQ(PipelineTranscript(*program, patched, stream, &patched_stats),
+            want);
+  EXPECT_EQ(patched_stats.fixpoint_maintained_windows, 0u);
+}
+
 TEST_F(SolvingReuseTest, DisjunctiveProgramKeepsColdSolvePath) {
   Parser parser(symbols_);
   StatusOr<Program> program = parser.ParseProgram(R"(
