@@ -85,6 +85,19 @@ void SessionBroker::HandleRequest(std::string_view payload) {
 
 void SessionBroker::HandleOpen(WireRequest request) {
   const std::string name = request.session;
+  if (request.has_version && request.protocol_version != kProtocolVersion) {
+    // Reject BEFORE creating anything: a client speaking another version
+    // may mean different things by the very options it just sent.
+    Send(FormatError(
+        "open", name,
+        InvalidArgumentError(
+            "unsupported protocol version v=" +
+            std::to_string(request.protocol_version) +
+            " (this server speaks v=" + std::to_string(kProtocolVersion) +
+            ")"),
+        "unsupported_version"));
+    return;
+  }
   StatusOr<std::shared_ptr<StreamSession>> session = server_->CreateSession(
       name, std::move(request.options),
       [this](const SessionEvent& event) { Send(FormatEvent(event)); });
@@ -96,7 +109,7 @@ void SessionBroker::HandleOpen(WireRequest request) {
     std::lock_guard<std::mutex> lock(owned_mutex_);
     owned_.insert(name);
   }
-  Send(FormatOk("open", name));
+  Send(FormatOpenOk(name));
 }
 
 void SessionBroker::HandlePush(const WireRequest& request) {

@@ -1,0 +1,154 @@
+#include "server/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <iterator>
+#include <utility>
+
+namespace streamasp {
+
+EventLoop::EventLoop() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    init_status_ =
+        InternalError(std::string("epoll_create1: ") + std::strerror(errno));
+    return;
+  }
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    init_status_ =
+        InternalError(std::string("eventfd: ") + std::strerror(errno));
+    return;
+  }
+  epoll_event event{};
+  event.events = EPOLLIN;
+  event.data.fd = wake_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &event) < 0) {
+    init_status_ =
+        InternalError(std::string("epoll_ctl(wakeup): ") +
+                      std::strerror(errno));
+  }
+}
+
+EventLoop::~EventLoop() {
+  Stop();
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+Status EventLoop::Watch(int fd, ReadyFn on_readable) {
+  STREAMASP_RETURN_IF_ERROR(init_status_);
+  epoll_event event{};
+  event.events = EPOLLIN;
+  event.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event) < 0) {
+    return InternalError(std::string("epoll_ctl(add): ") +
+                         std::strerror(errno));
+  }
+  handlers_[fd] = std::move(on_readable);
+  return OkStatus();
+}
+
+void EventLoop::Unwatch(int fd) {
+  if (epoll_fd_ >= 0) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  }
+  handlers_.erase(fd);
+}
+
+void EventLoop::Post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(posted_mutex_);
+    posted_.push_back(std::move(fn));
+  }
+  if (wake_fd_ >= 0) {
+    const uint64_t one = 1;
+    // A full eventfd counter (EAGAIN) already guarantees a pending wake.
+    ssize_t ignored = ::write(wake_fd_, &one, sizeof(one));
+    (void)ignored;
+  }
+}
+
+Status EventLoop::Start() {
+  STREAMASP_RETURN_IF_ERROR(init_status_);
+  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  if (started_) return FailedPreconditionError("EventLoop already started");
+  started_ = true;
+  stopping_ = false;
+  thread_ = std::thread([this] { Run(); });
+  return OkStatus();
+}
+
+void EventLoop::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    if (!started_ || stopping_) {
+      // Not running (or another Stop is in flight); still join a thread
+      // a racing Stop may have left for us — thread_.join below is what
+      // makes Stop's return mean "the loop thread is gone".
+      if (stopping_ && thread_.joinable() &&
+          thread_.get_id() != std::this_thread::get_id()) {
+        // Fall through outside the lock.
+      } else {
+        return;
+      }
+    } else {
+      stopping_ = true;
+    }
+  }
+  if (wake_fd_ >= 0) {
+    const uint64_t one = 1;
+    ssize_t ignored = ::write(wake_fd_, &one, sizeof(one));
+    (void)ignored;
+  }
+  if (thread_.joinable()) thread_.join();
+  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  started_ = false;
+}
+
+void EventLoop::RunPosted() {
+  std::vector<std::function<void()>> tasks;
+  {
+    std::lock_guard<std::mutex> lock(posted_mutex_);
+    tasks.swap(posted_);
+  }
+  for (std::function<void()>& task : tasks) task();
+}
+
+void EventLoop::Run() {
+  epoll_event events[64];
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+      if (stopping_) return;
+    }
+    const int n = ::epoll_wait(epoll_fd_, events,
+                               static_cast<int>(std::size(events)), -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // epoll fd fatally broken; nothing recoverable here.
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        uint64_t drained = 0;
+        while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        RunPosted();
+        continue;
+      }
+      auto it = handlers_.find(fd);
+      if (it == handlers_.end()) continue;  // Unwatched by an earlier handler.
+      // Copy before calling: the handler may Unwatch (erase) itself.
+      ReadyFn handler = it->second;
+      handler();
+    }
+  }
+}
+
+}  // namespace streamasp

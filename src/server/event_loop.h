@@ -1,0 +1,92 @@
+#ifndef STREAMASP_SERVER_EVENT_LOOP_H_
+#define STREAMASP_SERVER_EVENT_LOOP_H_
+
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace streamasp {
+
+/// A minimal single-threaded epoll reactor: one thread multiplexing
+/// readability across any number of non-blocking file descriptors, so a
+/// transport serves N connections with one thread instead of N reader
+/// threads. This is the event-driven half of the session server's
+/// O(pool + 1) thread budget — reasoning scales with the shared pool,
+/// transport with this loop, and neither with the session count.
+///
+/// Model:
+///   * Watch(fd, on_readable) registers a level-triggered readability
+///     handler. Handlers run on the loop thread, one at a time — a
+///     handler that blocks stalls every other connection (head-of-line),
+///     which is the documented trade-off of the single-thread design;
+///     keep handlers to non-blocking reads plus bounded work.
+///   * Post(fn) runs a closure on the loop thread (any thread may call
+///     it; an eventfd wakes the loop).
+///   * Unwatch(fd) deregisters; the fd itself is not closed.
+///
+/// Thread-safety: Post and Stop are safe from any thread. Watch/Unwatch
+/// must be called from the loop thread or while the loop is not running
+/// (before Start / after Stop) — the registration map is not guarded
+/// against concurrent dispatch.
+class EventLoop {
+ public:
+  using ReadyFn = std::function<void()>;
+
+  /// Acquires the epoll and wakeup descriptors; Start reports any
+  /// acquisition failure.
+  EventLoop();
+
+  /// Stops the loop (if running) and releases the descriptors.
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers a level-triggered readability handler for `fd` (which
+  /// should be non-blocking — the loop redelivers while data remains).
+  Status Watch(int fd, ReadyFn on_readable);
+
+  /// Deregisters `fd`. No-op when it was never watched.
+  void Unwatch(int fd);
+
+  /// Enqueues `fn` for execution on the loop thread. Safe from any
+  /// thread, including the loop thread itself (runs on the next tick).
+  void Post(std::function<void()> fn);
+
+  /// Spawns the loop thread. kFailedPrecondition when already started,
+  /// kInternal when descriptor acquisition failed at construction.
+  Status Start();
+
+  /// Stops and joins the loop thread. Idempotent; safe from any thread
+  /// except the loop thread itself. Watched fds stay registered (and
+  /// open) — callers tear their connections down after Stop returns.
+  void Stop();
+
+ private:
+  void Run();
+  void RunPosted();
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  ///< eventfd that interrupts epoll_wait.
+  Status init_status_ = OkStatus();
+
+  /// Loop-thread-only (plus pre-Start/post-Stop callers, per the class
+  /// contract): fd -> readability handler.
+  std::unordered_map<int, ReadyFn> handlers_;
+
+  std::mutex posted_mutex_;
+  std::vector<std::function<void()>> posted_;
+
+  std::mutex lifecycle_mutex_;
+  std::thread thread_;
+  bool started_ = false;
+  bool stopping_ = false;
+};
+
+}  // namespace streamasp
+
+#endif  // STREAMASP_SERVER_EVENT_LOOP_H_

@@ -4,25 +4,48 @@
 
 namespace streamasp {
 
-StreamServer::StreamServer(ServerOptions options)
-    : options_(std::move(options)) {}
+Status ValidateServerConfig(const ServerConfig& config) {
+  if (config.max_sessions == 0) {
+    return InvalidArgumentError("server max_sessions must be >= 1");
+  }
+  return OkStatus();
+}
+
+StreamServer::StreamServer(ServerConfig config) : config_([&config] {
+      if (config.max_sessions == 0) config.max_sessions = 1;
+      return config;
+    }()) {
+  if (config_.shared_pool_threads > 0) {
+    pool_ = std::make_shared<SharedReasonerPool>(config_.shared_pool_threads);
+  }
+}
 
 StreamServer::~StreamServer() { CloseAll(); }
 
 StatusOr<std::shared_ptr<StreamSession>> StreamServer::CreateSession(
     std::string name, SessionOptions options, SessionEventHandler handler) {
-  if (options_.session_reasoner_threads > 0 &&
-      options.engine.pipeline.reasoner.num_threads == 0) {
-    // Fair multiplexing: without this, every tenant's reasoner would
-    // default to all cores and the sessions would thrash each other.
+  const bool pooled = pool_ != nullptr && options.engine.pipeline.async;
+  if (pooled) {
+    // Async sessions reason on the shared pool: O(pool) reasoning
+    // threads across all tenants, weighted fair scheduling between them.
+    // The session's weight/inflight knobs were already mapped onto
+    // pool_weight/pool_max_inflight by StreamSession::Create's caller
+    // contract (ValidateSessionOptions + field mapping).
+    options.engine.pipeline.shared_pool = pool_;
+  } else if (config_.session_reasoner_threads > 0 &&
+             options.engine.pipeline.reasoner.num_threads == 0) {
+    // Unpooled fair multiplexing: without this, every tenant's reasoner
+    // would default to all cores and the sessions would thrash each
+    // other. Never applied to pooled sessions — each reasoner slot would
+    // spawn an inner pool and multiply the thread count back up.
     options.engine.pipeline.reasoner.num_threads =
-        options_.session_reasoner_threads;
+        config_.session_reasoner_threads;
   }
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (sessions_.size() >= options_.max_sessions) {
+    if (sessions_.size() >= config_.max_sessions) {
       return ResourceExhaustedError(
-          "session limit reached (" + std::to_string(options_.max_sessions) +
+          "session limit reached (" + std::to_string(config_.max_sessions) +
           "); close a session first");
     }
     if (sessions_.count(name) != 0) {
@@ -38,9 +61,9 @@ StatusOr<std::shared_ptr<StreamSession>> StreamServer::CreateSession(
   std::shared_ptr<StreamSession> shared(std::move(session));
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (sessions_.size() >= options_.max_sessions) {
+    if (sessions_.size() >= config_.max_sessions) {
       return ResourceExhaustedError(
-          "session limit reached (" + std::to_string(options_.max_sessions) +
+          "session limit reached (" + std::to_string(config_.max_sessions) +
           "); close a session first");
     }
     if (!sessions_.emplace(name, shared).second) {

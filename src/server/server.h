@@ -10,20 +10,36 @@
 #include "server/session.h"
 #include "stream/transport.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace streamasp {
 
-/// Server-wide tenancy limits.
-struct ServerOptions {
+/// Server-wide tenancy limits and the shared reasoning substrate.
+struct ServerConfig {
   /// Bound on concurrently open sessions; CreateSession refuses beyond
   /// it with kResourceExhausted.
   size_t max_sessions = 64;
 
-  /// Default reasoner thread budget applied to a session whose config
-  /// leaves reasoner threads at 0 (the engine's "all cores" default would
-  /// let one tenant claim the machine). 0 disables the override.
+  /// Default reasoner thread budget applied to an UNPOOLED session whose
+  /// config leaves reasoner threads at 0 (the engine's "all cores"
+  /// default would let one tenant claim the machine). 0 disables the
+  /// override. Pooled sessions never receive it: their reasoning runs
+  /// inline on shared-pool workers, and a per-slot inner pool would
+  /// multiply the thread count right back up.
   size_t session_reasoner_threads = 2;
+
+  /// Workers in the process-wide SharedReasonerPool every async session's
+  /// reasoning runs on, scheduled by weighted deficit round-robin across
+  /// per-session lanes (util/thread_pool.h). The default sizes the pool
+  /// to the machine, making total reasoning threads O(hardware) instead
+  /// of O(sessions x workers). 0 disables pooling entirely — every async
+  /// session then spawns its own dedicated workers as before. Sync
+  /// sessions always reason on their pump thread, pool or not.
+  size_t shared_pool_threads = DefaultThreadCount();
 };
+
+/// Structural validation of ServerConfig with table-testable messages.
+Status ValidateServerConfig(const ServerConfig& config);
 
 /// The multi-tenant front end: a named-session registry over shared
 /// reasoner resources. Transports call CreateSession/FindSession/
@@ -37,7 +53,11 @@ struct ServerOptions {
 /// Thread-safe throughout.
 class StreamServer {
  public:
-  explicit StreamServer(ServerOptions options = {});
+  /// A config rejected by ValidateServerConfig is corrected to the
+  /// nearest valid value (max_sessions 0 -> 1) so a default-constructed
+  /// server is always usable; callers wanting the error surface validate
+  /// first.
+  explicit StreamServer(ServerConfig config = {});
 
   /// Closes every remaining session.
   ~StreamServer();
@@ -67,7 +87,13 @@ class StreamServer {
 
   std::vector<std::string> session_names() const;
   size_t num_sessions() const;
-  const ServerOptions& options() const { return options_; }
+  const ServerConfig& config() const { return config_; }
+
+  /// The process-wide reasoning pool async sessions are scheduled on
+  /// (null when config.shared_pool_threads == 0).
+  const std::shared_ptr<SharedReasonerPool>& shared_pool() const {
+    return pool_;
+  }
 
   /// Opens an in-process connection speaking the wire protocol
   /// (src/server/wire.h) against this server — the same code path the
@@ -75,7 +101,11 @@ class StreamServer {
   std::unique_ptr<SessionTransport> Connect();
 
  private:
-  const ServerOptions options_;
+  const ServerConfig config_;
+  /// Outlives every session: sessions hold it by shared_ptr through
+  /// their pipeline options, so late session teardown stays safe even if
+  /// the server dies first.
+  std::shared_ptr<SharedReasonerPool> pool_;
 
   mutable std::mutex mutex_;
   std::unordered_map<std::string, std::shared_ptr<StreamSession>> sessions_;

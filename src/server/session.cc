@@ -1,6 +1,7 @@
 #include "server/session.h"
 
 #include <exception>
+#include <optional>
 #include <utility>
 
 #include "asp/parser.h"
@@ -8,15 +9,51 @@
 
 namespace streamasp {
 
+Status ValidateSessionOptions(const SessionOptions& options) {
+  if (options.admission == BackpressurePolicy::kDropOldest) {
+    return InvalidArgumentError(
+        "session admission supports kBlock or kReject only (dropping "
+        "accepted batches would break the session's refusal accounting)");
+  }
+  if (options.weight == 0) {
+    return InvalidArgumentError("session weight must be >= 1");
+  }
+  const bool async = options.engine.pipeline.async;
+  if (options.max_queued_windows > 0 && !async) {
+    return InvalidArgumentError(
+        "session max_queued_windows requires an async engine (sync "
+        "engines reason every window before Push returns; set async=1)");
+  }
+  if (options.max_inflight > 0 && !async) {
+    return InvalidArgumentError(
+        "session max_inflight requires an async engine (sync engines "
+        "reason one window at a time; set async=1)");
+  }
+  return OkStatus();
+}
+
 StatusOr<std::unique_ptr<StreamSession>> StreamSession::Create(
     std::string name, SessionOptions options, SessionEventHandler handler) {
   if (name.empty()) {
     return InvalidArgumentError("session name must not be empty");
   }
-  if (options.admission == BackpressurePolicy::kDropOldest) {
-    return InvalidArgumentError(
-        "session admission supports kBlock or kReject only (dropping "
-        "accepted batches would break the session's refusal accounting)");
+  STREAMASP_RETURN_IF_ERROR(ValidateSessionOptions(options));
+  // Map the session-level fairness knobs onto the pipeline: the quota is
+  // engine-level admission control either way; the weight and inflight
+  // cap take effect when the server injects its shared pool below.
+  options.engine.pipeline.pool_weight = options.weight;
+  options.engine.pipeline.pool_max_inflight = options.max_inflight;
+  options.engine.pipeline.max_queued_windows = options.max_queued_windows;
+  // Pooled async sessions pump inline (no pump thread), so a kReject
+  // tenant's "never block the transport" promise must hold at the window
+  // queue too: translate the admission policy to window-level kReject
+  // shedding instead of the default blocking backpressure.
+  const bool pooled_async =
+      options.engine.pipeline.async &&
+      (options.engine.pipeline.shared_pool != nullptr ||
+       options.engine.pipeline.shared_queue != nullptr);
+  if (pooled_async && options.admission == BackpressurePolicy::kReject) {
+    options.engine.pipeline.backpressure = BackpressurePolicy::kReject;
   }
   std::string program_text = options.program_text;
   std::unique_ptr<StreamSession> session(new StreamSession(
@@ -32,7 +69,10 @@ StreamSession::StreamSession(std::string name, SessionOptions options,
       handler_(std::move(handler)),
       symbols_(MakeSymbolTable()),
       queue_(std::max<size_t>(1, options_.ingest_queue_capacity),
-             BackpressurePolicy::kBlock) {}
+             BackpressurePolicy::kBlock),
+      inline_pump_(options_.engine.pipeline.async &&
+                   (options_.engine.pipeline.shared_pool != nullptr ||
+                    options_.engine.pipeline.shared_queue != nullptr)) {}
 
 Status StreamSession::Init(const std::string& program_text) {
   Parser parser(symbols_);
@@ -45,7 +85,9 @@ Status StreamSession::Init(const std::string& program_text) {
       engine_, StreamEngine::Create(
                    program_.get(), options_.engine,
                    [this](EmissionEvent& event) { OnEmission(event); }));
-  pump_ = std::thread([this] { PumpLoop(); });
+  // Pooled async sessions pump collaboratively (zero threads); everyone
+  // else gets the dedicated pump thread.
+  if (!inline_pump_) pump_ = std::thread([this] { PumpLoop(); });
   return OkStatus();
 }
 
@@ -74,10 +116,13 @@ Status StreamSession::Push(std::vector<Triple> batch) {
   command.batch = std::move(batch);
   if (queue_.Push(std::move(command)) == QueuePushResult::kClosed) {
     queued_commands_.fetch_sub(1, std::memory_order_acq_rel);
+    // A closer may be waiting for the queue-depth mirror to settle.
+    pump_cv_.notify_all();
     return FailedPreconditionError("session '" + name_ + "' is closed");
   }
   pushed_batches_.fetch_add(1, std::memory_order_relaxed);
   pushed_items_.fetch_add(items, std::memory_order_relaxed);
+  if (inline_pump_) PumpDrain();
   return OkStatus();
 }
 
@@ -103,8 +148,13 @@ Status StreamSession::Flush() {
   command.flush = true;
   if (queue_.Push(std::move(command)) == QueuePushResult::kClosed) {
     queued_commands_.fetch_sub(1, std::memory_order_acq_rel);
+    pump_cv_.notify_all();
     return FailedPreconditionError("session '" + name_ + "' is closed");
   }
+  // Inline mode: our flush command may be served by us (pumping here) or
+  // by whichever pusher holds the baton; the ticket wait below covers
+  // both.
+  if (inline_pump_) PumpDrain();
   std::unique_lock<std::mutex> lock(flush_mutex_);
   flush_cv_.wait(lock, [this, ticket] { return flush_completed_ >= ticket; });
   return OkStatus();
@@ -124,10 +174,21 @@ void StreamSession::Close() {
     state_ = SessionState::kDraining;
   }
   // Stop admission; the pump drains every already-queued command (Pop
-  // hands out the remainder before returning false), acking queued flush
+  // and TryPop hand out the remainder after Close), acking queued flush
   // barriers on the way out.
   queue_.Close();
-  if (pump_.joinable()) pump_.join();
+  if (inline_pump_) {
+    // Become the pumper for whatever is left, then wait out any racing
+    // pusher still holding the baton or mid-enqueue.
+    PumpDrain();
+    std::unique_lock<std::mutex> lock(pump_mutex_);
+    pump_cv_.wait(lock, [this] {
+      return !pumping_ &&
+             queued_commands_.load(std::memory_order_acquire) == 0;
+    });
+  } else if (pump_.joinable()) {
+    pump_.join();
+  }
   // End-of-stream: emit the trailing partial window and deliver every
   // in-flight emission before reporting kClosed.
   try {
@@ -148,30 +209,53 @@ void StreamSession::Close() {
   closed_cv_.notify_all();
 }
 
+void StreamSession::ProcessCommand(IngestCommand& command) {
+  try {
+    if (!command.batch.empty()) engine_->PushBatch(command.batch);
+    if (command.flush) engine_->Flush();
+  } catch (const std::exception& e) {
+    // A sync-mode event handler that throws surfaces here; the pump
+    // must outlive it or the whole session wedges.
+    STREAMASP_LOG(kError) << "session '" << name_
+                          << "': pump caught: " << e.what();
+  } catch (...) {
+    STREAMASP_LOG(kError) << "session '" << name_ << "': pump caught";
+  }
+  if (command.flush) {
+    {
+      std::lock_guard<std::mutex> lock(flush_mutex_);
+      ++flush_completed_;
+    }
+    flush_cv_.notify_all();
+  }
+  command = IngestCommand();
+  queued_commands_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
 void StreamSession::PumpLoop() {
   IngestCommand command;
-  while (queue_.Pop(&command)) {
-    try {
-      if (!command.batch.empty()) engine_->PushBatch(command.batch);
-      if (command.flush) engine_->Flush();
-    } catch (const std::exception& e) {
-      // A sync-mode event handler that throws surfaces here; the pump
-      // must outlive it or the whole session wedges.
-      STREAMASP_LOG(kError) << "session '" << name_
-                            << "': pump caught: " << e.what();
-    } catch (...) {
-      STREAMASP_LOG(kError) << "session '" << name_ << "': pump caught";
-    }
-    if (command.flush) {
-      {
-        std::lock_guard<std::mutex> lock(flush_mutex_);
-        ++flush_completed_;
-      }
-      flush_cv_.notify_all();
-    }
-    command = IngestCommand();
-    queued_commands_.fetch_sub(1, std::memory_order_acq_rel);
+  while (queue_.Pop(&command)) ProcessCommand(command);
+}
+
+void StreamSession::PumpDrain() {
+  std::unique_lock<std::mutex> lock(pump_mutex_);
+  if (pumping_) return;  // The holder's TryPop re-check under this mutex
+                         // runs after our enqueue, so our command is seen.
+  pumping_ = true;
+  // TryPop under the lock, process outside it: a pusher that enqueues
+  // while we process either observes pumping_ (and leaves the command to
+  // our next TryPop) or arrives after we cleared the baton and takes it
+  // itself — nothing strands.
+  while (true) {
+    std::optional<IngestCommand> command = queue_.TryPop();
+    if (!command.has_value()) break;
+    lock.unlock();
+    ProcessCommand(*command);
+    lock.lock();
   }
+  pumping_ = false;
+  lock.unlock();
+  pump_cv_.notify_all();
 }
 
 void StreamSession::OnEmission(EmissionEvent& event) {

@@ -80,9 +80,36 @@ struct SessionOptions {
   /// refuses the batch with kResourceExhausted so one tenant's overload
   /// never blocks the transport thread serving others. kDropOldest is
   /// rejected at Create — silently dropping accepted batches would break
-  /// the session's at-most-once-refusal accounting.
+  /// the session's at-most-once-refusal accounting. On a shared reasoner
+  /// pool (inline pump), kReject additionally switches the engine's
+  /// window queue to rejecting backpressure, so saturation sheds windows
+  /// (counted, tombstoned) rather than blocking the pushing transport
+  /// thread.
   BackpressurePolicy admission = BackpressurePolicy::kBlock;
+
+  /// DRR weight of this session on the server's shared reasoner pool
+  /// (>= 1): its share of reasoning dispatch slots while contending with
+  /// other sessions. Ignored (but still validated) when the session runs
+  /// on dedicated threads instead of a shared pool.
+  size_t weight = 1;
+
+  /// Cap on this session's concurrently reasoning windows on the shared
+  /// pool (async engines only). 0 picks the engine default
+  /// (min(max_inflight_windows, pool threads)).
+  size_t max_inflight = 0;
+
+  /// Per-session window quota (async engines only): when > 0, a window
+  /// closing while this many are already admitted-but-undelivered is
+  /// shed at the ingest boundary — counted and tombstoned — instead of
+  /// queued, bounding the session's buffered reasoning debt regardless
+  /// of backpressure policy.
+  size_t max_queued_windows = 0;
 };
+
+/// Structural validation of SessionOptions, applied by Create before any
+/// engine is built. Returns kInvalidArgument with a table-testable
+/// message; the engine validator catches the deeper pipeline rules.
+Status ValidateSessionOptions(const SessionOptions& options);
 
 /// Point-in-time view of a session (SessionStats from stats(), safe from
 /// any thread).
@@ -106,11 +133,21 @@ struct SessionStats {
 };
 
 /// One named, single-tenant stream session: a private symbol table, a
-/// parsed program, a StreamEngine, and a bounded ingest queue drained by
-/// a dedicated pump thread. Clients push triple batches and subscribe to
-/// the ordered SessionEvent stream; the pump decouples transport threads
-/// from reasoning, so a slow session backpressures (or sheds) its own
-/// queue without stalling its siblings.
+/// parsed program, a StreamEngine, and a bounded ingest queue. Clients
+/// push triple batches and subscribe to the ordered SessionEvent stream.
+///
+/// The ingest queue is drained in one of two modes:
+///   * Dedicated pump thread (sync or standalone-async engines): the
+///     pump decouples transport threads from reasoning, so a slow
+///     session backpressures (or sheds) its own queue without stalling
+///     its siblings.
+///   * Collaborative inline pump (async engines on a shared reasoner
+///     pool): whichever pusher finds no active pumper drains the queue
+///     itself under a baton, so the session costs zero threads. Safe
+///     because a pooled async PushBatch only windows and enqueues —
+///     reasoning happens on the pool — and FIFO order is preserved by
+///     the single-baton drain. This is what keeps a 64-session server at
+///     O(pool + 1 event loop) threads instead of O(sessions).
 ///
 /// Thread-safety: Push/Flush/Close/stats from any thread, concurrently.
 /// The event handler must not call back into the session (the pump or
@@ -167,6 +204,13 @@ class StreamSession {
 
   Status Init(const std::string& program_text);
   void PumpLoop();
+  /// One ingest command end to end: engine push/flush, flush-ticket ack,
+  /// queue-depth bookkeeping. Shared by both pump modes.
+  void ProcessCommand(IngestCommand& command);
+  /// Collaborative pump (inline mode): drains the ingest queue under the
+  /// pump baton, or returns immediately when another pumper holds it (the
+  /// holder's TryPop re-check under pump_mutex_ will see our command).
+  void PumpDrain();
   /// The engine's emission handler: wraps events with session context.
   void OnEmission(EmissionEvent& event);
 
@@ -183,7 +227,13 @@ class StreamSession {
   /// pump's locks): incremented before enqueue, decremented after the
   /// pump finishes a command.
   std::atomic<size_t> queued_commands_{0};
+  /// True when the engine runs async on a shared pool: no pump thread is
+  /// spawned; pushers drain the queue collaboratively via PumpDrain.
+  const bool inline_pump_;
   std::thread pump_;
+  std::mutex pump_mutex_;
+  std::condition_variable pump_cv_;
+  bool pumping_ = false;  ///< Baton: guarded by pump_mutex_.
 
   mutable std::mutex state_mutex_;
   SessionState state_ = SessionState::kRunning;

@@ -3,20 +3,31 @@
 
 #include <memory>
 #include <mutex>
-#include <thread>
-#include <vector>
+#include <unordered_map>
 
+#include "server/event_loop.h"
 #include "server/server.h"
 #include "util/status.h"
 
 namespace streamasp {
 
-/// Minimal TCP front end for the session server: listens on a loopback
-/// port, frames the wire protocol (src/server/wire.h) with 4-byte
-/// big-endian length prefixes, and runs one SessionBroker per accepted
-/// connection (reader thread per connection; replies and subscription
-/// events are written back framed, serialized by the broker). Dropping a
-/// connection closes the sessions it opened.
+/// TCP front end for the session server: listens on a loopback port,
+/// frames the wire protocol (src/server/wire.h) with 4-byte big-endian
+/// length prefixes, and runs one SessionBroker per accepted connection.
+/// All sockets are non-blocking and multiplexed on a single EventLoop
+/// thread — accepts and reads for every connection share it, so the
+/// transport costs one thread no matter how many sessions are connected
+/// (the old design spawned a reader thread per connection). Replies and
+/// subscription events are written back framed from whichever thread
+/// produces them, serialized per connection. Dropping a connection
+/// closes the sessions it opened.
+///
+/// Head-of-line caveat: requests execute inline on the loop thread, so
+/// one connection's slow request (a blocking kBlock push into a
+/// saturated session, an expensive open) delays reads for every other
+/// connection. Sessions meant to saturate under concurrent clients
+/// should open with admission=reject, which refuses instead of
+/// blocking; the multi-tenant isolation suite runs that way.
 ///
 /// This is a smoke-test/demo transport, not a hardened network server:
 /// no TLS, no auth, no write backpressure beyond the socket buffer.
@@ -26,6 +37,9 @@ class TcpServer {
     /// 0 binds an ephemeral port (read it back from port()).
     uint16_t port = 0;
     int backlog = 16;
+    /// Bound on concurrently served connections; accepts beyond it are
+    /// closed immediately (the client sees EOF).
+    size_t max_connections = 256;
   };
 
   /// `server` must outlive this transport.
@@ -37,34 +51,39 @@ class TcpServer {
   TcpServer(const TcpServer&) = delete;
   TcpServer& operator=(const TcpServer&) = delete;
 
-  /// Binds, listens, and starts the accept thread. kInternal on socket
+  /// Binds, listens, and starts the event loop. kInternal on socket
   /// errors; kFailedPrecondition when already started.
   Status Start();
 
   /// The bound port (valid after Start).
   uint16_t port() const { return port_; }
 
-  /// Stops accepting, shuts every connection down, joins all threads,
-  /// and drains the sessions those connections opened. Idempotent.
+  /// Number of currently served connections.
+  size_t num_connections() const;
+
+  /// Stops the event loop, shuts every connection down, and drains the
+  /// sessions those connections opened. Idempotent.
   void Stop();
 
  private:
   struct Connection;
 
-  void AcceptLoop();
-  void ServeConnection(std::shared_ptr<Connection> connection);
+  /// Loop-thread handlers.
+  void OnAcceptable();
+  void OnReadable(const std::shared_ptr<Connection>& connection);
+  void TeardownConnection(const std::shared_ptr<Connection>& connection);
 
   StreamServer* const server_;
   const Options options_;
 
+  EventLoop loop_;
   int listen_fd_ = -1;
   uint16_t port_ = 0;
-  std::thread accept_thread_;
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   bool started_ = false;
   bool stopping_ = false;
-  std::vector<std::shared_ptr<Connection>> connections_;
+  std::unordered_map<int, std::shared_ptr<Connection>> connections_;
 };
 
 }  // namespace streamasp

@@ -65,6 +65,19 @@ Status ApplyOpenOption(std::string_view key, std::string_view value,
   } else if (key == "queue") {
     STREAMASP_RETURN_IF_ERROR(require_count("queue"));
     options->ingest_queue_capacity = static_cast<size_t>(number);
+  } else if (key == "weight") {
+    if (!is_number || number < 1) {
+      return InvalidArgumentError("open option weight needs a positive "
+                                  "integer, got '" +
+                                  std::string(value) + "'");
+    }
+    options->weight = static_cast<size_t>(number);
+  } else if (key == "max_queued") {
+    STREAMASP_RETURN_IF_ERROR(require_count("max_queued"));
+    options->max_queued_windows = static_cast<size_t>(number);
+  } else if (key == "max_inflight") {
+    STREAMASP_RETURN_IF_ERROR(require_count("max_inflight"));
+    options->max_inflight = static_cast<size_t>(number);
   } else if (key == "reuse") {
     if (value == "none") {
       options->engine.pipeline.reuse_grounding = false;
@@ -178,10 +191,26 @@ StatusOr<WireRequest> ParseRequest(std::string_view payload) {
         return InvalidArgumentError("open option '" + head[i] +
                                     "' is not key=value");
       }
+      const std::string_view key = std::string_view(head[i]).substr(0, eq);
+      const std::string_view value =
+          std::string_view(head[i]).substr(eq + 1);
+      if (key == "v") {
+        // Protocol version, not a session option: parse it here so the
+        // broker can reject before any option is acted on. Any integer
+        // is accepted at parse time — which versions the server speaks
+        // is the broker's decision.
+        int64_t version = 0;
+        if (!ParseInt64(value, &version) || version < 0) {
+          return InvalidArgumentError(
+              "open option v needs a non-negative integer, got '" +
+              std::string(value) + "'");
+        }
+        request.protocol_version = version;
+        request.has_version = true;
+        continue;
+      }
       STREAMASP_RETURN_IF_ERROR(
-          ApplyOpenOption(std::string_view(head[i]).substr(0, eq),
-                          std::string_view(head[i]).substr(eq + 1),
-                          &request.options));
+          ApplyOpenOption(key, value, &request.options));
     }
     std::vector<std::string> program(lines.begin() + 1, lines.end());
     request.options.program_text = StrJoin(program, "\n");
@@ -239,14 +268,50 @@ std::string FormatOk(std::string_view verb, std::string_view session) {
   return out;
 }
 
+std::string_view ErrorCodeSlug(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kNotFound:
+      return "unknown_session";
+    case StatusCode::kFailedPrecondition:
+      return "failed_precondition";
+    case StatusCode::kOutOfRange:
+      return "out_of_range";
+    case StatusCode::kResourceExhausted:
+      return "quota_exceeded";
+    case StatusCode::kInternal:
+      return "internal";
+    case StatusCode::kUnimplemented:
+      return "unimplemented";
+  }
+  return "internal";
+}
+
+std::string FormatOpenOk(std::string_view session) {
+  std::string out = FormatOk("open", session);
+  out.append(" v=");
+  out.append(std::to_string(kProtocolVersion));
+  return out;
+}
+
 std::string FormatError(std::string_view verb, std::string_view session,
                         const Status& status) {
+  return FormatError(verb, session, status, ErrorCodeSlug(status.code()));
+}
+
+std::string FormatError(std::string_view verb, std::string_view session,
+                        const Status& status, std::string_view code) {
   std::string out = "error ";
   out.append(verb);
   if (!session.empty()) {
     out.push_back(' ');
     out.append(session);
   }
+  out.append(" code=");
+  out.append(code);
   out.push_back(' ');
   out.append(status.ToString());
   return out;

@@ -27,21 +27,39 @@ namespace streamasp {
 ///
 /// open options: window=N slide=N shards=N async=0|1 inflight=N
 ///   workers=N reuse=none|ground|solve queue=N admission=block|reject
-///   batch=N
+///   batch=N weight=N max_queued=N max_inflight=N v=N
+///
+/// Versioning: `v=N` on open declares the client's protocol version.
+/// The server rejects versions it does not speak (code=
+/// unsupported_version) and stamps its own version onto the open reply
+/// (`ok open <session> v=1`), so clients negotiate by sending their
+/// version and reading back the server's. An open without `v` is
+/// accepted as a current-version client (the field predates no release,
+/// so there is no legacy fleet to protect — omitting it just skips the
+/// client-side check).
 ///
 /// Triple lines: `<predicate> <subject> [<object>]` — integer tokens
 /// become integer terms, anything else is interned as a symbol.
 ///
 /// Replies (one per request, in request order):
+///   ok open <session> v=1
 ///   ok <verb> <session>
 ///   ok stats <session>                    + key=value lines
-///   error <verb> <session> <message>
+///   error <verb> <session> code=<slug> <message>
+///
+/// The error `code=` field is the machine-readable half of the reply
+/// (ErrorCodeSlug: quota_exceeded, unknown_session, invalid_argument,
+/// failed_precondition, unsupported_version, internal); the message
+/// after it is human-oriented and unstable.
 ///
 /// Subscription events (interleaved between replies, never inside one):
 ///   event <session> result seq=N completeness=C items=N answers=N
 ///                                         + one rendered answer per line
 ///   event <session> error seq=N <message>
 ///   event <session> shed seq=N items=N
+
+/// The protocol version this server speaks (stamped on open replies).
+inline constexpr int64_t kProtocolVersion = 1;
 
 /// Frame-size ceiling: a decoder rejects larger frames as a protocol
 /// error instead of buffering unboundedly.
@@ -84,6 +102,12 @@ struct WireRequest {
   /// kPush only: the triple lines (unparsed — the broker parses them
   /// against the target session's symbol table).
   std::vector<std::string> lines;
+
+  /// kOpen only: the client's declared protocol version (`v=N`).
+  /// has_version is false when the open carried no `v` field — such
+  /// opens are accepted as current-version clients.
+  int64_t protocol_version = kProtocolVersion;
+  bool has_version = false;
 };
 
 /// Parses one request payload. kInvalidArgument on an unknown verb,
@@ -93,10 +117,25 @@ StatusOr<WireRequest> ParseRequest(std::string_view payload);
 /// Parses one `<predicate> <subject> [<object>]` line against `symbols`.
 StatusOr<Triple> ParseTripleLine(std::string_view line, SymbolTable& symbols);
 
+/// The machine-readable error slug for a status code: the stable
+/// contract clients switch on (the message text is not). kNotFound maps
+/// to unknown_session and kResourceExhausted to quota_exceeded — the
+/// only entities the protocol looks up or limits are sessions and their
+/// quotas.
+std::string_view ErrorCodeSlug(StatusCode code);
+
 /// Reply/event formatting (the broker's half of the protocol).
 std::string FormatOk(std::string_view verb, std::string_view session);
+/// The versioned open acknowledgement: `ok open <session> v=1`.
+std::string FormatOpenOk(std::string_view session);
+/// `error <verb> <session> code=<slug> <message>`, slug derived from
+/// status.code() via ErrorCodeSlug.
 std::string FormatError(std::string_view verb, std::string_view session,
                         const Status& status);
+/// Same, with an explicit slug overriding the derived one (the broker's
+/// unsupported_version rejection rides an kInvalidArgument status).
+std::string FormatError(std::string_view verb, std::string_view session,
+                        const Status& status, std::string_view code);
 std::string FormatStats(std::string_view session, const SessionStats& stats);
 std::string FormatEvent(const SessionEvent& event);
 

@@ -46,8 +46,9 @@ ParallelReasoner::ParallelReasoner(const Program* program,
       reasoner_options_(ResolveReuseOptions(program, options.reasoner)),
       handler_(std::move(plan)),
       combiner_(options.combining),
-      reasoner_(program, reasoner_options_),
-      pool_(ResolveThreadCount(options.num_threads)) {
+      reasoner_(program, reasoner_options_) {
+  const size_t threads = ResolveThreadCount(options.num_threads);
+  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
   if (reasoner_options_.reuse_grounding) {
     const int partitions = handler_.plan().num_communities();
     partition_grounders_.reserve(partitions);
@@ -173,7 +174,7 @@ StatusOr<ParallelReasonerResult> ParallelReasoner::RunPartitions(
       }
     });
   }
-  pool_.SubmitAndWaitAll(std::move(tasks));
+  RunTasks(std::move(tasks));
   result.reason_ms = phase.ElapsedMillis();
   return FinishOutcomes(std::move(outcomes), std::move(result));
 }
@@ -215,9 +216,28 @@ StatusOr<ParallelReasonerResult> ParallelReasoner::RunIncrementalWindows(
                                       partition_grounders_[i].get(), solver);
     });
   }
-  pool_.SubmitAndWaitAll(std::move(tasks));
+  RunTasks(std::move(tasks));
   result.reason_ms = phase.ElapsedMillis();
   return FinishOutcomes(std::move(outcomes), std::move(result));
+}
+
+void ParallelReasoner::RunTasks(std::vector<std::function<void()>> tasks) {
+  if (pool_ != nullptr) {
+    pool_->SubmitAndWaitAll(std::move(tasks));
+    return;
+  }
+  // Inline mode: run the batch sequentially with SubmitAndWaitAll's
+  // semantics — every task runs even after a failure (later tasks write
+  // outcome slots the caller will read), first exception rethrown last.
+  std::exception_ptr first_error;
+  for (std::function<void()>& task : tasks) {
+    try {
+      task();
+    } catch (...) {
+      if (first_error == nullptr) first_error = std::current_exception();
+    }
+  }
+  if (first_error != nullptr) std::rethrow_exception(first_error);
 }
 
 StatusOr<ParallelReasonerResult> ParallelReasoner::FinishOutcomes(

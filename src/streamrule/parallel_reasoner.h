@@ -18,7 +18,12 @@ struct ParallelReasonerOptions {
   ReasonerOptions reasoner;
   CombiningOptions combining;
 
-  /// Worker threads; 0 uses std::thread::hardware_concurrency().
+  /// Worker threads; 0 uses std::thread::hardware_concurrency(). 1 is
+  /// the inline mode: no inner ThreadPool is spawned at all — partitions
+  /// run sequentially on the calling thread. That is how reasoners hosted
+  /// on a SharedReasonerPool worker stay deadlock-free (they never wait
+  /// on a pool from a pool task) and how single-threaded configurations
+  /// avoid paying a context switch per partition.
   size_t num_threads = 0;
 };
 
@@ -97,7 +102,10 @@ struct ParallelReasonerResult {
 /// scheduled. Callers that fan out windows across threads (the async
 /// engine's reasoning workers, the sharded engine's shards) therefore give
 /// each worker its own ParallelReasoner, so every wait targets the pool
-/// one level below the waiter.
+/// one level below the waiter. With num_threads == 1 there is no inner
+/// pool at all (partitions run inline on the caller), which is how
+/// reasoners hosted on SharedReasonerPool workers satisfy the constraint
+/// trivially.
 class ParallelReasoner {
  public:
   /// Dependency-guided mode: partitions follow `plan` (built by
@@ -153,12 +161,18 @@ class ParallelReasoner {
       std::vector<StatusOr<ReasonerResult>> outcomes,
       ParallelReasonerResult result);
 
+  /// Runs a partition-task batch: on the inner pool when one exists,
+  /// sequentially inline otherwise — same batch semantics either way
+  /// (every task runs; the first exception is rethrown after all do).
+  void RunTasks(std::vector<std::function<void()>> tasks);
+
   const Program* program_;
   ReasonerOptions reasoner_options_;
   PartitioningHandler handler_;
   CombiningHandler combiner_;
   Reasoner reasoner_;
-  ThreadPool pool_;
+  /// Null in inline mode (num_threads resolves to 1).
+  std::unique_ptr<ThreadPool> pool_;
 
   /// Per-partition incremental grounders (reuse_grounding only) and their
   /// paired persistent solvers (reuse_solving only — same routing, one

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <exception>
+#include <optional>
 #include <string>
 #include <utility>
 
@@ -115,6 +116,23 @@ StreamRulePipeline::StreamRulePipeline(const Program* program,
           ShedWindow(std::move(window), /*evicted=*/false);
           return;
         }
+        if (options_.async && options_.max_queued_windows > 0) {
+          // Per-tenant window quota, enforced at the same ingest boundary
+          // as the admission filter: bound admitted-but-undelivered
+          // windows (queued + reasoning + parked + mid-callback), so a
+          // tenant that outruns its service rate sheds deterministically
+          // here instead of buffering without limit.
+          size_t undelivered = 0;
+          {
+            std::lock_guard<std::mutex> lock(emit_mutex_);
+            undelivered =
+                inflight_.size() + completed_.size() + delivering_;
+          }
+          if (undelivered >= options_.max_queued_windows) {
+            ShedWindow(std::move(window), /*evicted=*/false);
+            return;
+          }
+        }
         if (options_.async) {
           EnqueueWindow(std::move(window));
         } else {
@@ -137,6 +155,19 @@ StreamRulePipeline::StreamRulePipeline(const Program* program,
 
 StreamRulePipeline::~StreamRulePipeline() {
   if (!options_.async) return;
+  if (pool_queue_ != nullptr) {
+    // Shared-pool drain: stop admission, then wait until every task of
+    // this pipeline's lane has run. One task was submitted per admitted
+    // window, so an empty lane means the work queue is empty and every
+    // admitted sequence was reasoned or shed — and the last finisher's
+    // DrainCompleted delivered the reorder buffer. The trailing call is
+    // for the degenerate no-task case (only tombstones were ever parked,
+    // by a caller that has since returned).
+    work_queue_->Close();
+    pool_queue_->Drain();
+    DrainCompleted();
+    return;
+  }
   // Drain: stop admission, let the workers finish every admitted window,
   // then let the emitter deliver whatever is parked in the reorder buffer.
   work_queue_->Close();
@@ -149,7 +180,42 @@ StreamRulePipeline::~StreamRulePipeline() {
   emitter_.join();
 }
 
+void StreamRulePipeline::StartSharedPoolEngine() {
+  work_queue_ = std::make_unique<BoundedQueue<TripleWindow>>(
+      options_.max_inflight_windows, options_.backpressure);
+  if (options_.shared_queue != nullptr) {
+    pool_queue_ = options_.shared_queue;
+  } else {
+    size_t cap = options_.pool_max_inflight;
+    if (cap == 0) {
+      cap = std::min<size_t>(options_.max_inflight_windows,
+                             options_.shared_pool->num_threads());
+    }
+    pool_queue_ = options_.shared_pool->CreateQueue(options_.pool_weight,
+                                                    std::max<size_t>(cap, 1));
+  }
+  // Reasoner slots instead of worker threads: pool tasks check one out
+  // per window. Default the inner thread count to 1 (inline mode) — a
+  // pool worker reasoning inline never waits on any pool, which is what
+  // keeps pool-hosted reasoning deadlock-free and the thread budget
+  // O(pool) instead of O(sessions x inner threads). An explicit
+  // reasoner.num_threads still wins (waiting on a *different* pool is
+  // safe, just oversubscribed).
+  ParallelReasonerOptions reasoner_options = options_.reasoner;
+  if (reasoner_options.num_threads == 0) reasoner_options.num_threads = 1;
+  const size_t slots = pool_queue_->max_inflight();
+  free_slots_.reserve(slots);
+  for (size_t i = 0; i < slots; ++i) {
+    free_slots_.push_back(std::make_unique<ParallelReasoner>(
+        program_, plan_, reasoner_options));
+  }
+}
+
 void StreamRulePipeline::StartAsyncEngine() {
+  if (options_.shared_pool != nullptr || options_.shared_queue != nullptr) {
+    StartSharedPoolEngine();
+    return;
+  }
   size_t num_workers = options_.num_reason_workers;
   if (num_workers == 0) {
     num_workers = std::min<size_t>(options_.max_inflight_windows,
@@ -240,6 +306,15 @@ void StreamRulePipeline::EnqueueWindow(TripleWindow window) {
   TripleWindow displaced;
   const QueuePushResult pushed =
       work_queue_->Push(std::move(window), &displaced);
+  if (pool_queue_ != nullptr && (pushed == QueuePushResult::kOk ||
+                                 pushed == QueuePushResult::kDroppedOldest)) {
+    // One unit-cost task per admitted window. Counting both outcomes
+    // keeps the conservation invariant simple — outstanding tasks >=
+    // queued windows at all times — at the cost of an occasional surplus
+    // task whose TryPop comes up empty and no-ops (the eviction path
+    // leaves the queue depth unchanged, so its task is the surplus one).
+    pool_queue_->Submit([this] { PoolTask(); });
+  }
   switch (pushed) {
     case QueuePushResult::kOk:
       break;
@@ -305,6 +380,12 @@ void StreamRulePipeline::ShedWindow(TripleWindow window, bool evicted) {
     completed_.emplace(sequence, std::move(tombstone));
   }
   emit_cv_.notify_all();
+  if (pool_queue_ != nullptr) {
+    // No emitter thread in shared-pool mode: the shedding caller itself
+    // drives delivery, which also covers the tombstone-only tail (a shed
+    // with no pool task left to drain after it).
+    DrainCompleted();
+  }
 }
 
 void StreamRulePipeline::DeliverShed(TripleWindow& window) {
@@ -368,6 +449,101 @@ void StreamRulePipeline::ReasonWorkerLoop(size_t worker_index) {
       stats_.max_reorder_depth =
           std::max(stats_.max_reorder_depth, reorder_depth);
     }
+  }
+}
+
+void StreamRulePipeline::PoolTask() {
+  std::optional<TripleWindow> popped = work_queue_->TryPop();
+  if (!popped.has_value()) {
+    // Surplus task: the window this task was submitted for was consumed
+    // by an eviction (its tombstone is already parked). Nothing to do.
+    return;
+  }
+  TripleWindow window = std::move(*popped);
+  // Check a reasoner slot out. The lane's inflight cap bounds this
+  // pipeline's concurrent tasks by the slot count, so the free list is
+  // never empty here.
+  std::unique_ptr<ParallelReasoner> reasoner;
+  {
+    std::lock_guard<std::mutex> lock(slots_mutex_);
+    reasoner = std::move(free_slots_.back());
+    free_slots_.pop_back();
+  }
+  CompletedWindow done;
+  // Same conversion as ReasonWorkerLoop: an exception escaping a pool
+  // task would terminate the process.
+  try {
+    done.result = reasoner->Process(window);
+  } catch (const std::exception& e) {
+    done.result =
+        InternalError(std::string("reasoning task exception: ") + e.what());
+  } catch (...) {
+    done.result = InternalError("reasoning task exception");
+  }
+  {
+    std::lock_guard<std::mutex> lock(slots_mutex_);
+    free_slots_.push_back(std::move(reasoner));
+  }
+  const uint64_t sequence = window.sequence;
+  done.window = std::move(window);
+  size_t reorder_depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(emit_mutex_);
+    completed_.emplace(sequence, std::move(done));
+    inflight_.erase(sequence);
+    reorder_depth = completed_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.max_reorder_depth =
+        std::max(stats_.max_reorder_depth, reorder_depth);
+  }
+  DrainCompleted();
+}
+
+void StreamRulePipeline::DrainCompleted() {
+  std::unique_lock<std::mutex> lock(emit_mutex_);
+  if (draining_) {
+    // Another thread holds the drain baton. It re-checks CanEmitLocked
+    // under this same mutex after each delivery and before releasing the
+    // baton, so anything we parked before locking here is either already
+    // observed by its re-check or will be — returning loses nothing.
+    return;
+  }
+  draining_ = true;
+  while (CanEmitLocked()) {
+    auto first = completed_.begin();
+    CompletedWindow done = std::move(first->second);
+    completed_.erase(first);
+    ++delivering_;
+    lock.unlock();
+    try {
+      if (done.shed) {
+        DeliverShed(done.window);
+      } else {
+        DeliverResult(done.window, done.result);
+      }
+    } catch (const std::exception& e) {
+      {
+        std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+        ++stats_.errors;
+      }
+      STREAMASP_LOG(kError) << "window " << done.window.sequence
+                            << ": delivery callback threw: " << e.what();
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+        ++stats_.errors;
+      }
+      STREAMASP_LOG(kError) << "window " << done.window.sequence
+                            << ": delivery callback threw";
+    }
+    lock.lock();
+    --delivering_;
+  }
+  draining_ = false;
+  if (inflight_.empty() && completed_.empty() && delivering_ == 0) {
+    drained_cv_.notify_all();
   }
 }
 

@@ -83,8 +83,48 @@ struct PipelineOptions {
 
   /// Reasoning worker threads (async only); each owns a full
   /// ParallelReasoner. 0 picks min(max_inflight_windows,
-  /// hardware_concurrency).
+  /// hardware_concurrency). Ignored when shared_pool/shared_queue is set
+  /// — pooled pipelines spawn no workers of their own.
   size_t num_reason_workers = 0;
+
+  /// Process-wide shared reasoning executor (async only). When set, the
+  /// pipeline spawns NO reasoning workers and NO emitter thread: every
+  /// admitted window becomes one unit-cost task on the pipeline's DRR
+  /// lane of this pool, reasoned inline on a pool worker (the reasoner's
+  /// inner pool collapses to inline mode), and ordered delivery is
+  /// collaborative — whichever task (or shedding caller) completes next
+  /// drains the reorder buffer. The emission contract is unchanged: one
+  /// thread at a time, strictly increasing sequence order, byte-identical
+  /// output under kBlock. Backpressure, shedding, admission filtering and
+  /// every PipelineStats counter behave exactly as in dedicated-worker
+  /// async mode. The pool must outlive the pipeline (holding the
+  /// shared_ptr here guarantees it).
+  std::shared_ptr<SharedReasonerPool> shared_pool;
+
+  /// DRR weight of this pipeline's lane on shared_pool (>= 1): the share
+  /// of dispatch slots it receives while contending with other lanes.
+  size_t pool_weight = 1;
+
+  /// Cap on this pipeline's concurrently reasoning windows on the shared
+  /// pool. 0 picks min(max_inflight_windows, pool threads). Also sizes
+  /// the pipeline's reasoner-slot set — the cap guarantees a free slot
+  /// for every running task.
+  size_t pool_max_inflight = 0;
+
+  /// Per-session window quota, enforced at the ingest boundary like the
+  /// admission filter (async only): when > 0, a window closing while
+  /// this many windows are already admitted-but-undelivered is shed as a
+  /// rejection (counted, tombstoned, delta folded) instead of queued.
+  /// Unlike kReject backpressure this bounds queued + reasoning windows
+  /// together, which is the per-tenant quota the session server exposes.
+  size_t max_queued_windows = 0;
+
+  /// Internal (set by the sharded engine, leave null elsewhere): a
+  /// pre-built pool lane shared by all shard pipelines of one engine, so
+  /// the tenant's weight and inflight cap apply engine-wide rather than
+  /// per shard. Overrides shared_pool's lane creation; each pipeline
+  /// still sizes its own reasoner slots to the lane's cap.
+  std::shared_ptr<SharedReasonerPool::Queue> shared_queue;
 
   /// What Push does when the work queue is full (async only). kBlock is
   /// lossless and keeps async output identical to sync; kDropOldest /
@@ -355,8 +395,17 @@ class StreamRulePipeline {
   const PartitioningPlan& plan() const { return plan_; }
   const DecompositionInfo& decomposition_info() const { return info_; }
 
-  /// Reasoning workers actually running (0 in sync mode).
+  /// Reasoning workers actually running (0 in sync mode, and 0 in
+  /// shared-pool mode — pooled pipelines own no reasoning threads; see
+  /// pool_queue() for their execution lane).
   size_t num_reason_workers() const { return workers_.size(); }
+
+  /// The pipeline's lane on the shared reasoner pool (null outside
+  /// shared-pool mode). Exposes the lane's weight, inflight cap and
+  /// task counters for tests and the session server's stats surface.
+  const std::shared_ptr<SharedReasonerPool::Queue>& pool_queue() const {
+    return pool_queue_;
+  }
 
  private:
   /// A reasoned (or shed) window parked in the reorder buffer until every
@@ -380,6 +429,20 @@ class StreamRulePipeline {
                      EmissionHandler handler, bool has_error_channel);
 
   void StartAsyncEngine();
+  /// Shared-pool variant of StartAsyncEngine: build (or adopt) the DRR
+  /// lane and the reasoner slots instead of spawning worker threads.
+  void StartSharedPoolEngine();
+  /// One admitted window's unit of work on the shared pool: TryPop a
+  /// window from the work queue (a miss means an eviction consumed it —
+  /// benign surplus), reason it on a checked-out slot, park the outcome
+  /// in the reorder buffer, then collaborate on ordered delivery.
+  void PoolTask();
+  /// Emitter-less ordered delivery: whoever calls first (a finishing pool
+  /// task, a shedding caller) takes the drain baton and delivers every
+  /// deliverable window in sequence order; concurrent callers see the
+  /// baton held and return — the holder's re-check after each delivery
+  /// observes their insertions, so nothing is stranded.
+  void DrainCompleted();
   /// Stage boundary: windower output → work queue (applies backpressure).
   void EnqueueWindow(TripleWindow window);
   /// The synchronous oracle path: reason + emit on the caller thread.
@@ -425,6 +488,20 @@ class StreamRulePipeline {
   std::vector<std::unique_ptr<ParallelReasoner>> worker_reasoners_;
   std::vector<std::thread> workers_;
   std::thread emitter_;
+
+  // --- shared-pool engine state (null/empty outside shared-pool mode) ---
+  /// This pipeline's DRR lane (created from options_.shared_pool, or
+  /// adopted from options_.shared_queue in the sharded engine).
+  std::shared_ptr<SharedReasonerPool::Queue> pool_queue_;
+  /// Checked-in reasoner slots. Sized to the lane's inflight cap: at most
+  /// that many of the lane's tasks run concurrently (engine-wide when the
+  /// lane is shared across shard pipelines, so this pipeline's share is
+  /// never larger), hence checkout always finds a free slot.
+  std::mutex slots_mutex_;
+  std::vector<std::unique_ptr<ParallelReasoner>> free_slots_;
+  /// Drain baton (guarded by emit_mutex_): true while some thread is
+  /// inside DrainCompleted's delivery loop.
+  bool draining_ = false;
 
   std::mutex emit_mutex_;
   std::condition_variable emit_cv_;     ///< Wakes the emitter.

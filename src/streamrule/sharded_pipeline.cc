@@ -95,7 +95,24 @@ Status ShardedPipelineEngine::StartShards() {
 
   // Budget thread counts left at "pick for me" across the shards, so N
   // shards do not each claim the whole machine.
-  if (inner.async) {
+  if (inner.async && inner.shared_pool != nullptr &&
+      inner.shared_queue == nullptr) {
+    // Shared-pool mode: build ONE engine-wide DRR lane here and hand it
+    // to every shard pipeline, so the tenant's weight and inflight cap
+    // govern the whole engine rather than multiplying by num_shards.
+    // Each shard still sizes its own reasoner slots to the lane's cap
+    // (its concurrent tasks are a subset of the lane's). No per-shard
+    // thread budgeting: pooled pipelines spawn no reasoning threads, and
+    // reasoner.num_threads left at 0 resolves to inline mode inside the
+    // pipeline.
+    size_t cap = inner.pool_max_inflight;
+    if (cap == 0) {
+      cap = std::min<size_t>(inner.max_inflight_windows,
+                             inner.shared_pool->num_threads());
+    }
+    inner.shared_queue = inner.shared_pool->CreateQueue(
+        inner.pool_weight, std::max<size_t>(cap, 1));
+  } else if (inner.async) {
     if (inner.num_reason_workers == 0) {
       inner.num_reason_workers = std::max<size_t>(
           1, std::min(inner.max_inflight_windows, DefaultThreadCount() / n));

@@ -21,6 +21,22 @@ Status ValidatePipelineOptions(const PipelineOptions& options, bool sharded) {
   if (options.window_slide > options.window_size) {
     return InvalidArgumentError("window_slide must not exceed window_size");
   }
+  const bool pooled =
+      options.shared_pool != nullptr || options.shared_queue != nullptr;
+  if (pooled && !options.async) {
+    return InvalidArgumentError(
+        "a shared reasoner pool requires async mode (sync pipelines reason "
+        "on the caller thread and submit nothing to the pool)");
+  }
+  if (pooled && options.pool_weight == 0) {
+    return InvalidArgumentError("pool_weight must be >= 1");
+  }
+  if (options.max_queued_windows > 0 && !options.async) {
+    return InvalidArgumentError(
+        "max_queued_windows only bounds the async engine's in-flight "
+        "windows (sync mode never queues); set async, or use "
+        "admission_filter for synchronous shedding");
+  }
   if (sharded && options.backpressure != BackpressurePolicy::kBlock &&
       !options.async) {
     return InvalidArgumentError(

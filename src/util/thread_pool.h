@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -78,6 +79,121 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> threads_;
   size_t active_tasks_ = 0;  // Tasks currently executing.
+  bool shutting_down_ = false;
+};
+
+/// A process-wide reasoning executor shared by many tenants: a fixed set
+/// of worker threads, one task lane (Queue) per tenant, and weighted
+/// deficit-round-robin dispatch across the lanes, so the worker budget is
+/// O(pool), not O(tenants), and one hot tenant cannot starve the rest.
+///
+/// Scheduling model:
+///   * Every task has unit cost. Each rotation of the active-lane ring
+///     refills a lane's credit to its weight; a lane consumes one credit
+///     per task it dispatches, so over any busy interval lane i receives
+///     weight_i / sum(weights) of the dispatch slots (classic DRR with
+///     quantum == weight).
+///   * Each lane additionally carries a max_inflight cap — the most of
+///     its tasks that may execute concurrently. A lane at its cap leaves
+///     the rotation and rejoins when one of its tasks completes, so a
+///     single tenant can never occupy more than its cap of the workers
+///     no matter how deep its backlog is.
+///
+/// Lanes are unbounded FIFOs: admission control (how much work a tenant
+/// may buffer) belongs to the submitting pipeline, which already has
+/// bounded queues and shedding policies — the pool only decides *whose*
+/// task runs next.
+///
+/// Nesting constraint: identical to ThreadPool — a task running on the
+/// pool must never block on the completion of another task of the SAME
+/// pool (any lane). The pipelines keep this by reasoning inline on the
+/// pool worker (ParallelReasoner's single-thread mode) instead of fanning
+/// out to a pool they would then wait on.
+///
+/// Thread-safety: everything is safe from any thread. Destruction
+/// contract: Drain every lane before destroying the pool (the pipelines'
+/// destructors do); tasks submitted while the pool is shutting down are
+/// dropped and counted as completed so Drain cannot hang.
+class SharedReasonerPool {
+ public:
+  /// One tenant's task lane. Obtained from CreateQueue; safe to share
+  /// across the tenant's pipelines (the sharded engine gives all its
+  /// shard pipelines one lane so the tenant's weight and inflight cap
+  /// apply engine-wide).
+  class Queue : public std::enable_shared_from_this<Queue> {
+   public:
+    /// Point-in-time lane counters (pool mutex held briefly).
+    struct Stats {
+      uint64_t submitted = 0;
+      uint64_t completed = 0;
+      size_t max_queued = 0;  ///< Lane backlog high-water mark.
+    };
+
+    /// Enqueues one unit-cost task for DRR dispatch.
+    void Submit(std::function<void()> task);
+
+    /// Blocks until every task submitted to this lane so far has
+    /// finished executing.
+    void Drain();
+
+    Stats stats() const;
+    size_t weight() const { return weight_; }
+    size_t max_inflight() const { return max_inflight_; }
+
+   private:
+    friend class SharedReasonerPool;
+
+    Queue(SharedReasonerPool* pool, size_t weight, size_t max_inflight)
+        : pool_(pool), weight_(weight), max_inflight_(max_inflight) {}
+
+    SharedReasonerPool* const pool_;
+    const size_t weight_;
+    const size_t max_inflight_;
+
+    // --- all guarded by pool_->mutex_ ---
+    std::deque<std::function<void()>> tasks_;
+    size_t inflight_ = 0;   ///< Tasks of this lane currently executing.
+    size_t credit_ = 0;     ///< Remaining DRR quantum this rotation.
+    bool scheduled_ = false;  ///< Linked into the pool's active ring.
+    uint64_t submitted_ = 0;
+    uint64_t completed_ = 0;
+    size_t max_queued_ = 0;
+  };
+
+  /// Spawns `num_threads` workers (at least one).
+  explicit SharedReasonerPool(size_t num_threads);
+
+  /// Joins the workers. Every lane must have been drained first (see the
+  /// class contract); queued tasks of un-drained lanes are discarded.
+  ~SharedReasonerPool();
+
+  SharedReasonerPool(const SharedReasonerPool&) = delete;
+  SharedReasonerPool& operator=(const SharedReasonerPool&) = delete;
+
+  /// Creates a lane with the given DRR weight (>= 1; 0 is clamped to 1)
+  /// and concurrent-execution cap (>= 1; 0 is clamped to 1).
+  std::shared_ptr<Queue> CreateQueue(size_t weight, size_t max_inflight);
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+  /// True when the lane has a task it is allowed to start right now.
+  bool RunnableLocked(const Queue& queue) const {
+    return !queue.tasks_.empty() && queue.inflight_ < queue.max_inflight_;
+  }
+  /// Links the lane into the active ring with a fresh quantum (no-op if
+  /// already linked). Requires mutex_; caller notifies work_available_.
+  void ActivateLocked(std::shared_ptr<Queue> queue);
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable task_done_;  ///< Wakes Queue::Drain waiters.
+  /// The DRR rotation: lanes with (possibly) dispatchable work. Lanes
+  /// found non-runnable at the front are unlinked lazily and relinked by
+  /// Submit or task completion.
+  std::deque<std::shared_ptr<Queue>> active_;
+  std::vector<std::thread> threads_;
   bool shutting_down_ = false;
 };
 

@@ -9,9 +9,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <fstream>
 #include <memory>
 #include <mutex>
 #include <random>
@@ -120,6 +123,56 @@ TEST(WireTest, ParseRequestRejectsMalformedInput) {
             StatusCode::kInvalidArgument);
   EXPECT_EQ(ParseRequest("open s1 color=red").status().code(),
             StatusCode::kInvalidArgument);
+}
+
+TEST(WireTest, ParsesVersionAndFairnessOptions) {
+  auto request = ParseRequest(
+      "open s1 window=100 async=1 inflight=3 weight=4 max_queued=8 "
+      "max_inflight=2 v=1\n"
+      "a(X) :- b(X).\n#input b/1.");
+  ASSERT_TRUE(request.ok()) << request.status();
+  EXPECT_EQ(request->options.weight, 4u);
+  EXPECT_EQ(request->options.max_queued_windows, 8u);
+  EXPECT_EQ(request->options.max_inflight, 2u);
+  EXPECT_TRUE(request->has_version);
+  EXPECT_EQ(request->protocol_version, kProtocolVersion);
+
+  // Version is optional: v0-era clients that send no `v` still parse.
+  auto unversioned = ParseRequest("open s2 window=10\np(a).");
+  ASSERT_TRUE(unversioned.ok()) << unversioned.status();
+  EXPECT_FALSE(unversioned->has_version);
+}
+
+TEST(WireTest, RejectsMalformedFairnessAndVersionOptions) {
+  EXPECT_EQ(ParseRequest("open s1 weight=0").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseRequest("open s1 weight=abc").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseRequest("open s1 max_queued=-1").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseRequest("open s1 max_inflight=x").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseRequest("open s1 v=abc").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(WireTest, ErrorRepliesCarryMachineReadableCodes) {
+  EXPECT_EQ(ErrorCodeSlug(StatusCode::kNotFound), "unknown_session");
+  EXPECT_EQ(ErrorCodeSlug(StatusCode::kResourceExhausted), "quota_exceeded");
+  EXPECT_EQ(ErrorCodeSlug(StatusCode::kInvalidArgument), "invalid_argument");
+  EXPECT_EQ(ErrorCodeSlug(StatusCode::kFailedPrecondition),
+            "failed_precondition");
+
+  const std::string not_found =
+      FormatError("push", "ghost", NotFoundError("session 'ghost' not found"));
+  EXPECT_EQ(not_found.rfind("error push ghost code=unknown_session ", 0), 0u)
+      << not_found;
+  const std::string custom = FormatError(
+      "open", "s", InvalidArgumentError("unsupported protocol version v=9"),
+      "unsupported_version");
+  EXPECT_EQ(custom.rfind("error open s code=unsupported_version ", 0), 0u)
+      << custom;
+  EXPECT_EQ(FormatOpenOk("s1"), "ok open s1 v=1");
 }
 
 TEST(WireTest, ParsesTripleLines) {
@@ -268,9 +321,9 @@ TEST_F(SessionTest, CloseIsIdempotentAndConcurrent) {
 // ---------------------------------------------------------------------------
 
 TEST(ServerTest, RegistryLifecycle) {
-  ServerOptions server_options;
-  server_options.max_sessions = 2;
-  StreamServer server(server_options);
+  ServerConfig server_config;
+  server_config.max_sessions = 2;
+  StreamServer server(server_config);
   SessionOptions options;
   options.program_text = "a(X) :- b(X).\n#input b/1.\n#show a/1.";
   options.engine.pipeline.window_size = 4;
@@ -302,6 +355,67 @@ TEST(ServerTest, RegistryLifecycle) {
   server.CloseAll();
   EXPECT_EQ(server.num_sessions(), 0u);
   EXPECT_EQ((*second)->state(), SessionState::kClosed);
+}
+
+TEST(ServerTest, ValidateSessionOptionsTable) {
+  struct Case {
+    const char* name;
+    void (*mutate)(SessionOptions&);
+    const char* message;  // nullptr => valid.
+  };
+  const Case kCases[] = {
+      {"defaults", [](SessionOptions&) {}, nullptr},
+      {"weighted-async",
+       [](SessionOptions& o) {
+         o.engine.pipeline.async = true;
+         o.engine.pipeline.max_inflight_windows = 2;
+         o.weight = 4;
+         o.max_inflight = 2;
+         o.max_queued_windows = 8;
+       },
+       nullptr},
+      {"drop-oldest-admission",
+       [](SessionOptions& o) { o.admission = BackpressurePolicy::kDropOldest; },
+       "session admission supports kBlock or kReject only"},
+      {"zero-weight", [](SessionOptions& o) { o.weight = 0; },
+       "session weight must be >= 1"},
+      {"quota-without-async",
+       [](SessionOptions& o) { o.max_queued_windows = 4; },
+       "session max_queued_windows requires an async engine"},
+      {"inflight-without-async",
+       [](SessionOptions& o) { o.max_inflight = 2; },
+       "session max_inflight requires an async engine"},
+  };
+  for (const Case& c : kCases) {
+    SCOPED_TRACE(c.name);
+    SessionOptions options;
+    options.program_text = "a(X) :- b(X).\n#input b/1.";
+    c.mutate(options);
+    const Status status = ValidateSessionOptions(options);
+    if (c.message == nullptr) {
+      EXPECT_TRUE(status.ok()) << status;
+    } else {
+      EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+      EXPECT_NE(status.ToString().find(c.message), std::string::npos)
+          << status;
+    }
+  }
+}
+
+TEST(ServerTest, ValidateServerConfigTable) {
+  ServerConfig valid;
+  EXPECT_TRUE(ValidateServerConfig(valid).ok());
+  ServerConfig no_pool;
+  no_pool.shared_pool_threads = 0;  // Dedicated-thread sessions: allowed.
+  EXPECT_TRUE(ValidateServerConfig(no_pool).ok());
+
+  ServerConfig zero_sessions;
+  zero_sessions.max_sessions = 0;
+  const Status status = ValidateServerConfig(zero_sessions);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.ToString().find("max_sessions must be >= 1"),
+            std::string::npos)
+      << status;
 }
 
 // ---------------------------------------------------------------------------
@@ -538,6 +652,271 @@ TEST(IsolationTest, SaturatingOneSessionNeverDegradesAnother) {
 }
 
 // ---------------------------------------------------------------------------
+// Shared reasoner pool: pooled sessions stay byte-identical to standalone
+// oracles, a saturating weight-1 tenant cannot starve a weight-4 tenant,
+// per-session quotas shed with full accounting, and 64 sessions cost
+// O(pool + 1) threads instead of O(sessions).
+// ---------------------------------------------------------------------------
+
+size_t CurrentThreadCount() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("Threads:", 0) == 0) {
+      return static_cast<size_t>(std::stoul(line.substr(8)));
+    }
+  }
+  return 0;
+}
+
+TEST(SharedPoolServerTest, PooledSessionsMatchStandaloneOracles) {
+  ServerConfig config;
+  config.shared_pool_threads = 4;
+  StreamServer server(config);
+  ASSERT_NE(server.shared_pool(), nullptr);
+
+  const TenantSpec kTenants[] = {
+      {"pool-a", TrafficProgramVariant::kPPrime, 500, true, 0, false, 606},
+      {"pool-b", TrafficProgramVariant::kP, 400, true, 0, false, 707},
+      {"pool-c", TrafficProgramVariant::kPPrime, 600, true, 0, true, 808},
+  };
+  const size_t kWeights[] = {1, 4, 2};
+  constexpr size_t kBatches = 6;
+  constexpr size_t kBatchItems = 250;
+
+  struct Tenant {
+    std::shared_ptr<StreamSession> session;
+    std::string transcript;
+  };
+  std::vector<std::unique_ptr<Tenant>> tenants;
+  for (size_t t = 0; t < 3; ++t) {
+    auto tenant = std::make_unique<Tenant>();
+    Tenant* raw = tenant.get();
+    SessionOptions options = TenantOptions(kTenants[t]);
+    options.weight = kWeights[t];
+    auto session = server.CreateSession(
+        kTenants[t].name, options, [raw](const SessionEvent& event) {
+          raw->transcript += RenderEmission(event.event, event.symbols);
+        });
+    ASSERT_TRUE(session.ok()) << kTenants[t].name << ": " << session.status();
+    tenant->session = *session;
+    tenants.push_back(std::move(tenant));
+  }
+
+  std::vector<std::thread> pushers;
+  for (size_t t = 0; t < tenants.size(); ++t) {
+    Tenant* tenant = tenants[t].get();
+    const TenantSpec& spec = kTenants[t];
+    pushers.emplace_back([tenant, &spec] {
+      GeneratorOptions generator_options;
+      generator_options.seed = spec.stream_seed;
+      SyntheticStreamGenerator generator(
+          MakeTrafficSchema(tenant->session->symbols()), generator_options);
+      for (size_t i = 0; i < kBatches; ++i) {
+        Status status =
+            tenant->session->Push(generator.GenerateWindow(kBatchItems));
+        EXPECT_TRUE(status.ok()) << status;
+      }
+      EXPECT_TRUE(tenant->session->Flush().ok());
+    });
+  }
+  for (std::thread& pusher : pushers) pusher.join();
+
+  std::vector<SessionStats> snapshots;
+  for (const auto& tenant : tenants) {
+    snapshots.push_back(tenant->session->stats());
+  }
+  server.CloseAll();
+
+  for (size_t t = 0; t < tenants.size(); ++t) {
+    SCOPED_TRACE(kTenants[t].name);
+    const std::string oracle =
+        OracleTranscript(kTenants[t], kBatches, kBatchItems);
+    EXPECT_FALSE(oracle.empty());
+    EXPECT_EQ(tenants[t]->transcript, oracle);
+    EXPECT_EQ(snapshots[t].engine.completeness(), 1.0);
+    EXPECT_EQ(snapshots[t].rejected_batches, 0u);
+    EXPECT_EQ(snapshots[t].shed_events, 0u);
+  }
+}
+
+TEST(SharedPoolServerTest, SaturatingTenantCannotStarveWeightedTenant) {
+  // Two workers, contended: greedy (weight 1) keeps a 32-window backlog
+  // while steady (weight 4) runs Push+Flush rounds. DRR must keep
+  // steady's per-window latency bounded and its stream lossless.
+  ServerConfig config;
+  config.shared_pool_threads = 2;
+  StreamServer server(config);
+
+  TenantSpec greedy_spec = {"greedy", TrafficProgramVariant::kPPrime, 400,
+                            true,     0,
+                            false,    404};
+  SessionOptions greedy_options = TenantOptions(greedy_spec);
+  greedy_options.engine.pipeline.max_inflight_windows = 32;
+  greedy_options.weight = 1;
+  greedy_options.max_inflight = 1;
+  auto greedy = server.CreateSession("greedy", greedy_options,
+                                     [](const SessionEvent&) {});
+  ASSERT_TRUE(greedy.ok()) << greedy.status();
+
+  TenantSpec steady_spec = {"steady", TrafficProgramVariant::kP, 300, true, 0,
+                            false,    505};
+  SessionOptions steady_options = TenantOptions(steady_spec);
+  steady_options.weight = 4;
+  std::string steady_transcript;
+  auto steady = server.CreateSession(
+      "steady", steady_options, [&](const SessionEvent& event) {
+        steady_transcript += RenderEmission(event.event, event.symbols);
+      });
+  ASSERT_TRUE(steady.ok()) << steady.status();
+
+  std::atomic<bool> stop{false};
+  std::thread greedy_pusher([&] {
+    GeneratorOptions generator_options;
+    generator_options.seed = greedy_spec.stream_seed;
+    SyntheticStreamGenerator generator(
+        MakeTrafficSchema((*greedy)->symbols()), generator_options);
+    while (!stop.load(std::memory_order_acquire)) {
+      // kBlock admission: backpressures this thread once the 32-window
+      // backlog is full — exactly the saturation we want.
+      Status status = (*greedy)->Push(generator.GenerateWindow(400));
+      if (!status.ok()) break;
+    }
+  });
+
+  constexpr size_t kSteadyRounds = 12;
+  std::vector<double> latencies_ms;
+  {
+    GeneratorOptions generator_options;
+    generator_options.seed = steady_spec.stream_seed;
+    SyntheticStreamGenerator generator(
+        MakeTrafficSchema((*steady)->symbols()), generator_options);
+    for (size_t i = 0; i < kSteadyRounds; ++i) {
+      const auto t0 = std::chrono::steady_clock::now();
+      ASSERT_TRUE((*steady)->Push(generator.GenerateWindow(300)).ok());
+      ASSERT_TRUE((*steady)->Flush().ok());
+      latencies_ms.push_back(
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+    }
+  }
+
+  // Snapshot while the greedy tenant is still hammering: it must have a
+  // real backlog (we were genuinely contended) yet never be starved.
+  const SessionStats greedy_mid = (*greedy)->stats();
+  stop.store(true, std::memory_order_release);
+  greedy_pusher.join();
+  const SessionStats steady_stats = (*steady)->stats();
+  server.CloseAll();
+
+  EXPECT_GT(greedy_mid.engine.reasoning.enqueued_windows,
+            greedy_mid.engine.delivered_windows)
+      << "greedy tenant never built a backlog — the pool was not contended";
+  EXPECT_GT(greedy_mid.engine.delivered_windows, 0u)
+      << "weight-1 tenant was fully starved";
+
+  // p99 (== max over 12 rounds) stays under a deliberately generous
+  // bound that still catches actual starvation (an unweighted queue
+  // would park steady behind ~32 greedy windows per round).
+  const double worst = *std::max_element(latencies_ms.begin(),
+                                         latencies_ms.end());
+  EXPECT_LT(worst, 15000.0) << "steady tenant p99 unbounded under load";
+
+  EXPECT_EQ(steady_stats.rejected_batches, 0u);
+  EXPECT_EQ(steady_stats.shed_events, 0u);
+  EXPECT_EQ(steady_stats.engine.completeness(), 1.0);
+  EXPECT_EQ(steady_transcript,
+            OracleTranscript(steady_spec, kSteadyRounds, 300));
+}
+
+TEST(SharedPoolServerTest, SixtyFourSessionsCostPoolPlusLoopThreads) {
+  ServerConfig config;
+  config.shared_pool_threads = 2;
+  config.max_sessions = 128;
+  StreamServer server(config);
+
+  SessionOptions options;
+  options.program_text = "a(X) :- b(X).\n#input b/1.\n#show a/1.";
+  options.engine.pipeline.window_size = 4;
+  options.engine.pipeline.async = true;
+  options.engine.pipeline.max_inflight_windows = 2;
+
+  const size_t before = CurrentThreadCount();
+  ASSERT_GT(before, 0u) << "/proc/self/status not readable";
+  std::atomic<uint64_t> results{0};
+  std::vector<std::shared_ptr<StreamSession>> sessions;
+  for (int i = 0; i < 64; ++i) {
+    auto session = server.CreateSession(
+        "tenant-" + std::to_string(i), options,
+        [&results](const SessionEvent& event) {
+          if (event.event.kind == EmissionEvent::Kind::kResult) ++results;
+        });
+    ASSERT_TRUE(session.ok()) << session.status();
+    sessions.push_back(*session);
+  }
+  const size_t after = CurrentThreadCount();
+
+  // The whole point of the shared pool: 64 pooled sessions spawn zero
+  // threads (the old design cost ~3 threads per async session). Allow a
+  // little slack for runtime/test-framework threads.
+  EXPECT_LE(after, before + 2)
+      << "64 sessions grew the thread count from " << before << " to "
+      << after << " — session count is leaking threads again";
+
+  // And they all actually reason: one window through each.
+  for (auto& session : sessions) {
+    std::vector<Triple> batch;
+    for (int i = 0; i < 4; ++i) {
+      auto triple =
+          ParseTripleLine("b x" + std::to_string(i), session->symbols());
+      ASSERT_TRUE(triple.ok()) << triple.status();
+      batch.push_back(*triple);
+    }
+    ASSERT_TRUE(session->Push(std::move(batch)).ok());
+    ASSERT_TRUE(session->Flush().ok());
+  }
+  EXPECT_EQ(results.load(), 64u);
+  server.CloseAll();
+}
+
+TEST_F(SessionTest, QuotaShedsWindowsBeyondMaxQueuedAndAccountsThem) {
+  // Pooled quota semantics at the session API: max_queued_windows=1
+  // sheds any window that closes while another is still undelivered.
+  SessionOptions options = TrafficOptions(200);
+  options.engine.pipeline.async = true;
+  options.engine.pipeline.max_inflight_windows = 8;
+  options.max_queued_windows = 1;
+
+  uint64_t result_events = 0;
+  uint64_t shed_events = 0;
+  auto session = StreamSession::Create(
+      "quota", options, [&](const SessionEvent& event) {
+        if (event.event.kind == EmissionEvent::Kind::kResult) ++result_events;
+        if (event.event.kind == EmissionEvent::Kind::kShed) ++shed_events;
+      });
+  ASSERT_TRUE(session.ok()) << session.status();
+
+  constexpr size_t kWindows = 16;
+  for (size_t i = 0; i < kWindows; ++i) {
+    ASSERT_TRUE((*session)->Push(MakeStream(**session, 200, 40 + i)).ok());
+  }
+  ASSERT_TRUE((*session)->Flush().ok());
+  const SessionStats stats = (*session)->stats();
+  (*session)->Close();
+
+  // Conservation: every window is either delivered or shed-with-receipt —
+  // the quota degrades gracefully, it never loses windows silently.
+  EXPECT_EQ(result_events + shed_events, kWindows);
+  EXPECT_GT(shed_events, 0u) << "quota never triggered";
+  EXPECT_EQ(stats.shed_events, shed_events);
+  EXPECT_EQ(stats.result_events, result_events);
+  EXPECT_EQ(stats.engine.delivered_windows, result_events);
+  EXPECT_LT(stats.engine.completeness(), 1.0);
+  EXPECT_GT(stats.engine.completeness(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
 // Transports: the in-proc connection and a TCP loopback smoke, both
 // speaking the wire protocol end to end.
 // ---------------------------------------------------------------------------
@@ -602,12 +981,15 @@ TEST(TransportTest, InProcConnectionSpeaksTheProtocol) {
   ASSERT_TRUE(
       connection->Send(std::string("open tiny window=4\n") + kTinyProgram)
           .ok());
-  EXPECT_EQ(collector.AwaitReply(), "ok open tiny");
+  EXPECT_EQ(collector.AwaitReply(), "ok open tiny v=1");
   EXPECT_EQ(server.num_sessions(), 1u);
 
-  // Unknown session and malformed requests come back as error replies.
+  // Unknown session and malformed requests come back as error replies
+  // with machine-readable codes.
   ASSERT_TRUE(connection->Send("push nope\nb x1").ok());
-  EXPECT_EQ(collector.AwaitReply().rfind("error push nope", 0), 0u);
+  EXPECT_EQ(
+      collector.AwaitReply().rfind("error push nope code=unknown_session", 0),
+      0u);
   ASSERT_TRUE(connection->Send("warble").ok());
   EXPECT_EQ(collector.AwaitReply().rfind("error", 0), 0u);
 
@@ -639,6 +1021,32 @@ TEST(TransportTest, InProcConnectionSpeaksTheProtocol) {
   EXPECT_FALSE(connection->Send("ping").ok());
 }
 
+TEST(TransportTest, UnknownProtocolVersionIsRejectedCleanly) {
+  StreamServer server;
+  std::unique_ptr<SessionTransport> connection = server.Connect();
+  PayloadCollector collector;
+  connection->Receive(
+      [&collector](std::string payload) { collector.Handle(std::move(payload)); });
+
+  // A v=2 client is refused before any session state is created...
+  ASSERT_TRUE(
+      connection->Send(std::string("open vbad window=4 v=2\n") + kTinyProgram)
+          .ok());
+  const std::string reply = collector.AwaitReply();
+  EXPECT_EQ(reply.rfind("error open vbad code=unsupported_version", 0), 0u)
+      << reply;
+  EXPECT_NE(reply.find("this server speaks v=1"), std::string::npos) << reply;
+  EXPECT_EQ(server.num_sessions(), 0u);
+
+  // ...and the connection survives to open a correctly versioned session.
+  ASSERT_TRUE(
+      connection->Send(std::string("open vgood window=4 v=1\n") + kTinyProgram)
+          .ok());
+  EXPECT_EQ(collector.AwaitReply(), "ok open vgood v=1");
+  EXPECT_EQ(server.num_sessions(), 1u);
+  connection->Close();
+}
+
 TEST(TransportTest, DroppingTheConnectionClosesItsSessions) {
   StreamServer server;
   std::unique_ptr<SessionTransport> connection = server.Connect();
@@ -648,7 +1056,7 @@ TEST(TransportTest, DroppingTheConnectionClosesItsSessions) {
   ASSERT_TRUE(
       connection->Send(std::string("open orphan window=4\n") + kTinyProgram)
           .ok());
-  EXPECT_EQ(collector.AwaitReply(), "ok open orphan");
+  EXPECT_EQ(collector.AwaitReply(), "ok open orphan v=1");
   ASSERT_TRUE(connection->Send("push orphan\nb x1\nb x2").ok());
   EXPECT_EQ(collector.AwaitReply(), "ok push orphan");
   EXPECT_EQ(server.num_sessions(), 1u);
@@ -708,7 +1116,7 @@ TEST(TransportTest, TcpLoopbackSmoke) {
   EXPECT_EQ(await_reply(), "ok ping");
 
   send_payload(std::string("open tcp window=3\n") + kTinyProgram);
-  EXPECT_EQ(await_reply(), "ok open tcp");
+  EXPECT_EQ(await_reply(), "ok open tcp v=1");
 
   send_payload("push tcp\nb x1\nb x2\nb x3");
   EXPECT_EQ(await_reply(), "ok push tcp");

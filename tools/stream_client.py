@@ -1,21 +1,34 @@
 #!/usr/bin/env python3
 """Smoke-test client for the StreamRule session server (examples/stream_server).
 
-Speaks the length-prefixed wire protocol from src/server/wire.h: opens a
-session running the paper's traffic program, pushes triples crafted to
-fire the traffic_jam and car_fire/give_notification rules, flushes, and
-asserts that at least one result event carrying answers came back.
+Speaks the length-prefixed wire protocol from src/server/wire.h at
+protocol v=1: opens one or more sessions running the paper's traffic
+program (one TCP connection per session, so N sessions exercise the
+server's shared reasoner pool and single event-loop transport), pushes
+triples crafted to fire the traffic_jam and car_fire/give_notification
+rules, flushes, and asserts that every session saw nonzero answers.
+
+Error replies carry machine-readable codes (`error <verb> <session>
+code=<slug> <message>`); the client surfaces the slug on failure.
 
 Usage:
-  stream_client.py --port N [--windows 3] [--window-size 60] [-v]
+  stream_client.py --port N [--sessions 8] [--windows 3]
+                   [--window-size 60] [--protocol-version 1] [-v]
 
-Exits 0 on success (nonzero answers observed), 1 otherwise.
+With --protocol-version != 1 the client expects the server to refuse the
+open with code=unsupported_version and exits 0 when it does (negative
+test for version negotiation).
+
+Exits 0 on success, 1 otherwise.
 """
 
 import argparse
 import socket
 import struct
 import sys
+import threading
+
+PROTOCOL_VERSION = 1
 
 # The paper's traffic program (P variant, listing 1) plus #show — kept in
 # sync with src/streamrule/traffic_workload.cc by the rule names the
@@ -31,6 +44,18 @@ give_notification(X) :- traffic_jam(X), car_location(Y, X).
 #input car_speed/2, car_location/2.
 #show traffic_jam/1, car_fire/1, give_notification/1.
 """
+
+
+class ServerError(Exception):
+    """An `error` reply; `.code` carries the machine-readable slug."""
+
+    def __init__(self, frame: str):
+        self.frame = frame
+        self.code = "unknown"
+        for field in frame.split("\n", 1)[0].split():
+            if field.startswith("code="):
+                self.code = field.split("=", 1)[1]
+        super().__init__(frame)
 
 
 def send_frame(sock, payload: str):
@@ -78,82 +103,162 @@ def window_triples(window_size: int, seq: int):
     return lines[:window_size]
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--port", type=int, required=True)
-    parser.add_argument("--host", default="127.0.0.1")
-    parser.add_argument("--windows", type=int, default=3)
-    parser.add_argument("--window-size", type=int, default=60)
-    parser.add_argument("-v", "--verbose", action="store_true")
-    args = parser.parse_args()
+class SessionRun:
+    """One session over its own TCP connection: open (negotiating the
+    protocol version), push windows, flush, stats, close."""
 
-    sock = socket.create_connection((args.host, args.port), timeout=30)
-    reader = FrameReader(sock)
+    def __init__(self, name: str, args):
+        self.name = name
+        self.args = args
+        self.result_events = 0
+        self.answers = 0
+        self.stats = {}
+        self.negotiated_version = None
 
-    result_events = 0
-    answers = 0
-
-    def await_reply(expect_verb):
+    def await_reply(self, reader, expect_verb):
         """Reads frames until the pending request's reply; counts the
         subscription events that interleave before it."""
-        nonlocal result_events, answers
         while True:
             frame = reader.next_frame()
-            if args.verbose:
-                print(frame)
+            if self.args.verbose:
+                print(f"[{self.name}] {frame}")
                 print("--")
             head = frame.split("\n", 1)[0].split()
             if head[0] == "event":
                 if head[2] == "result":
-                    result_events += 1
+                    self.result_events += 1
                     for field in head[3:]:
                         if field.startswith("answers="):
-                            answers += int(field.split("=", 1)[1])
+                            self.answers += int(field.split("=", 1)[1])
                 continue
             if head[0] == "error":
-                raise SystemExit(f"server error: {frame}")
+                raise ServerError(frame)
             assert head[0] == "ok" and head[1] == expect_verb, frame
             return frame
 
-    send_frame(sock, "ping")
-    await_reply("ping")
+    def run(self):
+        sock = socket.create_connection(
+            (self.args.host, self.args.port), timeout=60)
+        try:
+            reader = FrameReader(sock)
+            send_frame(sock, "ping")
+            self.await_reply(reader, "ping")
 
-    open_line = (f"open smoke window={args.window_size} "
-                 f"async=1 inflight=2 workers=1")
-    send_frame(sock, open_line + "\n" + TRAFFIC_PROGRAM)
-    await_reply("open")
+            open_line = (f"open {self.name} window={self.args.window_size} "
+                         f"async=1 inflight=2 "
+                         f"v={self.args.protocol_version}")
+            send_frame(sock, open_line + "\n" + TRAFFIC_PROGRAM)
+            open_reply = self.await_reply(reader, "open")
+            # `ok open <session> v=N`: the version the server speaks.
+            for field in open_reply.split():
+                if field.startswith("v="):
+                    self.negotiated_version = int(field.split("=", 1)[1])
 
-    for seq in range(args.windows):
-        lines = window_triples(args.window_size, seq)
-        send_frame(sock, "push smoke\n" + "\n".join(lines))
-        await_reply("push")
+            for seq in range(self.args.windows):
+                lines = window_triples(self.args.window_size, seq)
+                send_frame(sock, f"push {self.name}\n" + "\n".join(lines))
+                self.await_reply(reader, "push")
 
-    send_frame(sock, "flush smoke")
-    await_reply("flush")
+            send_frame(sock, f"flush {self.name}")
+            self.await_reply(reader, "flush")
 
-    send_frame(sock, "stats smoke")
-    stats_frame = await_reply("stats")
-    stats = dict(line.split("=", 1) for line in stats_frame.split("\n")[1:]
-                 if "=" in line)
+            send_frame(sock, f"stats {self.name}")
+            stats_frame = self.await_reply(reader, "stats")
+            self.stats = dict(
+                line.split("=", 1)
+                for line in stats_frame.split("\n")[1:] if "=" in line)
 
-    send_frame(sock, "close smoke")
-    await_reply("close")
-    sock.close()
+            send_frame(sock, f"close {self.name}")
+            self.await_reply(reader, "close")
+        finally:
+            sock.close()
 
-    print(f"stream_client: {result_events} result events, "
-          f"{answers} answers, server stats: "
-          f"windows={stats.get('delivered_windows')} "
-          f"answers={stats.get('delivered_answers')} "
-          f"completeness={stats.get('completeness')}")
-    if result_events < args.windows:
-        print(f"FAIL: expected >= {args.windows} result events")
+    def check(self):
+        """Returns a list of failure messages (empty on success)."""
+        failures = []
+        if self.negotiated_version != PROTOCOL_VERSION:
+            failures.append(
+                f"{self.name}: server spoke v={self.negotiated_version}, "
+                f"expected v={PROTOCOL_VERSION}")
+        if self.result_events < self.args.windows:
+            failures.append(
+                f"{self.name}: expected >= {self.args.windows} result "
+                f"events, saw {self.result_events}")
+        if self.answers <= 0:
+            failures.append(
+                f"{self.name}: no answers came back (expected "
+                f"traffic_jam/car_fire events every window)")
+        if int(self.stats.get("delivered_answers", "0")) <= 0:
+            failures.append(
+                f"{self.name}: server-side delivered_answers is zero")
+        return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--sessions", type=int, default=1,
+                        help="concurrent sessions, one connection each")
+    parser.add_argument("--windows", type=int, default=3)
+    parser.add_argument("--window-size", type=int, default=60)
+    parser.add_argument("--protocol-version", type=int,
+                        default=PROTOCOL_VERSION)
+    parser.add_argument("-v", "--verbose", action="store_true")
+    args = parser.parse_args()
+
+    if args.protocol_version != PROTOCOL_VERSION:
+        # Negative test: an unsupported version must be refused cleanly
+        # with the machine-readable slug, not crash the connection.
+        run = SessionRun("smoke", args)
+        try:
+            run.run()
+        except ServerError as error:
+            if error.code == "unsupported_version":
+                print(f"stream_client: v={args.protocol_version} open "
+                      f"rejected cleanly (code={error.code})")
+                return 0
+            print(f"FAIL: expected code=unsupported_version, got: "
+                  f"{error.frame}")
+            return 1
+        print("FAIL: server accepted an unsupported protocol version")
         return 1
-    if answers <= 0:
-        print("FAIL: no answers came back (expected traffic_jam/car_fire "
-              "events every window)")
-        return 1
-    if int(stats.get("delivered_answers", "0")) <= 0:
-        print("FAIL: server-side delivered_answers is zero")
+
+    runs = [SessionRun(f"smoke{i}" if args.sessions > 1 else "smoke", args)
+            for i in range(args.sessions)]
+    errors = []
+
+    def drive(run):
+        try:
+            run.run()
+        except ServerError as error:
+            errors.append(f"{run.name}: server error code={error.code}: "
+                          f"{error.frame}")
+        except (SystemExit, OSError, AssertionError) as error:
+            errors.append(f"{run.name}: {error}")
+
+    if args.sessions == 1:
+        drive(runs[0])
+    else:
+        threads = [threading.Thread(target=drive, args=(run,))
+                   for run in runs]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    failures = list(errors)
+    for run in runs:
+        if not any(message.startswith(run.name + ":") for message in errors):
+            failures.extend(run.check())
+
+    total_results = sum(run.result_events for run in runs)
+    total_answers = sum(run.answers for run in runs)
+    print(f"stream_client: {len(runs)} session(s), {total_results} result "
+          f"events, {total_answers} answers, v={PROTOCOL_VERSION}")
+    if failures:
+        for message in failures:
+            print(f"FAIL: {message}")
         return 1
     print("stream_client: OK")
     return 0
